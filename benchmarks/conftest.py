@@ -1,0 +1,122 @@
+"""Shared infrastructure for the figure-reproduction benches.
+
+Each bench regenerates one table or figure from the paper's evaluation:
+it runs the relevant experiments, prints the figure's rows/series
+(paper value alongside measured value), asserts the *shape* claims
+(who wins, by roughly what factor), and persists the table under
+``benchmarks/results/``.
+
+Expensive experiment sets (the Fig 7 / Fig 9 repeat suites) are shared
+across benches through the session-scoped :class:`ResultsStore`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_standard_experiment,
+    standard_rl_workload,
+    standard_sl_workload,
+)
+from repro.core.pop import POPPolicy
+from repro.framework.experiment import ExperimentResult
+from repro.policies.bandit import BanditPolicy
+from repro.policies.default import DefaultPolicy
+from repro.policies.earlyterm import EarlyTermPolicy
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Repeats per policy (paper: 10 supervised / 5 RL; reduced to keep the
+#: full bench suite under an hour — the spread statistics stabilise by
+#: then and the orderings are unambiguous).
+SL_REPEATS = 5
+RL_REPEATS = 3
+
+POLICY_FACTORIES: Dict[str, Callable[[], object]] = {
+    "pop": POPPolicy,
+    "bandit": BanditPolicy,
+    "earlyterm": EarlyTermPolicy,
+    "default": DefaultPolicy,
+}
+
+
+class ResultsStore:
+    """Lazily computed, session-cached experiment results."""
+
+    def __init__(self) -> None:
+        self._sl_workload = None
+        self._rl_workload = None
+        self._cache: Dict[Tuple, List[ExperimentResult]] = {}
+
+    @property
+    def sl_workload(self):
+        if self._sl_workload is None:
+            self._sl_workload = standard_sl_workload()
+        return self._sl_workload
+
+    @property
+    def rl_workload(self):
+        if self._rl_workload is None:
+            self._rl_workload = standard_rl_workload()
+        return self._rl_workload
+
+    def experiments(
+        self, domain: str, policy: str, repeats: int, **overrides
+    ) -> List[ExperimentResult]:
+        """Results for ``repeats`` seeds of one policy in one domain."""
+        key = (domain, policy, repeats, tuple(sorted(overrides.items())))
+        if key not in self._cache:
+            workload = self.sl_workload if domain == "sl" else self.rl_workload
+            results = [
+                run_standard_experiment(
+                    workload,
+                    POLICY_FACTORIES[policy](),
+                    seed=seed,
+                    **overrides,
+                )
+                for seed in range(repeats)
+            ]
+            self._cache[key] = results
+        return self._cache[key]
+
+    def sl_suite(self, policy: str) -> List[ExperimentResult]:
+        return self.experiments("sl", policy, SL_REPEATS)
+
+    def rl_suite(self, policy: str) -> List[ExperimentResult]:
+        return self.experiments("rl", policy, RL_REPEATS)
+
+
+@pytest.fixture(scope="session")
+def store() -> ResultsStore:
+    return ResultsStore()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, lines: Sequence[str]) -> None:
+    """Print a figure table and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print(f"\n{text}")
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def minutes(seconds: float) -> float:
+    return seconds / 60.0
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The experiments are far too heavy for statistical timing rounds;
+    the bench exists to *regenerate figures*, with the timing as a
+    by-product.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+"""Ablation (§2.2a): full-curve prediction vs instantaneous accuracy.
+
+The paper's argument against prior work (TuPAQ): the most recent
+performance alone misses overtakers.  POP driven by the last-value
+predictor should be slower to the target (or less reliable) than POP
+with the learning-curve ensemble.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import run_standard_experiment
+from repro.core.pop import POPPolicy
+from repro.curves.predictor import LastValuePredictor
+from .conftest import emit, minutes, once
+
+
+def test_ablation_last_value_predictor(benchmark, store, results_dir):
+    workload = store.sl_workload
+    seeds = (0, 1, 2)
+
+    def compute():
+        table = {"curve-ensemble": [], "last-value": []}
+        for seed in seeds:
+            full = run_standard_experiment(workload, POPPolicy(), seed=seed)
+            table["curve-ensemble"].append(
+                full.time_to_target if full.reached_target else full.finished_at
+            )
+            naive = run_standard_experiment(
+                workload,
+                POPPolicy(),
+                seed=seed,
+                predictor=LastValuePredictor(noise=0.01, n_sample_curves=100),
+            )
+            table["last-value"].append(
+                naive.time_to_target if naive.reached_target else naive.finished_at
+            )
+        return table
+
+    table = once(benchmark, compute)
+    means = {k: float(np.mean(v)) for k, v in table.items()}
+    lines = [
+        "=== Ablation: curve-ensemble vs last-value prediction in POP ===",
+        f"curve-ensemble mean t2t : {minutes(means['curve-ensemble']):6.0f} min",
+        f"last-value mean t2t     : {minutes(means['last-value']):6.0f} min",
+        f"penalty of instantaneous-only prediction: "
+        f"{means['last-value']/means['curve-ensemble']:.2f}x",
+        "(§2.2a: relying on the most recent performance alone wastes "
+        "resources on fast-but-mediocre configurations)",
+    ]
+    emit(results_dir, "ablation_last_value", lines)
+
+    assert means["last-value"] > means["curve-ensemble"]

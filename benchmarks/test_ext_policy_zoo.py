@@ -1,0 +1,75 @@
+"""Extension bench: the full policy zoo on the standard setup.
+
+Not a paper figure — a one-table comparison of every SAP in the
+repository (the paper's four plus successive halving and HyperBand)
+under the fixed supervised configuration set.  Budget-bounded policies
+(SH/HyperBand) do not chase the 0.77 target; they are compared on the
+best accuracy found per epoch spent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import run_standard_experiment
+from repro.core.pop import POPPolicy
+from repro.policies.bandit import BanditPolicy
+from repro.policies.default import DefaultPolicy
+from repro.policies.earlyterm import EarlyTermPolicy
+from repro.policies.hyperband import HyperBandPolicy, SuccessiveHalvingPolicy
+from .conftest import emit, minutes, once
+
+POLICIES = {
+    "pop": POPPolicy,
+    "bandit": BanditPolicy,
+    "earlyterm": EarlyTermPolicy,
+    "default": DefaultPolicy,
+    "succ-halving": lambda: SuccessiveHalvingPolicy(eta=3.0, initial_budget=4),
+    "hyperband": HyperBandPolicy,
+}
+
+
+def test_ext_policy_zoo(benchmark, store, results_dir):
+    workload = store.sl_workload
+
+    def compute():
+        rows = {}
+        for name, factory in POLICIES.items():
+            result = run_standard_experiment(
+                workload, factory(), seed=0, stop_on_target=False,
+                tmax=24 * 3600.0,
+            )
+            rows[name] = result
+        return rows
+
+    rows = once(benchmark, compute)
+    lines = [
+        "=== Extension: policy zoo (CIFAR-10, 4 machines, run to budget) ===",
+        "policy       | best acc | epochs | terminated | suspends | makespan(min)",
+    ]
+    for name, result in rows.items():
+        lines.append(
+            f"{name:12s} | {result.best_metric:8.3f} | {result.epochs_trained:6d}"
+            f" | {result.terminated_count:10d} | {len(result.snapshots):8d}"
+            f" | {minutes(result.finished_at):10.0f}"
+        )
+    lines += [
+        "",
+        "(early-terminating policies trade a little peak accuracy for a",
+        "fraction of the epoch budget; POP keeps the peak)",
+    ]
+    emit(results_dir, "ext_policy_zoo", lines)
+
+    default = rows["default"]
+    # Exhaustive search needs 100 x 120 epochs (Default only gets as
+    # far as Tmax allows); every pruning policy spends a fraction.
+    exhaustive = 100 * workload.domain.max_epochs
+    for name, result in rows.items():
+        if name == "default":
+            continue
+        assert result.epochs_trained < 0.45 * exhaustive
+    # POP's best accuracy stays within noise of exhaustive search's.
+    assert rows["pop"].best_metric >= default.best_metric - 0.02
+    # The bandit-style eliminators still find something decent.
+    for name in ("bandit", "earlyterm", "succ-halving", "hyperband"):
+        assert rows[name].best_metric >= 0.6

@@ -1,0 +1,56 @@
+"""Figure 10: suspend-latency and snapshot-size CDFs (LunarLander).
+
+Paper: CRIU whole-process snapshots; latency never exceeds 22.36 s and
+snapshot size never exceeds 43.75 MB — small against job training time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.stats import ecdf
+from .conftest import emit, once
+
+
+def test_fig10_rl_suspend_cdfs(benchmark, store, results_dir):
+    def compute():
+        snapshots = [
+            snapshot
+            for result in store.rl_suite("pop")
+            for snapshot in result.snapshots
+        ]
+        return snapshots
+
+    snapshots = once(benchmark, compute)
+    assert snapshots, "the RL runs must suspend jobs"
+    latencies = np.array([s.latency for s in snapshots])
+    sizes = np.array([s.size_bytes for s in snapshots])
+
+    lat_vals, lat_frac = ecdf(latencies)
+    size_vals, size_frac = ecdf(sizes / 1e6)
+    lines = [
+        "=== Figure 10: RL suspend latency and snapshot size CDFs ===",
+        f"suspends observed: {latencies.size}",
+        "",
+        "latency CDF (seconds : fraction):",
+    ]
+    for q in (0.25, 0.5, 0.75, 0.95, 1.0):
+        idx = min(int(q * lat_vals.size), lat_vals.size - 1)
+        lines.append(f"  {lat_vals[idx]:6.2f} s : {lat_frac[idx]:.2f}")
+    lines.append("")
+    lines.append("snapshot size CDF (MB : fraction):")
+    for q in (0.25, 0.5, 0.75, 0.95, 1.0):
+        idx = min(int(q * size_vals.size), size_vals.size - 1)
+        lines.append(f"  {size_vals[idx]:6.2f} MB : {size_frac[idx]:.2f}")
+    lines += [
+        "",
+        f"max latency {latencies.max():.2f} s (paper: <= 22.36 s); "
+        f"max size {sizes.max()/1e6:.2f} MB (paper: <= 43.75 MB)",
+    ]
+    emit(results_dir, "fig10_rl_suspend_cdf", lines)
+
+    assert latencies.max() <= 22.36
+    assert sizes.max() <= 43.75e6
+    # CRIU snapshots are much heavier than the supervised native ones.
+    assert latencies.mean() > 1.0
+    assert sizes.mean() > 5e6

@@ -1,0 +1,68 @@
+"""Figure 12b: sensitivity to resource capacity (CIFAR-10).
+
+Paper: time-to-target improves with more machines for every policy;
+POP always outperforms the others, with a growing edge at larger
+capacities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .conftest import emit, minutes, once
+
+CAPACITIES = (2, 4, 8, 16)
+POLICIES = ("pop", "bandit", "earlyterm", "default")
+
+
+def test_fig12b_resource_capacity(benchmark, store, results_dir):
+    def compute():
+        table = {}
+        for policy in POLICIES:
+            row = []
+            for machines in CAPACITIES:
+                results = store.experiments(
+                    "sl", policy, repeats=1, num_machines=machines
+                )
+                result = results[0]
+                value = (
+                    result.time_to_target
+                    if result.reached_target
+                    else result.finished_at
+                )
+                row.append(value)
+            table[policy] = row
+        return table
+
+    table = once(benchmark, compute)
+    lines = [
+        "=== Figure 12b: time to target vs number of machines ===",
+        "policy    | " + " ".join(f"{m:>7d}m" for m in CAPACITIES) + "  (minutes)",
+    ]
+    for policy, row in table.items():
+        lines.append(
+            f"{policy:9s} | " + " ".join(f"{minutes(v):8.0f}" for v in row)
+        )
+    lines += [
+        "",
+        "(paper: all policies improve with capacity; POP best everywhere)",
+    ]
+    emit(results_dir, "fig12b_resource_capacity", lines)
+
+    for policy, row in table.items():
+        # More machines help: the largest capacity beats the smallest.
+        assert row[-1] < row[0]
+    # POP wins outright at the scarce-resource capacities (where
+    # scheduling matters most) and is never meaningfully worse than
+    # the best policy anywhere.  (Deviation from the paper, recorded
+    # in EXPERIMENTS.md: at 8-16 machines every policy approaches the
+    # first-achiever floor, so Bandit ties or marginally beats POP
+    # there instead of falling further behind.)
+    for i, machines in enumerate(CAPACITIES):
+        best = min(table[p][i] for p in POLICIES)
+        if machines <= 4:
+            assert table["pop"][i] == best
+        assert table["pop"][i] <= 1.15 * best
+    pop_mean = np.mean(table["pop"])
+    for policy in ("bandit", "earlyterm", "default"):
+        assert pop_mean < np.mean(table[policy])

@@ -1,0 +1,96 @@
+"""Figure 12c: sensitivity to configuration order (CIFAR-10).
+
+Paper (25 random orders, 5 machines): POP's time-to-target CDF
+dominates the others and is far more consistent — max-min spread
+4.05 h for POP vs 8.33 h (Bandit), 8.50 h (EarlyTerm), and a
+staggering 25.74 h for Default.
+
+The reproduction replays a recorded trace so every policy sees
+byte-identical learning curves per order (the §7.1 Trace Generator
+role).  15 orders keep the bench affordable; the spread ordering is
+already unambiguous at that count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.experiments import standard_configs
+from repro.framework.experiment import ExperimentSpec
+from repro.core.pop import POPPolicy
+from repro.policies.bandit import BanditPolicy
+from repro.policies.default import DefaultPolicy
+from repro.policies.earlyterm import EarlyTermPolicy
+from repro.sim.runner import run_simulation
+from repro.sim.trace import TraceWorkload, record_trace
+from .conftest import emit, minutes, once
+
+N_ORDERS = 15
+POLICIES = {
+    "pop": POPPolicy,
+    "bandit": BanditPolicy,
+    "earlyterm": EarlyTermPolicy,
+    "default": DefaultPolicy,
+}
+
+
+def test_fig12c_config_order_sensitivity(benchmark, store, results_dir):
+    workload = store.sl_workload
+    base_trace = record_trace(workload, standard_configs(workload, 100), seed=0)
+
+    def compute():
+        table = {name: [] for name in POLICIES}
+        for order in range(N_ORDERS):
+            trace = base_trace.shuffled(order)
+            replay = TraceWorkload(trace)
+            for name, factory in POLICIES.items():
+                result = run_simulation(
+                    replay,
+                    factory(),
+                    configs=trace.configs,
+                    spec=ExperimentSpec(num_machines=5, num_configs=100, seed=0),
+                )
+                value = (
+                    result.time_to_target
+                    if result.reached_target
+                    else result.finished_at
+                )
+                table[name].append(value)
+        return table
+
+    table = once(benchmark, compute)
+    lines = [
+        f"=== Figure 12c: time-to-target over {N_ORDERS} random orders ===",
+        "policy    |   min   p25   med   p75   max  spread  (minutes)",
+    ]
+    spreads = {}
+    for name, values in table.items():
+        arr = np.sort(np.asarray(values)) / 60.0
+        spread = arr[-1] - arr[0]
+        spreads[name] = spread
+        lines.append(
+            f"{name:9s} | {arr[0]:5.0f} {np.percentile(arr,25):5.0f}"
+            f" {np.median(arr):5.0f} {np.percentile(arr,75):5.0f}"
+            f" {arr[-1]:5.0f} {spread:7.0f}"
+        )
+    lines += [
+        "",
+        "spread ratios (paper: Default 25.74h vs POP 4.05h, ~6.4x):",
+        f"  default/pop   = {spreads['default']/spreads['pop']:.1f}x",
+        f"  bandit/pop    = {spreads['bandit']/spreads['pop']:.1f}x"
+        "   (paper: ~2.1x)",
+        f"  earlyterm/pop = {spreads['earlyterm']/spreads['pop']:.1f}x"
+        "   (paper: ~2.1x)",
+    ]
+    emit(results_dir, "fig12c_config_order", lines)
+
+    medians = {name: np.median(values) for name, values in table.items()}
+    # POP has the best median; its spread clearly beats EarlyTerm and
+    # Default.  (Deviation from the paper, recorded in EXPERIMENTS.md:
+    # our Bandit's order-spread statistically ties POP's instead of
+    # being ~2x wider — both recover similarly from unlucky orders on
+    # this workload.)
+    assert medians["pop"] == min(medians.values())
+    assert spreads["pop"] <= 1.05 * spreads["bandit"]
+    assert spreads["pop"] < 0.8 * spreads["earlyterm"]
+    assert spreads["pop"] < 0.5 * spreads["default"]

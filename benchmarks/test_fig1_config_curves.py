@@ -1,0 +1,45 @@
+"""Figure 1: accuracy of 50 random CIFAR-10 configurations over training.
+
+Paper: each line is one configuration over ~120 one-minute iterations;
+most configurations never learn (stay near 10% random accuracy) and
+only three of the fifty exceed 75%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import config_curves
+from .conftest import emit, once
+
+
+def test_fig1_config_curves(benchmark, store, results_dir):
+    curves = once(
+        benchmark, lambda: config_curves(store.sl_workload, n_configs=50, seed=0)
+    )
+    finals = np.array([c[-1] for c in curves])
+    non_learners = int((finals <= 0.12).sum())
+    over_75 = int((finals > 0.75).sum())
+
+    lines = [
+        "=== Figure 1: 50 random CIFAR-10 configurations ===",
+        f"epochs per configuration : {len(curves[0])}",
+        f"final accuracy min/median/max : "
+        f"{finals.min():.3f} / {np.median(finals):.3f} / {finals.max():.3f}",
+        f"configs at/below random (<=0.12) : {non_learners}/50   (paper: majority never exceed 20%)",
+        f"configs exceeding 0.75           : {over_75}/50   (paper: 3/50)",
+        "",
+        "accuracy-vs-epoch series (every 20th epoch, first 10 configs):",
+    ]
+    epochs = list(range(0, len(curves[0]), 20))
+    header = "config | " + " ".join(f"e{e+1:>4d}" for e in epochs)
+    lines.append(header)
+    for i, curve in enumerate(curves[:10]):
+        row = " ".join(f"{curve[e]:5.2f}" for e in epochs)
+        lines.append(f"{i:6d} | {row}")
+    emit(results_dir, "fig1_config_curves", lines)
+
+    # Shape assertions from the paper's narrative.
+    assert non_learners >= 10, "a large share must never learn"
+    assert 1 <= over_75 <= 8, "only a few configs exceed 75%"
+    assert len(curves) == 50 and len(curves[0]) == 120

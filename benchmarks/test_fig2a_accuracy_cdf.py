@@ -1,0 +1,37 @@
+"""Figure 2a: final-accuracy CDF of 90 random CIFAR-10 configurations.
+
+Paper: 32% of configurations sit at or below the 10% random-accuracy
+mark (the red circle on the CDF).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import final_metric_cdf
+from .conftest import emit, once
+
+
+def test_fig2a_final_accuracy_cdf(benchmark, store, results_dir):
+    values, fractions = once(
+        benchmark, lambda: final_metric_cdf(store.sl_workload, n_configs=90, seed=0)
+    )
+    at_or_below_random = float(fractions[np.searchsorted(values, 0.115, "right") - 1])
+
+    lines = [
+        "=== Figure 2a: final validation accuracy CDF (90 configs) ===",
+        "accuracy : cumulative fraction",
+    ]
+    for acc in (0.08, 0.10, 0.12, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.75, 0.8):
+        idx = np.searchsorted(values, acc, side="right")
+        frac = fractions[idx - 1] if idx > 0 else 0.0
+        lines.append(f"  {acc:4.2f}   : {frac:5.2f}")
+    lines += [
+        "",
+        f"fraction at/below random accuracy : {at_or_below_random:.2f}"
+        "   (paper: 0.32)",
+    ]
+    emit(results_dir, "fig2a_accuracy_cdf", lines)
+
+    assert 0.22 <= at_or_below_random <= 0.45
+    assert values.max() <= 0.81

@@ -1,0 +1,43 @@
+"""Figure 2b: the overtake phenomenon.
+
+Paper: configuration A leads configuration B before epoch ~50, yet B's
+final accuracy is higher — so instantaneous accuracy alone (TuPAQ's
+signal) misidentifies the better configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import find_overtake_pair
+from .conftest import emit, once
+
+
+def test_fig2b_overtake_pair(benchmark, store, results_dir):
+    pair = once(
+        benchmark,
+        lambda: find_overtake_pair(store.sl_workload, pool_size=100, seed=0),
+    )
+    assert pair is not None, "the workload must exhibit overtaking"
+    early_leader, late_winner = pair
+    third = len(early_leader) // 3
+
+    lines = [
+        "=== Figure 2b: learning curves of configurations A and B ===",
+        "epoch :    A(early leader)    B(late winner)",
+    ]
+    for epoch in range(0, len(early_leader), 12):
+        lines.append(
+            f"{epoch+1:5d} : {early_leader[epoch]:10.3f} {late_winner[epoch]:15.3f}"
+        )
+    lines += [
+        "",
+        f"A at epoch {third}: {early_leader[third]:.3f}  B: {late_winner[third]:.3f}"
+        "   (A ahead)",
+        f"A final: {early_leader[-1]:.3f}  B final: {late_winner[-1]:.3f}"
+        "   (B overtakes)",
+    ]
+    emit(results_dir, "fig2b_overtake", lines)
+
+    assert early_leader[third] > late_winner[third]
+    assert late_winner[-1] > early_leader[-1]

@@ -1,0 +1,72 @@
+"""Figure 3: predicted vs measured curves at the 10th / 30th epoch and
+at the end of training.
+
+Paper: early predictions are low-confidence and barely differentiate
+configurations (3a); by epoch 30 promising configurations emerge (3b);
+the final curves (3c) confirm them.  The reproduction quantifies this
+as the rank correlation between predicted final accuracy and true final
+accuracy improving with the observation prefix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.analysis.experiments import standard_configs
+from repro.sim.runner import default_predictor
+from .conftest import emit, once
+
+
+def test_fig3_prediction_over_time(benchmark, store, results_dir):
+    workload = store.sl_workload
+    predictor = default_predictor()
+    configs = standard_configs(workload, 100)
+    # Learner configurations only (non-learners are killed by domain
+    # knowledge before prediction matters, §5.3).
+    pool = []
+    for config in configs:
+        run = workload.create_run(config, seed=0)
+        if run.true_final_accuracy > 0.2:
+            curve = [run.step().metric for _ in range(workload.domain.max_epochs)]
+            pool.append((curve, run.true_final_accuracy))
+        if len(pool) == 25:
+            break
+
+    def compute():
+        rows = {}
+        for observe in (10, 30, 60):
+            predicted, spreads = [], []
+            for curve, _ in pool:
+                prediction = predictor.predict(
+                    curve[:observe], workload.domain.max_epochs - observe
+                )
+                predicted.append(float(prediction.mean[-1]))
+                spreads.append(float(prediction.std[-1]))
+            rows[observe] = (predicted, spreads)
+        return rows
+
+    rows = once(benchmark, compute)
+    true_finals = [final for _, final in pool]
+    lines = [
+        "=== Figure 3: prediction quality at epochs 10 / 30 / 60 ===",
+        f"configurations (learners): {len(pool)}",
+        "prefix | spearman(pred, true) | mean predicted std",
+    ]
+    correlations = {}
+    for observe, (predicted, spreads) in rows.items():
+        rho = float(scipy_stats.spearmanr(predicted, true_finals).statistic)
+        correlations[observe] = rho
+        lines.append(
+            f"  {observe:4d} | {rho:20.3f} | {np.mean(spreads):18.3f}"
+        )
+    lines.append(
+        "(paper: little differentiation at epoch 10; promising configs "
+        "emerge by epoch 30; confidence grows over time)"
+    )
+    emit(results_dir, "fig3_prediction_over_time", lines)
+
+    assert correlations[30] > correlations[10] - 0.05
+    assert correlations[60] > 0.6
+    # Uncertainty shrinks as training progresses.
+    assert np.mean(rows[60][1]) < np.mean(rows[10][1])

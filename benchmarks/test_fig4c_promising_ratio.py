@@ -1,0 +1,38 @@
+"""Figure 4c: the ratio of promising to active jobs rises over an
+experiment's lifetime.
+
+Paper: exploration dominates early (ratio ~0); as predictions gain
+confidence, the exploitation share grows substantially.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import promising_ratio_timeline
+from .conftest import emit, once
+
+
+def test_fig4c_promising_ratio(benchmark, store, results_dir):
+    result = once(benchmark, lambda: store.sl_suite("pop")[0])
+    times, ratios = promising_ratio_timeline(result, bucket_seconds=600.0)
+    assert times.size >= 4
+
+    lines = [
+        "=== Figure 4c: promising / active jobs over time ===",
+        "time(min) : ratio",
+    ]
+    for t, r in zip(times, ratios):
+        lines.append(f"{t/60.0:9.0f} : {r:.3f}")
+    first_quarter = ratios[: max(1, len(ratios) // 4)].mean()
+    last_quarter = ratios[-max(1, len(ratios) // 4):].mean()
+    lines += [
+        "",
+        f"mean ratio, first quarter : {first_quarter:.3f}",
+        f"mean ratio, last quarter  : {last_quarter:.3f}",
+        "(paper: ratio starts near 0 and grows as confidence accrues)",
+    ]
+    emit(results_dir, "fig4c_promising_ratio", lines)
+
+    assert first_quarter < 0.25
+    assert last_quarter > first_quarter

@@ -1,0 +1,66 @@
+"""Figure 7: time to reach target validation accuracy (CIFAR-10).
+
+Paper (4 machines, 100 configs, target 0.77, 10 repeats):
+POP 2.8 h average; Bandit 4.5 h (POP 1.6x faster); EarlyTerm 6.1 h
+(POP 2.1x faster).  POP's min-max spread is ~2x smaller, and even
+POP's worst run beats the best run of Bandit and EarlyTerm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import time_to_target_stats
+from repro.metrics.stats import speedup
+from .conftest import SL_REPEATS, emit, minutes, once
+
+
+def test_fig7_time_to_target_supervised(benchmark, store, results_dir):
+    def compute():
+        return {
+            policy: store.sl_suite(policy)
+            for policy in ("pop", "bandit", "earlyterm")
+        }
+
+    suites = once(benchmark, compute)
+    times = {
+        policy: [r.time_to_target for r in results]
+        for policy, results in suites.items()
+    }
+    for policy, values in times.items():
+        assert all(v is not None for v in values), f"{policy} failed a run"
+
+    stats = {p: time_to_target_stats(suites[p]) for p in suites}
+    lines = [
+        f"=== Figure 7: time to reach 77% accuracy, {SL_REPEATS} repeats ===",
+        "policy    |   min    q1   med    q3   max  mean  (minutes)",
+    ]
+    for policy, s in stats.items():
+        lines.append(
+            f"{policy:9s} | {minutes(s.minimum):5.0f} {minutes(s.q1):5.0f}"
+            f" {minutes(s.median):5.0f} {minutes(s.q3):5.0f}"
+            f" {minutes(s.maximum):5.0f} {minutes(s.mean):5.0f}"
+        )
+    bandit_speedup = speedup(times["bandit"], times["pop"])
+    earlyterm_speedup = speedup(times["earlyterm"], times["pop"])
+    lines += [
+        "",
+        f"POP vs Bandit   : {bandit_speedup:.2f}x faster   (paper: 1.6x)",
+        f"POP vs EarlyTerm: {earlyterm_speedup:.2f}x faster   (paper: 2.1x)",
+        f"POP spread {minutes(stats['pop'].spread):.0f} min vs Bandit "
+        f"{minutes(stats['bandit'].spread):.0f} min, EarlyTerm "
+        f"{minutes(stats['earlyterm'].spread):.0f} min",
+    ]
+    emit(results_dir, "fig7_time_to_target_sl", lines)
+
+    # Shape claims.
+    assert bandit_speedup > 1.2
+    assert earlyterm_speedup > 1.5
+    assert stats["pop"].mean < stats["bandit"].mean < stats["earlyterm"].mean
+    # "Even the worst run of POP is faster than the best case of the
+    # Bandit and EarlyTerm."
+    assert stats["pop"].maximum < stats["bandit"].minimum
+    assert stats["pop"].maximum < stats["earlyterm"].minimum
+    # POP is the most stable.
+    assert stats["pop"].spread < stats["bandit"].spread
+    assert stats["pop"].spread < stats["earlyterm"].spread

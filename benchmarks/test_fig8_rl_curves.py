@@ -1,0 +1,51 @@
+"""Figure 8: reward of 15 random LunarLander configurations over 20,000
+episode trials.
+
+Paper: many configurations learn for a while then suffer a
+"learning-crash" to at/below the −100 non-learning value; over 50% of
+configurations are non-learning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import config_curves
+from .conftest import emit, once
+
+
+def test_fig8_rl_reward_curves(benchmark, store, results_dir):
+    curves = once(
+        benchmark,
+        lambda: config_curves(store.rl_workload, n_configs=15, seed=0),
+    )
+    arr = np.asarray(curves)
+    finals = arr[:, -1]
+    non_learning = int((finals <= -70.0).sum())
+    crashes = 0
+    for curve in arr:
+        peak_at = int(np.argmax(curve))
+        if curve[peak_at] > 0 and curve[-1] <= -70.0:
+            crashes += 1
+
+    lines = [
+        "=== Figure 8: 15 LunarLander configurations over 20k trials ===",
+        f"trials per configuration : {arr.shape[1] * 100}",
+        f"reward range observed    : [{arr.min():.0f}, {arr.max():.0f}]"
+        "   (paper: roughly [-500, 300])",
+        f"non-learning finals (<= -70) : {non_learning}/15   (paper: >50%)",
+        f"learning-crash configurations: {crashes}",
+        "",
+        "reward series (every 25 epochs = 2.5k trials):",
+    ]
+    epochs = list(range(0, arr.shape[1], 25))
+    lines.append("config | " + " ".join(f"t{(e+1)*100//1000:>3d}k" for e in epochs))
+    for i, curve in enumerate(arr):
+        lines.append(
+            f"{i:6d} | " + " ".join(f"{curve[e]:4.0f}" for e in epochs)
+        )
+    emit(results_dir, "fig8_rl_curves", lines)
+
+    assert non_learning >= 8, "over half the configs should be non-learning"
+    assert crashes >= 1, "the learning-crash shape must appear"
+    assert arr.min() >= -500.0 and arr.max() <= 300.0

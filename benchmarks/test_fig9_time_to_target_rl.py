@@ -1,0 +1,58 @@
+"""Figure 9: time to reach target reward (LunarLander).
+
+Paper (15 machines, 100 configs, solved = mean reward 200 over 100
+trials, 5 repeats): POP's median time is 2.07x faster than Bandit and
+1.26x faster than EarlyTerm; POP's variance is 9.7x smaller than
+Bandit's and 3.5x smaller than EarlyTerm's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import time_to_target_stats
+from .conftest import RL_REPEATS, emit, minutes, once
+
+
+def test_fig9_time_to_target_rl(benchmark, store, results_dir):
+    def compute():
+        return {
+            policy: store.rl_suite(policy)
+            for policy in ("pop", "bandit", "earlyterm", "default")
+        }
+
+    suites = once(benchmark, compute)
+    for policy in ("pop", "bandit", "earlyterm"):
+        assert all(
+            r.reached_target for r in suites[policy]
+        ), f"{policy} failed to solve LunarLander"
+
+    stats = {p: time_to_target_stats(suites[p]) for p in suites}
+    lines = [
+        f"=== Figure 9: time to reach reward 200, {RL_REPEATS} repeats ===",
+        "policy    |   min   med   max  mean  spread  (minutes)",
+    ]
+    for policy, s in stats.items():
+        lines.append(
+            f"{policy:9s} | {minutes(s.minimum):5.0f} {minutes(s.median):5.0f}"
+            f" {minutes(s.maximum):5.0f} {minutes(s.mean):5.0f}"
+            f" {minutes(s.spread):7.1f}"
+        )
+    bandit_ratio = stats["bandit"].median / stats["pop"].median
+    earlyterm_ratio = stats["earlyterm"].median / stats["pop"].median
+    lines += [
+        "",
+        f"POP vs Bandit   (median): {bandit_ratio:.2f}x faster   (paper: 2.07x)",
+        f"POP vs EarlyTerm(median): {earlyterm_ratio:.2f}x faster   (paper: 1.26x)",
+        f"spread ratio Bandit/POP   : "
+        f"{stats['bandit'].spread / max(stats['pop'].spread, 1e-9):.1f}"
+        "   (paper: 9.7x)",
+        f"spread ratio EarlyTerm/POP: "
+        f"{stats['earlyterm'].spread / max(stats['pop'].spread, 1e-9):.1f}"
+        "   (paper: 3.5x)",
+    ]
+    emit(results_dir, "fig9_time_to_target_rl", lines)
+
+    assert bandit_ratio > 1.5
+    assert earlyterm_ratio > 1.1
+    assert stats["pop"].median < stats["earlyterm"].median < stats["bandit"].median

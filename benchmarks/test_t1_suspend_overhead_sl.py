@@ -1,0 +1,41 @@
+"""§6.2.3 (supervised suspend overhead; an in-text table).
+
+Paper: suspend latency averages 157.69 ms (std 72 ms, p95 219 ms,
+max 1.12 s); snapshot sizes average 357.67 KB (std 122.46 KB,
+p95 685.26 KB, max 686.06 KB) — negligible against one-minute epochs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.figures import suspend_overhead_stats
+from .conftest import emit, once
+
+
+def test_suspend_overhead_supervised(benchmark, store, results_dir):
+    stats = once(
+        benchmark, lambda: suspend_overhead_stats(store.sl_suite("pop"))
+    )
+    lines = [
+        "=== §6.2.3: suspend/resume overhead (supervised) ===",
+        f"suspends observed : {stats.count}",
+        f"latency mean/std  : {stats.latency_mean*1000:.1f} ms / "
+        f"{stats.latency_std*1000:.1f} ms   (paper: 157.69 / 72 ms)",
+        f"latency p95/max   : {stats.latency_p95*1000:.1f} ms / "
+        f"{stats.latency_max*1000:.0f} ms   (paper: 219 ms / 1120 ms)",
+        f"size mean/std     : {stats.size_mean/1e3:.1f} KB / "
+        f"{stats.size_std/1e3:.1f} KB   (paper: 357.67 / 122.46 KB)",
+        f"size p95/max      : {stats.size_p95/1e3:.1f} KB / "
+        f"{stats.size_max/1e3:.1f} KB   (paper: 685.26 / 686.06 KB)",
+        "",
+        f"mean latency / mean epoch = {stats.latency_mean/60.0*100:.2f}%"
+        "   (negligible, as the paper reports)",
+    ]
+    emit(results_dir, "t1_suspend_overhead_sl", lines)
+
+    assert stats.count > 10
+    assert 0.08 <= stats.latency_mean <= 0.30
+    assert stats.latency_max <= 1.12
+    assert 200e3 <= stats.size_mean <= 500e3
+    assert stats.size_max <= 686.06e3
+    # Negligible against one-minute epochs.
+    assert stats.latency_mean < 0.01 * 60.0

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""The learning-curve predictor, standalone.
+
+Shows what POP sees: given the first 20 epochs of a training curve,
+the probabilistic model (11 parametric families) predicts the future,
+and the achieve-by probabilities + expected remaining time (§3.1.1)
+fall out.  Compares the fast least-squares backend with the full MCMC
+backend and with the naive last-value baseline.
+
+Usage::
+
+    python examples/learning_curve_prediction.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import (
+    Cifar10Workload,
+    LastValuePredictor,
+    LeastSquaresCurvePredictor,
+    MCMCCurvePredictor,
+    estimate_remaining_time,
+)
+from repro.analysis import standard_configs
+
+OBSERVE = 20
+TARGET = 0.77
+
+
+def main() -> None:
+    workload = Cifar10Workload()
+    # Pick an achieving configuration so the prediction question is
+    # interesting: will it reach 0.77, and when?
+    config = next(
+        c
+        for c in standard_configs(workload, 100)
+        if workload.create_run(c, seed=0).true_final_accuracy >= TARGET
+    )
+    run = workload.create_run(config, seed=0)
+    curve = [run.step().metric for _ in range(workload.domain.max_epochs)]
+    true_cross = next(
+        (e for e, v in enumerate(curve, 1) if v >= TARGET), None
+    )
+
+    print(f"observed prefix ({OBSERVE} epochs): "
+          + " ".join(f"{v:.2f}" for v in curve[:OBSERVE:4]))
+    print(f"true final accuracy : {curve[-1]:.3f}")
+    print(f"true epoch reaching {TARGET}: {true_cross}")
+    print()
+
+    predictors = {
+        "least-squares ensemble": LeastSquaresCurvePredictor(seed=0),
+        "MCMC ensemble (reduced)": MCMCCurvePredictor(
+            n_walkers=40, n_samples=200, thin=5, seed=0,
+            model_names=("pow3", "weibull", "mmf", "janoschek", "ilog2"),
+        ),
+        "last-value baseline": LastValuePredictor(seed=0),
+    }
+    horizon = workload.domain.max_epochs - OBSERVE
+    for name, predictor in predictors.items():
+        start = time.perf_counter()
+        prediction = predictor.predict(curve[:OBSERVE], horizon)
+        elapsed = time.perf_counter() - start
+        estimate = estimate_remaining_time(
+            prediction,
+            target=TARGET,
+            epoch_duration=60.0,
+            time_remaining=48 * 3600.0,
+        )
+        print(f"{name} ({elapsed*1000:.0f} ms):")
+        print(
+            f"  predicted final: {prediction.mean[-1]:.3f} "
+            f"± {prediction.std[-1]:.3f}"
+        )
+        print(
+            f"  P(reach {TARGET} within budget) = {estimate.confidence:.2f}; "
+            f"expected remaining ≈ "
+            f"{estimate.expected_remaining_epochs:.0f} epochs"
+        )
+        print()
+
+    print("The curve models see the rise and assign real probability to")
+    print("reaching the target; the last-value baseline (what")
+    print("instantaneous-accuracy schedulers assume) sees almost none.")
+
+
+if __name__ == "__main__":
+    main()

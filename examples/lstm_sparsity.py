@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Multi-metric exploration with a global termination criterion (§9).
+
+Reproduces the paper's "Ongoing Work": exploring the group-Lasso λ of
+an LSTM language model while monitoring both perplexity (primary) and a
+sparsity metric, and ending the whole experiment through a user-defined
+global criterion the moment any configuration is simultaneously
+accurate and sparse — "significantly reduced training times by enabling
+user-defined global termination criteria through HyperDrive's SAP API".
+
+Usage::
+
+    python examples/lstm_sparsity.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentSpec, RandomGenerator, run_simulation
+from repro.policies import DefaultPolicy, GlobalCriterionPolicy, POPPolicy
+from repro.workloads import LSTMSparsityWorkload
+
+QUALITY_FLOOR = 0.85  # perplexity <= 120
+SPARSITY_FLOOR = 0.35
+
+
+def sparse_and_accurate(stat) -> bool:
+    """The model owner's joint criterion over reported metrics."""
+    return (
+        stat.metric >= QUALITY_FLOOR
+        and stat.extras.get("sparsity", 0.0) >= SPARSITY_FLOOR
+    )
+
+
+def main() -> None:
+    workload = LSTMSparsityWorkload()
+    print("LSTM language model + group Lasso (λ) exploration")
+    print(f"joint goal: quality >= {QUALITY_FLOOR} "
+          f"(perplexity <= {(1-QUALITY_FLOOR)*800:.0f}) "
+          f"AND sparsity >= {SPARSITY_FLOOR}")
+    print()
+
+    for label, with_criterion in (
+        ("without global criterion (run everything)", False),
+        ("with global criterion (stop at first joint hit)", True),
+    ):
+        generator = RandomGenerator(workload.space, seed=5, max_configs=40)
+        inner = DefaultPolicy()
+        policy = (
+            GlobalCriterionPolicy(inner, sparse_and_accurate)
+            if with_criterion
+            else inner
+        )
+        result = run_simulation(
+            workload,
+            policy,
+            generator=generator,
+            spec=ExperimentSpec(
+                num_machines=8,
+                num_configs=40,
+                seed=0,
+                stop_on_target=False,
+            ),
+        )
+        hours = (result.time_to_target or result.finished_at) / 3600.0
+        print(f"{label}:")
+        print(f"  experiment time : {hours:5.1f} h")
+        print(f"  epochs trained  : {result.epochs_trained}")
+        if with_criterion and isinstance(policy, GlobalCriterionPolicy):
+            stat = policy.satisfied_by
+            assert stat is not None
+            print(
+                f"  satisfied by {stat.job_id} at epoch {stat.epoch}: "
+                f"perplexity {stat.extras['perplexity']:.0f}, "
+                f"sparsity {stat.extras['sparsity']:.2f}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

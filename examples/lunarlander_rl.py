@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Reinforcement-learning exploration: the LunarLander workload.
+
+Demonstrates the RL-specific machinery from §6.3: min-max reward
+normalisation (eq. 4), the "solved" condition (mean reward 200 over 100
+consecutive trials — one epoch here), the −100 crash kill-threshold,
+and the learning-crash phenomenon POP's predictions must survive.
+
+Usage::
+
+    python examples/lunarlander_rl.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExperimentSpec, LunarLanderWorkload, POPPolicy, run_simulation
+from repro.analysis import standard_configs
+
+
+def main() -> None:
+    workload = LunarLanderWorkload()
+    domain = workload.domain
+    configs = standard_configs(workload, 60)
+
+    print("LunarLander: reward normalisation (eq. 4)")
+    for reward in (-500.0, -100.0, 0.0, 200.0, 300.0):
+        print(f"  reward {reward:6.0f} -> normalised {domain.normalize(reward):.3f}")
+    print()
+
+    # Peek at the population the scheduler faces.
+    solvers = crashes = 0
+    for config in configs:
+        run = workload.create_run(config, seed=0)
+        solvers += run.is_solver
+        curve = run._true_curve
+        if curve.max() > 0 and curve[-1] <= -100:
+            crashes += 1
+    print(
+        f"population of {len(configs)} configs: {solvers} solvers, "
+        f"{crashes} learning-crashes, rest non-learning/partial"
+    )
+    print()
+
+    result = run_simulation(
+        workload,
+        POPPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(num_machines=15, num_configs=len(configs), seed=0),
+    )
+    if result.reached_target:
+        print(
+            f"solved (mean reward >= 200 over one 100-trial window) after "
+            f"{result.time_to_target/60:.0f} simulated minutes"
+        )
+    else:
+        print(f"not solved; best mean reward {result.best_metric:.0f}")
+    print(f"episodes simulated: {result.epochs_trained * 100}")
+    print(f"jobs killed early : {result.terminated_count}")
+
+    # Show the winner's reward trajectory.
+    winner = next(j for j in result.jobs if j.job_id == result.best_job_id)
+    rewards = winner.metrics
+    marks = np.linspace(0, len(rewards) - 1, min(12, len(rewards))).astype(int)
+    print()
+    print("winning configuration's reward trajectory:")
+    print("  trials :", " ".join(f"{(m+1)*100:>6d}" for m in marks))
+    print("  reward :", " ".join(f"{rewards[m]:6.0f}" for m in marks))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: hyperparameter exploration with POP on HyperDrive.
+
+Runs the paper's supervised setup in miniature — the synthetic CIFAR-10
+workload, 40 random configurations, 4 machines — under simulated time,
+and prints how quickly POP finds a configuration reaching the 77%
+validation-accuracy target compared with naive run-to-completion
+scheduling.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Cifar10Workload,
+    DefaultPolicy,
+    ExperimentSpec,
+    POPPolicy,
+    RandomGenerator,
+    run_simulation,
+)
+from repro.analysis import sparkline
+
+
+def main() -> None:
+    workload = Cifar10Workload()
+    spec = ExperimentSpec(num_machines=4, num_configs=40, seed=0)
+
+    print("Exploring 40 CIFAR-10 configurations on 4 machines ...")
+    print(f"target validation accuracy: {workload.domain.target:.2f}")
+    print()
+
+    for policy in (DefaultPolicy(), POPPolicy()):
+        # Same generator seed => both policies see the same configs.
+        generator = RandomGenerator(workload.space, seed=17, max_configs=40)
+        result = run_simulation(workload, policy, generator=generator, spec=spec)
+        if result.reached_target:
+            headline = f"reached target in {result.time_to_target/3600:.1f} h"
+        else:
+            headline = f"did NOT reach target (best {result.best_metric:.3f})"
+        print(f"{policy.name:8s}: {headline}")
+        print(
+            f"          epochs trained: {result.epochs_trained}, "
+            f"jobs terminated early: {result.terminated_count}, "
+            f"suspends: {len(result.snapshots)}"
+        )
+        winner = next(
+            job for job in result.jobs if job.job_id == result.best_job_id
+        )
+        print(f"          winner's curve: {sparkline(winner.metrics, width=50)}")
+
+    print()
+    print("POP reaches the target with a fraction of the training epochs by")
+    print("killing non-learners early and prioritising configurations whose")
+    print("predicted curves are likely to hit the target (see DESIGN.md).")
+
+
+if __name__ == "__main__":
+    main()

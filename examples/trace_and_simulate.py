@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Trace-driven simulation and order-sensitivity (§7).
+
+Records a replayable trace of 40 CIFAR-10 configurations, then replays
+it under several random configuration orders to show how strongly each
+policy's time-to-target depends on luck of the ordering — the paper's
+Fig 12c experiment in miniature.  Traces round-trip through JSON, so a
+live recording can be archived and re-simulated later.
+
+Usage::
+
+    python examples/trace_and_simulate.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    BanditPolicy,
+    Cifar10Workload,
+    DefaultPolicy,
+    ExperimentSpec,
+    POPPolicy,
+    run_simulation,
+)
+from repro.analysis import standard_configs
+from repro.sim import Trace, TraceWorkload, record_trace
+
+N_ORDERS = 5
+
+
+def main() -> None:
+    workload = Cifar10Workload()
+    configs = standard_configs(workload, 40)
+
+    print("recording trace (40 configs x 120 epochs) ...")
+    trace = record_trace(workload, configs, seed=0)
+
+    # Traces persist: archive and reload.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "cifar10.trace.json"
+        trace.save(path)
+        trace = Trace.load(path)
+        print(f"trace archived and reloaded ({path.stat().st_size/1e6:.1f} MB)")
+    print()
+
+    policies = {
+        "pop": POPPolicy,
+        "bandit": BanditPolicy,
+        "default": DefaultPolicy,
+    }
+    print(f"replaying {N_ORDERS} random configuration orders on 5 machines:")
+    print(f"{'policy':8s} | " + " ".join(f"ord{k}" for k in range(N_ORDERS))
+          + "  spread  (minutes)")
+    for name, factory in policies.items():
+        times = []
+        for order in range(N_ORDERS):
+            shuffled = trace.shuffled(order)
+            result = run_simulation(
+                TraceWorkload(shuffled),
+                factory(),
+                configs=shuffled.configs,
+                spec=ExperimentSpec(num_machines=5, num_configs=40, seed=0),
+            )
+            value = (
+                result.time_to_target
+                if result.reached_target
+                else result.finished_at
+            )
+            times.append(value / 60.0)
+        spread = max(times) - min(times)
+        print(
+            f"{name:8s} | "
+            + " ".join(f"{t:4.0f}" for t in times)
+            + f"  {spread:6.0f}"
+        )
+    print()
+    print("POP's spread across orders is the tightest: it recovers from")
+    print("unlucky orderings by predicting and prioritising late-positioned")
+    print("good configurations (paper Fig 12c).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs in offline environments
+(where pip's PEP-517 editable path needs the `wheel` package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Analysis helpers: standard setups and per-figure data extraction."""
+
+from .experiments import (
+    NUM_CONFIGS,
+    RL_GENERATOR_SEED,
+    RL_NUM_MACHINES,
+    SL_GENERATOR_SEED,
+    SL_NUM_MACHINES,
+    repeat_experiment,
+    run_standard_experiment,
+    standard_configs,
+    standard_rl_workload,
+    standard_sl_workload,
+    standard_spec,
+)
+from .render import histogram, line_chart, sparkline
+from .report import render_report, report_from_json
+from .figures import (
+    InstrumentedPOPPolicy,
+    SuspendStats,
+    config_curves,
+    final_metric_cdf,
+    find_overtake_pair,
+    job_duration_cdf,
+    prediction_with_confidence,
+    promising_ratio_timeline,
+    suspend_overhead_stats,
+    time_to_target_stats,
+)
+
+__all__ = [
+    "NUM_CONFIGS",
+    "RL_GENERATOR_SEED",
+    "RL_NUM_MACHINES",
+    "SL_GENERATOR_SEED",
+    "SL_NUM_MACHINES",
+    "repeat_experiment",
+    "run_standard_experiment",
+    "standard_configs",
+    "standard_rl_workload",
+    "standard_sl_workload",
+    "standard_spec",
+    "InstrumentedPOPPolicy",
+    "SuspendStats",
+    "config_curves",
+    "final_metric_cdf",
+    "find_overtake_pair",
+    "job_duration_cdf",
+    "prediction_with_confidence",
+    "promising_ratio_timeline",
+    "suspend_overhead_stats",
+    "time_to_target_stats",
+    "sparkline",
+    "line_chart",
+    "histogram",
+    "render_report",
+    "report_from_json",
+]

@@ -1,0 +1,138 @@
+"""Terminal rendering of curves and distributions.
+
+The paper's figures are line plots and CDFs; this repository's benches
+and examples run in terminals, so this module renders compact ASCII
+versions: sparklines for single curves and multi-series scatter charts
+for comparisons.  Pure-text output keeps the benches dependency-free
+and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "line_chart", "histogram"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None) -> str:
+    """Render a sequence as a one-line block-character sparkline.
+
+    Args:
+        values: the series to render.
+        width: optional output width; the series is resampled to it.
+
+    Returns:
+        A string of block characters, e.g. ``▁▂▄▆███``.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot render an empty series")
+    if width is not None:
+        if width < 1:
+            raise ValueError("width must be positive")
+        positions = np.linspace(0, arr.size - 1, width)
+        arr = np.interp(positions, np.arange(arr.size), arr)
+    low, high = float(arr.min()), float(arr.max())
+    if high - low < 1e-12:
+        return _BLOCKS[0] * arr.size
+    scaled = (arr - low) / (high - low)
+    indices = np.minimum(
+        (scaled * len(_BLOCKS)).astype(int), len(_BLOCKS) - 1
+    )
+    return "".join(_BLOCKS[i] for i in indices)
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render one or more series as a multi-line ASCII chart.
+
+    Each series is drawn with the first letter of its name; collisions
+    show the later series' marker.  Axes carry min/max annotations.
+
+    Args:
+        series: name -> y-values (x is the index, rescaled to width).
+        width, height: plot-area size in characters.
+        y_min, y_max: fixed y-range; defaults to the data range.
+        y_label, x_label: axis annotations.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to render")
+    all_values = np.concatenate(
+        [np.asarray(list(v), dtype=float) for v in series.values()]
+    )
+    if all_values.size == 0:
+        raise ValueError("cannot render empty series")
+    low = float(all_values.min()) if y_min is None else y_min
+    high = float(all_values.max()) if y_max is None else y_max
+    if high <= low:
+        high = low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, values in series.items():
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            continue
+        marker = name[0]
+        positions = np.linspace(0, arr.size - 1, width)
+        resampled = np.interp(positions, np.arange(arr.size), arr)
+        for x, value in enumerate(resampled):
+            frac = (value - low) / (high - low)
+            frac = min(max(frac, 0.0), 1.0)
+            y = height - 1 - int(round(frac * (height - 1)))
+            grid[y][x] = marker
+
+    lines: List[str] = []
+    top_label = f"{high:.3g}"
+    bottom_label = f"{low:.3g}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin - 1) + "┤"
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin - 1) + "┤"
+        else:
+            prefix = " " * (margin - 1) + "│"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * (margin - 1) + "└" + "─" * width)
+    legend = "  ".join(f"{name[0]}={name}" for name in series)
+    footer = legend
+    if x_label:
+        footer += f"   (x: {x_label})"
+    if y_label:
+        footer += f"   (y: {y_label})"
+    lines.append(" " * margin + footer)
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    label: str = "",
+) -> str:
+    """Render a horizontal-bar histogram."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot render an empty sample")
+    if bins < 1 or width < 1:
+        raise ValueError("bins and width must be positive")
+    counts, edges = np.histogram(arr, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [label] if label else []
+    for count, left, right in zip(counts, edges[:-1], edges[1:]):
+        bar = "█" * int(round(width * count / peak))
+        lines.append(f"{left:10.3g} – {right:10.3g} |{bar} {count}")
+    return "\n".join(lines)

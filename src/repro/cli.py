@@ -1,0 +1,230 @@
+"""Command-line interface for running HyperDrive experiments.
+
+Examples::
+
+    python -m repro run --workload cifar10 --policy pop
+    python -m repro run --workload lunarlander --policy bandit --machines 15
+    python -m repro run --workload mlp --policy pop --live
+    python -m repro record-trace --workload cifar10 --configs 40 --out t.json
+    python -m repro replay --trace t.json --policy pop --orders 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from typing import Callable, Dict
+
+from .core.pop import POPPolicy
+from .framework.experiment import ExperimentSpec
+from .generators.bayesian import BayesianGenerator
+from .generators.grid import GridGenerator
+from .generators.random_gen import RandomGenerator
+from .policies.bandit import BanditPolicy
+from .policies.default import DefaultPolicy
+from .policies.earlyterm import EarlyTermPolicy
+from .policies.hyperband import HyperBandPolicy, SuccessiveHalvingPolicy
+from .sim.runner import run_simulation
+from .sim.trace import Trace, TraceWorkload, record_trace
+from .workloads.cifar10 import Cifar10Workload
+from .workloads.lunarlander import LunarLanderWorkload
+from .workloads.mlp import MLPWorkload
+
+WORKLOADS: Dict[str, Callable] = {
+    "cifar10": Cifar10Workload,
+    "lunarlander": LunarLanderWorkload,
+    "mlp": MLPWorkload,
+}
+
+POLICIES: Dict[str, Callable] = {
+    "pop": POPPolicy,
+    "bandit": BanditPolicy,
+    "earlyterm": EarlyTermPolicy,
+    "default": DefaultPolicy,
+    "successive-halving": SuccessiveHalvingPolicy,
+    "hyperband": HyperBandPolicy,
+}
+
+GENERATORS: Dict[str, Callable] = {
+    "random": RandomGenerator,
+    "grid": GridGenerator,
+    "bayesian": BayesianGenerator,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HyperDrive / POP reproduction CLI"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="log job lifecycle events (start/suspend/terminate/...)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one exploration experiment")
+    run_parser.add_argument("--workload", choices=WORKLOADS, default="cifar10")
+    run_parser.add_argument("--policy", choices=POLICIES, default="pop")
+    run_parser.add_argument("--generator", choices=GENERATORS, default="random")
+    run_parser.add_argument("--machines", type=int, default=None)
+    run_parser.add_argument("--configs", type=int, default=100)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--gen-seed", type=int, default=None)
+    run_parser.add_argument("--target", type=float, default=None)
+    run_parser.add_argument("--tmax-hours", type=float, default=48.0)
+    run_parser.add_argument(
+        "--no-stop-on-target", action="store_true",
+        help="run every configuration to completion",
+    )
+    run_parser.add_argument(
+        "--live", action="store_true",
+        help="use the live threaded runtime instead of simulation",
+    )
+    run_parser.add_argument("--time-scale", type=float, default=1e-3)
+    run_parser.add_argument(
+        "--save-result", metavar="PATH", default=None,
+        help="archive the full result as JSON",
+    )
+
+    trace_parser = sub.add_parser("record-trace", help="record a replayable trace")
+    trace_parser.add_argument("--workload", choices=WORKLOADS, default="cifar10")
+    trace_parser.add_argument("--configs", type=int, default=100)
+    trace_parser.add_argument("--gen-seed", type=int, default=None)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument("--out", required=True)
+
+    replay_parser = sub.add_parser("replay", help="replay a trace under orders")
+    replay_parser.add_argument("--trace", required=True)
+    replay_parser.add_argument("--policy", choices=POLICIES, default="pop")
+    replay_parser.add_argument("--machines", type=int, default=5)
+    replay_parser.add_argument("--orders", type=int, default=1)
+
+    report_parser = sub.add_parser(
+        "report", help="render an archived result JSON as markdown"
+    )
+    report_parser.add_argument("--result", required=True)
+    return parser
+
+
+def _default_gen_seed(workload_name: str) -> int:
+    from .analysis.experiments import RL_GENERATOR_SEED, SL_GENERATOR_SEED
+
+    return RL_GENERATOR_SEED if workload_name == "lunarlander" else SL_GENERATOR_SEED
+
+
+def _default_machines(workload_name: str) -> int:
+    return 15 if workload_name == "lunarlander" else 4
+
+
+def _print_result(result) -> None:
+    summary = result.summary()
+    print(f"policy          : {summary['policy']}")
+    print(f"reached target  : {summary['reached_target']}")
+    if summary["time_to_target_min"] is not None:
+        print(f"time to target  : {summary['time_to_target_min']:.1f} min")
+    print(f"best metric     : {summary['best_metric']:.4f}")
+    print(f"epochs trained  : {summary['epochs_trained']}")
+    print(f"jobs terminated : {summary['terminated']}")
+    print(f"predictions     : {summary['predictions']}")
+    print(f"suspends        : {len(result.snapshots)}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = WORKLOADS[args.workload]()
+    policy = POLICIES[args.policy]()
+    gen_seed = args.gen_seed
+    if gen_seed is None:
+        gen_seed = _default_gen_seed(args.workload)
+    machines = args.machines or _default_machines(args.workload)
+    generator_cls = GENERATORS[args.generator]
+    if args.generator == "grid":
+        generator = generator_cls(workload.space, resolution=3,
+                                  max_configs=args.configs)
+    else:
+        generator = generator_cls(workload.space, seed=gen_seed,
+                                  max_configs=args.configs)
+    spec = ExperimentSpec(
+        num_machines=machines,
+        num_configs=args.configs,
+        seed=args.seed,
+        target=args.target,
+        tmax=args.tmax_hours * 3600.0,
+        stop_on_target=not args.no_stop_on_target,
+    )
+    if args.live:
+        from .runtime.local import run_live
+
+        result = run_live(
+            workload, policy, generator=generator, spec=spec,
+            time_scale=args.time_scale,
+        )
+    else:
+        result = run_simulation(workload, policy, generator=generator, spec=spec)
+    _print_result(result)
+    if args.save_result:
+        result.save_json(args.save_result)
+        print(f"result archived -> {args.save_result}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import report_from_json
+
+    print(report_from_json(args.result), end="")
+    return 0
+
+
+def _cmd_record_trace(args: argparse.Namespace) -> int:
+    workload = WORKLOADS[args.workload]()
+    gen_seed = args.gen_seed
+    if gen_seed is None:
+        gen_seed = _default_gen_seed(args.workload)
+    generator = RandomGenerator(
+        workload.space, seed=gen_seed, max_configs=args.configs
+    )
+    configs = [generator.create_job()[1] for _ in range(args.configs)]
+    trace = record_trace(workload, configs, seed=args.seed)
+    trace.save(args.out)
+    print(f"recorded {len(trace)} configurations x "
+          f"{workload.domain.max_epochs} epochs -> {args.out}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = Trace.load(args.trace)
+    for order in range(args.orders):
+        shuffled = trace.shuffled(order) if args.orders > 1 else trace
+        result = run_simulation(
+            TraceWorkload(shuffled),
+            POLICIES[args.policy](),
+            configs=shuffled.configs,
+            spec=ExperimentSpec(
+                num_machines=args.machines, num_configs=len(shuffled), seed=0
+            ),
+        )
+        value = (
+            result.time_to_target
+            if result.reached_target
+            else result.finished_at
+        )
+        print(f"order {order}: time-to-target {value/60:.0f} min "
+              f"(reached={result.reached_target})")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.verbose:
+        logging.basicConfig(level=logging.INFO, format="%(message)s")
+    handlers = {
+        "run": _cmd_run,
+        "record-trace": _cmd_record_trace,
+        "replay": _cmd_replay,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

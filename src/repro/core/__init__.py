@@ -1,0 +1,24 @@
+"""POP scheduling algorithm: ERT, allocation, classification, policy."""
+
+from .allocation import SlotAllocation, compute_slot_allocation, slot_curves
+from .classification import (
+    CONFIDENCE_LOWER_BOUND,
+    Category,
+    classify,
+    is_poor_by_domain,
+)
+from .ert import ERTEstimate, estimate_remaining_time
+from .pop import POPPolicy
+
+__all__ = [
+    "SlotAllocation",
+    "compute_slot_allocation",
+    "slot_curves",
+    "Category",
+    "classify",
+    "is_poor_by_domain",
+    "CONFIDENCE_LOWER_BOUND",
+    "ERTEstimate",
+    "estimate_remaining_time",
+    "POPPolicy",
+]

@@ -1,0 +1,125 @@
+"""Dynamic slot allocation between promising and opportunistic pools.
+
+Section 3.2: for a candidate confidence threshold ``p``,
+
+* ``S_desired(p) = N_satisfying(p) · k`` — slots the configurations
+  meeting the threshold would like (``k`` slots each);
+* ``S_deserved(p) = S · p`` — slots that confidence level has earned;
+* ``S_effective(p) = min(S_desired(p), S_deserved(p))``.
+
+The threshold actually used is the ``p`` maximising ``S_effective`` —
+graphically, the crossing of the non-increasing desired curve and the
+increasing deserved line (Fig. 4a/4b).  The resulting slot count is the
+promising pool; remaining slots are shared round-robin by the
+opportunistic pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SlotAllocation", "compute_slot_allocation", "slot_curves"]
+
+
+@dataclass(frozen=True)
+class SlotAllocation:
+    """Result of one allocation decision.
+
+    Attributes:
+        threshold: the confidence threshold ``p*`` chosen.
+        promising_slots: integer slots dedicated to promising configs.
+        effective_slots: the (possibly fractional) maximised
+            ``S_effective(p*)``.
+        num_promising: configurations at/above the threshold.
+    """
+
+    threshold: float
+    promising_slots: int
+    effective_slots: float
+    num_promising: int
+
+
+def _n_satisfying(p_values: np.ndarray, threshold: float) -> int:
+    return int(np.sum(p_values >= threshold))
+
+
+def compute_slot_allocation(
+    confidences: Sequence[float],
+    total_slots: int,
+    slots_per_config: int = 1,
+) -> SlotAllocation:
+    """Choose the dynamic threshold and promising-pool size.
+
+    Args:
+        confidences: prediction confidence ``p`` of every active
+            configuration that has one (unpredicted configurations
+            simply aren't candidates yet).
+        total_slots: cluster slot count ``S``.
+        slots_per_config: ``k``, dedicated slots per promising config
+            (1 = sequential execution of each configuration).
+
+    Returns:
+        A :class:`SlotAllocation`.  With no confidences (early in an
+        experiment) the threshold is 1.0 and zero slots are promising —
+        everything is exploration, matching Fig. 4c's start.
+    """
+    if total_slots < 1:
+        raise ValueError("total_slots must be >= 1")
+    if slots_per_config < 1:
+        raise ValueError("slots_per_config must be >= 1")
+    p_values = np.asarray([p for p in confidences if p is not None], dtype=float)
+    if p_values.size == 0:
+        return SlotAllocation(
+            threshold=1.0, promising_slots=0, effective_slots=0.0, num_promising=0
+        )
+    if np.any((p_values < 0) | (p_values > 1)):
+        raise ValueError("confidences must lie in [0, 1]")
+
+    # Candidate thresholds: the observed confidence values.  S_desired
+    # only changes at these points and S_deserved is increasing, so the
+    # maximiser of min(desired, deserved) is attained at one of them.
+    best = SlotAllocation(
+        threshold=1.0, promising_slots=0, effective_slots=0.0, num_promising=0
+    )
+    for threshold in sorted(set(p_values.tolist())):
+        desired = _n_satisfying(p_values, threshold) * slots_per_config
+        deserved = total_slots * threshold
+        effective = min(float(desired), deserved)
+        # Prefer the higher threshold on ties: same effective slots
+        # from more-confident configurations.
+        if effective > best.effective_slots or (
+            effective == best.effective_slots and threshold > best.threshold
+        ):
+            best = SlotAllocation(
+                threshold=float(threshold),
+                promising_slots=int(effective),
+                effective_slots=effective,
+                num_promising=_n_satisfying(p_values, threshold),
+            )
+    return best
+
+
+def slot_curves(
+    confidences: Sequence[float],
+    total_slots: int,
+    slots_per_config: int = 1,
+    grid_points: int = 101,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Desired and deserved slot curves over a threshold grid.
+
+    Returns ``(p_grid, desired, deserved)`` — the data behind
+    Fig. 4a/4b.
+    """
+    if grid_points < 2:
+        raise ValueError("need at least 2 grid points")
+    p_values = np.asarray(list(confidences), dtype=float)
+    p_grid = np.linspace(0.0, 1.0, grid_points)
+    desired = np.array(
+        [_n_satisfying(p_values, p) * slots_per_config for p in p_grid],
+        dtype=float,
+    )
+    deserved = total_slots * p_grid
+    return p_grid, desired, deserved

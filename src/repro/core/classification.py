@@ -1,0 +1,108 @@
+"""Configuration classification: Promising / Opportunistic / Poor (§2).
+
+Poor configurations are identified with model-owner domain knowledge
+(the kill threshold — e.g. "still at random accuracy" or "at the RL
+crash reward") plus POP's confidence lower bound.  The promising-vs-
+opportunistic split is made against the dynamic threshold computed by
+:mod:`repro.core.allocation`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from ..workloads.base import DomainSpec
+
+__all__ = ["Category", "is_poor_by_domain", "classify"]
+
+#: POP terminates configurations whose confidence drops below this
+#: (§5.3: "if it is less than 0.05 we terminate it").
+CONFIDENCE_LOWER_BOUND = 0.05
+
+
+class Category(enum.Enum):
+    PROMISING = "promising"
+    OPPORTUNISTIC = "opportunistic"
+    POOR = "poor"
+
+
+def is_poor_by_domain(
+    metrics: Sequence[float],
+    domain: DomainSpec,
+    grace_epochs: int,
+    flat_check_epochs: Optional[int] = None,
+) -> bool:
+    """Domain-knowledge poor check (§2.1).
+
+    Two stages:
+
+    * A configuration that is below the kill threshold *and flat* (no
+      upward trend at all) is killed as soon as ``flat_check_epochs``
+      observations exist — these are the "not learning at all, accuracy
+      similar to random" configurations that "can be identified within
+      few training iterations".
+    * Any configuration still below the kill threshold after the full
+      ``grace_epochs`` is killed regardless of trend, so slow learners
+      get a longer benefit of the doubt.
+
+    Args:
+        metrics: raw metric history.
+        domain: the model owner's domain spec.
+        grace_epochs: epochs before the unconditional check applies.
+        flat_check_epochs: epochs before the flat-curve check applies
+            (defaults to half the grace period).
+    """
+    if grace_epochs < 1:
+        raise ValueError("grace_epochs must be >= 1")
+    if flat_check_epochs is None:
+        flat_check_epochs = max(2, grace_epochs // 2)
+    n = len(metrics)
+    if n < flat_check_epochs:
+        return False
+    if max(metrics) >= domain.kill_threshold:
+        return False
+    if n >= grace_epochs:
+        return True
+    # Flat check: compare the two halves of the (normalised) history;
+    # a genuine learner shows an upward trend even while still below
+    # the kill threshold.
+    normalized = [domain.normalize(value) for value in metrics]
+    half = n // 2
+    early = sum(normalized[:half]) / half
+    late = sum(normalized[half:]) / (n - half)
+    return (late - early) < 0.01
+
+
+def classify(
+    confidence: Optional[float],
+    threshold: float,
+    metrics: Sequence[float],
+    domain: DomainSpec,
+    grace_epochs: int,
+    confidence_lower_bound: float = CONFIDENCE_LOWER_BOUND,
+) -> Category:
+    """Full POP classification of one configuration.
+
+    Order matters: the domain poor-check applies before any prediction
+    is consulted (§5.3), then the confidence lower bound, then the
+    dynamic promising threshold.
+
+    Args:
+        confidence: latest prediction confidence ``p`` (None if the
+            configuration has not been predicted yet).
+        threshold: the dynamic threshold ``p*`` from the allocator.
+        metrics: raw metric history.
+        domain: domain knowledge.
+        grace_epochs: grace period for the poor check.
+        confidence_lower_bound: POP's termination bound on ``p``.
+    """
+    if is_poor_by_domain(metrics, domain, grace_epochs):
+        return Category.POOR
+    if confidence is None:
+        return Category.OPPORTUNISTIC
+    if confidence < confidence_lower_bound:
+        return Category.POOR
+    if confidence >= threshold:
+        return Category.PROMISING
+    return Category.OPPORTUNISTIC

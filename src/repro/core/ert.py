@@ -1,0 +1,122 @@
+"""Expected remaining time (ERT) and prediction confidence (§3.1.1).
+
+Given a curve prediction for configuration *i*, the probability that
+the target is first reached at future epoch *m* is the increment of the
+achieve-by CDF:
+
+    p_m = P(y(m) >= y_target) - P(y(m-1) >= y_target)
+
+The expected remaining epochs are ``x_i = Σ m · p_m`` and the expected
+remaining time ``ERT_i = x_i · Epoch_i``.  Following the paper, the
+summation stops early once the accumulated ERT exceeds the remaining
+experiment time ``Tmax − Tpass`` (the search will never run longer), so
+the probability mass Σ p_m may be < 1; that sum is the *prediction
+confidence* ``p``: the probability the configuration achieves the
+target within the user's time budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..curves.predictor import CurvePrediction
+
+__all__ = ["ERTEstimate", "estimate_remaining_time"]
+
+
+@dataclass(frozen=True)
+class ERTEstimate:
+    """ERT and confidence for one configuration.
+
+    Attributes:
+        expected_remaining_epochs: ``x_i`` (eq. 2).
+        expected_remaining_seconds: ``ERT_i`` (eq. 3), capped at the
+            remaining experiment time.
+        confidence: ``p`` = Σ p_m over the epochs actually summed.
+        horizon_epochs: how many future epochs the estimate considered
+            (``M_i``, bounded by remaining time and epoch budget).
+        prediction_accuracy: spread across predictor samples (the PA
+            diagnostic from §3.1.1).
+    """
+
+    expected_remaining_epochs: float
+    expected_remaining_seconds: float
+    confidence: float
+    horizon_epochs: int
+    prediction_accuracy: float
+
+
+def estimate_remaining_time(
+    prediction: CurvePrediction,
+    target: float,
+    epoch_duration: float,
+    time_remaining: float,
+) -> ERTEstimate:
+    """Compute ERT and confidence from a curve prediction.
+
+    Args:
+        prediction: posterior over the configuration's future curve
+            (in normalised metric space).
+        target: normalised target performance ``y_target``.
+        epoch_duration: measured mean epoch duration ``Epoch_i``.
+        time_remaining: ``Tmax − Tpass`` in seconds.
+
+    Returns:
+        The :class:`ERTEstimate`.  With no remaining time (or a
+        prediction horizon of zero usable epochs) the confidence is 0
+        and the ERT equals the remaining time.
+    """
+    if epoch_duration <= 0:
+        raise ValueError("epoch_duration must be positive")
+    if time_remaining <= 0:
+        return ERTEstimate(
+            expected_remaining_epochs=0.0,
+            expected_remaining_seconds=0.0,
+            confidence=0.0,
+            horizon_epochs=0,
+            prediction_accuracy=prediction.prediction_accuracy,
+        )
+
+    # M_i = (Tmax − Tpass) / Epoch_i, additionally bounded by how far
+    # the predictor actually looked ahead.
+    max_epochs_by_time = int(time_remaining // epoch_duration)
+    horizon = min(max_epochs_by_time, prediction.horizon.size)
+    if horizon < 1:
+        return ERTEstimate(
+            expected_remaining_epochs=0.0,
+            expected_remaining_seconds=float(time_remaining),
+            confidence=0.0,
+            horizon_epochs=0,
+            prediction_accuracy=prediction.prediction_accuracy,
+        )
+
+    achieve_by = prediction.achieve_by_probabilities(target)[:horizon]
+    expected_epochs = 0.0
+    confidence = 0.0
+    previous = 0.0
+    for m in range(1, horizon + 1):
+        p_m = float(achieve_by[m - 1]) - previous
+        previous = float(achieve_by[m - 1])
+        if p_m <= 0.0:
+            continue
+        expected_epochs += m * p_m
+        confidence += p_m
+        # Paper: stop summing once the running ERT exceeds the time the
+        # search could possibly still spend.
+        if expected_epochs * epoch_duration > time_remaining:
+            expected_epochs = time_remaining / epoch_duration
+            break
+
+    ert_seconds = min(expected_epochs * epoch_duration, time_remaining)
+    if confidence == 0.0:
+        # No sampled future reaches the target inside the budget.
+        ert_seconds = float(time_remaining)
+    return ERTEstimate(
+        expected_remaining_epochs=expected_epochs,
+        expected_remaining_seconds=float(ert_seconds),
+        confidence=float(min(confidence, 1.0)),
+        horizon_epochs=horizon,
+        prediction_accuracy=prediction.prediction_accuracy,
+    )

@@ -1,0 +1,331 @@
+"""Parametric learning-curve families.
+
+This module implements the eleven parametric models used by the
+probabilistic learning-curve predictor of Domhan et al. (IJCAI'15),
+which HyperDrive's POP policy builds on.  Each family maps a
+1-indexed epoch number ``x`` to a predicted performance value
+``y`` given a parameter vector ``theta``.
+
+All families are exposed through :class:`CurveModel` instances and
+registered in :data:`CURVE_MODELS`.  The registry is what the
+ensemble (:mod:`repro.curves.ensemble`) and the per-model fitting code
+(:mod:`repro.curves.fitting`) iterate over.
+
+The parameterisations follow Table 1 of Domhan et al.:
+
+===============  =============================================
+name             y(x)
+===============  =============================================
+vapor_pressure   exp(a + b / x + c * log(x))
+pow3             c - a * x ** -alpha
+log_log_linear   log(a * log(x) + b)
+hill3            ymax * x**eta / (kappa**eta + x**eta)
+log_power        a / (1 + (x / exp(b)) ** c)
+pow4             c - (a * x + b) ** -alpha
+mmf              alpha - (alpha - beta) / (1 + (kappa * x)**delta)
+exp4             c - exp(-a * x**alpha + b)
+janoschek        alpha - (alpha - beta) * exp(-kappa * x**delta)
+weibull          alpha - (alpha - beta) * exp(-(kappa * x)**delta)
+ilog2            c - a / log(x + 1)
+===============  =============================================
+
+Performance values are assumed to live in ``[0, 1]`` (HyperDrive
+min-max normalises reinforcement-learning rewards into this range
+before prediction, see :mod:`repro.metrics.stats`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CurveModel",
+    "CURVE_MODELS",
+    "model_names",
+    "get_model",
+]
+
+# Clip exponents to avoid overflow in np.exp while keeping gradients sane.
+_EXP_MAX = 50.0
+
+# A tiny positive floor used to keep logarithms and divisions finite.
+_EPS = 1e-12
+
+
+def _safe_exp(z: np.ndarray) -> np.ndarray:
+    return np.exp(np.clip(z, -_EXP_MAX, _EXP_MAX))
+
+
+def _as_positive(x: np.ndarray) -> np.ndarray:
+    """Return ``x`` clipped away from zero so powers and logs are finite."""
+    return np.maximum(np.asarray(x, dtype=float), _EPS)
+
+
+@dataclass(frozen=True)
+class CurveModel:
+    """A single parametric learning-curve family.
+
+    Attributes:
+        name: registry key, e.g. ``"weibull"``.
+        param_names: ordered parameter names for ``theta``.
+        func: vectorised ``y(x, theta)``.
+        lower: per-parameter lower bounds used by fitting and priors.
+        upper: per-parameter upper bounds.
+        default: a reasonable starting guess inside the bounds.
+        increasing_only: True when the family can only describe curves
+            that improve over time (used to sanity-check fits).
+    """
+
+    name: str
+    param_names: Tuple[str, ...]
+    func: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    lower: Tuple[float, ...]
+    upper: Tuple[float, ...]
+    default: Tuple[float, ...]
+    increasing_only: bool = True
+
+    @property
+    def num_params(self) -> int:
+        return len(self.param_names)
+
+    def __call__(self, x: np.ndarray, theta: Sequence[float]) -> np.ndarray:
+        """Evaluate the family at epochs ``x`` for parameters ``theta``.
+
+        Args:
+            x: epoch indices (1-based); scalars and arrays both work.
+            theta: parameter vector of length :attr:`num_params`.
+
+        Returns:
+            Predicted performance values, same shape as ``x``.  Values
+            are finite (inputs are clipped) but not range-limited; the
+            ensemble clips into ``[0, 1]`` where needed.
+        """
+        x_arr = _as_positive(np.asarray(x, dtype=float))
+        theta_arr = np.asarray(theta, dtype=float)
+        if theta_arr.shape[-1] != self.num_params:
+            raise ValueError(
+                f"{self.name} expects {self.num_params} parameters "
+                f"{self.param_names}, got shape {theta_arr.shape}"
+            )
+        with np.errstate(all="ignore"):
+            y = self.func(x_arr, theta_arr)
+        return np.nan_to_num(y, nan=0.0, posinf=1e6, neginf=-1e6)
+
+    def in_bounds(self, theta: Sequence[float]) -> bool:
+        theta_arr = np.asarray(theta, dtype=float)
+        return bool(
+            np.all(theta_arr >= np.asarray(self.lower))
+            and np.all(theta_arr <= np.asarray(self.upper))
+        )
+
+    def clip_to_bounds(self, theta: Sequence[float]) -> np.ndarray:
+        return np.clip(
+            np.asarray(theta, dtype=float),
+            np.asarray(self.lower),
+            np.asarray(self.upper),
+        )
+
+
+def _vapor_pressure(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    a, b, c = t[..., 0], t[..., 1], t[..., 2]
+    return _safe_exp(a + b / x + c * np.log(x))
+
+
+def _pow3(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    c, a, alpha = t[..., 0], t[..., 1], t[..., 2]
+    return c - a * np.power(x, -np.abs(alpha))
+
+
+def _log_log_linear(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    a, b = t[..., 0], t[..., 1]
+    inner = np.maximum(a * np.log(x) + b, _EPS)
+    return np.log(inner)
+
+
+def _hill3(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    ymax, eta, kappa = t[..., 0], t[..., 1], t[..., 2]
+    xe = np.power(x, eta)
+    return ymax * xe / (np.power(np.maximum(kappa, _EPS), eta) + xe)
+
+
+def _log_power(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    a, b, c = t[..., 0], t[..., 1], t[..., 2]
+    return a / (1.0 + np.power(x / _safe_exp(b), c))
+
+
+def _pow4(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    c, a, b, alpha = t[..., 0], t[..., 1], t[..., 2], t[..., 3]
+    base = np.maximum(a * x + b, _EPS)
+    return c - np.power(base, -np.abs(alpha))
+
+
+def _mmf(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    alpha, beta, kappa, delta = t[..., 0], t[..., 1], t[..., 2], t[..., 3]
+    return alpha - (alpha - beta) / (
+        1.0 + np.power(np.maximum(kappa, _EPS) * x, delta)
+    )
+
+
+def _exp4(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    c, a, b, alpha = t[..., 0], t[..., 1], t[..., 2], t[..., 3]
+    return c - _safe_exp(-a * np.power(x, alpha) + b)
+
+
+def _janoschek(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    alpha, beta, kappa, delta = t[..., 0], t[..., 1], t[..., 2], t[..., 3]
+    return alpha - (alpha - beta) * _safe_exp(-kappa * np.power(x, delta))
+
+
+def _weibull(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    alpha, beta, kappa, delta = t[..., 0], t[..., 1], t[..., 2], t[..., 3]
+    return alpha - (alpha - beta) * _safe_exp(
+        -np.power(np.maximum(kappa, _EPS) * x, delta)
+    )
+
+
+def _ilog2(x: np.ndarray, t: np.ndarray) -> np.ndarray:
+    c, a = t[..., 0], t[..., 1]
+    return c - a / np.log(x + 1.0)
+
+
+CURVE_MODELS: Dict[str, CurveModel] = {}
+
+
+def _register(model: CurveModel) -> CurveModel:
+    CURVE_MODELS[model.name] = model
+    return model
+
+
+_register(
+    CurveModel(
+        name="vapor_pressure",
+        param_names=("a", "b", "c"),
+        func=_vapor_pressure,
+        lower=(-10.0, -10.0, -2.0),
+        upper=(2.0, 2.0, 2.0),
+        default=(-1.0, -1.0, 0.1),
+    )
+)
+_register(
+    CurveModel(
+        name="pow3",
+        param_names=("c", "a", "alpha"),
+        func=_pow3,
+        lower=(0.0, 0.0, 0.01),
+        upper=(1.5, 2.0, 5.0),
+        default=(0.7, 0.5, 0.5),
+    )
+)
+_register(
+    CurveModel(
+        name="log_log_linear",
+        param_names=("a", "b"),
+        func=_log_log_linear,
+        lower=(0.0, 1.0),
+        upper=(2.0, 3.0),
+        default=(0.2, 1.2),
+    )
+)
+_register(
+    CurveModel(
+        name="hill3",
+        param_names=("ymax", "eta", "kappa"),
+        func=_hill3,
+        lower=(0.0, 0.01, 0.01),
+        upper=(1.5, 5.0, 200.0),
+        default=(0.7, 1.0, 10.0),
+    )
+)
+_register(
+    CurveModel(
+        name="log_power",
+        param_names=("a", "b", "c"),
+        func=_log_power,
+        lower=(0.0, -5.0, -5.0),
+        upper=(1.5, 5.0, 0.0),
+        default=(0.7, 2.0, -1.0),
+    )
+)
+_register(
+    CurveModel(
+        name="pow4",
+        param_names=("c", "a", "b", "alpha"),
+        func=_pow4,
+        lower=(0.0, 0.0, 0.0, 0.01),
+        upper=(1.5, 2.0, 10.0, 5.0),
+        default=(0.7, 0.2, 1.0, 0.5),
+    )
+)
+_register(
+    CurveModel(
+        name="mmf",
+        param_names=("alpha", "beta", "kappa", "delta"),
+        func=_mmf,
+        lower=(0.0, 0.0, 0.0, 0.01),
+        upper=(1.5, 1.0, 5.0, 5.0),
+        default=(0.7, 0.1, 0.05, 1.0),
+    )
+)
+_register(
+    CurveModel(
+        name="exp4",
+        param_names=("c", "a", "b", "alpha"),
+        func=_exp4,
+        lower=(0.0, 0.0, -5.0, 0.01),
+        upper=(1.5, 2.0, 5.0, 2.0),
+        default=(0.7, 0.1, 0.0, 1.0),
+    )
+)
+_register(
+    CurveModel(
+        name="janoschek",
+        param_names=("alpha", "beta", "kappa", "delta"),
+        func=_janoschek,
+        lower=(0.0, 0.0, 0.0, 0.01),
+        upper=(1.5, 1.0, 2.0, 5.0),
+        default=(0.7, 0.1, 0.05, 1.0),
+    )
+)
+_register(
+    CurveModel(
+        name="weibull",
+        param_names=("alpha", "beta", "kappa", "delta"),
+        func=_weibull,
+        lower=(0.0, 0.0, 0.0, 0.01),
+        upper=(1.5, 1.0, 2.0, 5.0),
+        default=(0.7, 0.1, 0.05, 1.0),
+    )
+)
+_register(
+    CurveModel(
+        name="ilog2",
+        param_names=("c", "a"),
+        func=_ilog2,
+        lower=(0.0, 0.0),
+        upper=(1.5, 2.0),
+        default=(0.7, 0.3),
+    )
+)
+
+
+def model_names() -> Tuple[str, ...]:
+    """Names of all registered curve families, in registration order."""
+    return tuple(CURVE_MODELS)
+
+
+def get_model(name: str) -> CurveModel:
+    """Look up a curve family by name.
+
+    Raises:
+        KeyError: if ``name`` is not registered.
+    """
+    try:
+        return CURVE_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown curve model {name!r}; known: {sorted(CURVE_MODELS)}"
+        ) from None

@@ -1,0 +1,53 @@
+"""HyperDrive middleware: scheduler, managers, agents, snapshots."""
+
+from .appstat_db import AppStatDB
+from .events import (
+    AppStat,
+    Decision,
+    IterationFinished,
+    LifecycleEvent,
+    LifecycleKind,
+)
+from .experiment import ExperimentResult, ExperimentSpec, PoolSnapshot
+from .job import IllegalTransitionError, Job, JobState
+from .job_manager import JobManager
+from .node_agent import NodeAgent
+from .resource_manager import ResourceManager
+from .scheduler import FollowUp, FollowUpAction, HyperDriveScheduler
+from .snapshot import (
+    CRIU_COST_MODEL,
+    SUPERVISED_COST_MODEL,
+    Snapshot,
+    SnapshotCostModel,
+    cost_model_for_domain,
+)
+from .transport import Mailbox, Message, MessageBus
+
+__all__ = [
+    "AppStatDB",
+    "AppStat",
+    "Decision",
+    "IterationFinished",
+    "LifecycleEvent",
+    "LifecycleKind",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "PoolSnapshot",
+    "Job",
+    "JobState",
+    "IllegalTransitionError",
+    "JobManager",
+    "NodeAgent",
+    "ResourceManager",
+    "HyperDriveScheduler",
+    "FollowUp",
+    "FollowUpAction",
+    "Snapshot",
+    "SnapshotCostModel",
+    "SUPERVISED_COST_MODEL",
+    "CRIU_COST_MODEL",
+    "cost_model_for_domain",
+    "Mailbox",
+    "Message",
+    "MessageBus",
+]

@@ -1,0 +1,67 @@
+"""Application-statistics database (AppStatDB, §4.2).
+
+Stores model-generated statistics (metric, epoch duration) and the
+snapshots that enable cross-machine suspend/resume.  Shared between the
+SAP, the Hyperparameter Generator, and the training jobs themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .events import AppStat
+from .snapshot import Snapshot
+
+__all__ = ["AppStatDB"]
+
+
+class AppStatDB:
+    """In-memory store for stats and snapshots.
+
+    The paper's implementation is a networked store; in this repo both
+    runtimes share a process, so a synchronised in-memory store plays
+    the same architectural role (the live runtime guards it with a
+    lock; the DES is single-threaded).
+    """
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, List[AppStat]] = {}
+        self._snapshots: Dict[str, Snapshot] = {}
+        self._snapshot_log: List[Snapshot] = []
+
+    # ----------------------------------------------------------- app stats
+
+    def record_stat(self, stat: AppStat) -> None:
+        """Append one application statistic."""
+        self._stats.setdefault(stat.job_id, []).append(stat)
+
+    def stats_for(self, job_id: str) -> List[AppStat]:
+        """All stats reported by ``job_id``, in arrival order."""
+        return list(self._stats.get(job_id, []))
+
+    def metric_history(self, job_id: str) -> List[float]:
+        """Raw metric series for ``job_id``."""
+        return [stat.metric for stat in self._stats.get(job_id, [])]
+
+    def job_ids(self) -> List[str]:
+        return list(self._stats)
+
+    # ----------------------------------------------------------- snapshots
+
+    def save_snapshot(self, snapshot: Snapshot) -> None:
+        """Store the latest snapshot for a job (and log it for the
+        overhead studies of §6.2.3 / Fig. 10)."""
+        self._snapshots[snapshot.job_id] = snapshot
+        self._snapshot_log.append(snapshot)
+
+    def load_snapshot(self, job_id: str) -> Optional[Snapshot]:
+        """Most recent snapshot for ``job_id``, or None."""
+        return self._snapshots.get(job_id)
+
+    def drop_snapshot(self, job_id: str) -> None:
+        self._snapshots.pop(job_id, None)
+
+    @property
+    def snapshot_log(self) -> List[Snapshot]:
+        """Every snapshot ever taken (latency/size analysis)."""
+        return list(self._snapshot_log)

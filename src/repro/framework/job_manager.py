@@ -1,0 +1,161 @@
+"""Job Manager (JM): job lifecycle and the idle-job queue (§4.2).
+
+API follows the paper::
+
+    get_idle_job() -> job | None
+    start_job(job_id, machine_id)
+    resume_job(job_id, machine_id)
+    suspend_job(job_id)
+    terminate_job(job_id)
+    label_job(job_id, priority)
+
+Priority labels order the idle queue (higher first); unlabelled jobs
+are FIFO behind all labelled ones, exactly the behaviour §4.2
+describes for re-queued suspended jobs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from .job import Job, JobState
+
+__all__ = ["JobManager"]
+
+
+class JobManager:
+    """Bookkeeping for every job in an experiment.
+
+    The JM owns state transitions and queue ordering; it does not touch
+    training runs — Node Agents (or the simulator's machine model) do
+    the actual execution and report back through the scheduler.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._idle: List[tuple] = []  # (sort_key, job_id) kept sorted lazily
+        self._fifo_counter = itertools.count()
+        self._enqueue_order: Dict[str, int] = {}
+
+    # ------------------------------------------------------------ plumbing
+
+    def add_job(self, job: Job) -> None:
+        """Register a new PENDING job and queue it as idle."""
+        if job.job_id in self._jobs:
+            raise ValueError(f"duplicate job id {job.job_id!r}")
+        if job.state is not JobState.PENDING:
+            raise ValueError("new jobs must be PENDING")
+        self._jobs[job.job_id] = job
+        self._enqueue(job.job_id)
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job {job_id!r}") from None
+
+    def jobs(self) -> List[Job]:
+        return list(self._jobs.values())
+
+    def active_jobs(self) -> List[Job]:
+        """Jobs that are still in play (pending, running, or suspended)."""
+        return [job for job in self._jobs.values() if job.active]
+
+    def running_jobs(self) -> List[Job]:
+        return [j for j in self._jobs.values() if j.state is JobState.RUNNING]
+
+    # ---------------------------------------------------------- idle queue
+
+    def _enqueue(self, job_id: str) -> None:
+        self._enqueue_order[job_id] = next(self._fifo_counter)
+        self._idle.append(job_id)
+
+    def _dequeue(self, job_id: str) -> None:
+        try:
+            self._idle.remove(job_id)
+        except ValueError:
+            raise ValueError(f"job {job_id!r} is not idle") from None
+
+    def _sort_key(self, job_id: str):
+        job = self._jobs[job_id]
+        # Labelled jobs first (higher priority first), then FIFO.
+        has_priority = job.priority is not None
+        priority = job.priority if has_priority else 0.0
+        return (not has_priority, -priority, self._enqueue_order[job_id])
+
+    def get_idle_job(self) -> Optional[Job]:
+        """Highest-priority idle job (PENDING or SUSPENDED), else None.
+
+        The job stays queued until ``start_job``/``resume_job`` claims
+        it, so a SAP can inspect the head of the queue without side
+        effects.
+        """
+        if not self._idle:
+            return None
+        best = min(self._idle, key=self._sort_key)
+        return self._jobs[best]
+
+    def idle_jobs(self) -> List[Job]:
+        """All idle jobs in queue order."""
+        ordered = sorted(self._idle, key=self._sort_key)
+        return [self._jobs[job_id] for job_id in ordered]
+
+    @property
+    def num_idle(self) -> int:
+        return len(self._idle)
+
+    # ----------------------------------------------------------- commands
+
+    def start_job(self, job_id: str, machine_id: str) -> Job:
+        """PENDING -> RUNNING on ``machine_id``."""
+        job = self.get(job_id)
+        if job.state is not JobState.PENDING:
+            raise ValueError(
+                f"{job_id} cannot be started from state {job.state.value};"
+                " use resume_job for suspended jobs"
+            )
+        self._dequeue(job_id)
+        job.transition(JobState.RUNNING)
+        job.machine_id = machine_id
+        return job
+
+    def resume_job(self, job_id: str, machine_id: str) -> Job:
+        """SUSPENDED -> RUNNING on ``machine_id`` (possibly a new one)."""
+        job = self.get(job_id)
+        if job.state is not JobState.SUSPENDED:
+            raise ValueError(
+                f"{job_id} cannot be resumed from state {job.state.value}"
+            )
+        self._dequeue(job_id)
+        job.transition(JobState.RUNNING)
+        job.machine_id = machine_id
+        return job
+
+    def suspend_job(self, job_id: str) -> Job:
+        """RUNNING -> SUSPENDED; job re-enters the idle queue."""
+        job = self.get(job_id)
+        job.transition(JobState.SUSPENDED)
+        job.machine_id = None
+        self._enqueue(job_id)
+        return job
+
+    def terminate_job(self, job_id: str) -> Job:
+        """Any live state -> TERMINATED."""
+        job = self.get(job_id)
+        if job_id in self._idle:
+            self._dequeue(job_id)
+        job.transition(JobState.TERMINATED)
+        job.machine_id = None
+        return job
+
+    def complete_job(self, job_id: str) -> Job:
+        """RUNNING -> COMPLETED (job exhausted its epoch budget)."""
+        job = self.get(job_id)
+        job.transition(JobState.COMPLETED)
+        job.machine_id = None
+        return job
+
+    def label_job(self, job_id: str, priority: float) -> None:
+        """Attach a scheduling priority to a job (§4.2 ``label_Job``)."""
+        self.get(job_id).priority = float(priority)

@@ -1,0 +1,124 @@
+"""Scheduling Algorithm Policy (SAP) interface (§4.2 ➃).
+
+A SAP is written imperatively against three up-calls:
+
+* :meth:`SchedulingPolicy.allocate_jobs` — an idle resource was
+  detected; the policy may start/resume idle jobs on idle machines.
+* :meth:`SchedulingPolicy.application_stat` — a training job reported
+  a statistic.
+* :meth:`SchedulingPolicy.on_iteration_finish` — an iteration (epoch)
+  completed; the policy decides CONTINUE / SUSPEND / TERMINATE.
+
+The :class:`PolicyContext` gives the SAP the same handles the paper's
+framework exposes: the Job and Resource Managers, the AppStat DB, the
+domain spec, experiment parameters (``Tmax``, target), a clock, and a
+``predict`` entry point that routes to the Node Agent hosting the job
+(§5.2's distributed curve prediction).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..curves.predictor import CurvePrediction
+from .appstat_db import AppStatDB
+from .events import AppStat, Decision, IterationFinished
+from .job_manager import JobManager
+from .resource_manager import ResourceManager
+from ..workloads.base import DomainSpec
+
+__all__ = ["PolicyContext", "SchedulingPolicy", "DefaultAllocationMixin"]
+
+
+@dataclass
+class PolicyContext:
+    """Everything a SAP may touch.
+
+    Attributes:
+        job_manager: lifecycle + idle queue.
+        resource_manager: machine reservation.
+        appstat_db: shared statistics store.
+        domain: model-owner domain knowledge.
+        tmax: maximum experiment duration in seconds (user input).
+        target: raw-scale target performance (user input).
+        now: experiment clock.
+        start: scheduler closure that starts or resumes ``job_id`` on
+            ``machine_id`` (handles run creation/snapshot restore).
+        predict: scheduler closure running curve prediction for a job;
+            the time cost is charged to the hosting machine according
+            to the overlap-vs-blocking configuration (§5.2).
+        stop_experiment: scheduler closure ending the whole experiment
+            — the hook behind user-defined *global* termination
+            criteria (§9 Ongoing Work).  None when the runtime does
+            not support it (e.g. hand-built test harnesses).
+    """
+
+    job_manager: JobManager
+    resource_manager: ResourceManager
+    appstat_db: AppStatDB
+    domain: DomainSpec
+    tmax: float
+    target: float
+    now: Callable[[], float]
+    start: Callable[[str, str], None]
+    predict: Callable[[str, int], CurvePrediction]
+    stop_experiment: Optional[Callable[[str], None]] = None
+
+    @property
+    def normalized_target(self) -> float:
+        return self.domain.normalize(self.target)
+
+
+class SchedulingPolicy(abc.ABC):
+    """Base class for SAPs."""
+
+    #: Human-readable policy name (used in results and benches).
+    name: str = "unnamed"
+
+    def __init__(self) -> None:
+        self._ctx: Optional[PolicyContext] = None
+
+    def bind(self, context: PolicyContext) -> None:
+        """Attach the experiment context before the first up-call."""
+        self._ctx = context
+
+    @property
+    def ctx(self) -> PolicyContext:
+        if self._ctx is None:
+            raise RuntimeError(f"policy {self.name!r} is not bound to an experiment")
+        return self._ctx
+
+    # ------------------------------------------------------------ up-calls
+
+    @abc.abstractmethod
+    def allocate_jobs(self) -> None:
+        """Idle resource detected: start/resume idle jobs as desired."""
+
+    def application_stat(self, stat: AppStat) -> None:
+        """A job reported a statistic.  Default: ignore."""
+
+    @abc.abstractmethod
+    def on_iteration_finish(self, event: IterationFinished) -> Decision:
+        """An epoch finished: keep, suspend, or kill the job."""
+
+
+class DefaultAllocationMixin:
+    """Greedy allocation shared by most SAPs.
+
+    Starts as many idle jobs as there are idle machines, in idle-queue
+    order (priority labels first, then FIFO) — the Default SAP's
+    behaviour from §4.2.
+    """
+
+    def allocate_jobs(self) -> None:  # type: ignore[override]
+        ctx = self.ctx  # type: ignore[attr-defined]
+        while True:
+            job = ctx.job_manager.get_idle_job()
+            if job is None:
+                return
+            machine_id = ctx.resource_manager.reserve_idle_machine()
+            if machine_id is None:
+                return
+            ctx.start(job.job_id, machine_id)

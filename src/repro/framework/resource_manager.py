@@ -1,0 +1,101 @@
+"""Resource Manager (RM): tracks allocated and idle machines (§4.2).
+
+API matches the paper::
+
+    reserve_idle_machine() -> machine_id | None
+    release_machine(machine_id)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+__all__ = ["ResourceManager"]
+
+
+class ResourceManager:
+    """Slot accounting over a fixed set of machines.
+
+    Machines are identified by string ids (``"machine-00"`` …).  In a
+    cloud deployment this component would reserve instances; here the
+    pool is fixed per experiment, which is how the paper's evaluation
+    runs too (4 GPU machines, 15 CPU instances).
+    """
+
+    def __init__(self, num_machines: int) -> None:
+        if num_machines < 1:
+            raise ValueError("need at least one machine")
+        self._all: List[str] = [f"machine-{i:02d}" for i in range(num_machines)]
+        self._idle: List[str] = list(self._all)
+        self._busy: Set[str] = set()
+        self._failed: Set[str] = set()
+
+    @property
+    def machine_ids(self) -> List[str]:
+        return list(self._all)
+
+    @property
+    def num_machines(self) -> int:
+        return len(self._all)
+
+    @property
+    def num_idle(self) -> int:
+        return len(self._idle)
+
+    @property
+    def num_busy(self) -> int:
+        return len(self._busy)
+
+    def reserve_idle_machine(self) -> Optional[str]:
+        """Reserve and return an idle machine id, or None if all busy."""
+        if not self._idle:
+            return None
+        machine_id = self._idle.pop(0)
+        self._busy.add(machine_id)
+        return machine_id
+
+    def release_machine(self, machine_id: str) -> None:
+        """Return a reserved machine to the idle pool."""
+        if machine_id not in self._busy:
+            raise ValueError(f"{machine_id!r} is not reserved")
+        self._busy.remove(machine_id)
+        self._idle.append(machine_id)
+
+    def is_busy(self, machine_id: str) -> bool:
+        if machine_id not in self._all:
+            raise ValueError(f"unknown machine {machine_id!r}")
+        return machine_id in self._busy
+
+    # -------------------------------------------------------- failures
+
+    @property
+    def num_failed(self) -> int:
+        return len(self._failed)
+
+    def is_failed(self, machine_id: str) -> bool:
+        if machine_id not in self._all:
+            raise ValueError(f"unknown machine {machine_id!r}")
+        return machine_id in self._failed
+
+    def fail_machine(self, machine_id: str) -> None:
+        """Take a machine out of service (cloud preemption, crash).
+
+        Idle or busy machines can fail; failed machines are neither
+        reservable nor releasable until :meth:`recover_machine`.
+        """
+        if machine_id not in self._all:
+            raise ValueError(f"unknown machine {machine_id!r}")
+        if machine_id in self._failed:
+            raise ValueError(f"{machine_id!r} has already failed")
+        if machine_id in self._busy:
+            self._busy.remove(machine_id)
+        else:
+            self._idle.remove(machine_id)
+        self._failed.add(machine_id)
+
+    def recover_machine(self, machine_id: str) -> None:
+        """Return a failed machine to the idle pool."""
+        if machine_id not in self._failed:
+            raise ValueError(f"{machine_id!r} is not failed")
+        self._failed.remove(machine_id)
+        self._idle.append(machine_id)

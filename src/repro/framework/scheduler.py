@@ -1,0 +1,445 @@
+"""The HyperDrive scheduler core (§4.2 ➄).
+
+:class:`HyperDriveScheduler` owns all experiment state — Job Manager,
+Resource Manager, AppStat DB, Node Agents, the SAP — and encodes the
+control flow between them.  It is *backend-agnostic*: a time backend
+(the discrete-event simulator in :mod:`repro.sim` or the threaded live
+runtime in :mod:`repro.runtime`) drives it by
+
+1. calling :meth:`begin` once,
+2. delivering :meth:`process_epoch` whenever a hosted job finishes an
+   epoch and acting on the returned :class:`FollowUp`,
+3. calling :meth:`machine_released` once any release delay (suspend
+   latency) has elapsed,
+4. draining :meth:`take_started_machines` after any call that may have
+   started jobs, and scheduling those machines' first epochs.
+
+All scheduling *logic* therefore lives here exactly once; backends only
+decide when simulated or real time passes.
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..curves.predictor import CurvePrediction, CurvePredictor
+from .policy_api import PolicyContext, SchedulingPolicy
+from ..workloads.base import EpochResult, Workload
+from .appstat_db import AppStatDB
+from .events import (
+    AppStat,
+    Decision,
+    IterationFinished,
+    LifecycleEvent,
+    LifecycleKind,
+)
+from .experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    PoolSnapshot,
+    TargetAchievement,
+)
+from .job import Job, JobState
+from .job_manager import JobManager
+from .node_agent import NodeAgent
+from .resource_manager import ResourceManager
+from .snapshot import cost_model_for_domain
+
+__all__ = ["FollowUpAction", "FollowUp", "HyperDriveScheduler"]
+
+logger = logging.getLogger(__name__)
+
+
+class FollowUpAction(enum.Enum):
+    """What the backend must do after ``process_epoch``."""
+
+    NEXT_EPOCH = "next_epoch"  # schedule another epoch on this machine
+    RELEASE_MACHINE = "release_machine"  # call machine_released after delay
+    EXPERIMENT_DONE = "experiment_done"  # stop everything
+
+
+@dataclass(frozen=True)
+class FollowUp:
+    """Backend instruction produced by :meth:`process_epoch`.
+
+    Attributes:
+        action: what to do next on the machine.
+        delay: seconds before the action happens (suspend latency, or a
+            blocking prediction holding the machine).
+        epoch_scale: duration multiplier for the next epoch (contention
+            from an overlapped prediction, §5.2).
+    """
+
+    action: FollowUpAction
+    delay: float = 0.0
+    epoch_scale: float = 1.0
+
+
+class HyperDriveScheduler:
+    """Backend-agnostic scheduling brain of HyperDrive."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        policy: SchedulingPolicy,
+        spec: ExperimentSpec,
+        clock: Callable[[], float],
+        predictor: Optional[CurvePredictor] = None,
+    ) -> None:
+        self.workload = workload
+        self.policy = policy
+        self.spec = spec
+        self._clock = clock
+        self.job_manager = JobManager()
+        self.resource_manager = ResourceManager(spec.num_machines)
+        self.appstat_db = AppStatDB()
+        self.target = (
+            spec.target if spec.target is not None else workload.domain.target
+        )
+        cost_model = cost_model_for_domain(workload.domain.kind)
+        self.agents: Dict[str, NodeAgent] = {
+            machine_id: NodeAgent(
+                machine_id=machine_id,
+                workload=workload,
+                snapshot_cost_model=cost_model,
+                predictor=predictor,
+                seed=spec.seed + index,
+            )
+            for index, machine_id in enumerate(self.resource_manager.machine_ids)
+        }
+        self.result = ExperimentResult(policy_name=policy.name, spec=spec)
+        self._started_machines: List[str] = []
+        self._charges: Dict[str, Tuple[float, float]] = {}
+        self._done = False
+        self._context: Optional[PolicyContext] = None
+
+    # -------------------------------------------------------------- set-up
+
+    def add_job(self, job_id: str, config: Dict) -> Job:
+        """Register one configuration as a schedulable job."""
+        job = Job(job_id=job_id, config=dict(config))
+        self.job_manager.add_job(job)
+        self._log(LifecycleKind.CREATED, job_id)
+        return job
+
+    def begin(self) -> None:
+        """Bind the policy and perform the initial allocation."""
+        self._context = PolicyContext(
+            job_manager=self.job_manager,
+            resource_manager=self.resource_manager,
+            appstat_db=self.appstat_db,
+            domain=self.workload.domain,
+            tmax=self.spec.tmax,
+            target=self.target,
+            now=self._clock,
+            start=self._start_job,
+            predict=self._predict,
+            stop_experiment=self._stop_experiment,
+        )
+        self.policy.bind(self._context)
+        self.policy.allocate_jobs()
+
+    # ----------------------------------------------------- backend surface
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def take_started_machines(self) -> List[str]:
+        """Machines whose jobs were just started/resumed; backends must
+        schedule the first epoch on each.  Clears the buffer."""
+        started, self._started_machines = self._started_machines, []
+        return started
+
+    def next_epoch_parameters(self, machine_id: str) -> Tuple[float, float]:
+        """Pop (blocking_delay, duration_scale) charges for the next
+        epoch on ``machine_id`` (prediction cost accounting)."""
+        return self._charges.pop(machine_id, (0.0, 1.0))
+
+    def machine_speed(self, machine_id: str) -> float:
+        """Speed multiplier of ``machine_id`` (1.0 = homogeneous)."""
+        factors = self.spec.machine_speed_factors
+        if factors is None:
+            return 1.0
+        index = self.resource_manager.machine_ids.index(machine_id)
+        return factors[index]
+
+    def process_epoch(self, machine_id: str, result: EpochResult) -> FollowUp:
+        """Handle one finished epoch; returns the backend instruction."""
+        if self._done:
+            return FollowUp(FollowUpAction.EXPERIMENT_DONE)
+        agent = self.agents[machine_id]
+        job_id = agent.job_id
+        if job_id is None:
+            raise RuntimeError(f"epoch reported by idle machine {machine_id}")
+        job = self.job_manager.get(job_id)
+        now = self._clock()
+
+        stat = AppStat(
+            job_id=job_id,
+            epoch=result.epoch,
+            metric=result.metric,
+            duration=result.duration,
+            timestamp=now,
+            machine_id=machine_id,
+            extras=dict(result.extras),
+        )
+        job.record(stat)
+        self.appstat_db.record_stat(stat)
+        self.result.epochs_trained += 1
+        if self.result.best_metric is None or result.metric > self.result.best_metric:
+            self.result.best_metric = result.metric
+            self.result.best_job_id = job_id
+        self.policy.application_stat(stat)
+
+        if result.metric >= self.target and (
+            self.spec.stop_on_target or self.spec.dynamic_target
+        ):
+            if not self.result.reached_target:
+                self.result.reached_target = True
+                self.result.time_to_target = now
+            if self.spec.stop_on_target:
+                self._done = True
+                self._log(LifecycleKind.COMPLETED, job_id, machine_id,
+                          {"reason": "target"})
+                return FollowUp(FollowUpAction.EXPERIMENT_DONE)
+            if self.spec.dynamic_target:
+                # §9 dynamic-target mode: record the milestone and raise
+                # the bar; the search continues toward the new target.
+                self.result.target_achievements.append(
+                    TargetAchievement(
+                        timestamp=now,
+                        target=self.target,
+                        job_id=job_id,
+                        metric=result.metric,
+                    )
+                )
+                while result.metric >= self.target:
+                    self.target += self.spec.target_increment
+                if self._context is not None:
+                    self._context.target = self.target
+
+        run = agent.run
+        job_finished = run is not None and run.finished
+        event = IterationFinished(
+            job_id=job_id,
+            epoch=result.epoch,
+            metric=result.metric,
+            timestamp=now,
+            machine_id=machine_id,
+            job_finished=job_finished,
+        )
+
+        if job_finished:
+            self.job_manager.complete_job(job_id)
+            agent.release()
+            self._log(LifecycleKind.COMPLETED, job_id, machine_id)
+            self._record_pool_snapshot(now)
+            return FollowUp(FollowUpAction.RELEASE_MACHINE)
+
+        decision = self.policy.on_iteration_finish(event)
+        self._record_pool_snapshot(now)
+
+        if self._done:
+            # The SAP invoked stop_experiment (a user-defined global
+            # termination criterion fired, §9 Ongoing Work).
+            return FollowUp(FollowUpAction.EXPERIMENT_DONE)
+
+        if decision is Decision.CONTINUE:
+            blocking, scale = self.next_epoch_parameters(machine_id)
+            if (
+                self.spec.checkpoint_interval is not None
+                and result.epoch % self.spec.checkpoint_interval == 0
+            ):
+                # Periodic checkpoint: bounds the work a machine
+                # failure can destroy; its latency briefly holds the
+                # machine, like any suspend capture.
+                checkpoint = agent.capture_snapshot()
+                self.appstat_db.save_snapshot(checkpoint)
+                self.result.snapshots.append(checkpoint)
+                blocking += checkpoint.latency
+            return FollowUp(
+                FollowUpAction.NEXT_EPOCH, delay=blocking, epoch_scale=scale
+            )
+        if decision is Decision.SUSPEND:
+            snapshot = agent.capture_snapshot()
+            self.appstat_db.save_snapshot(snapshot)
+            self.result.snapshots.append(snapshot)
+            self.job_manager.suspend_job(job_id)
+            agent.release()
+            self._charges.pop(machine_id, None)
+            self._log(
+                LifecycleKind.SUSPENDED,
+                job_id,
+                machine_id,
+                {"latency": snapshot.latency, "size": snapshot.size_bytes},
+            )
+            return FollowUp(
+                FollowUpAction.RELEASE_MACHINE, delay=snapshot.latency
+            )
+        # TERMINATE
+        self.job_manager.terminate_job(job_id)
+        agent.release()
+        self.appstat_db.drop_snapshot(job_id)
+        self._charges.pop(machine_id, None)
+        self._log(LifecycleKind.TERMINATED, job_id, machine_id)
+        return FollowUp(FollowUpAction.RELEASE_MACHINE)
+
+    def machine_released(self, machine_id: str) -> None:
+        """Backend signal: ``machine_id`` is idle again (any suspend
+        latency elapsed).  Triggers a fresh allocation round."""
+        self.resource_manager.release_machine(machine_id)
+        if self._done:
+            return
+        self.policy.allocate_jobs()
+
+    def machine_failed(self, machine_id: str) -> None:
+        """Backend signal: ``machine_id`` crashed / was preempted.
+
+        The hosted job (if any) loses all work since its most recent
+        snapshot — periodic checkpoints (``checkpoint_interval``) bound
+        that loss — and re-enters the idle queue to be resumed on
+        another machine, the recovery path §5.1's snapshots enable.
+        """
+        agent = self.agents[machine_id]
+        if agent.busy:
+            job_id = agent.job_id
+            assert job_id is not None
+            job = self.job_manager.get(job_id)
+            snapshot = self.appstat_db.load_snapshot(job_id)
+            resume_epoch = snapshot.epoch if snapshot is not None else 0
+            lost = job.truncate_history(resume_epoch)
+            self.result.epochs_lost_to_failures += lost
+            self.job_manager.suspend_job(job_id)
+            agent.release()
+            self._charges.pop(machine_id, None)
+            self._log(
+                LifecycleKind.MACHINE_FAILED,
+                job_id,
+                machine_id,
+                {"epochs_lost": lost, "resume_epoch": resume_epoch},
+            )
+        else:
+            self._log(LifecycleKind.MACHINE_FAILED, "-", machine_id)
+        self.resource_manager.fail_machine(machine_id)
+        self.result.machine_failures += 1
+
+    def machine_recovered(self, machine_id: str) -> None:
+        """Backend signal: a failed machine rejoined the pool."""
+        self.resource_manager.recover_machine(machine_id)
+        self._log(LifecycleKind.MACHINE_RECOVERED, "-", machine_id)
+        if self._done:
+            return
+        self.policy.allocate_jobs()
+
+    def finalize(self) -> ExperimentResult:
+        """Close out the experiment and return the result object."""
+        self.result.finished_at = self._clock()
+        self.result.jobs = self.job_manager.jobs()
+        self.result.predictions_made = sum(
+            agent.predictions_made for agent in self.agents.values()
+        )
+        return self.result
+
+    # ----------------------------------------------------- context closures
+
+    def _start_job(self, job_id: str, machine_id: str) -> None:
+        """Start or resume ``job_id`` on ``machine_id`` (SAP closure)."""
+        job = self.job_manager.get(job_id)
+        if job.state is JobState.PENDING:
+            self.job_manager.start_job(job_id, machine_id)
+            snapshot = None
+            kind = LifecycleKind.STARTED
+        elif job.state is JobState.SUSPENDED:
+            self.job_manager.resume_job(job_id, machine_id)
+            # A suspended job normally resumes from its snapshot; after
+            # a machine failure with no checkpoint it restarts from
+            # scratch (snapshot None -> fresh run), its history having
+            # been truncated accordingly.
+            snapshot = self.appstat_db.load_snapshot(job_id)
+            kind = LifecycleKind.RESUMED
+        else:
+            raise ValueError(
+                f"cannot start job {job_id} in state {job.state.value}"
+            )
+        agent = self.agents[machine_id]
+        agent.assign(
+            job_id, job.config, seed=self.spec.seed, snapshot=snapshot
+        )
+        self._started_machines.append(machine_id)
+        self._log(kind, job_id, machine_id)
+
+    def _stop_experiment(self, reason: str = "policy") -> None:
+        """SAP-initiated global termination (§9 Ongoing Work)."""
+        self._done = True
+        if self.result.time_to_target is None:
+            self.result.time_to_target = self._clock()
+        self.result.reached_target = True
+
+    def _predict(self, job_id: str, n_future: int) -> CurvePrediction:
+        """Run curve prediction on the agent hosting ``job_id`` and
+        charge its wall cost to the machine (§5.2)."""
+        hosting = None
+        for agent in self.agents.values():
+            if agent.job_id == job_id:
+                hosting = agent
+                break
+        if hosting is None:
+            raise RuntimeError(
+                f"job {job_id} is not hosted on any machine; prediction "
+                "runs on Node Agents"
+            )
+        prediction = hosting.predict(n_future)
+        blocking, scale = self._charges.get(hosting.machine_id, (0.0, 1.0))
+        if self.spec.overlap_prediction:
+            scale *= 1.0 + self.spec.prediction_contention
+        else:
+            blocking += self.spec.prediction_seconds
+        self._charges[hosting.machine_id] = (blocking, scale)
+        return prediction
+
+    # ------------------------------------------------------------ internal
+
+    def _record_pool_snapshot(self, now: float) -> None:
+        active = self.job_manager.active_jobs()
+        promising = sum(1 for job in active if job.promising)
+        promising_slots = getattr(self.policy, "promising_slots", 0)
+        self.result.pool_timeline.append(
+            PoolSnapshot(
+                timestamp=now,
+                promising=promising,
+                running=len(self.job_manager.running_jobs()),
+                active=len(active),
+                promising_slots=promising_slots,
+            )
+        )
+
+    def _log(
+        self,
+        kind: LifecycleKind,
+        job_id: str,
+        machine_id: Optional[str] = None,
+        detail: Optional[Dict] = None,
+    ) -> None:
+        timestamp = self._clock()
+        if logger.isEnabledFor(logging.INFO) and kind is not LifecycleKind.CREATED:
+            logger.info(
+                "[t=%8.0fs] %-16s job=%s machine=%s %s",
+                timestamp,
+                kind.value,
+                job_id,
+                machine_id or "-",
+                detail or "",
+            )
+        self.result.lifecycle.append(
+            LifecycleEvent(
+                kind=kind,
+                job_id=job_id,
+                timestamp=timestamp,
+                machine_id=machine_id,
+                detail=detail or {},
+            )
+        )

@@ -1,0 +1,101 @@
+"""In-process message transport (the GRPC stand-in).
+
+The paper wires scheduler, Node Agents, and applications together with
+GRPC (§5).  Both of this repo's runtimes live in one process, so the
+transport is a thread-safe topic bus with the same message discipline:
+typed envelopes, per-subscriber FIFO queues, and explicit addresses.
+The live threaded runtime communicates exclusively through it; the
+discrete-event simulator calls components directly (its event queue
+already serialises everything).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Message", "MessageBus", "Mailbox"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A typed envelope on the bus.
+
+    Attributes:
+        topic: routing key, e.g. ``"scheduler"`` or ``"machine-03"``.
+        kind: message type, e.g. ``"app_stat"``, ``"start_job"``.
+        payload: arbitrary message body.
+        sender: originating component name.
+    """
+
+    topic: str
+    kind: str
+    payload: Any
+    sender: str
+
+
+class Mailbox:
+    """A subscriber's FIFO queue of messages."""
+
+    def __init__(self, topic: str) -> None:
+        self.topic = topic
+        self._queue: "queue.Queue[Message]" = queue.Queue()
+
+    def put(self, message: Message) -> None:
+        self._queue.put(message)
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Message]:
+        """Pop the next message, or None on timeout."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def drain(self) -> List[Message]:
+        """Pop every currently queued message without blocking."""
+        messages = []
+        while True:
+            try:
+                messages.append(self._queue.get_nowait())
+            except queue.Empty:
+                return messages
+
+    @property
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+
+class MessageBus:
+    """Thread-safe topic-addressed delivery between components."""
+
+    def __init__(self) -> None:
+        self._mailboxes: Dict[str, Mailbox] = {}
+        self._lock = threading.Lock()
+        self._delivered = 0
+
+    def subscribe(self, topic: str) -> Mailbox:
+        """Create (or fetch) the mailbox for ``topic``."""
+        with self._lock:
+            if topic not in self._mailboxes:
+                self._mailboxes[topic] = Mailbox(topic)
+            return self._mailboxes[topic]
+
+    def send(self, topic: str, kind: str, payload: Any, sender: str) -> None:
+        """Deliver a message to ``topic``'s mailbox.
+
+        Raises:
+            KeyError: if nothing has subscribed to ``topic`` — silent
+                message loss hides wiring bugs, so delivery is strict.
+        """
+        with self._lock:
+            mailbox = self._mailboxes.get(topic)
+            if mailbox is None:
+                raise KeyError(f"no subscriber for topic {topic!r}")
+            self._delivered += 1
+        mailbox.put(Message(topic=topic, kind=kind, payload=payload, sender=sender))
+
+    @property
+    def messages_delivered(self) -> int:
+        return self._delivered

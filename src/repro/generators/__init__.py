@@ -1,0 +1,25 @@
+"""Hyperparameter Generators (HGs) and search-space definitions."""
+
+from .base import ExhaustedSpaceError, HyperparameterGenerator
+from .bayesian import BayesianGenerator, GaussianProcess, expected_improvement
+from .grid import GridGenerator
+from .random_gen import RandomGenerator
+from .tpe import TPEGenerator
+from .space import Choice, Dimension, IntUniform, LogUniform, SearchSpace, Uniform
+
+__all__ = [
+    "ExhaustedSpaceError",
+    "HyperparameterGenerator",
+    "RandomGenerator",
+    "GridGenerator",
+    "BayesianGenerator",
+    "TPEGenerator",
+    "GaussianProcess",
+    "expected_improvement",
+    "SearchSpace",
+    "Dimension",
+    "Uniform",
+    "LogUniform",
+    "IntUniform",
+    "Choice",
+]

@@ -1,0 +1,49 @@
+"""Random-search Hyperparameter Generator.
+
+The paper's evaluation uses random search with a fixed seed for every
+policy so all schedulers see the same configuration sequence (§6.1);
+:class:`RandomGenerator` reproduces that by being fully deterministic
+given its seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from .base import ExhaustedSpaceError, HyperparameterGenerator
+from .space import SearchSpace
+
+__all__ = ["RandomGenerator"]
+
+
+class RandomGenerator(HyperparameterGenerator):
+    """Uniform random sampling from the search space.
+
+    Args:
+        space: the hyperparameter space.
+        seed: RNG seed; two generators with the same seed emit the same
+            configuration sequence.
+        max_configs: optional cap after which ``create_job`` raises
+            :class:`ExhaustedSpaceError` (the paper caps at 100).
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        seed: int = 0,
+        max_configs: Optional[int] = None,
+    ) -> None:
+        super().__init__(space)
+        if max_configs is not None and max_configs < 1:
+            raise ValueError("max_configs must be positive when given")
+        self._rng = np.random.default_rng(seed)
+        self.max_configs = max_configs
+
+    def _propose(self) -> Dict[str, Any]:
+        if self.max_configs is not None and self.num_proposed >= self.max_configs:
+            raise ExhaustedSpaceError(
+                f"random generator exhausted after {self.max_configs} configs"
+            )
+        return self.space.sample(self._rng)

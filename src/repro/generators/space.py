@@ -1,0 +1,272 @@
+"""Typed hyperparameter search spaces.
+
+A :class:`SearchSpace` is an ordered collection of named dimensions;
+each dimension knows how to sample itself, enumerate grid points, and
+validate values.  The space is the single definition shared by every
+Hyperparameter Generator (random, grid, Bayesian) and by the synthetic
+workloads, which map sampled configurations to learning-curve shapes.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Dimension",
+    "Uniform",
+    "LogUniform",
+    "IntUniform",
+    "Choice",
+    "SearchSpace",
+]
+
+
+class Dimension(abc.ABC):
+    """One named hyperparameter dimension."""
+
+    name: str
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> Any:
+        """Draw one random value."""
+
+    @abc.abstractmethod
+    def grid(self, resolution: int) -> List[Any]:
+        """Enumerate up to ``resolution`` evenly spread values."""
+
+    @abc.abstractmethod
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` is a legal setting for this dimension."""
+
+    @abc.abstractmethod
+    def to_unit(self, value: Any) -> float:
+        """Map a legal value into [0, 1] (used by the Bayesian HG)."""
+
+    @abc.abstractmethod
+    def from_unit(self, u: float) -> Any:
+        """Inverse of :meth:`to_unit` (approximately, for discretes)."""
+
+
+@dataclass(frozen=True)
+class Uniform(Dimension):
+    """Continuous uniform dimension on [low, high]."""
+
+    name: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.high > self.low:
+            raise ValueError(f"{self.name}: high must exceed low")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def grid(self, resolution: int) -> List[float]:
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        if resolution == 1:
+            return [(self.low + self.high) / 2.0]
+        return list(np.linspace(self.low, self.high, resolution))
+
+    def contains(self, value: Any) -> bool:
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            return False
+        return self.low <= v <= self.high
+
+    def to_unit(self, value: Any) -> float:
+        return (float(value) - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> float:
+        return self.low + float(np.clip(u, 0.0, 1.0)) * (self.high - self.low)
+
+
+@dataclass(frozen=True)
+class LogUniform(Dimension):
+    """Log-uniform dimension on [low, high]; both bounds positive.
+
+    The canonical choice for learning rates and regularisation
+    strengths, which the CIFAR-10 space uses heavily.
+    """
+
+    name: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low <= 0:
+            raise ValueError(f"{self.name}: log-uniform bounds must be > 0")
+        if not self.high > self.low:
+            raise ValueError(f"{self.name}: high must exceed low")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(
+            math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+        )
+
+    def grid(self, resolution: int) -> List[float]:
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        if resolution == 1:
+            return [math.exp((math.log(self.low) + math.log(self.high)) / 2)]
+        points = np.exp(
+            np.linspace(math.log(self.low), math.log(self.high), resolution)
+        )
+        # exp(log(x)) can land one ulp outside the declared range.
+        return [float(min(max(p, self.low), self.high)) for p in points]
+
+    def contains(self, value: Any) -> bool:
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            return False
+        return self.low <= v <= self.high
+
+    def to_unit(self, value: Any) -> float:
+        return (math.log(float(value)) - math.log(self.low)) / (
+            math.log(self.high) - math.log(self.low)
+        )
+
+    def from_unit(self, u: float) -> float:
+        log_low, log_high = math.log(self.low), math.log(self.high)
+        value = math.exp(
+            log_low + float(np.clip(u, 0.0, 1.0)) * (log_high - log_low)
+        )
+        # exp(log(high)) can overshoot by one ulp; keep the result legal.
+        return min(max(value, self.low), self.high)
+
+
+@dataclass(frozen=True)
+class IntUniform(Dimension):
+    """Integer uniform dimension on [low, high] inclusive."""
+
+    name: str
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if not self.high >= self.low:
+            raise ValueError(f"{self.name}: high must be >= low")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.low, self.high + 1))
+
+    def grid(self, resolution: int) -> List[int]:
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        count = min(resolution, self.high - self.low + 1)
+        values = np.linspace(self.low, self.high, count)
+        return sorted(set(int(round(v)) for v in values))
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, (int, np.integer))
+            and self.low <= int(value) <= self.high
+        )
+
+    def to_unit(self, value: Any) -> float:
+        if self.high == self.low:
+            return 0.0
+        return (int(value) - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> int:
+        span = self.high - self.low
+        return self.low + int(round(float(np.clip(u, 0.0, 1.0)) * span))
+
+
+@dataclass(frozen=True)
+class Choice(Dimension):
+    """Categorical dimension over an explicit tuple of options."""
+
+    name: str
+    options: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.options) == 0:
+            raise ValueError(f"{self.name}: need at least one option")
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.options[int(rng.integers(0, len(self.options)))]
+
+    def grid(self, resolution: int) -> List[Any]:
+        return list(self.options[: max(1, resolution)])
+
+    def contains(self, value: Any) -> bool:
+        return value in self.options
+
+    def to_unit(self, value: Any) -> float:
+        idx = self.options.index(value)
+        if len(self.options) == 1:
+            return 0.0
+        return idx / (len(self.options) - 1)
+
+    def from_unit(self, u: float) -> Any:
+        idx = int(round(float(np.clip(u, 0.0, 1.0)) * (len(self.options) - 1)))
+        return self.options[idx]
+
+
+class SearchSpace:
+    """An ordered, named collection of hyperparameter dimensions."""
+
+    def __init__(self, dimensions: Sequence[Dimension]) -> None:
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate dimension names in {names}")
+        self._dims: Dict[str, Dimension] = {d.name: d for d in dimensions}
+
+    @property
+    def dimensions(self) -> List[Dimension]:
+        return list(self._dims.values())
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._dims)
+
+    def __len__(self) -> int:
+        return len(self._dims)
+
+    def __getitem__(self, name: str) -> Dimension:
+        return self._dims[name]
+
+    def sample(self, rng: np.random.Generator) -> Dict[str, Any]:
+        """Draw one full configuration."""
+        return {name: dim.sample(rng) for name, dim in self._dims.items()}
+
+    def validate(self, config: Mapping[str, Any]) -> None:
+        """Raise ValueError if ``config`` is not a legal point."""
+        missing = set(self._dims) - set(config)
+        if missing:
+            raise ValueError(f"configuration missing dimensions: {sorted(missing)}")
+        extra = set(config) - set(self._dims)
+        if extra:
+            raise ValueError(f"configuration has unknown dimensions: {sorted(extra)}")
+        for name, dim in self._dims.items():
+            if not dim.contains(config[name]):
+                raise ValueError(
+                    f"{name}={config[name]!r} outside the declared range"
+                )
+
+    def to_unit(self, config: Mapping[str, Any]) -> np.ndarray:
+        """Encode a configuration as a vector in the unit hypercube."""
+        return np.array(
+            [dim.to_unit(config[name]) for name, dim in self._dims.items()]
+        )
+
+    def from_unit(self, u: Sequence[float]) -> Dict[str, Any]:
+        """Decode a unit-hypercube vector into a configuration."""
+        u_arr = np.asarray(u, dtype=float)
+        if u_arr.size != len(self._dims):
+            raise ValueError(
+                f"expected {len(self._dims)} coordinates, got {u_arr.size}"
+            )
+        return {
+            name: dim.from_unit(u_arr[i])
+            for i, (name, dim) in enumerate(self._dims.items())
+        }

@@ -1,0 +1,21 @@
+"""Statistics utilities for analysis and benchmarking."""
+
+from .stats import (
+    BoxStats,
+    bootstrap_mean_ci,
+    box_stats,
+    ecdf,
+    minmax_denormalize,
+    minmax_normalize,
+    speedup,
+)
+
+__all__ = [
+    "BoxStats",
+    "bootstrap_mean_ci",
+    "box_stats",
+    "ecdf",
+    "minmax_denormalize",
+    "minmax_normalize",
+    "speedup",
+]

@@ -1,0 +1,125 @@
+"""Statistics helpers shared by policies, benches, and analysis code.
+
+Includes the min-max reward normalisation from §6.3 (eq. 4), empirical
+CDFs for the distribution figures, box-plot summaries for the
+time-to-target figures, and bootstrap confidence intervals used when
+comparing policies across repeated experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "minmax_normalize",
+    "minmax_denormalize",
+    "ecdf",
+    "BoxStats",
+    "box_stats",
+    "bootstrap_mean_ci",
+    "speedup",
+]
+
+
+def minmax_normalize(
+    rewards: Sequence[float], r_min: float = -500.0, r_max: float = 300.0
+) -> np.ndarray:
+    """Min-max scale raw rewards into [0, 1] (paper eq. 4).
+
+    The paper uses ``r_min = -500`` (empirical lower bound) and
+    ``r_max = 300`` (environment upper bound) for LunarLander.  Values
+    outside the declared range are clipped so the normalised curve is a
+    valid input for the curve predictor.
+    """
+    if r_max <= r_min:
+        raise ValueError("r_max must exceed r_min")
+    arr = (np.asarray(rewards, dtype=float) - r_min) / (r_max - r_min)
+    return np.clip(arr, 0.0, 1.0)
+
+
+def minmax_denormalize(
+    normalized: Sequence[float], r_min: float = -500.0, r_max: float = 300.0
+) -> np.ndarray:
+    """Inverse of :func:`minmax_normalize` (for in-range values)."""
+    if r_max <= r_min:
+        raise ValueError("r_max must exceed r_min")
+    return np.asarray(normalized, dtype=float) * (r_max - r_min) + r_min
+
+
+def ecdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative fractions).
+
+    Fractions are ``k / n`` for the k-th smallest value, so the last
+    entry is exactly 1.0.
+    """
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        raise ValueError("ecdf of an empty sample is undefined")
+    fractions = np.arange(1, arr.size + 1) / arr.size
+    return arr, fractions
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary used for the paper's box-plot figures."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    @property
+    def spread(self) -> float:
+        """Max-min range; the paper highlights POP's small spread."""
+        return self.maximum - self.minimum
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    """Compute the box-plot summary of a sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("box_stats of an empty sample is undefined")
+    q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    return BoxStats(
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(arr.max()),
+        mean=float(arr.mean()),
+    )
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[float, float, float]:
+    """Bootstrap CI for the mean: returns (mean, low, high)."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    resamples = rng.choice(arr, size=(n_resamples, arr.size), replace=True)
+    means = resamples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.percentile(means, [100 * alpha, 100 * (1 - alpha)])
+    return float(arr.mean()), float(low), float(high)
+
+
+def speedup(baseline: Sequence[float], improved: Sequence[float]) -> float:
+    """Mean-over-mean speedup factor (how the paper reports 1.6x etc.)."""
+    base = float(np.mean(np.asarray(baseline, dtype=float)))
+    imp = float(np.mean(np.asarray(improved, dtype=float)))
+    if imp <= 0:
+        raise ValueError("improved times must be positive")
+    return base / imp

@@ -1,0 +1,26 @@
+"""Scheduling Algorithm Policies (SAPs).
+
+POP itself lives in :mod:`repro.core.pop` but is re-exported here so
+every policy can be imported from one place.
+"""
+
+from ..core.pop import POPPolicy
+from .bandit import BanditPolicy
+from .base import DefaultAllocationMixin, PolicyContext, SchedulingPolicy
+from .default import DefaultPolicy
+from .earlyterm import EarlyTermPolicy
+from .global_criterion import GlobalCriterionPolicy
+from .hyperband import HyperBandPolicy, SuccessiveHalvingPolicy
+
+__all__ = [
+    "PolicyContext",
+    "SchedulingPolicy",
+    "DefaultAllocationMixin",
+    "DefaultPolicy",
+    "BanditPolicy",
+    "EarlyTermPolicy",
+    "POPPolicy",
+    "SuccessiveHalvingPolicy",
+    "HyperBandPolicy",
+    "GlobalCriterionPolicy",
+]

@@ -1,0 +1,72 @@
+"""Bandit SAP: TuPAQ's action-elimination allocation strategy (§5.3).
+
+At every evaluation boundary the policy compares the job's best
+performance against the global best seen anywhere: the job survives iff
+
+    jobBest * (1 + ε) > globalBest
+
+with ε = 0.50 per TuPAQ.  Comparisons run on normalised metrics so the
+rule is meaningful for RL's negative rewards (§6.3's min-max scaling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..framework.events import AppStat, Decision, IterationFinished
+from .base import DefaultAllocationMixin, SchedulingPolicy
+
+__all__ = ["BanditPolicy"]
+
+
+class BanditPolicy(DefaultAllocationMixin, SchedulingPolicy):
+    """TuPAQ-style bandit elimination.
+
+    Args:
+        epsilon: slack factor ε (0.50 in TuPAQ and the paper).
+        eval_boundary: ``b``; None uses the domain's value (10 for
+            supervised; the paper reuses POP's RL boundary since TuPAQ
+            offers no guidance there).
+    """
+
+    name = "bandit"
+
+    def __init__(
+        self, epsilon: float = 0.50, eval_boundary: Optional[int] = None
+    ) -> None:
+        super().__init__()
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.epsilon = epsilon
+        self._eval_boundary = eval_boundary
+        self._global_best: Optional[float] = None
+        self._job_best: Dict[str, float] = {}
+
+    @property
+    def eval_boundary(self) -> int:
+        if self._eval_boundary is not None:
+            return self._eval_boundary
+        return self.ctx.domain.eval_boundary
+
+    @property
+    def global_best(self) -> Optional[float]:
+        """Best normalised performance seen across all jobs."""
+        return self._global_best
+
+    def application_stat(self, stat: AppStat) -> None:
+        value = self.ctx.domain.normalize(stat.metric)
+        best = self._job_best.get(stat.job_id)
+        if best is None or value > best:
+            self._job_best[stat.job_id] = value
+        if self._global_best is None or value > self._global_best:
+            self._global_best = value
+
+    def on_iteration_finish(self, event: IterationFinished) -> Decision:
+        if event.epoch % self.eval_boundary != 0:
+            return Decision.CONTINUE
+        if self._global_best is None:
+            return Decision.CONTINUE
+        job_best = self._job_best.get(event.job_id, 0.0)
+        if job_best * (1.0 + self.epsilon) > self._global_best:
+            return Decision.CONTINUE
+        return Decision.TERMINATE

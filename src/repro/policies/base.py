@@ -1,0 +1,14 @@
+"""SAP interface re-export.
+
+The actual definitions live in :mod:`repro.framework.policy_api` (the
+framework owns the up-call contract); this module keeps the natural
+``repro.policies.base`` import path working.
+"""
+
+from ..framework.policy_api import (
+    DefaultAllocationMixin,
+    PolicyContext,
+    SchedulingPolicy,
+)
+
+__all__ = ["PolicyContext", "SchedulingPolicy", "DefaultAllocationMixin"]

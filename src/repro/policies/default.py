@@ -1,0 +1,22 @@
+"""Default SAP (§4.2): greedy allocation, run every job to completion.
+
+Ignores application stats and always continues jobs — the baseline the
+paper compares every smarter policy against, and the base class whose
+allocation behaviour Bandit and EarlyTerm extend.
+"""
+
+from __future__ import annotations
+
+from ..framework.events import Decision, IterationFinished
+from .base import DefaultAllocationMixin, SchedulingPolicy
+
+__all__ = ["DefaultPolicy"]
+
+
+class DefaultPolicy(DefaultAllocationMixin, SchedulingPolicy):
+    """Run-to-completion scheduling with greedy allocation."""
+
+    name = "default"
+
+    def on_iteration_finish(self, event: IterationFinished) -> Decision:
+        return Decision.CONTINUE

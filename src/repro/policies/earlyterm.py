@@ -1,0 +1,81 @@
+"""EarlyTerm SAP: Domhan et al.'s predictive termination (§5.3).
+
+A parallel version of the "predictive termination criterion" of [11]:
+at each evaluation boundary compute
+
+    pval = P( y(m) >= ŷ | y(1:n) )
+
+where ``m`` is the job's maximum epoch and ``ŷ`` the global best
+performance seen so far; terminate immediately when ``pval < δ``
+(δ = 0.05, b = 30 for supervised learning, per the original work).
+Otherwise behaves like the Default SAP — jobs run to completion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..framework.events import AppStat, Decision, IterationFinished
+from .base import DefaultAllocationMixin, SchedulingPolicy
+
+__all__ = ["EarlyTermPolicy"]
+
+
+class EarlyTermPolicy(DefaultAllocationMixin, SchedulingPolicy):
+    """Learning-curve-based predictive early termination.
+
+    Args:
+        delta: termination probability threshold δ.
+        eval_boundary: ``b``; None resolves per domain — 30 for
+            supervised learning (as in [11]) and the domain's own
+            boundary for RL (the paper reuses POP's value there).
+    """
+
+    name = "earlyterm"
+
+    def __init__(
+        self, delta: float = 0.05, eval_boundary: Optional[int] = None
+    ) -> None:
+        super().__init__()
+        if not 0.0 < delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+        self.delta = delta
+        self._eval_boundary = eval_boundary
+        self._global_best: Optional[float] = None
+
+    @property
+    def eval_boundary(self) -> int:
+        if self._eval_boundary is not None:
+            return self._eval_boundary
+        if self.ctx.domain.kind == "supervised":
+            return 30
+        return self.ctx.domain.eval_boundary
+
+    @property
+    def global_best(self) -> Optional[float]:
+        """ŷ: best normalised performance seen across all jobs."""
+        return self._global_best
+
+    def application_stat(self, stat: AppStat) -> None:
+        value = self.ctx.domain.normalize(stat.metric)
+        if self._global_best is None or value > self._global_best:
+            self._global_best = value
+
+    def on_iteration_finish(self, event: IterationFinished) -> Decision:
+        if event.epoch % self.eval_boundary != 0:
+            return Decision.CONTINUE
+        if self._global_best is None:
+            return Decision.CONTINUE
+        n_future = self.ctx.domain.max_epochs - event.epoch
+        if n_future < 1:
+            return Decision.CONTINUE
+        try:
+            prediction = self.ctx.predict(event.job_id, n_future)
+        except ValueError:
+            return Decision.CONTINUE  # history too short to predict
+        pval = prediction.prob_exceeds(
+            self._global_best, at_epoch=self.ctx.domain.max_epochs
+        )
+        if pval < self.delta:
+            return Decision.TERMINATE
+        return Decision.CONTINUE

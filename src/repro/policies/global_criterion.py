@@ -1,0 +1,65 @@
+"""Global termination criteria on top of any SAP (§9 Ongoing Work).
+
+The paper reports "significantly reduced training times by enabling
+user-defined global termination criteria through HyperDrive's SAP API"
+for its LSTM-sparsity exploration: rather than waiting for the primary
+metric alone, the experiment ends the moment any job satisfies a
+model-owner predicate over *all* reported metrics (e.g. perplexity
+good enough AND sparsity high enough).
+
+:class:`GlobalCriterionPolicy` wraps any inner SAP, watches every
+:class:`~repro.framework.events.AppStat`, and calls the scheduler's
+``stop_experiment`` hook when the predicate first holds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..framework.events import AppStat, Decision, IterationFinished
+from ..framework.policy_api import PolicyContext, SchedulingPolicy
+
+__all__ = ["GlobalCriterionPolicy"]
+
+
+class GlobalCriterionPolicy(SchedulingPolicy):
+    """Delegating SAP with a user-defined global stop predicate.
+
+    Args:
+        inner: the SAP doing the actual scheduling.
+        criterion: predicate over incoming stats; the experiment stops
+            the first time it returns True.
+        name: display name; defaults to ``"<inner>+criterion"``.
+    """
+
+    def __init__(
+        self,
+        inner: SchedulingPolicy,
+        criterion: Callable[[AppStat], bool],
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.criterion = criterion
+        self.name = name if name is not None else f"{inner.name}+criterion"
+        self.satisfied_by: Optional[AppStat] = None
+
+    def bind(self, context: PolicyContext) -> None:
+        super().bind(context)
+        self.inner.bind(context)
+
+    def allocate_jobs(self) -> None:
+        self.inner.allocate_jobs()
+
+    def application_stat(self, stat: AppStat) -> None:
+        if self.satisfied_by is None and self.criterion(stat):
+            self.satisfied_by = stat
+            if self.ctx.stop_experiment is not None:
+                self.ctx.stop_experiment(
+                    f"global criterion satisfied by {stat.job_id} "
+                    f"at epoch {stat.epoch}"
+                )
+        self.inner.application_stat(stat)
+
+    def on_iteration_finish(self, event: IterationFinished) -> Decision:
+        return self.inner.on_iteration_finish(event)

@@ -1,0 +1,5 @@
+"""Live threaded runtime (the simulator-validation counterpart)."""
+
+from .local import run_live
+
+__all__ = ["run_live"]

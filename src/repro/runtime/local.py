@@ -1,0 +1,240 @@
+"""Live threaded runtime: real concurrency, scaled wall-clock time.
+
+The paper validates its discrete-event simulator against live cluster
+runs (Fig. 12a, max error 13%).  This module is the "live" side of that
+comparison in our single-machine world: every machine is a real thread,
+Node Agents genuinely execute training runs (for the MLP workload that
+means real SGD), epoch durations elapse as scaled wall-clock sleeps,
+and all coordination goes through the shared scheduler under a lock —
+so thread-scheduling jitter, lock contention, and message timing
+perturb the experiment exactly the way network/OS jitter perturbs the
+paper's live runs.
+
+``time_scale`` maps simulated seconds to wall seconds (default 1 ms per
+simulated second, so a 4-hour experiment replays in ~14 s).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Dict, Optional, Sequence
+
+from ..curves.predictor import CurvePredictor
+from ..framework.experiment import ExperimentResult, ExperimentSpec
+from ..framework.scheduler import FollowUpAction, HyperDriveScheduler
+from ..framework.transport import MessageBus
+from ..generators.base import ExhaustedSpaceError, HyperparameterGenerator
+from ..policies.base import SchedulingPolicy
+from ..workloads.base import EpochResult, Workload
+from ..sim.runner import default_predictor
+
+__all__ = ["run_live"]
+
+_START = "start"
+_STOP = "stop"
+
+
+class _UnlockedPredictor(CurvePredictor):
+    """Releases the scheduler lock while a prediction computes.
+
+    This is §5.2's distributed-prediction optimisation in threaded
+    form: predictions run on the Node Agent (the machine thread that
+    asked for them), overlapped with everything else, instead of
+    serialising the whole cluster behind the central scheduler.
+    Without it, every machine stalls for every prediction and the live
+    runtime drifts far from the simulator.
+    """
+
+    def __init__(self, inner: CurvePredictor, lock) -> None:
+        self._inner = inner
+        self._lock = lock
+
+    def min_observations(self) -> int:
+        return self._inner.min_observations()
+
+    def predict(self, observed, n_future):
+        self._lock.release()
+        try:
+            return self._inner.predict(observed, n_future)
+        finally:
+            self._lock.acquire()
+
+
+class _LiveExperiment:
+    """One live run: worker threads + shared scheduler."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        policy: SchedulingPolicy,
+        spec: ExperimentSpec,
+        predictor: CurvePredictor,
+        time_scale: float,
+    ) -> None:
+        self.spec = spec
+        self.time_scale = time_scale
+        self._t0 = time.monotonic()
+        self.lock = threading.Lock()
+        self.scheduler = HyperDriveScheduler(
+            workload=workload,
+            policy=policy,
+            spec=spec,
+            clock=self._clock,
+            predictor=_UnlockedPredictor(predictor, self.lock),
+        )
+        self.bus = MessageBus()
+        self._mailboxes = {
+            machine_id: self.bus.subscribe(machine_id)
+            for machine_id in self.scheduler.resource_manager.machine_ids
+        }
+        self.stop_event = threading.Event()
+        self._threads = []
+
+    def _clock(self) -> float:
+        """Experiment time: scaled wall-clock since start."""
+        return (time.monotonic() - self._t0) / self.time_scale
+
+    def _sleep(self, simulated_seconds: float) -> None:
+        time.sleep(max(simulated_seconds, 0.0) * self.time_scale)
+
+    # ------------------------------------------------------------ workers
+
+    def _notify_started(self, started: Sequence[str]) -> None:
+        for machine_id in started:
+            self.bus.send(machine_id, _START, None, sender="scheduler")
+
+    def _worker(self, machine_id: str) -> None:
+        mailbox = self._mailboxes[machine_id]
+        while not self.stop_event.is_set():
+            message = mailbox.get(timeout=0.02)
+            if message is None:
+                continue
+            if message.kind == _STOP:
+                return
+            self._run_assignment(machine_id)
+
+    def _run_assignment(self, machine_id: str) -> None:
+        """Drive the hosted job epoch by epoch until it leaves this
+        machine (suspend/terminate/complete) or the experiment ends."""
+        agent = self.scheduler.agents[machine_id]
+        extra_delay, scale = 0.0, 1.0
+        while not self.stop_event.is_set():
+            # Training executes outside the lock: the agent is owned by
+            # this thread while the job is assigned here.
+            if agent.run is None:
+                return
+            raw = agent.train_epoch()
+            result = EpochResult(
+                epoch=raw.epoch,
+                duration=raw.duration
+                * scale
+                / self.scheduler.machine_speed(machine_id),
+                metric=raw.metric,
+                done=raw.done,
+                extras=raw.extras,
+            )
+            self._sleep(extra_delay + result.duration)
+            with self.lock:
+                followup = self.scheduler.process_epoch(machine_id, result)
+                started = self.scheduler.take_started_machines()
+            self._notify_started(started)
+
+            if followup.action is FollowUpAction.NEXT_EPOCH:
+                extra_delay, scale = followup.delay, followup.epoch_scale
+                continue
+            if followup.action is FollowUpAction.RELEASE_MACHINE:
+                self._sleep(followup.delay)
+                with self.lock:
+                    self.scheduler.machine_released(machine_id)
+                    started = self.scheduler.take_started_machines()
+                self._notify_started(started)
+                return
+            # EXPERIMENT_DONE
+            self.stop_event.set()
+            return
+
+    # --------------------------------------------------------------- run
+
+    def run(self) -> ExperimentResult:
+        with self.lock:
+            self.scheduler.begin()
+            started = self.scheduler.take_started_machines()
+        for machine_id in self.scheduler.resource_manager.machine_ids:
+            thread = threading.Thread(
+                target=self._worker, args=(machine_id,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        self._notify_started(started)
+
+        deadline = time.monotonic() + self.spec.tmax * self.time_scale + 30.0
+        while not self.stop_event.is_set() and time.monotonic() < deadline:
+            time.sleep(0.02)
+            with self.lock:
+                quiescent = (
+                    self.scheduler.resource_manager.num_busy == 0
+                    and self.scheduler.job_manager.num_idle == 0
+                )
+            if quiescent:
+                break
+        self.stop_event.set()
+        for machine_id in self._mailboxes:
+            self.bus.send(machine_id, _STOP, None, sender="scheduler")
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        with self.lock:
+            return self.scheduler.finalize()
+
+
+def run_live(
+    workload: Workload,
+    policy: SchedulingPolicy,
+    generator: Optional[HyperparameterGenerator] = None,
+    spec: Optional[ExperimentSpec] = None,
+    predictor: Optional[CurvePredictor] = None,
+    configs: Optional[Sequence[Dict[str, Any]]] = None,
+    time_scale: float = 1e-3,
+) -> ExperimentResult:
+    """Run one experiment on the live threaded runtime.
+
+    Args:
+        workload: the training problem.
+        policy: the SAP under test.
+        generator: HG minting configurations (or pass ``configs``).
+        spec: experiment parameters.
+        predictor: curve predictor; defaults to the bench predictor.
+        configs: explicit configuration list.
+        time_scale: wall seconds per simulated second.
+
+    Returns:
+        The finalised :class:`ExperimentResult`, with timestamps on the
+        simulated-seconds axis (comparable to ``run_simulation``).
+    """
+    if spec is None:
+        spec = ExperimentSpec()
+    if (generator is None) == (configs is None):
+        raise ValueError("provide exactly one of generator or configs")
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+
+    experiment = _LiveExperiment(
+        workload=workload,
+        policy=policy,
+        spec=spec,
+        predictor=predictor if predictor is not None else default_predictor(),
+        time_scale=time_scale,
+    )
+    if configs is not None:
+        for index, config in enumerate(configs):
+            experiment.scheduler.add_job(f"job-{index:04d}", config)
+    else:
+        assert generator is not None
+        for _ in range(spec.num_configs):
+            try:
+                job_id, config = generator.create_job()
+            except ExhaustedSpaceError:
+                break
+            experiment.scheduler.add_job(job_id, config)
+    return experiment.run()

@@ -1,0 +1,14 @@
+"""Trace-driven discrete-event simulation (§7)."""
+
+from .engine import SimulationEngine
+from .runner import default_predictor, run_simulation
+from .trace import Trace, TraceWorkload, record_trace
+
+__all__ = [
+    "SimulationEngine",
+    "run_simulation",
+    "default_predictor",
+    "Trace",
+    "TraceWorkload",
+    "record_trace",
+]

@@ -1,0 +1,217 @@
+"""Trace generation and replay (§7.1's Trace Generator).
+
+A :class:`Trace` captures, for every configuration in an experiment's
+set, the full per-epoch ``(duration, metric)`` stream.  Replaying one
+through :class:`TraceWorkload` makes experiments *exactly* repeatable
+across policies — every policy sees byte-identical learning curves —
+which is what the configuration-order sensitivity study (§7.2.2, Fig
+12c) requires: the Trace Generator "can create traces by changing the
+configuration orders".
+
+Traces serialise to JSON so live-system recordings can be archived and
+re-simulated later.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..workloads.base import DomainSpec, EpochResult, TrainingRun, Workload
+from ..generators.space import SearchSpace
+
+__all__ = ["Trace", "TraceWorkload", "record_trace"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A replayable workload recording.
+
+    Attributes:
+        configs: configuration dicts in experiment order.
+        streams: per-configuration epoch streams; ``streams[i]`` is a
+            list of ``(duration_seconds, metric)`` pairs covering every
+            epoch up to the domain's maximum.
+        domain: the domain spec the trace was recorded under.
+    """
+
+    configs: Tuple[Dict[str, Any], ...]
+    streams: Tuple[Tuple[Tuple[float, float], ...], ...]
+    domain: DomainSpec
+
+    def __post_init__(self) -> None:
+        if len(self.configs) != len(self.streams):
+            raise ValueError("one stream per configuration required")
+        for i, stream in enumerate(self.streams):
+            if len(stream) != self.domain.max_epochs:
+                raise ValueError(
+                    f"stream {i} has {len(stream)} epochs, expected "
+                    f"{self.domain.max_epochs}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def reorder(self, permutation: Sequence[int]) -> "Trace":
+        """A new trace with configurations (and streams) permuted."""
+        perm = list(permutation)
+        if sorted(perm) != list(range(len(self))):
+            raise ValueError("permutation must be a rearrangement of all indices")
+        return Trace(
+            configs=tuple(self.configs[i] for i in perm),
+            streams=tuple(self.streams[i] for i in perm),
+            domain=self.domain,
+        )
+
+    def shuffled(self, seed: int) -> "Trace":
+        """A new trace with a seeded random configuration order."""
+        rng = np.random.default_rng(seed)
+        return self.reorder(rng.permutation(len(self)).tolist())
+
+    def final_metrics(self) -> List[float]:
+        """Final-epoch metric of every configuration (Fig 2a data)."""
+        return [stream[-1][1] for stream in self.streams]
+
+    # -------------------------------------------------------- persistence
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialise the trace as JSON."""
+        payload = {
+            "domain": {
+                "kind": self.domain.kind,
+                "metric_name": self.domain.metric_name,
+                "target": self.domain.target,
+                "kill_threshold": self.domain.kill_threshold,
+                "random_performance": self.domain.random_performance,
+                "max_epochs": self.domain.max_epochs,
+                "eval_boundary": self.domain.eval_boundary,
+                "r_min": self.domain.r_min,
+                "r_max": self.domain.r_max,
+            },
+            "configs": list(self.configs),
+            "streams": [
+                [[d, m] for d, m in stream] for stream in self.streams
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Load a trace saved by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        domain = DomainSpec(**payload["domain"])
+        return cls(
+            configs=tuple(payload["configs"]),
+            streams=tuple(
+                tuple((float(d), float(m)) for d, m in stream)
+                for stream in payload["streams"]
+            ),
+            domain=domain,
+        )
+
+
+def record_trace(
+    workload: Workload,
+    configs: Sequence[Dict[str, Any]],
+    seed: int = 0,
+) -> Trace:
+    """Record a full trace by training every configuration to its
+    epoch budget offline (the §7.1 trace-collection step, with the
+    simulator's workload standing in for the live cluster)."""
+    streams: List[Tuple[Tuple[float, float], ...]] = []
+    for config in configs:
+        run = workload.create_run(config, seed=seed)
+        stream = []
+        while not run.finished:
+            result = run.step()
+            stream.append((result.duration, result.metric))
+        streams.append(tuple(stream))
+    return Trace(
+        configs=tuple(dict(c) for c in configs),
+        streams=tuple(streams),
+        domain=workload.domain,
+    )
+
+
+class _TraceRun(TrainingRun):
+    """Replays one configuration's recorded stream."""
+
+    def __init__(
+        self, config: Dict[str, Any], stream: Sequence[Tuple[float, float]]
+    ) -> None:
+        self._config = dict(config)
+        self._stream = list(stream)
+        self._epoch = 0
+
+    @property
+    def config(self) -> Dict[str, Any]:
+        return dict(self._config)
+
+    @property
+    def epochs_completed(self) -> int:
+        return self._epoch
+
+    @property
+    def finished(self) -> bool:
+        return self._epoch >= len(self._stream)
+
+    def step(self) -> EpochResult:
+        if self.finished:
+            raise RuntimeError("trace replay already finished")
+        duration, metric = self._stream[self._epoch]
+        self._epoch += 1
+        return EpochResult(
+            epoch=self._epoch,
+            duration=duration,
+            metric=metric,
+            done=self.finished,
+        )
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"epoch": self._epoch}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        epoch = int(state["epoch"])
+        if not 0 <= epoch <= len(self._stream):
+            raise ValueError(f"snapshot epoch {epoch} out of range")
+        self._epoch = epoch
+
+
+class TraceWorkload(Workload):
+    """A :class:`Workload` that replays a recorded :class:`Trace`.
+
+    Configurations are matched by dict equality against the trace's
+    configuration list, so ``run_simulation(..., configs=trace.configs)``
+    replays the exact experiment.
+    """
+
+    def __init__(self, trace: Trace, space: Optional[SearchSpace] = None) -> None:
+        self._trace = trace
+        self._space = space
+
+    @property
+    def trace(self) -> Trace:
+        return self._trace
+
+    @property
+    def space(self) -> SearchSpace:
+        if self._space is None:
+            raise RuntimeError(
+                "trace workloads replay fixed configs; no search space "
+                "was attached"
+            )
+        return self._space
+
+    @property
+    def domain(self) -> DomainSpec:
+        return self._trace.domain
+
+    def create_run(self, config: Dict[str, Any], seed: int = 0) -> _TraceRun:
+        for i, candidate in enumerate(self._trace.configs):
+            if candidate == config:
+                return _TraceRun(config, self._trace.streams[i])
+        raise KeyError("configuration not present in the trace")

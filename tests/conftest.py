@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite.
+
+The fixtures keep experiment-level tests fast: small configuration
+pools, a cheap predictor, and cached workloads (the calibration step
+samples the search space once per workload construction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves.predictor import LeastSquaresCurvePredictor
+from repro.workloads.cifar10 import Cifar10Workload
+from repro.workloads.lunarlander import LunarLanderWorkload
+from repro.workloads.mlp import MLPWorkload
+from repro.workloads.datasets import make_blobs
+
+
+@pytest.fixture(scope="session")
+def cifar10_workload() -> Cifar10Workload:
+    return Cifar10Workload()
+
+
+@pytest.fixture(scope="session")
+def lunarlander_workload() -> LunarLanderWorkload:
+    return LunarLanderWorkload()
+
+
+@pytest.fixture(scope="session")
+def mlp_workload() -> MLPWorkload:
+    return MLPWorkload(
+        dataset=make_blobs(n_samples=400, n_features=8, n_classes=4, seed=3),
+        max_epochs=15,
+        target=0.9,
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_predictor() -> LeastSquaresCurvePredictor:
+    """A cheap LS predictor for experiment-level tests."""
+    return LeastSquaresCurvePredictor(
+        n_sample_curves=40,
+        restarts=1,
+        model_names=("pow3", "weibull", "mmf", "ilog2"),
+        max_nfev=40,
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,122 @@
+"""Tests for dynamic promising/opportunistic slot allocation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import (
+    SlotAllocation,
+    compute_slot_allocation,
+    slot_curves,
+)
+
+
+def test_no_confidences_means_all_exploration():
+    alloc = compute_slot_allocation([], total_slots=8)
+    assert alloc.promising_slots == 0
+    assert alloc.threshold == 1.0
+    assert alloc.num_promising == 0
+
+
+def test_none_entries_ignored():
+    alloc = compute_slot_allocation([None, None], total_slots=4)
+    assert alloc.promising_slots == 0
+
+
+def test_single_confident_config():
+    alloc = compute_slot_allocation([0.9], total_slots=4)
+    # desired(0.9)=1, deserved(0.9)=3.6 -> effective = 1
+    assert alloc.threshold == pytest.approx(0.9)
+    assert alloc.promising_slots == 1
+    assert alloc.num_promising == 1
+
+
+def test_crossing_point_selection():
+    # p values: many mediocre, few strong.
+    confidences = [0.1, 0.1, 0.2, 0.2, 0.6, 0.8]
+    alloc = compute_slot_allocation(confidences, total_slots=4)
+    # at 0.6: desired=2, deserved=2.4 -> eff 2.0
+    # at 0.8: desired=1, deserved=3.2 -> eff 1.0
+    # at 0.2: desired=4, deserved=0.8 -> eff 0.8
+    assert alloc.threshold == pytest.approx(0.6)
+    assert alloc.promising_slots == 2
+    assert alloc.num_promising == 2
+
+
+def test_tie_prefers_higher_threshold():
+    # Both thresholds give effective 1.0 -> pick the more confident.
+    confidences = [0.5, 1.0]
+    alloc = compute_slot_allocation(confidences, total_slots=2)
+    # at 0.5: desired=2, deserved=1.0 -> eff 1.0
+    # at 1.0: desired=1, deserved=2.0 -> eff 1.0  (tie -> prefer 1.0)
+    assert alloc.threshold == pytest.approx(1.0)
+    assert alloc.promising_slots == 1
+
+
+def test_slots_per_config_scales_desired():
+    confidences = [0.9, 0.9]
+    one = compute_slot_allocation(confidences, total_slots=8, slots_per_config=1)
+    two = compute_slot_allocation(confidences, total_slots=8, slots_per_config=2)
+    assert two.effective_slots >= one.effective_slots
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="total_slots"):
+        compute_slot_allocation([0.5], total_slots=0)
+    with pytest.raises(ValueError, match="slots_per_config"):
+        compute_slot_allocation([0.5], total_slots=2, slots_per_config=0)
+    with pytest.raises(ValueError, match="lie in"):
+        compute_slot_allocation([1.5], total_slots=2)
+
+
+def test_slot_curves_shapes_and_monotonicity():
+    confidences = [0.1, 0.3, 0.5, 0.9]
+    p_grid, desired, deserved = slot_curves(confidences, total_slots=10)
+    assert p_grid.shape == desired.shape == deserved.shape
+    # S_desired non-increasing in p; S_deserved non-decreasing (§3.2).
+    assert np.all(np.diff(desired) <= 0)
+    assert np.all(np.diff(deserved) >= 0)
+    assert desired[0] == 4  # everyone satisfies p=0
+    assert deserved[-1] == 10
+
+
+def test_slot_curves_validation():
+    with pytest.raises(ValueError, match="grid points"):
+        slot_curves([0.5], total_slots=2, grid_points=1)
+
+
+@given(
+    confidences=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=40
+    ),
+    total_slots=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=100, deadline=None)
+def test_allocation_invariants(confidences, total_slots):
+    """Properties from §3.2 that must hold for any confidence set."""
+    alloc = compute_slot_allocation(confidences, total_slots=total_slots)
+    assert 0 <= alloc.promising_slots <= total_slots
+    assert 0.0 <= alloc.threshold <= 1.0
+    assert alloc.promising_slots <= alloc.effective_slots + 1e-9
+    # Effective slots can never exceed either bound at the threshold.
+    n_satisfying = sum(1 for p in confidences if p >= alloc.threshold)
+    assert alloc.effective_slots <= n_satisfying + 1e-9
+    assert alloc.effective_slots <= total_slots * alloc.threshold + 1e-9
+
+
+@given(
+    confidences=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30
+    ),
+    total_slots=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=60, deadline=None)
+def test_chosen_threshold_maximises_effective(confidences, total_slots):
+    alloc = compute_slot_allocation(confidences, total_slots=total_slots)
+    for p in confidences:
+        desired = sum(1 for c in confidences if c >= p)
+        effective = min(float(desired), total_slots * p)
+        assert effective <= alloc.effective_slots + 1e-9

@@ -1,0 +1,163 @@
+"""Tests for Promising/Opportunistic/Poor classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classification import (
+    CONFIDENCE_LOWER_BOUND,
+    Category,
+    classify,
+    is_poor_by_domain,
+)
+from repro.workloads.base import DomainSpec
+
+
+SL_DOMAIN = DomainSpec(
+    kind="supervised",
+    metric_name="validation_accuracy",
+    target=0.77,
+    kill_threshold=0.15,
+    random_performance=0.10,
+    max_epochs=120,
+    eval_boundary=10,
+)
+
+RL_DOMAIN = DomainSpec(
+    kind="reinforcement",
+    metric_name="reward",
+    target=200.0,
+    kill_threshold=-100.0,
+    random_performance=-200.0,
+    max_epochs=200,
+    eval_boundary=20,
+    r_min=-500.0,
+    r_max=300.0,
+)
+
+
+def _flat(level, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return list(level + 0.003 * rng.standard_normal(n))
+
+
+def _rising(start, stop, n):
+    return list(np.linspace(start, stop, n))
+
+
+# ------------------------------------------------------ is_poor_by_domain
+
+
+def test_short_history_never_poor():
+    assert not is_poor_by_domain(_flat(0.1, 3), SL_DOMAIN, grace_epochs=20)
+
+
+def test_flat_non_learner_killed_at_flat_check():
+    metrics = _flat(0.10, 10)
+    assert is_poor_by_domain(metrics, SL_DOMAIN, grace_epochs=20)
+
+
+def test_rising_slow_learner_survives_flat_check():
+    # Below the kill threshold but clearly trending up.
+    metrics = _rising(0.10, 0.145, 12)
+    assert not is_poor_by_domain(metrics, SL_DOMAIN, grace_epochs=20)
+
+
+def test_slow_learner_killed_after_full_grace():
+    metrics = _rising(0.10, 0.145, 20)
+    assert is_poor_by_domain(metrics, SL_DOMAIN, grace_epochs=20)
+
+
+def test_escaped_threshold_never_poor():
+    metrics = _rising(0.10, 0.30, 25)
+    assert not is_poor_by_domain(metrics, SL_DOMAIN, grace_epochs=20)
+
+
+def test_past_peak_uses_best_so_far():
+    # Touched 0.2 once -> escaped for good, even if it collapses after.
+    metrics = _rising(0.10, 0.20, 10) + _flat(0.08, 15, seed=1)
+    assert not is_poor_by_domain(metrics, SL_DOMAIN, grace_epochs=20)
+
+
+def test_rl_crashed_job_poor():
+    metrics = _flat(-150.0, 40, seed=2)
+    assert is_poor_by_domain(metrics, RL_DOMAIN, grace_epochs=40)
+
+
+def test_rl_rising_learner_not_poor():
+    metrics = _rising(-200.0, -110.0, 30)
+    assert not is_poor_by_domain(metrics, RL_DOMAIN, grace_epochs=40)
+
+
+def test_grace_epochs_validation():
+    with pytest.raises(ValueError, match="grace_epochs"):
+        is_poor_by_domain([0.1], SL_DOMAIN, grace_epochs=0)
+
+
+def test_custom_flat_check_epochs():
+    metrics = _flat(0.10, 5)
+    assert is_poor_by_domain(
+        metrics, SL_DOMAIN, grace_epochs=20, flat_check_epochs=5
+    )
+    assert not is_poor_by_domain(
+        metrics, SL_DOMAIN, grace_epochs=20, flat_check_epochs=6
+    )
+
+
+# ---------------------------------------------------------------- classify
+
+
+def test_classify_poor_by_domain_precedes_confidence():
+    metrics = _flat(0.10, 25)
+    assert (
+        classify(0.99, 0.5, metrics, SL_DOMAIN, grace_epochs=20)
+        is Category.POOR
+    )
+
+
+def test_classify_unpredicted_is_opportunistic():
+    metrics = _rising(0.1, 0.4, 8)
+    assert (
+        classify(None, 0.5, metrics, SL_DOMAIN, grace_epochs=20)
+        is Category.OPPORTUNISTIC
+    )
+
+
+def test_classify_low_confidence_is_poor():
+    metrics = _rising(0.1, 0.4, 15)
+    assert (
+        classify(0.01, 0.5, metrics, SL_DOMAIN, grace_epochs=20)
+        is Category.POOR
+    )
+
+
+def test_classify_confidence_at_threshold_is_promising():
+    metrics = _rising(0.1, 0.5, 15)
+    assert (
+        classify(0.5, 0.5, metrics, SL_DOMAIN, grace_epochs=20)
+        is Category.PROMISING
+    )
+
+
+def test_classify_between_bound_and_threshold_is_opportunistic():
+    metrics = _rising(0.1, 0.5, 15)
+    assert (
+        classify(0.3, 0.5, metrics, SL_DOMAIN, grace_epochs=20)
+        is Category.OPPORTUNISTIC
+    )
+
+
+def test_classify_custom_lower_bound():
+    metrics = _rising(0.1, 0.5, 15)
+    assert (
+        classify(
+            0.3, 0.5, metrics, SL_DOMAIN, grace_epochs=20,
+            confidence_lower_bound=0.4,
+        )
+        is Category.POOR
+    )
+
+
+def test_default_lower_bound_is_paper_value():
+    assert CONFIDENCE_LOWER_BOUND == 0.05

@@ -1,0 +1,120 @@
+"""Tests for expected-remaining-time estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ert import ERTEstimate, estimate_remaining_time
+from repro.curves.predictor import CurvePrediction
+
+
+def _prediction(samples, first_epoch=11, observed=(0.1, 0.2)):
+    samples = np.asarray(samples, dtype=float)
+    horizon = np.arange(first_epoch, first_epoch + samples.shape[1])
+    return CurvePrediction(
+        observed=np.asarray(observed), horizon=horizon, samples=samples
+    )
+
+
+def test_certain_achievement_next_epoch():
+    # Every sample reaches 0.8 at the first future epoch.
+    pred = _prediction([[0.85, 0.9], [0.82, 0.88]])
+    est = estimate_remaining_time(pred, 0.8, epoch_duration=60.0, time_remaining=1e6)
+    assert est.confidence == pytest.approx(1.0)
+    assert est.expected_remaining_epochs == pytest.approx(1.0)
+    assert est.expected_remaining_seconds == pytest.approx(60.0)
+
+
+def test_pmf_spread_over_two_epochs():
+    # Half the samples reach at epoch 1, the other half at epoch 2.
+    pred = _prediction([[0.85, 0.9], [0.5, 0.85]])
+    est = estimate_remaining_time(pred, 0.8, epoch_duration=10.0, time_remaining=1e6)
+    assert est.confidence == pytest.approx(1.0)
+    assert est.expected_remaining_epochs == pytest.approx(1.5)
+    assert est.expected_remaining_seconds == pytest.approx(15.0)
+
+
+def test_partial_confidence():
+    pred = _prediction([[0.85], [0.5], [0.4], [0.81]])
+    est = estimate_remaining_time(pred, 0.8, epoch_duration=10.0, time_remaining=1e6)
+    assert est.confidence == pytest.approx(0.5)
+
+
+def test_zero_confidence_sets_ert_to_remaining_time():
+    pred = _prediction([[0.3, 0.35], [0.2, 0.25]])
+    est = estimate_remaining_time(pred, 0.8, epoch_duration=10.0, time_remaining=500.0)
+    assert est.confidence == 0.0
+    assert est.expected_remaining_seconds == pytest.approx(500.0)
+
+
+def test_horizon_limited_by_time_remaining():
+    # 10 future epochs predicted but only 3 epochs of time left.
+    samples = np.tile(np.linspace(0.5, 0.95, 10), (4, 1))
+    pred = _prediction(samples)
+    est = estimate_remaining_time(pred, 0.9, epoch_duration=10.0, time_remaining=35.0)
+    assert est.horizon_epochs == 3
+    # target 0.9 is reached only at epochs beyond the horizon
+    assert est.confidence == 0.0
+
+
+def test_no_time_remaining():
+    pred = _prediction([[0.9]])
+    est = estimate_remaining_time(pred, 0.8, epoch_duration=10.0, time_remaining=0.0)
+    assert est.confidence == 0.0
+    assert est.expected_remaining_seconds == 0.0
+    assert est.horizon_epochs == 0
+
+
+def test_sub_epoch_time_remaining():
+    pred = _prediction([[0.9]])
+    est = estimate_remaining_time(pred, 0.8, epoch_duration=10.0, time_remaining=5.0)
+    assert est.horizon_epochs == 0
+    assert est.confidence == 0.0
+    assert est.expected_remaining_seconds == pytest.approx(5.0)
+
+
+def test_invalid_epoch_duration():
+    pred = _prediction([[0.9]])
+    with pytest.raises(ValueError, match="epoch_duration"):
+        estimate_remaining_time(pred, 0.8, epoch_duration=0.0, time_remaining=10.0)
+
+
+def test_ert_capped_at_time_remaining():
+    # Achievement only at the last of many epochs -> large raw ERT.
+    n = 50
+    samples = np.zeros((2, n))
+    samples[:, -1] = 0.95
+    pred = _prediction(samples)
+    est = estimate_remaining_time(
+        pred, 0.9, epoch_duration=10.0, time_remaining=200.0
+    )
+    assert est.expected_remaining_seconds <= 200.0
+
+
+def test_observed_best_counts_as_achieved():
+    """A job that already touched the target has confidence ~1."""
+    pred = _prediction([[0.5], [0.4]], observed=(0.1, 0.85))
+    est = estimate_remaining_time(pred, 0.8, epoch_duration=10.0, time_remaining=100.0)
+    assert est.confidence == pytest.approx(1.0)
+    assert est.expected_remaining_epochs == pytest.approx(1.0)
+
+
+@given(
+    target=st.floats(min_value=0.05, max_value=0.99),
+    epoch_duration=st.floats(min_value=1.0, max_value=500.0),
+    time_remaining=st.floats(min_value=1.0, max_value=1e6),
+    seed=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=60, deadline=None)
+def test_estimate_invariants(target, epoch_duration, time_remaining, seed):
+    """Property: 0 <= p <= 1 and 0 <= ERT <= time_remaining always."""
+    rng = np.random.default_rng(seed)
+    samples = np.clip(rng.random((8, 12)).cumsum(axis=1) / 6.0, 0, 1)
+    pred = _prediction(samples)
+    est = estimate_remaining_time(pred, target, epoch_duration, time_remaining)
+    assert 0.0 <= est.confidence <= 1.0
+    assert 0.0 <= est.expected_remaining_seconds <= time_remaining + 1e-9
+    assert est.expected_remaining_epochs >= 0.0

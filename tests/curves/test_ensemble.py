@@ -1,0 +1,123 @@
+"""Tests for the weighted curve ensemble and its posterior."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves.ensemble import CurveEnsemble
+from repro.curves.models import get_model
+
+
+@pytest.fixture()
+def small_ensemble() -> CurveEnsemble:
+    return CurveEnsemble([get_model("pow3"), get_model("weibull")])
+
+
+def _target_curve(n: int) -> np.ndarray:
+    model = get_model("weibull")
+    return model(np.arange(1, n + 1, dtype=float), [0.75, 0.1, 0.1, 1.3])
+
+
+def test_dim_accounting(small_ensemble):
+    # pow3 has 3 params, weibull 4, + 2 raw weights + log sigma.
+    assert small_ensemble.dim == 3 + 4 + 2 + 1
+
+
+def test_pack_unpack_roundtrip(small_ensemble):
+    thetas = {"pow3": [0.7, 0.4, 0.6], "weibull": [0.8, 0.1, 0.1, 1.0]}
+    vec = small_ensemble.pack(thetas, weights=[0.3, 0.7], sigma=0.05)
+    out_thetas, out_weights, out_sigma = small_ensemble.unpack(vec)
+    np.testing.assert_allclose(out_thetas["pow3"], thetas["pow3"])
+    np.testing.assert_allclose(out_thetas["weibull"], thetas["weibull"])
+    np.testing.assert_allclose(out_weights, [0.3, 0.7], atol=1e-9)
+    assert out_sigma == pytest.approx(0.05)
+
+
+def test_pack_validates_weight_count(small_ensemble):
+    thetas = {"pow3": [0.7, 0.4, 0.6], "weibull": [0.8, 0.1, 0.1, 1.0]}
+    with pytest.raises(ValueError, match="one weight per model"):
+        small_ensemble.pack(thetas, weights=[1.0], sigma=0.05)
+
+
+def test_pack_validates_theta_length(small_ensemble):
+    thetas = {"pow3": [0.7, 0.4], "weibull": [0.8, 0.1, 0.1, 1.0]}
+    with pytest.raises(ValueError, match="expected 3 params"):
+        small_ensemble.pack(thetas, weights=[0.5, 0.5], sigma=0.05)
+
+
+def test_weights_softmax_normalised(small_ensemble):
+    vec = np.zeros(small_ensemble.dim)
+    weights = small_ensemble.weights(vec)
+    np.testing.assert_allclose(weights, [0.5, 0.5])
+    assert weights.sum() == pytest.approx(1.0)
+
+
+def test_prior_rejects_out_of_bounds_theta(small_ensemble):
+    thetas = {"pow3": [0.7, 0.4, 0.6], "weibull": [0.8, 0.1, 0.1, 1.0]}
+    vec = small_ensemble.pack(thetas, weights=[0.5, 0.5], sigma=0.05)
+    vec[0] = 99.0  # pow3 'c' far above its upper bound
+    assert small_ensemble.log_prior(vec) == -np.inf
+
+
+def test_prior_rejects_extreme_sigma(small_ensemble):
+    thetas = {"pow3": [0.7, 0.4, 0.6], "weibull": [0.8, 0.1, 0.1, 1.0]}
+    vec = small_ensemble.pack(thetas, weights=[0.5, 0.5], sigma=0.05)
+    vec[-1] = np.log(10.0)
+    assert small_ensemble.log_prior(vec) == -np.inf
+
+
+def test_likelihood_prefers_matching_sigma(small_ensemble):
+    y = _target_curve(30)
+    center = small_ensemble.initial_vector(y)
+    ll_good = small_ensemble.log_likelihood(center, y)
+    bad = center.copy()
+    bad[-1] = np.log(0.4)
+    ll_bad = small_ensemble.log_likelihood(bad, y)
+    assert ll_good > ll_bad
+
+
+def test_posterior_finite_at_initial_vector(small_ensemble):
+    y = _target_curve(20)
+    vec = small_ensemble.initial_vector(y)
+    assert np.isfinite(small_ensemble.log_posterior(vec, y))
+
+
+def test_initial_vector_weights_favour_better_family():
+    ensemble = CurveEnsemble([get_model("ilog2"), get_model("weibull")])
+    y = _target_curve(40)
+    vec = ensemble.initial_vector(y)
+    weights = ensemble.weights(vec)
+    # weibull generated the data; it should dominate ilog2.
+    assert weights[1] > weights[0]
+
+
+def test_predict_is_weighted_combination(small_ensemble):
+    thetas = {"pow3": [0.7, 0.4, 0.6], "weibull": [0.8, 0.1, 0.1, 1.0]}
+    x = np.arange(1, 10, dtype=float)
+    vec = small_ensemble.pack(thetas, weights=[1.0, 1e-8], sigma=0.05)
+    nearly_pow3 = small_ensemble.predict(x, vec)
+    np.testing.assert_allclose(
+        nearly_pow3, get_model("pow3")(x, thetas["pow3"]), atol=1e-4
+    )
+
+
+def test_scatter_around_keeps_walkers_feasible(small_ensemble):
+    rng = np.random.default_rng(0)
+    y = _target_curve(15)
+    center = small_ensemble.initial_vector(y, rng=rng)
+    walkers = small_ensemble.scatter_around(center, 24, rng)
+    assert walkers.shape == (24, small_ensemble.dim)
+    for walker in walkers:
+        assert np.isfinite(small_ensemble.log_prior(walker))
+
+
+def test_empty_ensemble_rejected():
+    with pytest.raises(ValueError, match="at least one"):
+        CurveEnsemble([])
+
+
+def test_pack_rejects_nonpositive_sigma(small_ensemble):
+    thetas = {"pow3": [0.7, 0.4, 0.6], "weibull": [0.8, 0.1, 0.1, 1.0]}
+    with pytest.raises(ValueError, match="sigma must be positive"):
+        small_ensemble.pack(thetas, weights=[0.5, 0.5], sigma=0.0)

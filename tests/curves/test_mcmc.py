@@ -1,0 +1,100 @@
+"""Tests for the affine-invariant ensemble sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves.mcmc import EnsembleSampler, SamplerResult
+
+
+def _gaussian_logpdf(mean, cov_inv):
+    def log_prob(x):
+        d = x - mean
+        return float(-0.5 * d @ cov_inv @ d)
+
+    return log_prob
+
+
+def test_constructor_validation():
+    fn = lambda x: -0.5 * float(x @ x)
+    with pytest.raises(ValueError, match="even"):
+        EnsembleSampler(3, 2, fn)
+    with pytest.raises(ValueError, match="even"):
+        EnsembleSampler(0, 2, fn)
+    with pytest.raises(ValueError, match="dim"):
+        EnsembleSampler(4, 0, fn)
+    with pytest.raises(ValueError, match="stretch"):
+        EnsembleSampler(4, 2, fn, stretch=1.0)
+
+
+def test_initial_shape_validation():
+    sampler = EnsembleSampler(8, 2, lambda x: -0.5 * float(x @ x))
+    with pytest.raises(ValueError, match="shape"):
+        sampler.run(np.zeros((4, 2)), 10)
+
+
+def test_non_finite_initial_rejected():
+    def log_prob(x):
+        return -np.inf if x[0] > 0 else -0.5 * float(x @ x)
+
+    sampler = EnsembleSampler(4, 1, log_prob)
+    initial = np.array([[1.0], [-1.0], [-2.0], [-0.5]])
+    with pytest.raises(ValueError, match="non-finite"):
+        sampler.run(initial, 5)
+
+
+def test_recovers_1d_gaussian_moments():
+    rng = np.random.default_rng(0)
+    sampler = EnsembleSampler(20, 1, lambda x: -0.5 * float((x[0] - 3.0) ** 2 / 4.0))
+    initial = 3.0 + 0.1 * rng.standard_normal((20, 1))
+    result = sampler.run(initial, 600, rng=rng)
+    flat = result.flat(burn=200)
+    assert abs(flat.mean() - 3.0) < 0.15
+    assert abs(flat.std() - 2.0) < 0.3
+
+
+def test_recovers_correlated_2d_gaussian():
+    rng = np.random.default_rng(1)
+    cov = np.array([[1.0, 0.8], [0.8, 1.0]])
+    cov_inv = np.linalg.inv(cov)
+    sampler = EnsembleSampler(30, 2, _gaussian_logpdf(np.zeros(2), cov_inv))
+    initial = 0.05 * rng.standard_normal((30, 2))
+    result = sampler.run(initial, 800, rng=rng)
+    flat = result.flat(burn=300, thin=2)
+    sample_cov = np.cov(flat.T)
+    np.testing.assert_allclose(sample_cov, cov, atol=0.25)
+
+
+def test_acceptance_rate_reasonable():
+    rng = np.random.default_rng(2)
+    sampler = EnsembleSampler(16, 2, lambda x: -0.5 * float(x @ x))
+    initial = 0.1 * rng.standard_normal((16, 2))
+    result = sampler.run(initial, 200, rng=rng)
+    assert 0.2 < result.acceptance_rate < 0.95
+
+
+def test_chain_shapes():
+    rng = np.random.default_rng(3)
+    sampler = EnsembleSampler(8, 3, lambda x: -0.5 * float(x @ x))
+    result = sampler.run(0.1 * rng.standard_normal((8, 3)), 50, rng=rng)
+    assert result.chain.shape == (50, 8, 3)
+    assert result.log_probs.shape == (50, 8)
+    assert result.flat(burn=10).shape == (40 * 8, 3)
+
+
+def test_flat_rejects_full_burn():
+    result = SamplerResult(
+        chain=np.zeros((10, 4, 2)), log_probs=np.zeros((10, 4)), acceptance_rate=0.5
+    )
+    with pytest.raises(ValueError, match="discards the whole chain"):
+        result.flat(burn=10)
+
+
+def test_deterministic_given_rng_seed():
+    def run_once():
+        rng = np.random.default_rng(42)
+        sampler = EnsembleSampler(8, 1, lambda x: -0.5 * float(x @ x))
+        return sampler.run(0.1 * rng.standard_normal((8, 1)), 30, rng=rng).chain
+
+    np.testing.assert_array_equal(run_once(), run_once())

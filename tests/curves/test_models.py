@@ -1,0 +1,128 @@
+"""Tests for the parametric curve families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves.models import CURVE_MODELS, CurveModel, get_model, model_names
+
+EXPECTED_FAMILIES = {
+    "vapor_pressure",
+    "pow3",
+    "log_log_linear",
+    "hill3",
+    "log_power",
+    "pow4",
+    "mmf",
+    "exp4",
+    "janoschek",
+    "weibull",
+    "ilog2",
+}
+
+
+def test_registry_contains_the_eleven_families():
+    assert set(model_names()) == EXPECTED_FAMILIES
+    assert len(CURVE_MODELS) == 11
+
+
+def test_get_model_unknown_name_raises():
+    with pytest.raises(KeyError, match="unknown curve model"):
+        get_model("nope")
+
+
+def test_get_model_returns_registered_instance():
+    assert get_model("weibull") is CURVE_MODELS["weibull"]
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_FAMILIES))
+def test_default_parameters_within_bounds(name):
+    model = get_model(name)
+    assert model.in_bounds(model.default)
+    assert len(model.lower) == model.num_params
+    assert len(model.upper) == model.num_params
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_FAMILIES))
+def test_evaluation_is_finite_at_defaults(name):
+    model = get_model(name)
+    x = np.arange(1, 200, dtype=float)
+    y = model(x, model.default)
+    assert y.shape == x.shape
+    assert np.all(np.isfinite(y))
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_FAMILIES))
+def test_evaluation_finite_at_bound_corners(name):
+    model = get_model(name)
+    x = np.arange(1, 50, dtype=float)
+    for theta in (model.lower, model.upper):
+        y = model(x, theta)
+        assert np.all(np.isfinite(y)), f"{name} non-finite at bounds"
+
+
+def test_wrong_parameter_count_raises():
+    model = get_model("pow3")
+    with pytest.raises(ValueError, match="expects 3 parameters"):
+        model(np.arange(1, 5), [0.5, 0.5])
+
+
+def test_scalar_epoch_evaluation():
+    model = get_model("weibull")
+    value = model(10.0, model.default)
+    assert np.isscalar(value) or value.shape == ()
+
+
+def test_batched_theta_evaluation_matches_loop():
+    x = np.arange(1, 60, dtype=float)
+    rng = np.random.default_rng(1)
+    for model in CURVE_MODELS.values():
+        thetas = np.clip(
+            np.asarray(model.default)
+            + 0.05 * rng.standard_normal((6, model.num_params)),
+            model.lower,
+            model.upper,
+        )
+        batched = model(x, thetas[:, None, :])
+        looped = np.stack([model(x, t) for t in thetas])
+        np.testing.assert_allclose(batched, looped, atol=1e-12)
+
+
+@pytest.mark.parametrize(
+    "name", ["pow3", "mmf", "janoschek", "weibull", "hill3", "ilog2"]
+)
+def test_saturating_families_increase_at_defaults(name):
+    """The growth families should be non-decreasing for their default
+    (growth-shaped) parameters."""
+    model = get_model(name)
+    x = np.arange(1, 150, dtype=float)
+    y = model(x, model.default)
+    diffs = np.diff(y)
+    assert np.all(diffs >= -1e-9), f"{name} not monotone at defaults"
+
+
+def test_clip_to_bounds():
+    model = get_model("pow3")
+    clipped = model.clip_to_bounds([99.0, -5.0, 2.0])
+    assert model.in_bounds(clipped)
+    assert clipped[0] == model.upper[0]
+    assert clipped[1] == model.lower[1]
+
+
+@given(
+    theta_scale=st.floats(min_value=0.0, max_value=1.0),
+    x_max=st.integers(min_value=2, max_value=500),
+)
+@settings(max_examples=30, deadline=None)
+def test_all_models_finite_for_any_in_bounds_theta(theta_scale, x_max):
+    """Property: any in-bounds parameter vector yields finite output."""
+    x = np.arange(1, x_max + 1, dtype=float)
+    for model in CURVE_MODELS.values():
+        lower = np.asarray(model.lower)
+        upper = np.asarray(model.upper)
+        theta = lower + theta_scale * (upper - lower)
+        y = model(x, theta)
+        assert np.all(np.isfinite(y))

@@ -1,0 +1,71 @@
+"""Tests for the AppStat database."""
+
+from __future__ import annotations
+
+from repro.framework.appstat_db import AppStatDB
+from repro.framework.events import AppStat
+from repro.framework.snapshot import Snapshot
+
+
+def stat(job_id, epoch, metric=0.5):
+    return AppStat(
+        job_id=job_id,
+        epoch=epoch,
+        metric=metric,
+        duration=60.0,
+        timestamp=epoch * 60.0,
+        machine_id="machine-00",
+    )
+
+
+def snap(job_id, epoch=5):
+    return Snapshot(
+        job_id=job_id,
+        epoch=epoch,
+        state={"epoch": epoch},
+        size_bytes=1000.0,
+        latency=0.1,
+    )
+
+
+def test_record_and_query_stats():
+    db = AppStatDB()
+    db.record_stat(stat("j0", 1, 0.2))
+    db.record_stat(stat("j0", 2, 0.3))
+    db.record_stat(stat("j1", 1, 0.9))
+    assert db.metric_history("j0") == [0.2, 0.3]
+    assert db.metric_history("j1") == [0.9]
+    assert db.metric_history("unknown") == []
+    assert set(db.job_ids()) == {"j0", "j1"}
+    assert [s.epoch for s in db.stats_for("j0")] == [1, 2]
+
+
+def test_stats_for_returns_copy():
+    db = AppStatDB()
+    db.record_stat(stat("j0", 1))
+    stats = db.stats_for("j0")
+    stats.clear()
+    assert len(db.stats_for("j0")) == 1
+
+
+def test_snapshot_store_latest_wins():
+    db = AppStatDB()
+    db.save_snapshot(snap("j0", epoch=5))
+    db.save_snapshot(snap("j0", epoch=10))
+    loaded = db.load_snapshot("j0")
+    assert loaded is not None and loaded.epoch == 10
+    assert len(db.snapshot_log) == 2
+
+
+def test_drop_snapshot():
+    db = AppStatDB()
+    db.save_snapshot(snap("j0"))
+    db.drop_snapshot("j0")
+    assert db.load_snapshot("j0") is None
+    db.drop_snapshot("j0")  # idempotent
+    # the log retains history for overhead analysis
+    assert len(db.snapshot_log) == 1
+
+
+def test_load_missing_snapshot():
+    assert AppStatDB().load_snapshot("j0") is None

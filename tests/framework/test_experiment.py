@@ -1,0 +1,75 @@
+"""Tests for ExperimentSpec validation and result archival."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import standard_configs
+from repro.framework.experiment import ExperimentSpec
+from repro.policies.default import DefaultPolicy
+from repro.sim.runner import run_simulation
+
+
+def test_spec_defaults_are_paper_values():
+    spec = ExperimentSpec()
+    assert spec.num_machines == 4
+    assert spec.num_configs == 100
+    assert spec.overlap_prediction
+
+
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        ({"num_machines": 0}, "num_machines"),
+        ({"num_configs": 0}, "num_configs"),
+        ({"tmax": 0.0}, "tmax"),
+        ({"prediction_seconds": -1.0}, "prediction_seconds"),
+        ({"prediction_contention": 1.0}, "prediction_contention"),
+    ],
+)
+def test_spec_validation(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        ExperimentSpec(**kwargs)
+
+
+def test_result_to_dict_and_save(cifar10_workload, tmp_path):
+    configs = standard_configs(cifar10_workload, 4)
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=2, num_configs=4, seed=0, stop_on_target=False,
+        ),
+    )
+    record = result.to_dict()
+    assert record["policy"] == "default"
+    assert len(record["jobs"]) == 4
+    for job in record["jobs"]:
+        assert len(job["metrics"]) == len(job["durations"])
+        assert job["state"] == "completed"
+    assert record["spec"]["num_machines"] == 2
+
+    path = tmp_path / "result.json"
+    result.save_json(path)
+    loaded = json.loads(path.read_text())
+    assert loaded["epochs_trained"] == result.epochs_trained
+    assert loaded["jobs"][0]["job_id"] == record["jobs"][0]["job_id"]
+
+
+def test_job_training_times_property(cifar10_workload):
+    configs = standard_configs(cifar10_workload, 2)
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=2, num_configs=2, seed=0, tmax=3600.0,
+            stop_on_target=False,
+        ),
+    )
+    times = result.job_training_times
+    assert set(times) == {job.job_id for job in result.jobs}
+    assert all(v > 0 for v in times.values())

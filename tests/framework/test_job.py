@@ -1,0 +1,100 @@
+"""Tests for the Job state machine and history."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.framework.events import AppStat
+from repro.framework.job import IllegalTransitionError, Job, JobState
+
+
+def make_stat(job_id="j0", epoch=1, metric=0.5, duration=60.0):
+    return AppStat(
+        job_id=job_id,
+        epoch=epoch,
+        metric=metric,
+        duration=duration,
+        timestamp=epoch * 60.0,
+        machine_id="machine-00",
+    )
+
+
+@pytest.fixture()
+def job():
+    return Job(job_id="j0", config={"lr": 0.1})
+
+
+def test_initial_state(job):
+    assert job.state is JobState.PENDING
+    assert job.active
+    assert job.epochs_completed == 0
+    assert job.best_metric is None
+    assert job.latest_metric is None
+    assert job.mean_epoch_duration is None
+
+
+def test_legal_lifecycle(job):
+    job.transition(JobState.RUNNING)
+    job.transition(JobState.SUSPENDED)
+    job.transition(JobState.RUNNING)
+    job.transition(JobState.COMPLETED)
+    assert not job.active
+
+
+def test_terminate_from_any_live_state():
+    for path in ([], [JobState.RUNNING], [JobState.RUNNING, JobState.SUSPENDED]):
+        job = Job(job_id="j", config={})
+        for state in path:
+            job.transition(state)
+        job.transition(JobState.TERMINATED)
+        assert not job.active
+
+
+@pytest.mark.parametrize(
+    "terminal", [JobState.TERMINATED, JobState.COMPLETED]
+)
+def test_terminal_states_are_final(terminal):
+    job = Job(job_id="j", config={})
+    job.transition(JobState.RUNNING)
+    job.transition(terminal)
+    for target in JobState:
+        with pytest.raises(IllegalTransitionError):
+            job.transition(target)
+
+
+def test_illegal_transitions(job):
+    with pytest.raises(IllegalTransitionError):
+        job.transition(JobState.SUSPENDED)  # pending -> suspended
+    with pytest.raises(IllegalTransitionError):
+        job.transition(JobState.COMPLETED)  # pending -> completed
+
+
+def test_record_history(job):
+    job.record(make_stat(epoch=1, metric=0.2))
+    job.record(make_stat(epoch=2, metric=0.5, duration=30.0))
+    assert job.epochs_completed == 2
+    assert job.metrics == [0.2, 0.5]
+    assert job.best_metric == 0.5
+    assert job.latest_metric == 0.5
+    assert job.mean_epoch_duration == pytest.approx(45.0)
+    assert job.total_training_time == pytest.approx(90.0)
+
+
+def test_record_rejects_wrong_job(job):
+    with pytest.raises(ValueError, match="recorded on job"):
+        job.record(make_stat(job_id="other"))
+
+
+def test_record_rejects_non_monotonic_epochs(job):
+    job.record(make_stat(epoch=3))
+    with pytest.raises(ValueError, match="non-monotonic"):
+        job.record(make_stat(epoch=3))
+    with pytest.raises(ValueError, match="non-monotonic"):
+        job.record(make_stat(epoch=2))
+
+
+def test_best_metric_keeps_peak(job):
+    job.record(make_stat(epoch=1, metric=0.6))
+    job.record(make_stat(epoch=2, metric=0.3))
+    assert job.best_metric == 0.6
+    assert job.latest_metric == 0.3

@@ -1,0 +1,148 @@
+"""Tests for the Job Manager's queue and lifecycle API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.framework.job import Job, JobState
+from repro.framework.job_manager import JobManager
+
+
+def add(jm: JobManager, job_id: str) -> Job:
+    job = Job(job_id=job_id, config={})
+    jm.add_job(job)
+    return job
+
+
+@pytest.fixture()
+def jm():
+    return JobManager()
+
+
+def test_add_and_get(jm):
+    job = add(jm, "j0")
+    assert jm.get("j0") is job
+    with pytest.raises(KeyError, match="unknown job"):
+        jm.get("nope")
+
+
+def test_duplicate_rejected(jm):
+    add(jm, "j0")
+    with pytest.raises(ValueError, match="duplicate"):
+        add(jm, "j0")
+
+
+def test_add_requires_pending(jm):
+    job = Job(job_id="x", config={})
+    job.transition(JobState.RUNNING)
+    with pytest.raises(ValueError, match="PENDING"):
+        jm.add_job(job)
+
+
+def test_fifo_order_without_priorities(jm):
+    for i in range(3):
+        add(jm, f"j{i}")
+    assert jm.get_idle_job().job_id == "j0"
+    jm.start_job("j0", "m0")
+    assert jm.get_idle_job().job_id == "j1"
+
+
+def test_priority_orders_ahead_of_fifo(jm):
+    add(jm, "j0")
+    add(jm, "j1")
+    jm.label_job("j1", 0.8)
+    assert jm.get_idle_job().job_id == "j1"
+    # higher priority wins among labelled
+    add(jm, "j2")
+    jm.label_job("j2", 0.9)
+    assert jm.get_idle_job().job_id == "j2"
+
+
+def test_get_idle_job_is_non_destructive(jm):
+    add(jm, "j0")
+    assert jm.get_idle_job().job_id == "j0"
+    assert jm.get_idle_job().job_id == "j0"
+    assert jm.num_idle == 1
+
+
+def test_start_resume_suspend_cycle(jm):
+    job = add(jm, "j0")
+    jm.start_job("j0", "m0")
+    assert job.state is JobState.RUNNING
+    assert job.machine_id == "m0"
+    assert jm.num_idle == 0
+
+    jm.suspend_job("j0")
+    assert job.state is JobState.SUSPENDED
+    assert job.machine_id is None
+    assert jm.num_idle == 1
+
+    jm.resume_job("j0", "m1")
+    assert job.state is JobState.RUNNING
+    assert job.machine_id == "m1"
+
+
+def test_suspended_job_requeues_behind_fresh_fifo(jm):
+    add(jm, "j0")
+    add(jm, "j1")
+    jm.start_job("j0", "m0")
+    jm.suspend_job("j0")
+    # j1 was enqueued earlier, so FIFO puts it first now.
+    assert jm.get_idle_job().job_id == "j1"
+
+
+def test_start_requires_pending_state(jm):
+    add(jm, "j0")
+    jm.start_job("j0", "m0")
+    jm.suspend_job("j0")
+    with pytest.raises(ValueError, match="use resume_job"):
+        jm.start_job("j0", "m0")
+
+
+def test_resume_requires_suspended_state(jm):
+    add(jm, "j0")
+    with pytest.raises(ValueError, match="cannot be resumed"):
+        jm.resume_job("j0", "m0")
+
+
+def test_terminate_removes_from_queue(jm):
+    add(jm, "j0")
+    jm.terminate_job("j0")
+    assert jm.num_idle == 0
+    assert jm.get_idle_job() is None
+    assert not jm.get("j0").active
+
+
+def test_terminate_running_job(jm):
+    job = add(jm, "j0")
+    jm.start_job("j0", "m0")
+    jm.terminate_job("j0")
+    assert job.state is JobState.TERMINATED
+    assert job.machine_id is None
+
+
+def test_complete_job(jm):
+    job = add(jm, "j0")
+    jm.start_job("j0", "m0")
+    jm.complete_job("j0")
+    assert job.state is JobState.COMPLETED
+
+
+def test_active_and_running_listings(jm):
+    add(jm, "j0")
+    add(jm, "j1")
+    add(jm, "j2")
+    jm.start_job("j0", "m0")
+    jm.terminate_job("j2")
+    assert {j.job_id for j in jm.active_jobs()} == {"j0", "j1"}
+    assert [j.job_id for j in jm.running_jobs()] == ["j0"]
+    assert len(jm.jobs()) == 3
+
+
+def test_idle_jobs_sorted(jm):
+    add(jm, "a")
+    add(jm, "b")
+    add(jm, "c")
+    jm.label_job("c", 0.5)
+    ordered = [j.job_id for j in jm.idle_jobs()]
+    assert ordered == ["c", "a", "b"]

@@ -1,0 +1,138 @@
+"""Tests for the Node Agent."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves.predictor import LeastSquaresCurvePredictor
+from repro.framework.node_agent import NodeAgent
+from repro.framework.snapshot import SUPERVISED_COST_MODEL
+
+
+@pytest.fixture()
+def agent(cifar10_workload):
+    return NodeAgent(
+        machine_id="machine-00",
+        workload=cifar10_workload,
+        snapshot_cost_model=SUPERVISED_COST_MODEL,
+        predictor=LeastSquaresCurvePredictor(
+            n_sample_curves=20, restarts=1, model_names=("pow3", "weibull")
+        ),
+        seed=0,
+    )
+
+
+@pytest.fixture()
+def config(cifar10_workload):
+    rng = np.random.default_rng(5)
+    return cifar10_workload.space.sample(rng)
+
+
+def test_assign_and_train(agent, config):
+    assert not agent.busy
+    agent.assign("j0", config, seed=0)
+    assert agent.busy
+    assert agent.job_id == "j0"
+    result = agent.train_epoch()
+    assert result.epoch == 1
+    assert len(agent.curve_history) == 1
+    assert 0.0 <= agent.curve_history[0] <= 1.0
+
+
+def test_double_assign_rejected(agent, config):
+    agent.assign("j0", config)
+    with pytest.raises(RuntimeError, match="already hosts"):
+        agent.assign("j1", config)
+
+
+def test_train_without_job_rejected(agent):
+    with pytest.raises(RuntimeError, match="no job assigned"):
+        agent.train_epoch()
+
+
+def test_snapshot_without_job_rejected(agent):
+    with pytest.raises(RuntimeError, match="no job to snapshot"):
+        agent.capture_snapshot()
+
+
+def test_snapshot_resume_on_other_agent(agent, config, cifar10_workload):
+    agent.assign("j0", config, seed=0)
+    first = [agent.train_epoch().metric for _ in range(5)]
+    snapshot = agent.capture_snapshot()
+    assert snapshot.epoch == 5
+    assert snapshot.latency > 0 and snapshot.size_bytes > 0
+    assert snapshot.state["curve_history"] == agent.curve_history
+    agent.release()
+
+    other = NodeAgent(
+        machine_id="machine-01",
+        workload=cifar10_workload,
+        snapshot_cost_model=SUPERVISED_COST_MODEL,
+        seed=1,
+    )
+    other.assign("j0", config, seed=0, snapshot=snapshot)
+    # Curve history travelled with the snapshot (§5.2).
+    assert len(other.curve_history) == 5
+    resumed = other.train_epoch()
+    assert resumed.epoch == 6
+
+    # A fresh uninterrupted run must produce the identical metric at
+    # epoch 6: suspend/resume is bit-exact.
+    control = NodeAgent(
+        machine_id="machine-02",
+        workload=cifar10_workload,
+        snapshot_cost_model=SUPERVISED_COST_MODEL,
+        seed=2,
+    )
+    control.assign("j0", config, seed=0)
+    for _ in range(5):
+        control.train_epoch()
+    assert control.train_epoch().metric == pytest.approx(resumed.metric)
+
+
+def test_snapshot_job_mismatch_rejected(agent, config):
+    agent.assign("j0", config)
+    agent.train_epoch()
+    snapshot = agent.capture_snapshot()
+    agent.release()
+    with pytest.raises(ValueError, match="belongs to"):
+        agent.assign("j1", config, snapshot=snapshot)
+
+
+def test_release_clears_state(agent, config):
+    agent.assign("j0", config)
+    agent.train_epoch()
+    agent.release()
+    assert not agent.busy
+    assert agent.curve_history == []
+    assert agent.run is None
+
+
+def test_local_prediction(agent, config):
+    agent.assign("j0", config, seed=0)
+    for _ in range(10):
+        agent.train_epoch()
+    prediction = agent.predict(20)
+    assert prediction.samples.shape[1] == 20
+    assert agent.predictions_made == 1
+
+
+def test_prediction_requires_history(agent, config):
+    agent.assign("j0", config)
+    agent.train_epoch()
+    with pytest.raises(ValueError, match="history too short"):
+        agent.predict(10)
+
+
+def test_prediction_requires_predictor(cifar10_workload, config):
+    agent = NodeAgent(
+        machine_id="m",
+        workload=cifar10_workload,
+        snapshot_cost_model=SUPERVISED_COST_MODEL,
+    )
+    agent.assign("j0", config)
+    for _ in range(5):
+        agent.train_epoch()
+    with pytest.raises(RuntimeError, match="no predictor"):
+        agent.predict(5)

@@ -1,0 +1,107 @@
+"""Tests for the SAP interface plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.framework.appstat_db import AppStatDB
+from repro.framework.events import Decision, IterationFinished
+from repro.framework.job import Job
+from repro.framework.job_manager import JobManager
+from repro.framework.policy_api import (
+    DefaultAllocationMixin,
+    PolicyContext,
+    SchedulingPolicy,
+)
+from repro.framework.resource_manager import ResourceManager
+from repro.workloads.base import DomainSpec
+
+RL_DOMAIN = DomainSpec(
+    kind="reinforcement",
+    metric_name="reward",
+    target=200.0,
+    kill_threshold=-100.0,
+    random_performance=-200.0,
+    max_epochs=200,
+    eval_boundary=20,
+    r_min=-500.0,
+    r_max=300.0,
+)
+
+
+class Greedy(DefaultAllocationMixin, SchedulingPolicy):
+    name = "greedy"
+
+    def on_iteration_finish(self, event: IterationFinished) -> Decision:
+        return Decision.CONTINUE
+
+
+def make_context(machines=2, stop_experiment=None):
+    jm = JobManager()
+    rm = ResourceManager(machines)
+    started = []
+
+    def start(job_id, machine_id):
+        jm.start_job(job_id, machine_id)
+        started.append((job_id, machine_id))
+
+    ctx = PolicyContext(
+        job_manager=jm,
+        resource_manager=rm,
+        appstat_db=AppStatDB(),
+        domain=RL_DOMAIN,
+        tmax=3600.0,
+        target=200.0,
+        now=lambda: 0.0,
+        start=start,
+        predict=lambda job_id, n: (_ for _ in ()).throw(ValueError("none")),
+        stop_experiment=stop_experiment,
+    )
+    return ctx, started
+
+
+def test_normalized_target_uses_domain():
+    ctx, _ = make_context()
+    assert ctx.normalized_target == pytest.approx((200.0 + 500.0) / 800.0)
+
+
+def test_stop_experiment_defaults_to_none():
+    ctx, _ = make_context()
+    assert ctx.stop_experiment is None
+
+
+def test_mixin_stops_at_machine_exhaustion():
+    ctx, started = make_context(machines=2)
+    for i in range(5):
+        ctx.job_manager.add_job(Job(job_id=f"j{i}", config={}))
+    policy = Greedy()
+    policy.bind(ctx)
+    policy.allocate_jobs()
+    assert len(started) == 2
+    assert ctx.resource_manager.num_idle == 0
+    # A second round with no free machines is a no-op.
+    policy.allocate_jobs()
+    assert len(started) == 2
+
+
+def test_mixin_stops_at_job_exhaustion():
+    ctx, started = make_context(machines=4)
+    ctx.job_manager.add_job(Job(job_id="only", config={}))
+    policy = Greedy()
+    policy.bind(ctx)
+    policy.allocate_jobs()
+    assert started == [("only", "machine-00")]
+    # One machine reserved, three still idle.
+    assert ctx.resource_manager.num_idle == 3
+
+
+def test_application_stat_default_is_noop():
+    policy = Greedy()
+    ctx, _ = make_context()
+    policy.bind(ctx)
+    # Must not raise even though the policy never overrode it.
+    from repro.framework.events import AppStat
+
+    policy.application_stat(
+        AppStat("j", 1, -150.0, 30.0, 0.0, "machine-00")
+    )

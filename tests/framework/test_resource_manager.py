@@ -1,0 +1,46 @@
+"""Tests for the Resource Manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.framework.resource_manager import ResourceManager
+
+
+def test_reserve_release_cycle():
+    rm = ResourceManager(2)
+    assert rm.num_machines == 2
+    assert rm.num_idle == 2
+    first = rm.reserve_idle_machine()
+    second = rm.reserve_idle_machine()
+    assert {first, second} == set(rm.machine_ids)
+    assert rm.reserve_idle_machine() is None
+    assert rm.num_busy == 2
+    rm.release_machine(first)
+    assert rm.num_idle == 1
+    assert rm.reserve_idle_machine() == first
+
+
+def test_release_unreserved_rejected():
+    rm = ResourceManager(1)
+    with pytest.raises(ValueError, match="not reserved"):
+        rm.release_machine("machine-00")
+
+
+def test_is_busy():
+    rm = ResourceManager(1)
+    assert not rm.is_busy("machine-00")
+    rm.reserve_idle_machine()
+    assert rm.is_busy("machine-00")
+    with pytest.raises(ValueError, match="unknown machine"):
+        rm.is_busy("machine-99")
+
+
+def test_needs_at_least_one_machine():
+    with pytest.raises(ValueError, match="at least one"):
+        ResourceManager(0)
+
+
+def test_machine_ids_stable():
+    rm = ResourceManager(3)
+    assert rm.machine_ids == ["machine-00", "machine-01", "machine-02"]

@@ -1,0 +1,260 @@
+"""Tests for the backend-agnostic scheduler core."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+import pytest
+
+from repro.framework.events import Decision, IterationFinished, LifecycleKind
+from repro.framework.experiment import ExperimentSpec
+from repro.framework.job import JobState
+from repro.framework.scheduler import FollowUpAction, HyperDriveScheduler
+from repro.generators.space import SearchSpace, Uniform
+from repro.policies.base import DefaultAllocationMixin, SchedulingPolicy
+from repro.workloads.base import DomainSpec, EpochResult, TrainingRun, Workload
+
+
+class ScriptedRun(TrainingRun):
+    """Yields a scripted metric sequence; duration constant."""
+
+    def __init__(self, config, metrics, duration=10.0):
+        self._config = dict(config)
+        self._metrics = list(metrics)
+        self._duration = duration
+        self._epoch = 0
+
+    @property
+    def config(self):
+        return dict(self._config)
+
+    @property
+    def epochs_completed(self):
+        return self._epoch
+
+    @property
+    def finished(self):
+        return self._epoch >= len(self._metrics)
+
+    def step(self):
+        if self.finished:
+            raise RuntimeError("finished")
+        metric = self._metrics[self._epoch]
+        self._epoch += 1
+        return EpochResult(self._epoch, self._duration, metric, self.finished)
+
+    def snapshot_state(self):
+        return {"epoch": self._epoch}
+
+    def restore_state(self, state):
+        self._epoch = int(state["epoch"])
+
+
+class ScriptedWorkload(Workload):
+    def __init__(self, scripts: Dict[str, List[float]], max_epochs=4):
+        self._scripts = scripts
+        self._space = SearchSpace([Uniform("x", 0.0, 1.0)])
+        self._domain = DomainSpec(
+            kind="supervised",
+            metric_name="validation_accuracy",
+            target=0.9,
+            kill_threshold=0.15,
+            random_performance=0.1,
+            max_epochs=max_epochs,
+            eval_boundary=2,
+        )
+
+    @property
+    def space(self):
+        return self._space
+
+    @property
+    def domain(self):
+        return self._domain
+
+    def create_run(self, config, seed=0):
+        return ScriptedRun(config, self._scripts[config["name"]])
+
+
+class ScriptedPolicy(DefaultAllocationMixin, SchedulingPolicy):
+    """Returns pre-programmed decisions keyed by (job, epoch)."""
+
+    name = "scripted"
+
+    def __init__(self, decisions=None):
+        super().__init__()
+        self.decisions = decisions or {}
+        self.events = []
+
+    def on_iteration_finish(self, event: IterationFinished) -> Decision:
+        self.events.append((event.job_id, event.epoch))
+        return self.decisions.get((event.job_id, event.epoch), Decision.CONTINUE)
+
+
+def build(scripts, decisions=None, machines=1, stop_on_target=True, max_epochs=4):
+    workload = ScriptedWorkload(scripts, max_epochs=max_epochs)
+    clock = {"now": 0.0}
+    spec = ExperimentSpec(
+        num_machines=machines,
+        num_configs=len(scripts),
+        seed=0,
+        stop_on_target=stop_on_target,
+    )
+    scheduler = HyperDriveScheduler(
+        workload=workload,
+        policy=ScriptedPolicy(decisions),
+        spec=spec,
+        clock=lambda: clock["now"],
+    )
+    for name in scripts:
+        scheduler.add_job(name, {"name": name, "x": 0.5})
+    return scheduler, clock
+
+
+def drive_epoch(scheduler, machine_id):
+    agent = scheduler.agents[machine_id]
+    result = agent.train_epoch()
+    return scheduler.process_epoch(machine_id, result)
+
+
+def test_begin_starts_initial_jobs():
+    scheduler, _ = build({"a": [0.2] * 4, "b": [0.2] * 4}, machines=2)
+    scheduler.begin()
+    started = scheduler.take_started_machines()
+    assert len(started) == 2
+    assert scheduler.take_started_machines() == []  # buffer drained
+    assert scheduler.job_manager.get("a").state is JobState.RUNNING
+
+
+def test_continue_flow():
+    scheduler, _ = build({"a": [0.2] * 4})
+    scheduler.begin()
+    machine = scheduler.take_started_machines()[0]
+    followup = drive_epoch(scheduler, machine)
+    assert followup.action is FollowUpAction.NEXT_EPOCH
+    assert scheduler.result.epochs_trained == 1
+
+
+def test_completion_flow():
+    scheduler, _ = build({"a": [0.2, 0.2]}, max_epochs=2)
+    scheduler.begin()
+    machine = scheduler.take_started_machines()[0]
+    drive_epoch(scheduler, machine)
+    followup = drive_epoch(scheduler, machine)
+    assert followup.action is FollowUpAction.RELEASE_MACHINE
+    assert scheduler.job_manager.get("a").state is JobState.COMPLETED
+    kinds = [e.kind for e in scheduler.result.lifecycle]
+    assert LifecycleKind.COMPLETED in kinds
+
+
+def test_target_stops_experiment():
+    scheduler, clock = build({"a": [0.95] + [0.2] * 3})
+    scheduler.begin()
+    machine = scheduler.take_started_machines()[0]
+    clock["now"] = 10.0
+    followup = drive_epoch(scheduler, machine)
+    assert followup.action is FollowUpAction.EXPERIMENT_DONE
+    assert scheduler.done
+    assert scheduler.result.reached_target
+    assert scheduler.result.time_to_target == 10.0
+
+
+def test_stop_on_target_disabled():
+    scheduler, _ = build({"a": [0.95] * 4}, stop_on_target=False)
+    scheduler.begin()
+    machine = scheduler.take_started_machines()[0]
+    followup = drive_epoch(scheduler, machine)
+    assert followup.action is FollowUpAction.NEXT_EPOCH
+    assert not scheduler.done
+    assert scheduler.result.best_metric == pytest.approx(0.95)
+
+
+def test_terminate_flow_drops_snapshot_and_frees_machine():
+    scheduler, _ = build(
+        {"a": [0.2] * 4, "b": [0.3] * 4},
+        decisions={("a", 2): Decision.TERMINATE},
+    )
+    scheduler.begin()
+    machine = scheduler.take_started_machines()[0]
+    drive_epoch(scheduler, machine)
+    followup = drive_epoch(scheduler, machine)
+    assert followup.action is FollowUpAction.RELEASE_MACHINE
+    assert followup.delay == 0.0
+    assert scheduler.job_manager.get("a").state is JobState.TERMINATED
+    # releasing triggers allocation of job b
+    scheduler.machine_released(machine)
+    assert scheduler.take_started_machines() == [machine]
+    assert scheduler.job_manager.get("b").state is JobState.RUNNING
+
+
+def test_suspend_flow_snapshots_and_delays_release():
+    scheduler, _ = build(
+        {"a": [0.2] * 4, "b": [0.3] * 4},
+        decisions={("a", 2): Decision.SUSPEND},
+    )
+    scheduler.begin()
+    machine = scheduler.take_started_machines()[0]
+    drive_epoch(scheduler, machine)
+    followup = drive_epoch(scheduler, machine)
+    assert followup.action is FollowUpAction.RELEASE_MACHINE
+    assert followup.delay > 0.0  # suspend latency
+    job = scheduler.job_manager.get("a")
+    assert job.state is JobState.SUSPENDED
+    assert scheduler.appstat_db.load_snapshot("a") is not None
+    assert len(scheduler.result.snapshots) == 1
+
+
+def test_suspend_resume_preserves_epoch_position():
+    scheduler, _ = build(
+        {"a": [0.2, 0.3, 0.4, 0.5], "b": [0.1] * 4},
+        decisions={("a", 2): Decision.SUSPEND, ("b", 2): Decision.TERMINATE},
+    )
+    scheduler.begin()
+    machine = scheduler.take_started_machines()[0]
+    drive_epoch(scheduler, machine)
+    drive_epoch(scheduler, machine)  # suspend a at epoch 2
+    scheduler.machine_released(machine)
+    assert scheduler.take_started_machines() == [machine]  # b starts
+    drive_epoch(scheduler, machine)
+    drive_epoch(scheduler, machine)  # b terminated at epoch 2
+    scheduler.machine_released(machine)
+    assert scheduler.take_started_machines() == [machine]  # a resumes
+    result = scheduler.agents[machine].train_epoch()
+    assert result.epoch == 3
+    assert result.metric == pytest.approx(0.4)
+
+
+def test_epoch_from_idle_machine_rejected():
+    scheduler, _ = build({"a": [0.2] * 4}, machines=2)
+    scheduler.begin()
+    busy = scheduler.take_started_machines()[0]
+    idle = next(
+        m for m in scheduler.resource_manager.machine_ids if m != busy
+    )
+    with pytest.raises(RuntimeError, match="idle machine"):
+        scheduler.process_epoch(idle, EpochResult(1, 10.0, 0.5, False))
+
+
+def test_finalize_collects_results():
+    scheduler, clock = build({"a": [0.2, 0.2]}, max_epochs=2)
+    scheduler.begin()
+    machine = scheduler.take_started_machines()[0]
+    drive_epoch(scheduler, machine)
+    drive_epoch(scheduler, machine)
+    clock["now"] = 99.0
+    result = scheduler.finalize()
+    assert result.finished_at == 99.0
+    assert len(result.jobs) == 1
+    assert result.epochs_trained == 2
+    assert result.summary()["policy"] == "scripted"
+
+
+def test_pool_timeline_recorded():
+    scheduler, _ = build({"a": [0.2] * 4})
+    scheduler.begin()
+    machine = scheduler.take_started_machines()[0]
+    drive_epoch(scheduler, machine)
+    assert len(scheduler.result.pool_timeline) == 1
+    snapshot = scheduler.result.pool_timeline[0]
+    assert snapshot.active == 1
+    assert snapshot.running == 1

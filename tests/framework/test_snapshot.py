@@ -1,0 +1,64 @@
+"""Tests for snapshots and their cost models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.framework.snapshot import (
+    CRIU_COST_MODEL,
+    SUPERVISED_COST_MODEL,
+    Snapshot,
+    SnapshotCostModel,
+    cost_model_for_domain,
+)
+
+
+def test_cost_model_validation():
+    with pytest.raises(ValueError, match="latency"):
+        SnapshotCostModel(0.2, 0.1, 1.0, 1.0, 2.0, 3.0)
+    with pytest.raises(ValueError, match="size"):
+        SnapshotCostModel(0.1, 0.2, 1.0, 3.0, 2.0, 3.0)
+
+
+def test_supervised_model_matches_paper_statistics():
+    """§6.2.3: mean latency ≈ 158 ms, p95 ≈ 219 ms, max ≤ 1.12 s;
+    size mean ≈ 358 KB, max ≤ 686 KB."""
+    rng = np.random.default_rng(0)
+    latencies = np.array(
+        [SUPERVISED_COST_MODEL.sample_latency(rng) for _ in range(5000)]
+    )
+    sizes = np.array([SUPERVISED_COST_MODEL.sample_size(rng) for _ in range(5000)])
+    assert 0.10 < latencies.mean() < 0.22
+    assert 0.15 < np.percentile(latencies, 95) < 0.30
+    assert latencies.max() <= 1.12
+    assert 250e3 < sizes.mean() < 470e3
+    assert sizes.max() <= 686.06e3
+
+
+def test_criu_model_matches_fig10_bounds():
+    """Fig 10: RL snapshots up to 22.36 s and 43.75 MB."""
+    rng = np.random.default_rng(1)
+    latencies = np.array([CRIU_COST_MODEL.sample_latency(rng) for _ in range(3000)])
+    sizes = np.array([CRIU_COST_MODEL.sample_size(rng) for _ in range(3000)])
+    assert latencies.max() <= 22.36
+    assert sizes.max() <= 43.75e6
+    assert latencies.mean() > 1.0  # CRIU is much heavier than native
+
+
+def test_cost_model_for_domain():
+    assert cost_model_for_domain("supervised") is SUPERVISED_COST_MODEL
+    assert cost_model_for_domain("reinforcement") is CRIU_COST_MODEL
+    with pytest.raises(ValueError, match="unknown domain"):
+        cost_model_for_domain("quantum")
+
+
+def test_snapshot_serialized_size():
+    snapshot = Snapshot(
+        job_id="j0",
+        epoch=3,
+        state={"weights": np.zeros(100)},
+        size_bytes=1234.0,
+        latency=0.1,
+    )
+    assert snapshot.serialized_size_bytes > 800  # ~100 float64s

@@ -1,0 +1,70 @@
+"""Tests for the in-process message bus."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.framework.transport import MessageBus
+
+
+def test_send_requires_subscriber():
+    bus = MessageBus()
+    with pytest.raises(KeyError, match="no subscriber"):
+        bus.send("nowhere", "ping", None, sender="test")
+
+
+def test_point_to_point_delivery():
+    bus = MessageBus()
+    mailbox = bus.subscribe("scheduler")
+    bus.send("scheduler", "app_stat", {"metric": 0.5}, sender="machine-00")
+    message = mailbox.get(timeout=0.1)
+    assert message is not None
+    assert message.kind == "app_stat"
+    assert message.payload == {"metric": 0.5}
+    assert message.sender == "machine-00"
+    assert bus.messages_delivered == 1
+
+
+def test_subscribe_idempotent():
+    bus = MessageBus()
+    assert bus.subscribe("a") is bus.subscribe("a")
+
+
+def test_fifo_ordering_and_drain():
+    bus = MessageBus()
+    mailbox = bus.subscribe("m")
+    for i in range(5):
+        bus.send("m", "tick", i, sender="t")
+    drained = mailbox.drain()
+    assert [m.payload for m in drained] == [0, 1, 2, 3, 4]
+    assert mailbox.drain() == []
+    assert mailbox.pending == 0
+
+
+def test_get_timeout_returns_none():
+    bus = MessageBus()
+    mailbox = bus.subscribe("m")
+    assert mailbox.get(timeout=0.01) is None
+
+
+def test_concurrent_senders():
+    bus = MessageBus()
+    mailbox = bus.subscribe("sink")
+
+    def sender(tag):
+        for i in range(50):
+            bus.send("sink", "msg", (tag, i), sender=tag)
+
+    threads = [threading.Thread(target=sender, args=(f"t{k}",)) for k in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    received = mailbox.drain()
+    assert len(received) == 200
+    # Per-sender FIFO preserved.
+    for tag in ("t0", "t1", "t2", "t3"):
+        seq = [m.payload[1] for m in received if m.payload[0] == tag]
+        assert seq == sorted(seq)

@@ -1,0 +1,263 @@
+"""Tests for the Hyperparameter Generators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.generators.base import ExhaustedSpaceError
+from repro.generators.bayesian import (
+    BayesianGenerator,
+    GaussianProcess,
+    expected_improvement,
+)
+from repro.generators.grid import GridGenerator
+from repro.generators.random_gen import RandomGenerator
+from repro.generators.space import Choice, LogUniform, SearchSpace, Uniform
+
+
+@pytest.fixture()
+def space():
+    return SearchSpace(
+        [Uniform("x", 0.0, 1.0), Uniform("y", 0.0, 1.0)]
+    )
+
+
+# --------------------------------------------------------------- random
+
+
+def test_random_determinism(space):
+    a = RandomGenerator(space, seed=42)
+    b = RandomGenerator(space, seed=42)
+    for _ in range(10):
+        ja, ca = a.create_job()
+        jb, cb = b.create_job()
+        assert ja == jb and ca == cb
+
+
+def test_random_job_ids_unique(space):
+    gen = RandomGenerator(space, seed=0)
+    ids = {gen.create_job()[0] for _ in range(50)}
+    assert len(ids) == 50
+
+
+def test_random_max_configs(space):
+    gen = RandomGenerator(space, seed=0, max_configs=3)
+    for _ in range(3):
+        gen.create_job()
+    with pytest.raises(ExhaustedSpaceError):
+        gen.create_job()
+    with pytest.raises(ValueError):
+        RandomGenerator(space, max_configs=0)
+
+
+def test_report_and_lookup(space):
+    gen = RandomGenerator(space, seed=0)
+    job_id, config = gen.create_job()
+    gen.report_final_performance(job_id, 0.9)
+    assert gen.num_reported == 1
+    assert gen.configuration_of(job_id) == config
+    assert gen.configuration_of("nope") is None
+    with pytest.raises(KeyError):
+        gen.report_final_performance("nope", 0.5)
+
+
+# ----------------------------------------------------------------- grid
+
+
+def test_grid_enumerates_cartesian_product():
+    space = SearchSpace([Uniform("x", 0.0, 1.0), Choice("c", ("a", "b"))])
+    gen = GridGenerator(space, resolution=2)
+    configs = [gen.create_job()[1] for _ in range(4)]
+    assert {(c["x"], c["c"]) for c in configs} == {
+        (0.0, "a"), (0.0, "b"), (1.0, "a"), (1.0, "b")
+    }
+    with pytest.raises(ExhaustedSpaceError, match="fully enumerated"):
+        gen.create_job()
+
+
+def test_grid_max_configs(space):
+    gen = GridGenerator(space, resolution=5, max_configs=7)
+    for _ in range(7):
+        gen.create_job()
+    with pytest.raises(ExhaustedSpaceError, match="capped"):
+        gen.create_job()
+
+
+def test_grid_resolution_validation(space):
+    with pytest.raises(ValueError):
+        GridGenerator(space, resolution=0)
+
+
+# ------------------------------------------------------------------- GP
+
+
+def test_gp_interpolates_training_points():
+    gp = GaussianProcess(noise=1e-6)
+    x = np.array([[0.1], [0.5], [0.9]])
+    y = np.array([1.0, 2.0, 0.5])
+    gp.fit(x, y)
+    mean, std = gp.predict(x)
+    np.testing.assert_allclose(mean, y, atol=0.01)
+    assert np.all(std < 0.1)
+
+
+def test_gp_uncertainty_grows_away_from_data():
+    gp = GaussianProcess()
+    gp.fit(np.array([[0.5]]), np.array([1.0]))
+    _, near = gp.predict(np.array([[0.5]]))
+    _, far = gp.predict(np.array([[0.0]]))
+    assert far[0] > near[0]
+
+
+def test_gp_requires_fit_before_predict():
+    with pytest.raises(RuntimeError, match="fitted"):
+        GaussianProcess().predict(np.array([[0.5]]))
+
+
+def test_gp_validation():
+    with pytest.raises(ValueError, match="positive"):
+        GaussianProcess(length_scale=0.0)
+    gp = GaussianProcess()
+    with pytest.raises(ValueError, match="matching"):
+        gp.fit(np.zeros((3, 1)), np.zeros(2))
+    with pytest.raises(ValueError, match="zero observations"):
+        gp.fit(np.zeros((0, 1)), np.zeros(0))
+
+
+def test_expected_improvement_behaviour():
+    ei_better = expected_improvement(np.array([2.0]), np.array([0.1]), best=1.0)
+    ei_worse = expected_improvement(np.array([0.5]), np.array([0.1]), best=1.0)
+    assert ei_better[0] > ei_worse[0]
+    # zero std, below best -> ~zero EI
+    assert expected_improvement(np.array([0.5]), np.array([0.0]), best=1.0)[0] < 1e-9
+
+
+# ------------------------------------------------------------- Bayesian
+
+
+def test_bayesian_warmup_matches_random(space):
+    bayes = BayesianGenerator(space, seed=9, warmup=5)
+    rand = RandomGenerator(space, seed=9)
+    for _ in range(5):
+        assert bayes.create_job()[1] == rand.create_job()[1]
+
+
+def test_bayesian_validation(space):
+    with pytest.raises(ValueError, match="warmup"):
+        BayesianGenerator(space, warmup=0)
+    with pytest.raises(ValueError, match="pool_size"):
+        BayesianGenerator(space, pool_size=1)
+
+
+def test_bayesian_outperforms_random_on_smooth_objective():
+    """GP-EI should find better points than random search on a smooth
+    2-D objective within the same evaluation budget."""
+
+    def objective(config):
+        return -((config["x"] - 0.3) ** 2) - (config["y"] - 0.7) ** 2
+
+    def run(generator, budget=40):
+        best = -np.inf
+        for _ in range(budget):
+            job_id, config = generator.create_job()
+            value = objective(config)
+            generator.report_final_performance(job_id, value)
+            best = max(best, value)
+        return best
+
+    space = SearchSpace([Uniform("x", 0.0, 1.0), Uniform("y", 0.0, 1.0)])
+    bayes_scores = [
+        run(BayesianGenerator(space, seed=s, warmup=8)) for s in range(5)
+    ]
+    random_scores = [run(RandomGenerator(space, seed=s)) for s in range(5)]
+    assert np.mean(bayes_scores) > np.mean(random_scores)
+
+
+def test_bayesian_max_configs(space):
+    gen = BayesianGenerator(space, seed=0, max_configs=2)
+    gen.create_job()
+    gen.create_job()
+    with pytest.raises(ExhaustedSpaceError):
+        gen.create_job()
+
+
+def test_bayesian_proposals_always_valid():
+    space = SearchSpace(
+        [LogUniform("lr", 1e-5, 1.0), Choice("c", ("a", "b", "c"))]
+    )
+    gen = BayesianGenerator(space, seed=3, warmup=3)
+    for i in range(15):
+        job_id, config = gen.create_job()
+        space.validate(config)
+        gen.report_final_performance(job_id, float(np.sin(i)))
+
+
+# -------------------------------------------------------------------- TPE
+
+
+def test_tpe_warmup_is_random(space):
+    from repro.generators.tpe import TPEGenerator
+
+    tpe = TPEGenerator(space, seed=4, warmup=5)
+    rand = RandomGenerator(space, seed=4)
+    for _ in range(5):
+        assert tpe.create_job()[1] == rand.create_job()[1]
+
+
+def test_tpe_validation(space):
+    from repro.generators.tpe import TPEGenerator
+
+    with pytest.raises(ValueError, match="warmup"):
+        TPEGenerator(space, warmup=1)
+    with pytest.raises(ValueError, match="gamma"):
+        TPEGenerator(space, gamma=1.0)
+    with pytest.raises(ValueError, match="bandwidth"):
+        TPEGenerator(space, bandwidth=0.0)
+
+
+def test_tpe_outperforms_random_on_smooth_objective():
+    from repro.generators.tpe import TPEGenerator
+
+    def objective(config):
+        return -((config["x"] - 0.7) ** 2) - (config["y"] - 0.2) ** 2
+
+    def run(generator, budget=50):
+        best = -np.inf
+        for _ in range(budget):
+            job_id, config = generator.create_job()
+            value = objective(config)
+            generator.report_final_performance(job_id, value)
+            best = max(best, value)
+        return best
+
+    space = SearchSpace([Uniform("x", 0.0, 1.0), Uniform("y", 0.0, 1.0)])
+    tpe_scores = [run(TPEGenerator(space, seed=s, warmup=10)) for s in range(5)]
+    random_scores = [run(RandomGenerator(space, seed=s)) for s in range(5)]
+    assert np.mean(tpe_scores) > np.mean(random_scores)
+
+
+def test_tpe_proposals_always_valid():
+    from repro.generators.tpe import TPEGenerator
+
+    space = SearchSpace(
+        [LogUniform("lr", 1e-5, 1.0), Choice("c", ("a", "b", "c"))]
+    )
+    gen = TPEGenerator(space, seed=3, warmup=4)
+    for i in range(20):
+        job_id, config = gen.create_job()
+        space.validate(config)
+        gen.report_final_performance(job_id, float(np.cos(i)))
+
+
+def test_tpe_max_configs(space):
+    from repro.generators.tpe import TPEGenerator
+    from repro.generators.base import ExhaustedSpaceError
+
+    gen = TPEGenerator(space, seed=0, max_configs=3)
+    for _ in range(3):
+        gen.create_job()
+    with pytest.raises(ExhaustedSpaceError):
+        gen.create_job()

@@ -1,0 +1,138 @@
+"""Tests for search-space dimensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.space import (
+    Choice,
+    IntUniform,
+    LogUniform,
+    SearchSpace,
+    Uniform,
+)
+
+
+@pytest.fixture()
+def space():
+    return SearchSpace(
+        [
+            Uniform("u", 0.0, 1.0),
+            LogUniform("lr", 1e-5, 1.0),
+            IntUniform("n", 2, 9),
+            Choice("act", ("relu", "tanh")),
+        ]
+    )
+
+
+def test_dimension_validation():
+    with pytest.raises(ValueError):
+        Uniform("u", 1.0, 1.0)
+    with pytest.raises(ValueError):
+        LogUniform("l", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        LogUniform("l", 2.0, 1.0)
+    with pytest.raises(ValueError):
+        IntUniform("i", 5, 4)
+    with pytest.raises(ValueError):
+        Choice("c", ())
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        SearchSpace([Uniform("x", 0, 1), Uniform("x", 1, 2)])
+
+
+def test_sampling_in_range(space, rng):
+    for _ in range(100):
+        config = space.sample(rng)
+        space.validate(config)  # should not raise
+
+
+def test_log_uniform_spans_orders_of_magnitude(rng):
+    dim = LogUniform("lr", 1e-6, 1.0)
+    samples = [dim.sample(rng) for _ in range(500)]
+    assert min(samples) < 1e-4
+    assert max(samples) > 1e-2
+    # log-uniform: median of logs near the log-midpoint
+    assert abs(np.median(np.log10(samples)) - (-3.0)) < 0.5
+
+
+def test_grids():
+    assert Uniform("u", 0.0, 1.0).grid(3) == [0.0, 0.5, 1.0]
+    assert Uniform("u", 0.0, 1.0).grid(1) == [0.5]
+    log_grid = LogUniform("l", 0.01, 1.0).grid(3)
+    assert log_grid[1] == pytest.approx(0.1)
+    assert IntUniform("i", 1, 10).grid(4) == [1, 4, 7, 10]
+    assert IntUniform("i", 1, 3).grid(10) == [1, 2, 3]
+    assert Choice("c", ("a", "b", "c")).grid(2) == ["a", "b"]
+    with pytest.raises(ValueError):
+        Uniform("u", 0.0, 1.0).grid(0)
+
+
+def test_contains():
+    assert Uniform("u", 0.0, 1.0).contains(0.5)
+    assert not Uniform("u", 0.0, 1.0).contains(1.5)
+    assert not Uniform("u", 0.0, 1.0).contains("x")
+    assert IntUniform("i", 1, 5).contains(3)
+    assert not IntUniform("i", 1, 5).contains(3.5)
+    assert Choice("c", ("a",)).contains("a")
+    assert not Choice("c", ("a",)).contains("b")
+
+
+def test_validate_errors(space, rng):
+    config = space.sample(rng)
+    missing = dict(config)
+    del missing["u"]
+    with pytest.raises(ValueError, match="missing"):
+        space.validate(missing)
+    extra = dict(config)
+    extra["zzz"] = 1
+    with pytest.raises(ValueError, match="unknown"):
+        space.validate(extra)
+    bad = dict(config)
+    bad["n"] = 99
+    with pytest.raises(ValueError, match="outside"):
+        space.validate(bad)
+
+
+def test_unit_roundtrip(space, rng):
+    for _ in range(50):
+        config = space.sample(rng)
+        unit = space.to_unit(config)
+        assert unit.shape == (4,)
+        assert np.all((unit >= 0) & (unit <= 1))
+        back = space.from_unit(unit)
+        assert back["n"] == config["n"]
+        assert back["act"] == config["act"]
+        assert back["u"] == pytest.approx(config["u"], abs=1e-9)
+        assert back["lr"] == pytest.approx(config["lr"], rel=1e-9)
+
+
+def test_from_unit_wrong_length(space):
+    with pytest.raises(ValueError, match="coordinates"):
+        space.from_unit([0.5, 0.5])
+
+
+def test_space_container_protocol(space):
+    assert len(space) == 4
+    assert space.names == ["u", "lr", "n", "act"]
+    assert space["lr"].name == "lr"
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=50, deadline=None)
+def test_from_unit_always_valid(u):
+    space = SearchSpace(
+        [
+            Uniform("a", -3.0, 7.0),
+            LogUniform("b", 1e-4, 1e2),
+            IntUniform("c", 0, 100),
+            Choice("d", (1, 2, 3)),
+        ]
+    )
+    config = space.from_unit([u, u, u, u])
+    space.validate(config)

@@ -1,0 +1,165 @@
+"""Tests for the analysis helpers (figure data extraction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (
+    run_standard_experiment,
+    standard_configs,
+    standard_spec,
+)
+from repro.analysis.figures import (
+    InstrumentedPOPPolicy,
+    config_curves,
+    final_metric_cdf,
+    find_overtake_pair,
+    job_duration_cdf,
+    prediction_with_confidence,
+    promising_ratio_timeline,
+    suspend_overhead_stats,
+    time_to_target_stats,
+)
+from repro.framework.experiment import ExperimentSpec
+from repro.policies.default import DefaultPolicy
+from repro.sim.runner import run_simulation
+
+
+def test_standard_configs_are_deterministic(cifar10_workload):
+    a = standard_configs(cifar10_workload, 10)
+    b = standard_configs(cifar10_workload, 10)
+    assert a == b
+
+
+def test_standard_spec_domain_defaults(cifar10_workload, lunarlander_workload):
+    assert standard_spec(cifar10_workload).num_machines == 4
+    assert standard_spec(lunarlander_workload).num_machines == 15
+    assert standard_spec(cifar10_workload, num_machines=9).num_machines == 9
+
+
+def test_config_curves_shape(cifar10_workload):
+    curves = config_curves(cifar10_workload, 5, n_epochs=20)
+    assert len(curves) == 5
+    assert all(len(c) == 20 for c in curves)
+
+
+def test_final_metric_cdf(cifar10_workload):
+    values, fractions = final_metric_cdf(cifar10_workload, 30)
+    assert values.size == 30
+    assert fractions[-1] == 1.0
+
+
+def test_find_overtake_pair(cifar10_workload):
+    pair = find_overtake_pair(cifar10_workload, pool_size=60)
+    assert pair is not None
+    early_leader, late_winner = pair
+    assert late_winner[-1] > early_leader[-1]
+
+
+def test_prediction_with_confidence_keys(cifar10_workload, fast_predictor):
+    config = standard_configs(cifar10_workload, 1)[0]
+    data = prediction_with_confidence(
+        cifar10_workload, config, fast_predictor, observe_epochs=10
+    )
+    assert set(data) == {"observed", "true_future", "horizon", "mean", "std"}
+    assert data["observed"].size == 10
+    assert data["mean"].size == 110
+
+
+def test_prediction_with_confidence_denormalizes_rl(
+    lunarlander_workload, fast_predictor
+):
+    config = standard_configs(lunarlander_workload, 1)[0]
+    data = prediction_with_confidence(
+        lunarlander_workload, config, fast_predictor, observe_epochs=20
+    )
+    # Values are back on the raw reward scale.
+    assert data["mean"].min() >= -500.0 - 1.0
+    assert data["mean"].max() <= 300.0 + 1.0
+
+
+@pytest.fixture(scope="module")
+def small_pop_result(cifar10_workload, fast_predictor):
+    configs = standard_configs(cifar10_workload, 20)
+    policy = InstrumentedPOPPolicy()
+    result = run_simulation(
+        cifar10_workload,
+        policy,
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=4, num_configs=20, seed=0, stop_on_target=False
+        ),
+        predictor=fast_predictor,
+    )
+    return result, policy
+
+
+def test_instrumented_pop_logs_allocations(small_pop_result):
+    _, policy = small_pop_result
+    assert policy.allocation_log
+    timestamp, confidences, threshold, slots = policy.allocation_log[-1]
+    assert timestamp > 0
+    assert 0.0 <= threshold <= 1.0
+    assert slots >= 0
+    curves = policy.slot_curves_at(timestamp)
+    assert curves is not None
+    assert policy.slot_curves_at(-1.0) is None
+
+
+def test_job_duration_cdf(small_pop_result):
+    result, _ = small_pop_result
+    durations, fractions = job_duration_cdf(result)
+    assert durations.size > 0
+    assert np.all(durations >= 0)
+
+
+def test_promising_ratio_timeline(small_pop_result):
+    result, _ = small_pop_result
+    times, ratios = promising_ratio_timeline(result, bucket_seconds=600)
+    assert times.size == ratios.size
+    assert np.all((ratios >= 0) & (ratios <= 1))
+
+
+def test_suspend_overhead_stats(small_pop_result):
+    result, _ = small_pop_result
+    if not result.snapshots:
+        pytest.skip("no suspends in this small run")
+    stats = suspend_overhead_stats([result])
+    assert stats.count == len(result.snapshots)
+    assert stats.latency_p95 <= stats.latency_max
+
+
+def test_suspend_overhead_stats_empty_rejected():
+    with pytest.raises(ValueError, match="no suspends"):
+        suspend_overhead_stats([])
+
+
+def test_time_to_target_stats_uses_finished_at_fallback(
+    cifar10_workload, fast_predictor
+):
+    configs = standard_configs(cifar10_workload, 4)
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=2, num_configs=4, seed=0, stop_on_target=False
+        ),
+    )
+    stats = time_to_target_stats([result])
+    assert stats.minimum == result.finished_at
+
+
+def test_run_standard_experiment_accepts_overrides(
+    cifar10_workload, fast_predictor
+):
+    result = run_standard_experiment(
+        cifar10_workload,
+        DefaultPolicy(),
+        num_configs=4,
+        num_machines=2,
+        tmax=1800.0,
+        stop_on_target=False,
+    )
+    assert result.finished_at <= 1800.0

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_simulated(capsys):
+    code = main(
+        [
+            "run",
+            "--workload", "cifar10",
+            "--policy", "bandit",
+            "--configs", "10",
+            "--machines", "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "policy          : bandit" in out
+    assert "epochs trained" in out
+
+
+def test_run_no_stop_on_target(capsys):
+    code = main(
+        [
+            "run",
+            "--workload", "cifar10",
+            "--policy", "default",
+            "--configs", "4",
+            "--machines", "2",
+            "--no-stop-on-target",
+            "--tmax-hours", "2",
+        ]
+    )
+    assert code == 0
+    assert "reached target  : False" in capsys.readouterr().out
+
+
+def test_run_grid_generator(capsys):
+    code = main(
+        [
+            "run",
+            "--workload", "mlp",
+            "--policy", "default",
+            "--generator", "grid",
+            "--configs", "4",
+            "--machines", "2",
+            "--no-stop-on-target",
+            "--tmax-hours", "1",
+        ]
+    )
+    assert code == 0
+
+
+def test_record_and_replay_roundtrip(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert (
+        main(
+            [
+                "record-trace",
+                "--workload", "cifar10",
+                "--configs", "6",
+                "--out", str(trace_path),
+            ]
+        )
+        == 0
+    )
+    assert trace_path.exists()
+    assert (
+        main(
+            [
+                "replay",
+                "--trace", str(trace_path),
+                "--policy", "default",
+                "--machines", "2",
+                "--orders", "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "order 0" in out and "order 1" in out
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--policy", "nonsense"])

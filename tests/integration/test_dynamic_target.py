@@ -1,0 +1,97 @@
+"""Tests for the §9 dynamic-target mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import standard_configs
+from repro.framework.experiment import ExperimentSpec
+from repro.policies.default import DefaultPolicy
+from repro.core.pop import POPPolicy
+from repro.sim.runner import run_simulation
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="stop_on_target=False"):
+        ExperimentSpec(dynamic_target=True, stop_on_target=True)
+    with pytest.raises(ValueError, match="target_increment"):
+        ExperimentSpec(
+            dynamic_target=True, stop_on_target=False, target_increment=0.0
+        )
+
+
+def test_dynamic_target_records_milestones(cifar10_workload, fast_predictor):
+    configs = standard_configs(cifar10_workload, 12)
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=4,
+            num_configs=12,
+            seed=0,
+            stop_on_target=False,
+            dynamic_target=True,
+            target=0.30,
+            target_increment=0.05,
+        ),
+        predictor=fast_predictor,
+    )
+    milestones = result.target_achievements
+    assert len(milestones) >= 2, "several rising targets should be hit"
+    targets = [m.target for m in milestones]
+    assert targets == sorted(targets)
+    assert all(t2 > t1 for t1, t2 in zip(targets, targets[1:]))
+    for milestone in milestones:
+        assert milestone.metric >= milestone.target
+    # time_to_target records the FIRST milestone.
+    assert result.reached_target
+    assert result.time_to_target == milestones[0].timestamp
+
+
+def test_dynamic_target_does_not_stop_experiment(
+    cifar10_workload, fast_predictor
+):
+    configs = standard_configs(cifar10_workload, 8)
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=4,
+            num_configs=8,
+            seed=0,
+            stop_on_target=False,
+            dynamic_target=True,
+            target=0.30,
+        ),
+        predictor=fast_predictor,
+    )
+    # All jobs ran to completion despite targets being reached.
+    assert result.epochs_trained == 8 * cifar10_workload.domain.max_epochs
+
+
+def test_dynamic_target_with_pop(cifar10_workload, fast_predictor):
+    """POP keeps chasing the rising target (its context target is
+    updated in place)."""
+    configs = standard_configs(cifar10_workload, 16)
+    result = run_simulation(
+        cifar10_workload,
+        POPPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=4,
+            num_configs=16,
+            seed=0,
+            stop_on_target=False,
+            dynamic_target=True,
+            target=0.30,
+            target_increment=0.05,
+        ),
+        predictor=fast_predictor,
+    )
+    assert result.target_achievements
+    final_target = result.target_achievements[-1].target
+    assert final_target > 0.30
+    # The best milestone metric approaches the pool's true best.
+    assert result.best_metric >= final_target

@@ -1,0 +1,161 @@
+"""Tests for machine-failure injection and checkpoint recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import standard_configs
+from repro.framework.events import LifecycleKind
+from repro.framework.experiment import ExperimentSpec
+from repro.framework.job import JobState
+from repro.framework.resource_manager import ResourceManager
+from repro.policies.default import DefaultPolicy
+from repro.core.pop import POPPolicy
+from repro.sim.runner import run_simulation
+
+
+# ------------------------------------------------------- resource manager
+
+
+def test_rm_fail_and_recover_idle_machine():
+    rm = ResourceManager(2)
+    rm.fail_machine("machine-00")
+    assert rm.is_failed("machine-00")
+    assert rm.num_idle == 1
+    assert rm.num_failed == 1
+    # A failed machine cannot be reserved.
+    assert rm.reserve_idle_machine() == "machine-01"
+    assert rm.reserve_idle_machine() is None
+    rm.recover_machine("machine-00")
+    assert rm.reserve_idle_machine() == "machine-00"
+
+
+def test_rm_fail_busy_machine():
+    rm = ResourceManager(1)
+    machine = rm.reserve_idle_machine()
+    rm.fail_machine(machine)
+    assert rm.num_busy == 0
+    with pytest.raises(ValueError, match="not reserved"):
+        rm.release_machine(machine)
+
+
+def test_rm_failure_validation():
+    rm = ResourceManager(1)
+    with pytest.raises(ValueError, match="unknown machine"):
+        rm.fail_machine("machine-99")
+    rm.fail_machine("machine-00")
+    with pytest.raises(ValueError, match="already failed"):
+        rm.fail_machine("machine-00")
+    with pytest.raises(ValueError, match="not failed"):
+        rm.recover_machine("machine-77")
+
+
+# ------------------------------------------------------------- job
+
+
+def test_job_truncate_history():
+    from repro.framework.events import AppStat
+    from repro.framework.job import Job
+
+    job = Job(job_id="j", config={})
+    for epoch in range(1, 6):
+        job.record(AppStat("j", epoch, 0.1 * epoch, 60.0, epoch * 60.0, "m"))
+    lost = job.truncate_history(2)
+    assert lost == 3
+    assert job.epochs_completed == 2
+    with pytest.raises(ValueError):
+        job.truncate_history(-1)
+    assert job.truncate_history(10) == 0
+
+
+# -------------------------------------------------------- end to end
+
+
+def _run(workload, checkpoint, mtbf=2500.0, n_configs=10, seed=0):
+    configs = standard_configs(workload, n_configs)
+    return run_simulation(
+        workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=4,
+            num_configs=n_configs,
+            seed=seed,
+            stop_on_target=False,
+            machine_mtbf=mtbf,
+            machine_recovery_seconds=600.0,
+            checkpoint_interval=checkpoint,
+        ),
+    )
+
+
+def test_failures_do_not_break_completion(cifar10_workload):
+    result = _run(cifar10_workload, checkpoint=10)
+    assert result.machine_failures > 0
+    assert all(job.state is JobState.COMPLETED for job in result.jobs)
+    # Every job trained its full budget despite failures.
+    for job in result.jobs:
+        assert job.epochs_completed == cifar10_workload.domain.max_epochs
+
+
+def test_history_remains_monotonic_after_failures(cifar10_workload):
+    result = _run(cifar10_workload, checkpoint=10)
+    for job in result.jobs:
+        epochs = [stat.epoch for stat in job.history]
+        assert epochs == sorted(set(epochs))
+
+
+def test_checkpointing_bounds_lost_work(cifar10_workload):
+    without = _run(cifar10_workload, checkpoint=None)
+    with_ckpt = _run(cifar10_workload, checkpoint=10)
+    assert with_ckpt.epochs_lost_to_failures < without.epochs_lost_to_failures
+    # With k-epoch checkpoints, each failure loses < k epochs plus the
+    # one in flight.
+    assert (
+        with_ckpt.epochs_lost_to_failures
+        <= with_ckpt.machine_failures * 10
+    )
+
+
+def test_failure_lifecycle_events_recorded(cifar10_workload):
+    result = _run(cifar10_workload, checkpoint=10)
+    kinds = [event.kind for event in result.lifecycle]
+    assert LifecycleKind.MACHINE_FAILED in kinds
+    assert LifecycleKind.MACHINE_RECOVERED in kinds
+
+
+def test_failures_slow_the_experiment(cifar10_workload):
+    calm = _run(cifar10_workload, checkpoint=10, mtbf=None)
+    stormy = _run(cifar10_workload, checkpoint=10, mtbf=1500.0)
+    assert stormy.finished_at > calm.finished_at
+
+
+def test_pop_survives_failures(cifar10_workload, fast_predictor):
+    configs = standard_configs(cifar10_workload, 20)
+    result = run_simulation(
+        cifar10_workload,
+        POPPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=4,
+            num_configs=20,
+            seed=0,
+            machine_mtbf=4000.0,
+            machine_recovery_seconds=600.0,
+            checkpoint_interval=10,
+        ),
+        predictor=fast_predictor,
+    )
+    # The experiment still concludes (target or exhaustion), with
+    # failures in the log.
+    assert result.machine_failures > 0
+    assert result.epochs_trained > 0
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="machine_mtbf"):
+        ExperimentSpec(machine_mtbf=0.0)
+    with pytest.raises(ValueError, match="recovery"):
+        ExperimentSpec(machine_recovery_seconds=-1.0)
+    with pytest.raises(ValueError, match="checkpoint_interval"):
+        ExperimentSpec(checkpoint_interval=0)

@@ -1,0 +1,85 @@
+"""Tests for heterogeneous machine speeds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import standard_configs
+from repro.core.pop import POPPolicy
+from repro.framework.experiment import ExperimentSpec
+from repro.policies.default import DefaultPolicy
+from repro.sim.runner import run_simulation
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="one entry per machine"):
+        ExperimentSpec(num_machines=2, machine_speed_factors=(1.0,))
+    with pytest.raises(ValueError, match="positive"):
+        ExperimentSpec(num_machines=2, machine_speed_factors=(1.0, 0.0))
+
+
+def test_faster_cluster_finishes_sooner(cifar10_workload):
+    configs = standard_configs(cifar10_workload, 6)
+
+    def run(factors):
+        return run_simulation(
+            cifar10_workload,
+            DefaultPolicy(),
+            configs=configs,
+            spec=ExperimentSpec(
+                num_machines=2,
+                num_configs=6,
+                seed=0,
+                stop_on_target=False,
+                machine_speed_factors=factors,
+            ),
+        )
+
+    slow = run((1.0, 1.0))
+    fast = run((2.0, 2.0))
+    assert fast.finished_at < slow.finished_at * 0.6
+    # Same work done, just faster.
+    assert fast.epochs_trained == slow.epochs_trained
+
+
+def test_fast_machine_records_shorter_epochs(cifar10_workload):
+    configs = standard_configs(cifar10_workload, 2)
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=2,
+            num_configs=2,
+            seed=0,
+            stop_on_target=False,
+            machine_speed_factors=(1.0, 4.0),
+        ),
+    )
+    by_machine = {}
+    for job in result.jobs:
+        for stat in job.history:
+            by_machine.setdefault(stat.machine_id, []).append(stat.duration)
+    means = {m: np.mean(v) for m, v in by_machine.items()}
+    assert means["machine-01"] < means["machine-00"] / 2.5
+
+
+def test_pop_copes_with_heterogeneity(cifar10_workload, fast_predictor):
+    """POP's ERT uses per-job measured epoch durations, so moderate
+    heterogeneity must not break the search."""
+    configs = standard_configs(cifar10_workload, 20)
+    result = run_simulation(
+        cifar10_workload,
+        POPPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=4,
+            num_configs=20,
+            seed=0,
+            machine_speed_factors=(0.5, 1.0, 1.0, 2.0),
+        ),
+        predictor=fast_predictor,
+    )
+    assert result.epochs_trained > 0
+    assert result.best_metric is not None

@@ -1,0 +1,150 @@
+"""Scheduler-level invariant fuzzing.
+
+Runs experiments under a randomly-deciding SAP and checks the global
+invariants any correct scheduler must maintain, regardless of how
+erratic the policy's decisions are.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.experiments import standard_configs
+from repro.framework.events import Decision, IterationFinished, LifecycleKind
+from repro.framework.experiment import ExperimentSpec
+from repro.framework.job import JobState
+from repro.policies.base import DefaultAllocationMixin, SchedulingPolicy
+from repro.sim.runner import run_simulation
+
+
+class ChaoticPolicy(DefaultAllocationMixin, SchedulingPolicy):
+    """Makes pseudo-random (but seeded) decisions every epoch."""
+
+    name = "chaotic"
+
+    def __init__(self, seed: int, suspend_weight=0.1, terminate_weight=0.05):
+        super().__init__()
+        self._rng = np.random.default_rng(seed)
+        self._weights = [
+            1.0 - suspend_weight - terminate_weight,
+            suspend_weight,
+            terminate_weight,
+        ]
+
+    def on_iteration_finish(self, event: IterationFinished) -> Decision:
+        return self._rng.choice(
+            [Decision.CONTINUE, Decision.SUSPEND, Decision.TERMINATE],
+            p=self._weights,
+        )
+
+
+def _run_chaotic(workload, seed, machines=3, n_configs=8):
+    configs = standard_configs(workload, n_configs)
+    return run_simulation(
+        workload,
+        ChaoticPolicy(seed),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=machines,
+            num_configs=n_configs,
+            seed=0,
+            stop_on_target=False,
+            tmax=12 * 3600.0,
+        ),
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_invariants_under_chaotic_policy(seed):
+    from repro.workloads.cifar10 import Cifar10Workload
+
+    workload = _WORKLOAD
+    result = _run_chaotic(workload, seed)
+
+    # 1. Per-job epochs are strictly increasing.
+    for job in result.jobs:
+        epochs = [stat.epoch for stat in job.history]
+        assert epochs == sorted(set(epochs))
+
+    # 2. Terminal states only (tmax aside, chaotic never stops early).
+    for job in result.jobs:
+        assert job.state in (
+            JobState.COMPLETED,
+            JobState.TERMINATED,
+            JobState.SUSPENDED,  # tmax can strand suspended jobs
+            JobState.PENDING,
+            JobState.RUNNING,
+        )
+
+    # 3. Lifecycle timestamps are monotone.
+    times = [event.timestamp for event in result.lifecycle]
+    assert times == sorted(times)
+
+    # 4. Every resume follows a suspend of the same job.
+    suspended_at = {}
+    for event in result.lifecycle:
+        if event.kind is LifecycleKind.SUSPENDED:
+            suspended_at[event.job_id] = event.timestamp
+        elif event.kind is LifecycleKind.RESUMED:
+            assert event.job_id in suspended_at
+            assert event.timestamp >= suspended_at[event.job_id]
+
+    # 5. Suspends produced snapshots.
+    suspend_events = [
+        e for e in result.lifecycle if e.kind is LifecycleKind.SUSPENDED
+    ]
+    assert len(result.snapshots) == len(suspend_events)
+
+    # 6. No metric exceeds the workload's possible range.
+    for job in result.jobs:
+        for value in job.metrics:
+            assert 0.0 <= value <= 1.0
+
+
+_WORKLOAD = None
+
+
+def setup_module(module):
+    from repro.workloads.cifar10 import Cifar10Workload
+
+    global _WORKLOAD
+    _WORKLOAD = Cifar10Workload()
+
+
+def test_simulation_is_deterministic():
+    """Identical inputs produce identical results, event for event."""
+    a = _run_chaotic(_WORKLOAD, seed=5)
+    b = _run_chaotic(_WORKLOAD, seed=5)
+    assert a.epochs_trained == b.epochs_trained
+    assert a.finished_at == b.finished_at
+    assert [e.kind for e in a.lifecycle] == [e.kind for e in b.lifecycle]
+    assert [e.timestamp for e in a.lifecycle] == [
+        e.timestamp for e in b.lifecycle
+    ]
+
+
+def test_chaotic_policy_with_failures_keeps_invariants():
+    configs = standard_configs(_WORKLOAD, 8)
+    result = run_simulation(
+        _WORKLOAD,
+        ChaoticPolicy(7),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=3,
+            num_configs=8,
+            seed=0,
+            stop_on_target=False,
+            tmax=12 * 3600.0,
+            machine_mtbf=3000.0,
+            machine_recovery_seconds=300.0,
+            checkpoint_interval=7,
+        ),
+    )
+    assert result.machine_failures > 0
+    for job in result.jobs:
+        epochs = [stat.epoch for stat in job.history]
+        assert epochs == sorted(set(epochs))

@@ -1,0 +1,69 @@
+"""Tests for the ASCII renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import histogram, line_chart, sparkline
+
+
+def test_sparkline_basic():
+    line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert len(line) == 8
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+def test_sparkline_resampled_width():
+    assert len(sparkline(range(100), width=20)) == 20
+
+
+def test_sparkline_flat_series():
+    assert sparkline([3.0, 3.0, 3.0]) == "▁▁▁"
+
+
+def test_sparkline_validation():
+    with pytest.raises(ValueError):
+        sparkline([])
+    with pytest.raises(ValueError):
+        sparkline([1.0], width=0)
+
+
+def test_line_chart_contains_markers_and_legend():
+    chart = line_chart(
+        {"pop": np.linspace(0, 1, 50), "bandit": np.linspace(1, 0, 50)},
+        width=40,
+        height=8,
+    )
+    assert "p" in chart and "b" in chart
+    assert "p=pop" in chart and "b=bandit" in chart
+    rows = chart.splitlines()
+    assert len(rows) == 8 + 2  # plot + axis + legend
+
+
+def test_line_chart_y_range_annotations():
+    chart = line_chart({"x": [2.0, 4.0]}, width=10, height=5)
+    assert "4" in chart.splitlines()[0]
+    assert "2" in chart.splitlines()[4]
+
+
+def test_line_chart_validation():
+    with pytest.raises(ValueError):
+        line_chart({})
+    with pytest.raises(ValueError):
+        line_chart({"a": [1]}, width=2, height=2)
+
+
+def test_histogram_counts():
+    out = histogram([1, 1, 1, 5, 5, 9], bins=3, width=10, label="demo")
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert len(lines) == 4
+    assert lines[1].endswith("3")  # first bin holds the three 1s
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        histogram([])
+    with pytest.raises(ValueError):
+        histogram([1.0], bins=0)

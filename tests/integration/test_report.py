@@ -1,0 +1,62 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import standard_configs
+from repro.analysis.report import render_report, report_from_json
+from repro.core.pop import POPPolicy
+from repro.framework.experiment import ExperimentSpec
+from repro.sim.runner import run_simulation
+
+
+@pytest.fixture(scope="module")
+def result(cifar10_workload, fast_predictor):
+    configs = standard_configs(cifar10_workload, 10)
+    return run_simulation(
+        cifar10_workload,
+        POPPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=3, num_configs=10, seed=0, stop_on_target=False
+        ),
+        predictor=fast_predictor,
+    )
+
+
+def test_render_report_from_result(result):
+    report = render_report(result)
+    assert report.startswith("# Experiment report — policy `pop`")
+    assert "## Job outcomes" in report
+    assert "## Top" in report
+    assert "epochs trained" in report
+
+
+def test_render_report_from_dict(result):
+    report = render_report(result.to_dict())
+    assert "policy `pop`" in report
+
+
+def test_report_from_json_roundtrip(result, tmp_path):
+    path = tmp_path / "r.json"
+    result.save_json(path)
+    report = report_from_json(path)
+    assert "# Experiment report" in report
+    # sparklines present for top jobs
+    assert "▁" in report or "█" in report
+
+
+def test_report_includes_suspends_when_present(result):
+    report = render_report(result)
+    if result.snapshots:
+        assert "## Suspend/resume overhead" in report
+
+
+def test_cli_report(result, tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "r.json"
+    result.save_json(path)
+    assert main(["report", "--result", str(path)]) == 0
+    assert "# Experiment report" in capsys.readouterr().out

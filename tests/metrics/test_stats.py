@@ -1,0 +1,110 @@
+"""Tests for statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import (
+    bootstrap_mean_ci,
+    box_stats,
+    ecdf,
+    minmax_denormalize,
+    minmax_normalize,
+    speedup,
+)
+
+
+def test_minmax_normalize_paper_values():
+    """Eq. 4 with the paper's r_min=-500, r_max=300."""
+    values = minmax_normalize([-500.0, -100.0, 300.0])
+    np.testing.assert_allclose(values, [0.0, 0.5, 1.0])
+
+
+def test_minmax_clips_out_of_range():
+    values = minmax_normalize([-900.0, 900.0])
+    np.testing.assert_allclose(values, [0.0, 1.0])
+
+
+def test_minmax_roundtrip():
+    raw = np.array([-450.0, 0.0, 250.0])
+    back = minmax_denormalize(minmax_normalize(raw))
+    np.testing.assert_allclose(back, raw)
+
+
+def test_minmax_validation():
+    with pytest.raises(ValueError):
+        minmax_normalize([0.0], r_min=1.0, r_max=1.0)
+    with pytest.raises(ValueError):
+        minmax_denormalize([0.5], r_min=1.0, r_max=0.0)
+
+
+def test_ecdf_basic():
+    values, fractions = ecdf([3.0, 1.0, 2.0])
+    np.testing.assert_allclose(values, [1.0, 2.0, 3.0])
+    np.testing.assert_allclose(fractions, [1 / 3, 2 / 3, 1.0])
+
+
+def test_ecdf_empty_rejected():
+    with pytest.raises(ValueError):
+        ecdf([])
+
+
+def test_box_stats():
+    stats = box_stats([1.0, 2.0, 3.0, 4.0, 100.0])
+    assert stats.minimum == 1.0
+    assert stats.median == 3.0
+    assert stats.maximum == 100.0
+    assert stats.spread == 99.0
+    assert stats.mean == pytest.approx(22.0)
+    with pytest.raises(ValueError):
+        box_stats([])
+
+
+def test_bootstrap_ci_contains_mean():
+    rng_values = np.random.default_rng(0).normal(10.0, 2.0, size=200)
+    mean, low, high = bootstrap_mean_ci(rng_values, confidence=0.95)
+    assert low < mean < high
+    assert low < 10.0 < high
+    assert high - low < 2.0
+
+
+def test_bootstrap_validation():
+    with pytest.raises(ValueError):
+        bootstrap_mean_ci([], confidence=0.95)
+    with pytest.raises(ValueError):
+        bootstrap_mean_ci([1.0], confidence=1.5)
+
+
+def test_speedup():
+    assert speedup([100.0, 110.0], [50.0, 55.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        speedup([10.0], [0.0])
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-499.0, max_value=299.0), min_size=1, max_size=50
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_normalize_always_in_unit_interval(values):
+    out = minmax_normalize(values)
+    assert np.all((out >= 0.0) & (out <= 1.0))
+    # weakly order-preserving for in-range values (ties may collapse
+    # in floating point, but the ordering never inverts)
+    order = np.argsort(values, kind="stable")
+    assert np.all(np.diff(out[order]) >= 0.0)
+
+
+@given(
+    st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=60)
+)
+@settings(max_examples=50, deadline=None)
+def test_ecdf_properties(values):
+    sorted_values, fractions = ecdf(values)
+    assert np.all(np.diff(sorted_values) >= 0)
+    assert np.all(np.diff(fractions) > 0)
+    assert fractions[-1] == 1.0

@@ -1,0 +1,256 @@
+"""Unit tests for the Default, Bandit, and EarlyTerm SAPs."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from repro.curves.predictor import CurvePrediction
+from repro.framework.appstat_db import AppStatDB
+from repro.framework.events import AppStat, Decision, IterationFinished
+from repro.framework.job import Job, JobState
+from repro.framework.job_manager import JobManager
+from repro.framework.policy_api import PolicyContext
+from repro.framework.resource_manager import ResourceManager
+from repro.policies.bandit import BanditPolicy
+from repro.policies.default import DefaultPolicy
+from repro.policies.earlyterm import EarlyTermPolicy
+from repro.workloads.base import DomainSpec
+
+SL_DOMAIN = DomainSpec(
+    kind="supervised",
+    metric_name="validation_accuracy",
+    target=0.77,
+    kill_threshold=0.15,
+    random_performance=0.10,
+    max_epochs=120,
+    eval_boundary=10,
+)
+
+RL_DOMAIN = DomainSpec(
+    kind="reinforcement",
+    metric_name="reward",
+    target=200.0,
+    kill_threshold=-100.0,
+    random_performance=-200.0,
+    max_epochs=200,
+    eval_boundary=20,
+    r_min=-500.0,
+    r_max=300.0,
+)
+
+
+class Harness:
+    def __init__(self, domain=SL_DOMAIN, machines=4):
+        self.jm = JobManager()
+        self.rm = ResourceManager(machines)
+        self.started = []
+        self.predictions: Dict[str, CurvePrediction] = {}
+        self.ctx = PolicyContext(
+            job_manager=self.jm,
+            resource_manager=self.rm,
+            appstat_db=AppStatDB(),
+            domain=domain,
+            tmax=48 * 3600.0,
+            target=domain.target,
+            now=lambda: 0.0,
+            start=self._start,
+            predict=lambda job_id, n: self.predictions[job_id],
+        )
+
+    def _start(self, job_id, machine_id):
+        job = self.jm.get(job_id)
+        if job.state is JobState.PENDING:
+            self.jm.start_job(job_id, machine_id)
+        else:
+            self.jm.resume_job(job_id, machine_id)
+        self.started.append((job_id, machine_id))
+
+    def add_job(self, job_id):
+        self.jm.add_job(Job(job_id=job_id, config={}))
+
+    def stat(self, job_id, epoch, metric):
+        return AppStat(job_id, epoch, metric, 60.0, epoch * 60.0, "machine-00")
+
+    def event(self, job_id, epoch, metric):
+        return IterationFinished(job_id, epoch, metric, 0.0, "machine-00", False)
+
+
+# ------------------------------------------------------------- Default
+
+
+def test_default_always_continues():
+    harness = Harness()
+    policy = DefaultPolicy()
+    policy.bind(harness.ctx)
+    for epoch in (1, 10, 100):
+        assert (
+            policy.on_iteration_finish(harness.event("j", epoch, 0.1))
+            is Decision.CONTINUE
+        )
+
+
+def test_default_greedy_allocation():
+    harness = Harness(machines=2)
+    policy = DefaultPolicy()
+    policy.bind(harness.ctx)
+    for i in range(5):
+        harness.add_job(f"j{i}")
+    policy.allocate_jobs()
+    assert [s[0] for s in harness.started] == ["j0", "j1"]
+    assert harness.rm.num_idle == 0
+
+
+def test_unbound_policy_raises():
+    with pytest.raises(RuntimeError, match="not bound"):
+        DefaultPolicy().allocate_jobs()
+
+
+# -------------------------------------------------------------- Bandit
+
+
+def test_bandit_tracks_bests():
+    harness = Harness()
+    policy = BanditPolicy()
+    policy.bind(harness.ctx)
+    policy.application_stat(harness.stat("a", 1, 0.6))
+    policy.application_stat(harness.stat("a", 2, 0.4))
+    policy.application_stat(harness.stat("b", 1, 0.7))
+    assert policy.global_best == pytest.approx(0.7)
+    assert policy._job_best["a"] == pytest.approx(0.6)
+
+
+def test_bandit_kill_rule():
+    harness = Harness()
+    policy = BanditPolicy(epsilon=0.5)
+    policy.bind(harness.ctx)
+    policy.application_stat(harness.stat("good", 1, 0.9))
+    policy.application_stat(harness.stat("bad", 1, 0.5))
+    # 0.5 * 1.5 = 0.75 < 0.9 -> kill at boundary
+    assert (
+        policy.on_iteration_finish(harness.event("bad", 10, 0.5))
+        is Decision.TERMINATE
+    )
+    # 0.9 * 1.5 > 0.9 -> survive
+    assert (
+        policy.on_iteration_finish(harness.event("good", 10, 0.9))
+        is Decision.CONTINUE
+    )
+
+
+def test_bandit_only_acts_on_boundaries():
+    harness = Harness()
+    policy = BanditPolicy()
+    policy.bind(harness.ctx)
+    policy.application_stat(harness.stat("good", 1, 0.9))
+    policy.application_stat(harness.stat("bad", 1, 0.1))
+    assert (
+        policy.on_iteration_finish(harness.event("bad", 9, 0.1))
+        is Decision.CONTINUE
+    )
+
+
+def test_bandit_continues_before_any_stats():
+    harness = Harness()
+    policy = BanditPolicy()
+    policy.bind(harness.ctx)
+    assert (
+        policy.on_iteration_finish(harness.event("j", 10, 0.1))
+        is Decision.CONTINUE
+    )
+
+
+def test_bandit_rl_uses_normalized_rewards():
+    harness = Harness(domain=RL_DOMAIN)
+    policy = BanditPolicy()
+    policy.bind(harness.ctx)
+    policy.application_stat(harness.stat("good", 1, 150.0))  # norm 0.8125
+    policy.application_stat(harness.stat("bad", 1, -180.0))  # norm 0.4
+    # 0.4 * 1.5 = 0.6 < 0.8125 -> kill despite both rewards "negative-ish"
+    assert (
+        policy.on_iteration_finish(harness.event("bad", 20, -180.0))
+        is Decision.TERMINATE
+    )
+
+
+def test_bandit_boundary_defaults():
+    harness = Harness(domain=RL_DOMAIN)
+    policy = BanditPolicy()
+    policy.bind(harness.ctx)
+    assert policy.eval_boundary == 20
+    assert BanditPolicy(eval_boundary=7)._eval_boundary == 7
+    with pytest.raises(ValueError, match="epsilon"):
+        BanditPolicy(epsilon=-0.1)
+
+
+# ----------------------------------------------------------- EarlyTerm
+
+
+def _prediction(final_level: float) -> CurvePrediction:
+    return CurvePrediction(
+        observed=np.array([0.1]),
+        horizon=np.arange(31, 121),
+        samples=np.full((20, 90), final_level),
+    )
+
+
+def test_earlyterm_kills_predicted_losers():
+    harness = Harness()
+    policy = EarlyTermPolicy()
+    policy.bind(harness.ctx)
+    policy.application_stat(harness.stat("best", 1, 0.8))
+    harness.predictions["loser"] = _prediction(0.5)
+    assert (
+        policy.on_iteration_finish(harness.event("loser", 30, 0.4))
+        is Decision.TERMINATE
+    )
+
+
+def test_earlyterm_keeps_contenders():
+    harness = Harness()
+    policy = EarlyTermPolicy()
+    policy.bind(harness.ctx)
+    policy.application_stat(harness.stat("best", 1, 0.8))
+    harness.predictions["contender"] = _prediction(0.85)
+    assert (
+        policy.on_iteration_finish(harness.event("contender", 30, 0.5))
+        is Decision.CONTINUE
+    )
+
+
+def test_earlyterm_boundary_is_30_for_supervised():
+    harness = Harness()
+    policy = EarlyTermPolicy()
+    policy.bind(harness.ctx)
+    assert policy.eval_boundary == 30
+    policy.application_stat(harness.stat("best", 1, 0.9))
+    harness.predictions["j"] = _prediction(0.0)
+    # epoch 10 is not a boundary for EarlyTerm -> continue, no predict
+    assert (
+        policy.on_iteration_finish(harness.event("j", 10, 0.1))
+        is Decision.CONTINUE
+    )
+
+
+def test_earlyterm_rl_boundary_follows_domain():
+    harness = Harness(domain=RL_DOMAIN)
+    policy = EarlyTermPolicy()
+    policy.bind(harness.ctx)
+    assert policy.eval_boundary == 20
+
+
+def test_earlyterm_continues_before_any_stats():
+    harness = Harness()
+    policy = EarlyTermPolicy()
+    policy.bind(harness.ctx)
+    assert (
+        policy.on_iteration_finish(harness.event("j", 30, 0.2))
+        is Decision.CONTINUE
+    )
+
+
+def test_earlyterm_delta_validation():
+    with pytest.raises(ValueError, match="delta"):
+        EarlyTermPolicy(delta=0.0)

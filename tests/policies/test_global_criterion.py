@@ -1,0 +1,93 @@
+"""Tests for the global-criterion SAP wrapper (§9 Ongoing Work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.framework.experiment import ExperimentSpec
+from repro.policies.default import DefaultPolicy
+from repro.policies.global_criterion import GlobalCriterionPolicy
+from repro.sim.runner import run_simulation
+from repro.workloads.lstm_sparsity import LSTMSparsityWorkload
+from repro.generators.random_gen import RandomGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return LSTMSparsityWorkload()
+
+
+@pytest.fixture(scope="module")
+def configs(workload):
+    generator = RandomGenerator(workload.space, seed=5, max_configs=40)
+    return [generator.create_job()[1] for _ in range(40)]
+
+
+def test_name_defaults_to_inner():
+    policy = GlobalCriterionPolicy(DefaultPolicy(), lambda stat: False)
+    assert policy.name == "default+criterion"
+    named = GlobalCriterionPolicy(DefaultPolicy(), lambda s: False, name="x")
+    assert named.name == "x"
+
+
+def test_criterion_stops_experiment(workload, configs):
+    def sparse_and_accurate(stat):
+        return (
+            stat.metric >= 0.85
+            and stat.extras.get("sparsity", 0.0) >= 0.35
+        )
+
+    policy = GlobalCriterionPolicy(DefaultPolicy(), sparse_and_accurate)
+    result = run_simulation(
+        workload,
+        policy,
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=8,
+            num_configs=len(configs),
+            seed=0,
+            stop_on_target=False,  # only the criterion may stop it
+        ),
+    )
+    assert policy.satisfied_by is not None
+    stat = policy.satisfied_by
+    assert stat.metric >= 0.85
+    assert stat.extras["sparsity"] >= 0.35
+    assert result.reached_target
+    assert result.time_to_target is not None
+    # The experiment stopped early: far fewer epochs than exhaustive.
+    assert result.epochs_trained < len(configs) * workload.domain.max_epochs
+
+
+def test_never_satisfied_criterion_runs_to_completion(workload, configs):
+    policy = GlobalCriterionPolicy(DefaultPolicy(), lambda stat: False)
+    result = run_simulation(
+        workload,
+        policy,
+        configs=configs[:6],
+        spec=ExperimentSpec(
+            num_machines=3, num_configs=6, seed=0, stop_on_target=False
+        ),
+    )
+    assert policy.satisfied_by is None
+    assert not result.reached_target
+    assert result.epochs_trained == 6 * workload.domain.max_epochs
+
+
+def test_inner_decisions_still_apply(workload, configs):
+    """The wrapper must delegate scheduling to the inner SAP."""
+    from repro.policies.bandit import BanditPolicy
+
+    policy = GlobalCriterionPolicy(BanditPolicy(), lambda stat: False)
+    result = run_simulation(
+        workload,
+        policy,
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=8,
+            num_configs=len(configs),
+            seed=0,
+            stop_on_target=False,
+        ),
+    )
+    assert result.terminated_count > 0  # bandit eliminations happened

@@ -1,0 +1,72 @@
+"""Tests for the full HyperBand policy (multi-bracket extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import standard_configs
+from repro.framework.experiment import ExperimentSpec
+from repro.framework.job import JobState
+from repro.policies.hyperband import HyperBandPolicy
+from repro.sim.runner import run_simulation
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="eta"):
+        HyperBandPolicy(eta=0.9)
+
+
+def _run(workload, n_configs=24, machines=4, **kwargs):
+    configs = standard_configs(workload, n_configs)
+    policy = HyperBandPolicy(**kwargs)
+    result = run_simulation(
+        workload,
+        policy,
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=machines,
+            num_configs=n_configs,
+            seed=0,
+            stop_on_target=False,
+        ),
+    )
+    return result, policy
+
+
+def test_hyperband_processes_every_job(cifar10_workload):
+    result, _ = _run(cifar10_workload)
+    for job in result.jobs:
+        assert job.state in (JobState.COMPLETED, JobState.TERMINATED)
+        assert job.epochs_completed > 0
+
+
+def test_hyperband_builds_multiple_brackets(cifar10_workload):
+    result, policy = _run(cifar10_workload)
+    assert policy._brackets is not None
+    assert len(policy._brackets) >= 2
+    # Brackets partition the jobs.
+    all_ids = set()
+    for ids, _ in policy._brackets:
+        assert not (all_ids & ids)
+        all_ids |= ids
+    assert len(all_ids) == len(result.jobs)
+    # Earlier brackets start with smaller budgets.
+    budgets = [r0 for _, r0 in policy._brackets]
+    assert budgets == sorted(budgets)
+
+
+def test_hyperband_cheaper_than_exhaustive(cifar10_workload):
+    result, _ = _run(cifar10_workload)
+    exhaustive = 24 * cifar10_workload.domain.max_epochs
+    assert result.epochs_trained < exhaustive / 2
+
+
+def test_hyperband_finds_good_config(cifar10_workload):
+    configs = standard_configs(cifar10_workload, 24)
+    finals = [
+        cifar10_workload.create_run(c, seed=0).true_final_accuracy
+        for c in configs
+    ]
+    result, _ = _run(cifar10_workload)
+    # The best explored metric is near the pool's true best.
+    assert result.best_metric >= sorted(finals)[-4] - 0.05

@@ -1,0 +1,100 @@
+"""Tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationEngine
+
+
+def test_events_fire_in_time_order():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(5.0, lambda: fired.append("b"))
+    engine.schedule(1.0, lambda: fired.append("a"))
+    engine.schedule(9.0, lambda: fired.append("c"))
+    end = engine.run()
+    assert fired == ["a", "b", "c"]
+    assert end == 9.0
+
+
+def test_ties_break_by_insertion_order():
+    engine = SimulationEngine()
+    fired = []
+    for tag in "abc":
+        engine.schedule(1.0, lambda t=tag: fired.append(t))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_nested_scheduling():
+    engine = SimulationEngine()
+    fired = []
+
+    def first():
+        fired.append(("first", engine.now))
+        engine.schedule(2.0, lambda: fired.append(("second", engine.now)))
+
+    engine.schedule(1.0, first)
+    engine.run()
+    assert fired == [("first", 1.0), ("second", 3.0)]
+
+
+def test_negative_delay_rejected():
+    engine = SimulationEngine()
+    with pytest.raises(ValueError, match="past"):
+        engine.schedule(-0.1, lambda: None)
+
+
+def test_until_leaves_future_events_queued():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(1.0, lambda: fired.append(1))
+    engine.schedule(10.0, lambda: fired.append(2))
+    end = engine.run(until=5.0)
+    assert fired == [1]
+    assert end == 5.0
+    assert engine.pending_events == 1
+    engine.run()
+    assert fired == [1, 2]
+
+
+def test_stop_when_checked_before_each_event():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(1.0, lambda: fired.append(1))
+    engine.schedule(2.0, lambda: fired.append(2))
+    engine.run(stop_when=lambda: len(fired) >= 1)
+    assert fired == [1]
+
+
+def test_stop_method():
+    engine = SimulationEngine()
+    fired = []
+
+    def stopper():
+        fired.append("x")
+        engine.stop()
+
+    engine.schedule(1.0, stopper)
+    engine.schedule(2.0, lambda: fired.append("y"))
+    engine.run()
+    assert fired == ["x"]
+
+
+def test_clock_starts_at_zero():
+    assert SimulationEngine().now == 0.0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_clock_is_monotonic_for_any_schedule(delays):
+    engine = SimulationEngine()
+    observed = []
+    for delay in delays:
+        engine.schedule(delay, lambda: observed.append(engine.now))
+    engine.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)

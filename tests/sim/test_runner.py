@@ -1,0 +1,111 @@
+"""Tests for the simulation runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import standard_configs
+from repro.framework.experiment import ExperimentSpec
+from repro.framework.job import JobState
+from repro.generators.random_gen import RandomGenerator
+from repro.policies.default import DefaultPolicy
+from repro.sim.runner import run_simulation
+
+
+def test_requires_generator_xor_configs(cifar10_workload):
+    with pytest.raises(ValueError, match="exactly one"):
+        run_simulation(cifar10_workload, DefaultPolicy())
+    gen = RandomGenerator(cifar10_workload.space, seed=0)
+    configs = standard_configs(cifar10_workload, 2)
+    with pytest.raises(ValueError, match="exactly one"):
+        run_simulation(
+            cifar10_workload, DefaultPolicy(), generator=gen, configs=configs
+        )
+
+
+def test_all_jobs_complete_without_target(cifar10_workload):
+    configs = standard_configs(cifar10_workload, 6)
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=2, num_configs=6, seed=0, stop_on_target=False
+        ),
+    )
+    assert all(job.state is JobState.COMPLETED for job in result.jobs)
+    assert result.epochs_trained == 6 * cifar10_workload.domain.max_epochs
+
+
+def test_machines_never_idle_while_work_remains(cifar10_workload):
+    """Work-conservation: with stop_on_target off, total busy time is
+    within one epoch-batch of makespan * machines."""
+    configs = standard_configs(cifar10_workload, 4)
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=2, num_configs=4, seed=0, stop_on_target=False
+        ),
+    )
+    busy = sum(job.total_training_time for job in result.jobs)
+    assert busy >= 0.9 * result.finished_at * 2
+
+
+def test_tmax_caps_experiment(cifar10_workload):
+    configs = standard_configs(cifar10_workload, 4)
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=1,
+            num_configs=4,
+            seed=0,
+            tmax=3600.0,
+            stop_on_target=False,
+        ),
+    )
+    assert result.finished_at <= 3600.0
+    assert result.epochs_trained < 4 * 120
+
+
+def test_generator_path_mints_requested_configs(cifar10_workload):
+    gen = RandomGenerator(cifar10_workload.space, seed=1, max_configs=5)
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        generator=gen,
+        spec=ExperimentSpec(
+            num_machines=2, num_configs=5, seed=0, stop_on_target=False
+        ),
+    )
+    assert len(result.jobs) == 5
+
+
+def test_exhausted_generator_handled(cifar10_workload):
+    gen = RandomGenerator(cifar10_workload.space, seed=1, max_configs=3)
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        generator=gen,
+        spec=ExperimentSpec(
+            num_machines=2, num_configs=10, seed=0, stop_on_target=False
+        ),
+    )
+    assert len(result.jobs) == 3
+
+
+def test_timestamps_monotone_in_lifecycle(cifar10_workload):
+    configs = standard_configs(cifar10_workload, 4)
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=2, num_configs=4, seed=0, stop_on_target=False
+        ),
+    )
+    times = [event.timestamp for event in result.lifecycle]
+    assert times == sorted(times)

@@ -1,0 +1,114 @@
+"""Tests for trace recording and replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import standard_configs
+from repro.framework.experiment import ExperimentSpec
+from repro.policies.default import DefaultPolicy
+from repro.sim.runner import run_simulation
+from repro.sim.trace import Trace, TraceWorkload, record_trace
+
+
+@pytest.fixture(scope="module")
+def small_trace(cifar10_workload):
+    configs = standard_configs(cifar10_workload, 6)
+    return record_trace(cifar10_workload, configs, seed=0)
+
+
+def test_record_covers_all_epochs(small_trace, cifar10_workload):
+    assert len(small_trace) == 6
+    for stream in small_trace.streams:
+        assert len(stream) == cifar10_workload.domain.max_epochs
+
+
+def test_replay_reproduces_streams(small_trace):
+    workload = TraceWorkload(small_trace)
+    run = workload.create_run(small_trace.configs[2])
+    for duration, metric in small_trace.streams[2][:20]:
+        result = run.step()
+        assert result.duration == duration
+        assert result.metric == metric
+
+
+def test_replay_unknown_config_rejected(small_trace):
+    workload = TraceWorkload(small_trace)
+    with pytest.raises(KeyError, match="not present"):
+        workload.create_run({"bogus": 1})
+
+
+def test_replay_suspend_resume(small_trace):
+    workload = TraceWorkload(small_trace)
+    run = workload.create_run(small_trace.configs[0])
+    for _ in range(5):
+        run.step()
+    state = run.snapshot_state()
+    after = run.step().metric
+    fresh = workload.create_run(small_trace.configs[0])
+    fresh.restore_state(state)
+    assert fresh.step().metric == after
+    with pytest.raises(ValueError, match="out of range"):
+        fresh.restore_state({"epoch": 9999})
+
+
+def test_reorder_moves_streams_with_configs(small_trace):
+    perm = [5, 4, 3, 2, 1, 0]
+    reordered = small_trace.reorder(perm)
+    assert reordered.configs[0] == small_trace.configs[5]
+    assert reordered.streams[0] == small_trace.streams[5]
+
+
+def test_reorder_validates_permutation(small_trace):
+    with pytest.raises(ValueError, match="rearrangement"):
+        small_trace.reorder([0, 0, 1, 2, 3, 4])
+
+
+def test_shuffled_deterministic(small_trace):
+    assert small_trace.shuffled(3).configs == small_trace.shuffled(3).configs
+    assert small_trace.shuffled(3).configs != small_trace.shuffled(4).configs
+
+
+def test_save_load_roundtrip(small_trace, tmp_path):
+    path = tmp_path / "trace.json"
+    small_trace.save(path)
+    loaded = Trace.load(path)
+    assert loaded.configs == small_trace.configs
+    assert loaded.streams == small_trace.streams
+    assert loaded.domain == small_trace.domain
+
+
+def test_stream_length_validated(small_trace):
+    with pytest.raises(ValueError, match="epochs"):
+        Trace(
+            configs=(small_trace.configs[0],),
+            streams=(((60.0, 0.1),),),
+            domain=small_trace.domain,
+        )
+
+
+def test_final_metrics(small_trace):
+    finals = small_trace.final_metrics()
+    assert len(finals) == 6
+    assert finals[0] == small_trace.streams[0][-1][1]
+
+
+def test_trace_replay_identical_experiments(small_trace):
+    """Two simulations over the same trace are bit-identical — the
+    property the order-sensitivity study (§7.2.2) depends on."""
+    workload = TraceWorkload(small_trace)
+    spec = ExperimentSpec(num_machines=2, num_configs=6, seed=0, stop_on_target=False)
+    a = run_simulation(workload, DefaultPolicy(), configs=small_trace.configs, spec=spec)
+    b = run_simulation(workload, DefaultPolicy(), configs=small_trace.configs, spec=spec)
+    assert a.epochs_trained == b.epochs_trained
+    assert a.finished_at == b.finished_at
+    assert a.best_metric == b.best_metric
+
+
+def test_trace_workload_space_requires_attachment(small_trace, cifar10_workload):
+    bare = TraceWorkload(small_trace)
+    with pytest.raises(RuntimeError, match="no search space"):
+        _ = bare.space
+    attached = TraceWorkload(small_trace, space=cifar10_workload.space)
+    assert attached.space is cifar10_workload.space

@@ -1,0 +1,165 @@
+"""Tests for the calibrated synthetic CIFAR-10 workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.cifar10 import (
+    MAX_ACCURACY,
+    MAX_EPOCHS,
+    Cifar10Workload,
+    cifar10_space,
+)
+
+
+@pytest.fixture(scope="module")
+def population(cifar10_workload):
+    """Final accuracies of 400 random configurations."""
+    rng = np.random.default_rng(123)
+    finals = []
+    for _ in range(400):
+        config = cifar10_workload.space.sample(rng)
+        run = cifar10_workload.create_run(config, seed=0)
+        finals.append(run.true_final_accuracy)
+    return np.asarray(finals)
+
+
+def test_space_has_14_hyperparameters():
+    assert len(cifar10_space()) == 14
+
+
+def test_domain_parameters_match_paper(cifar10_workload):
+    domain = cifar10_workload.domain
+    assert domain.target == 0.77
+    assert domain.kill_threshold == 0.15
+    assert domain.random_performance == 0.10
+    assert domain.eval_boundary == 10
+    assert domain.max_epochs == 120
+    assert not domain.normalizes
+
+
+def test_nonlearner_fraction_near_paper(population):
+    """Fig 2a: ~32% of configurations at/below random accuracy."""
+    fraction = (population <= 0.12).mean()
+    assert 0.25 <= fraction <= 0.42
+
+
+def test_high_accuracy_fraction_small(population):
+    """Fig 1: only a few percent exceed 75%."""
+    fraction = (population > 0.75).mean()
+    assert 0.01 <= fraction <= 0.12
+
+
+def test_accuracy_never_exceeds_cap(population):
+    assert population.max() <= MAX_ACCURACY + 1e-9
+
+
+def test_achievers_exist(population):
+    assert (population >= 0.77).sum() >= 1
+
+
+def test_curves_are_deterministic_per_config_and_seed(cifar10_workload, rng):
+    config = cifar10_workload.space.sample(rng)
+    a = cifar10_workload.create_run(config, seed=3)
+    b = cifar10_workload.create_run(config, seed=3)
+    for _ in range(10):
+        assert a.step().metric == b.step().metric
+
+
+def test_run_seed_changes_noise_only(cifar10_workload, rng):
+    config = cifar10_workload.space.sample(rng)
+    a = cifar10_workload.create_run(config, seed=0)
+    b = cifar10_workload.create_run(config, seed=1)
+    ma = [a.step().metric for _ in range(30)]
+    mb = [b.step().metric for _ in range(30)]
+    assert ma != mb
+    # ... but the underlying curve is identical (<= ~2% apart, §6.1).
+    assert max(abs(x - y) for x, y in zip(ma, mb)) < 0.05
+    assert a.true_final_accuracy == b.true_final_accuracy
+
+
+def test_epoch_durations_near_one_minute(cifar10_workload, rng):
+    durations = []
+    for _ in range(20):
+        config = cifar10_workload.space.sample(rng)
+        run = cifar10_workload.create_run(config, seed=0)
+        durations.extend(run.step().duration for _ in range(3))
+    mean = np.mean(durations)
+    assert 30.0 <= mean <= 120.0
+
+
+def test_epoch_duration_roughly_constant_per_config(cifar10_workload, rng):
+    config = cifar10_workload.space.sample(rng)
+    run = cifar10_workload.create_run(config, seed=0)
+    durations = [run.step().duration for _ in range(30)]
+    assert np.std(durations) / np.mean(durations) < 0.10  # §9 assumption
+
+
+def test_step_past_budget_raises(cifar10_workload, rng):
+    config = cifar10_workload.space.sample(rng)
+    run = cifar10_workload.create_run(config, seed=0)
+    for _ in range(MAX_EPOCHS):
+        run.step()
+    assert run.finished
+    with pytest.raises(RuntimeError, match="finished"):
+        run.step()
+
+
+def test_snapshot_restore_roundtrip(cifar10_workload, rng):
+    config = cifar10_workload.space.sample(rng)
+    run = cifar10_workload.create_run(config, seed=0)
+    for _ in range(7):
+        run.step()
+    state = run.snapshot_state()
+    next_metric = run.step().metric
+    run.restore_state(state)
+    assert run.epochs_completed == 7
+    assert run.step().metric == pytest.approx(next_metric)
+
+
+def test_restore_validates_epoch(cifar10_workload, rng):
+    config = cifar10_workload.space.sample(rng)
+    run = cifar10_workload.create_run(config, seed=0)
+    with pytest.raises(ValueError, match="out of range"):
+        run.restore_state({"epoch": 999, "rng_state": None})
+
+
+def test_invalid_config_rejected(cifar10_workload):
+    with pytest.raises(ValueError):
+        cifar10_workload.create_run({"learning_rate": 0.1})
+
+
+def test_learning_rate_sweet_spot_beats_extremes(cifar10_workload, rng):
+    """Domain structure: mid-range learning rates outperform extremes
+    on average (what the Bayesian HG exploits)."""
+    def mean_quality(lr):
+        scores = []
+        for _ in range(40):
+            config = cifar10_workload.space.sample(rng)
+            config["learning_rate"] = lr
+            config["momentum"] = 0.9
+            scores.append(cifar10_workload.quality_quantile(config))
+        return np.mean(scores)
+
+    assert mean_quality(1e-3) > mean_quality(0.9)
+    assert mean_quality(1e-3) > mean_quality(2e-5)
+
+
+def test_overtake_pairs_exist(cifar10_workload, rng):
+    """§2.2(a): some slow configs overtake fast ones late in training."""
+    curves = []
+    for _ in range(60):
+        config = cifar10_workload.space.sample(rng)
+        run = cifar10_workload.create_run(config, seed=0)
+        curves.append([run.step().metric for _ in range(MAX_EPOCHS)])
+    found = False
+    for i, a in enumerate(curves):
+        for b in curves[i + 1 :]:
+            early_leader = a if a[30] > b[30] + 0.02 else (b if b[30] > a[30] + 0.02 else None)
+            if early_leader is None:
+                continue
+            other = b if early_leader is a else a
+            if other[-1] > early_leader[-1] + 0.02:
+                found = True
+    assert found

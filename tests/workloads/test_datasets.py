@@ -1,0 +1,72 @@
+"""Tests for synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import make_blobs, make_spirals
+
+
+def test_blobs_shapes_and_split():
+    data = make_blobs(n_samples=1000, n_features=10, n_classes=5, seed=0)
+    total = data.x_train.shape[0] + data.x_val.shape[0]
+    assert total == 1000
+    assert data.x_train.shape[1] == 10
+    assert data.num_features == 10
+    assert data.num_classes == 5
+    assert data.random_accuracy == pytest.approx(0.2)
+    assert data.x_val.shape[0] == 250
+
+
+def test_blobs_standardized():
+    data = make_blobs(seed=1)
+    full = np.concatenate([data.x_train, data.x_val])
+    np.testing.assert_allclose(full.mean(axis=0), 0.0, atol=1e-9)
+    np.testing.assert_allclose(full.std(axis=0), 1.0, atol=1e-6)
+
+
+def test_blobs_deterministic():
+    a = make_blobs(seed=7)
+    b = make_blobs(seed=7)
+    np.testing.assert_array_equal(a.x_train, b.x_train)
+    np.testing.assert_array_equal(a.y_train, b.y_train)
+
+
+def test_blobs_learnable_structure():
+    """Classes must be separable enough that a linear readout beats
+    random guessing (otherwise no hyperparameter matters)."""
+    data = make_blobs(n_samples=1500, n_classes=4, cluster_std=1.5, seed=2)
+    # nearest-centroid classifier
+    centroids = np.stack(
+        [data.x_train[data.y_train == c].mean(axis=0) for c in range(4)]
+    )
+    distances = ((data.x_val[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+    accuracy = (distances.argmin(axis=1) == data.y_val).mean()
+    assert accuracy > 0.5
+
+
+def test_blobs_validation_errors():
+    with pytest.raises(ValueError):
+        make_blobs(n_samples=5, n_classes=10)
+    with pytest.raises(ValueError):
+        make_blobs(val_fraction=1.0)
+
+
+def test_spirals_basic():
+    data = make_spirals(n_samples=900, n_classes=3, seed=0)
+    assert data.num_classes == 3
+    assert data.num_features == 2
+    assert data.x_train.shape[0] + data.x_val.shape[0] == 900
+
+
+def test_spirals_classes_balanced():
+    data = make_spirals(n_samples=600, n_classes=3, seed=1)
+    all_y = np.concatenate([data.y_train, data.y_val])
+    counts = np.bincount(all_y)
+    assert counts.min() == counts.max() == 200
+
+
+def test_spirals_validation():
+    with pytest.raises(ValueError):
+        make_spirals(n_classes=1)

@@ -1,0 +1,92 @@
+"""Tests for the LSTM structured-sparsity workload (§9 Ongoing Work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.lstm_sparsity import (
+    BEST_PERPLEXITY,
+    RANDOM_PERPLEXITY,
+    LSTMSparsityWorkload,
+    lstm_space,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return LSTMSparsityWorkload()
+
+
+@pytest.fixture()
+def config(workload, rng):
+    return workload.space.sample(rng)
+
+
+def test_space_has_lambda_dimension():
+    space = lstm_space()
+    assert "lasso_lambda" in space.names
+    assert len(space) == 10
+
+
+def test_epoch_reports_both_metrics(workload, config):
+    run = workload.create_run(config, seed=0)
+    result = run.step()
+    assert set(result.extras) == {"perplexity", "sparsity"}
+    assert BEST_PERPLEXITY * 0.9 <= result.extras["perplexity"] <= RANDOM_PERPLEXITY * 1.1
+    assert 0.0 <= result.extras["sparsity"] <= 1.0
+    # Primary metric is derived from perplexity.
+    expected = 1.0 - result.extras["perplexity"] / RANDOM_PERPLEXITY
+    assert result.metric == pytest.approx(max(expected, 0.0), abs=1e-9)
+
+
+def test_perplexity_decreases_over_training(workload, rng):
+    # Use a decent configuration (top quartile by quantile).
+    config = max(
+        (workload.space.sample(rng) for _ in range(30)),
+        key=workload.quality_quantile,
+    )
+    run = workload.create_run(config, seed=0)
+    ppl = [run.step().extras["perplexity"] for _ in range(60)]
+    assert ppl[-1] < ppl[0] * 0.6
+    assert ppl[-1] >= BEST_PERPLEXITY * 0.9
+
+
+def test_sparsity_rises_with_lambda(workload, rng):
+    base = workload.space.sample(rng)
+    low = dict(base, lasso_lambda=1e-6)
+    high = dict(base, lasso_lambda=5e-3)
+    final_sparsity = {}
+    for tag, config in (("low", low), ("high", high)):
+        run = workload.create_run(config, seed=0)
+        for _ in range(60):
+            result = run.step()
+        final_sparsity[tag] = result.extras["sparsity"]
+    assert final_sparsity["high"] > final_sparsity["low"] + 0.2
+
+
+def test_extreme_lambda_hurts_quality(workload, rng):
+    """The λ trade-off: heavy regularisation costs perplexity."""
+    deltas = []
+    for _ in range(20):
+        base = workload.space.sample(rng)
+        gentle = workload.quality_quantile(dict(base, lasso_lambda=1e-5))
+        harsh = workload.quality_quantile(dict(base, lasso_lambda=1e-2))
+        deltas.append(gentle - harsh)
+    assert np.mean(deltas) > 0.1
+
+
+def test_snapshot_roundtrip(workload, config):
+    run = workload.create_run(config, seed=0)
+    for _ in range(5):
+        run.step()
+    state = run.snapshot_state()
+    nxt = run.step().metric
+    run.restore_state(state)
+    assert run.step().metric == pytest.approx(nxt)
+
+
+def test_domain_spec(workload):
+    domain = workload.domain
+    assert domain.metric_name == "quality"
+    assert 0.0 < domain.kill_threshold < domain.target < 1.0

@@ -1,0 +1,119 @@
+"""Tests for the calibrated synthetic LunarLander workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.lunarlander import (
+    CRASH_REWARD,
+    MAX_EPOCHS,
+    REWARD_MAX,
+    REWARD_MIN,
+    SOLVED_REWARD,
+    LunarLanderWorkload,
+    lunarlander_space,
+)
+
+
+@pytest.fixture(scope="module")
+def population(lunarlander_workload):
+    rng = np.random.default_rng(77)
+    runs = []
+    for _ in range(300):
+        config = lunarlander_workload.space.sample(rng)
+        runs.append(lunarlander_workload.create_run(config, seed=0))
+    return runs
+
+
+def test_space_has_11_hyperparameters():
+    assert len(lunarlander_space()) == 11
+
+
+def test_domain_parameters_match_paper(lunarlander_workload):
+    domain = lunarlander_workload.domain
+    assert domain.target == 200.0
+    assert domain.kill_threshold == -100.0
+    assert domain.r_min == -500.0 and domain.r_max == 300.0
+    assert domain.eval_boundary == 20  # 2,000 trials / 100 per epoch
+    assert domain.normalizes
+    assert domain.normalize(-500.0) == 0.0
+    assert domain.normalize(300.0) == 1.0
+
+
+def test_majority_non_learning(population):
+    """§6.3: over 50% of configurations are non-learning."""
+    non_learning = sum(
+        1 for run in population if run.true_final_reward <= CRASH_REWARD + 30
+    )
+    assert non_learning / len(population) > 0.5
+
+
+def test_solver_fraction_small_but_nonzero(population):
+    solvers = sum(run.is_solver for run in population)
+    assert 1 <= solvers <= 0.12 * len(population)
+
+
+def test_rewards_within_declared_range(population, rng):
+    run = population[0]
+    rewards = [run.step().metric for _ in range(50)]
+    assert all(REWARD_MIN <= r <= REWARD_MAX for r in rewards)
+
+
+def test_learning_crash_shape_exists(population):
+    """Fig 8: some configs rise then crash to <= -100 and stay."""
+    found = False
+    for run in population:
+        curve = run._true_curve
+        peak_epoch = int(np.argmax(curve))
+        peak = curve[peak_epoch]
+        if peak > 0 and peak_epoch < MAX_EPOCHS - 20:
+            tail = curve[peak_epoch + 10 :]
+            if tail.size and np.all(tail <= CRASH_REWARD + 40):
+                found = True
+                break
+    assert found
+
+
+def test_crashed_jobs_stay_crashed(population):
+    for run in population:
+        curve = run._true_curve
+        peak = curve.max()
+        if peak > 50 and curve[-1] <= CRASH_REWARD:
+            # after the crash the reward never recovers above -60
+            peak_at = int(np.argmax(curve))
+            after_peak = curve[peak_at:]
+            crash_at = peak_at + int(np.argmax(after_peak <= CRASH_REWARD))
+            assert np.all(curve[crash_at + 5 :] < -60)
+
+
+def test_solved_condition_is_epoch_mean(lunarlander_workload, population):
+    """One epoch = the 100-trial solved window, so a solver's noiseless
+    curve crosses 200 within the budget."""
+    solver = next(run for run in population if run.is_solver)
+    assert np.any(solver._true_curve >= SOLVED_REWARD)
+
+
+def test_snapshot_restore_roundtrip(lunarlander_workload, rng):
+    config = lunarlander_workload.space.sample(rng)
+    run = lunarlander_workload.create_run(config, seed=0)
+    for _ in range(5):
+        run.step()
+    state = run.snapshot_state()
+    next_metric = run.step().metric
+    run.restore_state(state)
+    assert run.step().metric == pytest.approx(next_metric)
+
+
+def test_epoch_durations_positive_and_stable(lunarlander_workload, rng):
+    config = lunarlander_workload.space.sample(rng)
+    run = lunarlander_workload.create_run(config, seed=0)
+    durations = [run.step().duration for _ in range(20)]
+    assert min(durations) > 0
+    assert np.std(durations) / np.mean(durations) < 0.15
+
+
+def test_quality_quantile_in_unit_interval(lunarlander_workload, rng):
+    for _ in range(20):
+        config = lunarlander_workload.space.sample(rng)
+        assert 0.0 < lunarlander_workload.quality_quantile(config) < 1.0

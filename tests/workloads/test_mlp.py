@@ -1,0 +1,121 @@
+"""Tests for the real-training numpy MLP workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import make_blobs
+from repro.workloads.mlp import MLPTrainingRun, MLPWorkload, mlp_space
+
+
+GOOD_CONFIG = {
+    "learning_rate": 0.05,
+    "momentum": 0.9,
+    "l2_reg": 1e-5,
+    "batch_size": 32,
+    "hidden1": 32,
+    "hidden2": 32,
+    "init_scale": 0.1,
+    "activation": "relu",
+}
+
+
+def test_real_training_learns(mlp_workload):
+    """A sensible configuration must genuinely learn the blobs task."""
+    run = mlp_workload.create_run(GOOD_CONFIG, seed=0)
+    initial = run.validation_accuracy()
+    for _ in range(10):
+        result = run.step()
+    assert result.metric > initial + 0.3
+    assert result.metric > 0.6
+
+
+def test_terrible_lr_fails_to_learn(mlp_workload):
+    config = dict(GOOD_CONFIG, learning_rate=1e-4, momentum=0.0)
+    run = mlp_workload.create_run(config, seed=0)
+    for _ in range(5):
+        result = run.step()
+    good = mlp_workload.create_run(GOOD_CONFIG, seed=0)
+    for _ in range(5):
+        good_result = good.step()
+    assert good_result.metric > result.metric
+
+
+def test_divergent_config_keeps_reporting(mlp_workload):
+    """Exploding gradients must not crash the run (frameworks keep
+    emitting stats); accuracy just stays terrible."""
+    config = dict(GOOD_CONFIG, learning_rate=1.0, momentum=0.99, init_scale=1.0)
+    run = mlp_workload.create_run(config, seed=0)
+    for _ in range(3):
+        result = run.step()
+    assert np.isfinite(result.metric)
+    assert 0.0 <= result.metric <= 1.0
+
+
+def test_suspend_resume_bit_exact(mlp_workload):
+    """§5.1: a resumed run continues exactly where it left off."""
+    run = mlp_workload.create_run(GOOD_CONFIG, seed=0)
+    for _ in range(4):
+        run.step()
+    state = run.snapshot_state()
+    continued = [run.step().metric for _ in range(3)]
+
+    fresh = mlp_workload.create_run(GOOD_CONFIG, seed=0)
+    fresh.restore_state(state)
+    resumed = [fresh.step().metric for _ in range(3)]
+    assert continued == resumed
+
+
+def test_snapshot_contains_full_optimizer_state(mlp_workload):
+    run = mlp_workload.create_run(GOOD_CONFIG, seed=0)
+    run.step()
+    state = run.snapshot_state()
+    assert set(state) == {"epoch", "params", "velocity", "rng_state"}
+    assert set(state["params"]) == {"w1", "b1", "w2", "b2", "w3", "b3"}
+    # Mutating the snapshot must not affect the live run.
+    state["params"]["w1"][:] = 0.0
+    before = run.validation_accuracy()
+    assert before > 0  # weights untouched
+
+
+def test_cost_model_duration_scales_with_capacity(mlp_workload):
+    small = mlp_workload.create_run(dict(GOOD_CONFIG, hidden1=8, hidden2=8), seed=0)
+    large = mlp_workload.create_run(
+        dict(GOOD_CONFIG, hidden1=128, hidden2=128), seed=0
+    )
+    assert large.step().duration > small.step().duration
+
+
+def test_measured_wall_time_mode():
+    workload = MLPWorkload(
+        dataset=make_blobs(n_samples=200, n_features=5, n_classes=3, seed=1),
+        max_epochs=5,
+        measure_wall_time=True,
+    )
+    run = workload.create_run(GOOD_CONFIG, seed=0)
+    result = run.step()
+    assert 0 < result.duration < 10.0  # real seconds, tiny dataset
+
+
+def test_space_and_domain(mlp_workload):
+    assert len(mlp_space()) == 8
+    domain = mlp_workload.domain
+    assert domain.kind == "supervised"
+    assert domain.random_performance == pytest.approx(0.25)  # 4 classes
+    assert domain.kill_threshold < domain.target
+
+
+def test_run_budget_enforced(mlp_workload):
+    run = mlp_workload.create_run(GOOD_CONFIG, seed=0)
+    for _ in range(mlp_workload.domain.max_epochs):
+        run.step()
+    assert run.finished
+    with pytest.raises(RuntimeError):
+        run.step()
+
+
+def test_activation_variants_work(mlp_workload):
+    for act in ("relu", "tanh"):
+        run = mlp_workload.create_run(dict(GOOD_CONFIG, activation=act), seed=0)
+        assert np.isfinite(run.step().metric)
