@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 from scipy import stats as scipy_stats
 
 from repro.analysis.experiments import standard_configs

@@ -9,7 +9,6 @@ and epochs lost with and without checkpointing.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.experiments import run_standard_experiment
 from repro.core.pop import POPPolicy

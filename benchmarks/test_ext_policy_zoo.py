@@ -9,7 +9,6 @@ best accuracy found per epoch spent.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.experiments import run_standard_experiment
 from repro.core.pop import POPPolicy

@@ -9,7 +9,6 @@ cost — the same class of perturbations a cluster adds.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.experiments import standard_configs
 from repro.curves.predictor import LeastSquaresCurvePredictor

@@ -23,7 +23,7 @@ from repro.policies.default import DefaultPolicy
 from repro.policies.earlyterm import EarlyTermPolicy
 from repro.sim.runner import run_simulation
 from repro.sim.trace import TraceWorkload, record_trace
-from .conftest import emit, minutes, once
+from .conftest import emit, once
 
 N_ORDERS = 15
 POLICIES = {

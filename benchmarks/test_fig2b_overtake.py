@@ -7,7 +7,6 @@ signal) misidentifies the better configuration.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.figures import find_overtake_pair
 from .conftest import emit, once

@@ -8,9 +8,8 @@ assessed (via the confidence p).
 
 from __future__ import annotations
 
-import numpy as np
 
-from repro.analysis.figures import find_overtake_pair, prediction_with_confidence
+from repro.analysis.figures import prediction_with_confidence
 from repro.analysis.experiments import standard_configs
 from repro.core.ert import estimate_remaining_time
 from repro.sim.runner import default_predictor

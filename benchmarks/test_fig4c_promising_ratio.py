@@ -7,7 +7,6 @@ confidence, the exploitation share grows substantially.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.figures import promising_ratio_timeline
 from .conftest import emit, once

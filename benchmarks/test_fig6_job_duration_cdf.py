@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.figures import job_duration_cdf
 from .conftest import emit, once
 
 

@@ -8,7 +8,6 @@ POP's worst run beats the best run of Bandit and EarlyTerm.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.figures import time_to_target_stats
 from repro.metrics.stats import speedup

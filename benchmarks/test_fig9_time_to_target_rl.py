@@ -8,7 +8,6 @@ Bandit's and 3.5x smaller than EarlyTerm's.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.analysis.figures import time_to_target_stats
 from .conftest import RL_REPEATS, emit, minutes, once

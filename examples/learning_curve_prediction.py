@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro import (
     Cifar10Workload,

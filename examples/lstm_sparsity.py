@@ -16,7 +16,7 @@ Usage::
 from __future__ import annotations
 
 from repro import ExperimentSpec, RandomGenerator, run_simulation
-from repro.policies import DefaultPolicy, GlobalCriterionPolicy, POPPolicy
+from repro.policies import DefaultPolicy, GlobalCriterionPolicy
 from repro.workloads import LSTMSparsityWorkload
 
 QUALITY_FLOOR = 0.85  # perplexity <= 120

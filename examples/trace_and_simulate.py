@@ -17,7 +17,6 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-import numpy as np
 
 from repro import (
     BanditPolicy,

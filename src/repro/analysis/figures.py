@@ -16,7 +16,6 @@ import numpy as np
 from ..core.allocation import slot_curves
 from ..core.pop import POPPolicy
 from ..curves.predictor import CurvePredictor
-from ..framework.events import LifecycleKind
 from ..framework.experiment import ExperimentResult
 from ..metrics.stats import BoxStats, box_stats, ecdf
 from ..workloads.base import Workload

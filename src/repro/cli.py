@@ -86,6 +86,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-result", metavar="PATH", default=None,
         help="archive the full result as JSON",
     )
+    run_parser.add_argument(
+        "--emit-events", metavar="PATH", default=None,
+        help="stream the decision audit trail (SAP decisions with the "
+             "confidence/ERT/threshold inputs behind them, POP "
+             "classifications, lifecycle) as JSONL",
+    )
+    run_parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the metrics registry as Prometheus-style text",
+    )
+    run_parser.add_argument(
+        "--trace", action="store_true",
+        help="keep spans (curve fits, process_epoch, snapshots) and "
+             "print a per-operation timing summary",
+    )
 
     trace_parser = sub.add_parser("record-trace", help="record a replayable trace")
     trace_parser.add_argument("--workload", choices=WORKLOADS, default="cifar10")
@@ -119,15 +134,43 @@ def _default_machines(workload_name: str) -> int:
 
 def _print_result(result) -> None:
     summary = result.summary()
+    time_to_target = summary["time_to_target_min"]
+    best_metric = summary["best_metric"]
     print(f"policy          : {summary['policy']}")
     print(f"reached target  : {summary['reached_target']}")
-    if summary["time_to_target_min"] is not None:
-        print(f"time to target  : {summary['time_to_target_min']:.1f} min")
-    print(f"best metric     : {summary['best_metric']:.4f}")
+    print(
+        "time to target  : "
+        + ("n/a" if time_to_target is None else f"{time_to_target:.1f} min")
+    )
+    # best_metric is None when no epoch completed (e.g. a tiny --tmax-hours).
+    print(
+        "best metric     : "
+        + ("n/a" if best_metric is None else f"{best_metric:.4f}")
+    )
     print(f"epochs trained  : {summary['epochs_trained']}")
     print(f"jobs terminated : {summary['terminated']}")
     print(f"predictions     : {summary['predictions']}")
     print(f"suspends        : {len(result.snapshots)}")
+    if "kills_by_reason" in summary and summary["kills_by_reason"]:
+        breakdown = ", ".join(
+            f"{reason}={int(count)}"
+            for reason, count in sorted(summary["kills_by_reason"].items())
+        )
+        print(f"kills by reason : {breakdown}")
+
+
+def _print_span_summary(recorder) -> None:
+    spans = recorder.tracer.summary()
+    if not spans:
+        return
+    print("spans           :")
+    width = max(len(name) for name in spans)
+    for name, stats in spans.items():
+        print(
+            f"  {name:<{width}}  x{int(stats['count']):<6} "
+            f"wall {stats['wall_seconds']:.3f}s  "
+            f"sim {stats['experiment_seconds']:.1f}s"
+        )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -152,16 +195,51 @@ def _cmd_run(args: argparse.Namespace) -> int:
         tmax=args.tmax_hours * 3600.0,
         stop_on_target=not args.no_stop_on_target,
     )
-    if args.live:
-        from .runtime.local import run_live
+    recorder = None
+    if args.emit_events or args.metrics_out or args.trace:
+        from pathlib import Path
 
-        result = run_live(
-            workload, policy, generator=generator, spec=spec,
-            time_scale=args.time_scale,
-        )
-    else:
-        result = run_simulation(workload, policy, generator=generator, spec=spec)
+        from .observability import JsonlExporter, Recorder
+
+        # Fail fast on unwritable output paths — the exporter opens its
+        # file lazily, which would otherwise crash minutes into the run.
+        for out_path in (args.emit_events, args.metrics_out):
+            if out_path and not Path(out_path).parent.is_dir():
+                print(
+                    f"error: output directory does not exist: {out_path}",
+                    file=sys.stderr,
+                )
+                return 2
+        exporter = JsonlExporter(args.emit_events) if args.emit_events else None
+        recorder = Recorder(exporter=exporter, trace=args.trace)
+    try:
+        if args.live:
+            from .runtime.local import run_live
+
+            result = run_live(
+                workload, policy, generator=generator, spec=spec,
+                time_scale=args.time_scale, recorder=recorder,
+            )
+        else:
+            result = run_simulation(
+                workload, policy, generator=generator, spec=spec,
+                recorder=recorder,
+            )
+    finally:
+        if recorder is not None:
+            recorder.close()
     _print_result(result)
+    if recorder is not None and args.trace:
+        _print_span_summary(recorder)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(recorder.metrics.render_text())
+        print(f"metrics written -> {args.metrics_out}")
+    if args.emit_events:
+        print(
+            f"audit trail     -> {args.emit_events} "
+            f"({recorder.exporter.events_written} events)"
+        )
     if args.save_result:
         result.save_json(args.save_result)
         print(f"result archived -> {args.save_result}")

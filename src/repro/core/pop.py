@@ -24,11 +24,12 @@ left idle while any runnable job exists.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-from ..framework.events import AppStat, Decision, IterationFinished
-from ..framework.job import Job, JobState
-from ..framework.policy_api import SchedulingPolicy
+from ..framework.events import Decision, IterationFinished
+from ..framework.job import Job
+from ..framework.policy_api import PolicyContext, SchedulingPolicy
+from ..observability import NULL_RECORDER
 from .allocation import compute_slot_allocation
 from .classification import (
     CONFIDENCE_LOWER_BOUND,
@@ -81,6 +82,26 @@ class POPPolicy(SchedulingPolicy):
         #: Predictions made per job (confidence kills require >= 2:
         #: a single early estimate is too noisy to end a job on).
         self._prediction_counts: Dict[str, int] = {}
+        #: Why the latest ``on_iteration_finish`` decided what it did —
+        #: consumed by the scheduler's decision audit trail so every
+        #: TERMINATE record carries the inputs that justified it.
+        self.last_decision_rationale: Optional[Dict[str, Any]] = None
+        # Instrument handles; rebound to the live registry in bind().
+        self._m_threshold = NULL_RECORDER.metrics.gauge("pop_threshold")
+        self._m_reclassifications = NULL_RECORDER.metrics.counter(
+            "pop_reclassifications_total"
+        )
+
+    def bind(self, context: PolicyContext) -> None:
+        super().bind(context)
+        metrics = context.recorder.metrics
+        self._m_threshold = metrics.gauge(
+            "pop_threshold", help="Dynamic confidence threshold p* (§3.2)"
+        )
+        self._m_reclassifications = metrics.counter(
+            "pop_reclassifications_total",
+            help="POP reclassification rounds at evaluation boundaries",
+        )
 
     # --------------------------------------------------------------- knobs
 
@@ -140,9 +161,16 @@ class POPPolicy(SchedulingPolicy):
 
         # (1) Domain poor-check before any prediction (§5.3).
         if is_poor_by_domain(job.metrics, ctx.domain, self.grace_epochs):
+            self.last_decision_rationale = {
+                "reason": "domain_poor",
+                "kill_threshold": ctx.domain.kill_threshold,
+                "grace_epochs": self.grace_epochs,
+                "best_metric": max(job.metrics),
+            }
             return Decision.TERMINATE
 
         if event.epoch % self.eval_boundary != 0:
+            self.last_decision_rationale = {"reason": "between_boundaries"}
             return Decision.CONTINUE
 
         # (2) Predict and compute ERT + confidence at the boundary.
@@ -157,6 +185,12 @@ class POPPolicy(SchedulingPolicy):
             and job.confidence < self.confidence_lower_bound
             and self._prediction_counts.get(job.job_id, 0) >= 2
         ):
+            self.last_decision_rationale = {
+                "reason": "confidence_below_bound",
+                "p": job.confidence,
+                "bound": self.confidence_lower_bound,
+                "predictions": self._prediction_counts[job.job_id],
+            }
             return Decision.TERMINATE
 
         # (4) Recompute the dynamic threshold and reclassify everyone.
@@ -164,9 +198,25 @@ class POPPolicy(SchedulingPolicy):
 
         # (5) Decide for the current job.
         if job.promising:
+            self.last_decision_rationale = {
+                "reason": "promising",
+                "p": job.confidence,
+                "p_star": self.threshold,
+            }
             return Decision.CONTINUE
         if ctx.job_manager.num_idle > 0:
+            self.last_decision_rationale = {
+                "reason": "opportunistic_rotation",
+                "p": job.confidence,
+                "p_star": self.threshold,
+                "idle_jobs": ctx.job_manager.num_idle,
+            }
             return Decision.SUSPEND
+        self.last_decision_rationale = {
+            "reason": "work_conserving",
+            "p": job.confidence,
+            "p_star": self.threshold,
+        }
         return Decision.CONTINUE
 
     # ------------------------------------------------------------ internals
@@ -196,6 +246,16 @@ class POPPolicy(SchedulingPolicy):
             epoch_duration=epoch_duration,
             time_remaining=time_remaining,
         )
+        if ctx.recorder.enabled:
+            ctx.recorder.audit.record(
+                "prediction",
+                job_id=job.job_id,
+                epoch=job.epochs_completed,
+                confidence=estimate.confidence,
+                expected_remaining_seconds=estimate.expected_remaining_seconds,
+                horizon_epochs=estimate.horizon_epochs,
+                prediction_accuracy=estimate.prediction_accuracy,
+            )
         # Exponentially smooth the confidence so single noisy
         # predictions do not flap a job between pools (or kill it).
         if job.confidence is None or self.confidence_smoothing == 0.0:
@@ -224,6 +284,11 @@ class POPPolicy(SchedulingPolicy):
         )
         self.threshold = allocation.threshold
         self.promising_slots = allocation.promising_slots
+        self._m_threshold.set(self.threshold)
+        self._m_reclassifications.inc()
+        categories: Optional[Dict[str, str]] = (
+            {} if ctx.recorder.enabled else None
+        )
 
         for job in active:
             category = classify(
@@ -234,6 +299,8 @@ class POPPolicy(SchedulingPolicy):
                 grace_epochs=self.grace_epochs,
                 confidence_lower_bound=self.confidence_lower_bound,
             )
+            if categories is not None:
+                categories[job.job_id] = category.value
             promising = (
                 category is Category.PROMISING and self.promising_slots > 0
             )
@@ -243,3 +310,21 @@ class POPPolicy(SchedulingPolicy):
                 ctx.job_manager.label_job(job.job_id, job.confidence)
             elif job.priority is not None and not promising:
                 job.priority = None
+
+        if categories is not None:
+            # One audit record per reclassification round: the inputs
+            # (confidences, slot math) and the resulting category map.
+            ctx.recorder.audit.record(
+                "pop_classification",
+                threshold=self.threshold,
+                promising_slots=self.promising_slots,
+                effective_slots=allocation.effective_slots,
+                num_promising=allocation.num_promising,
+                active_jobs=len(active),
+                confidences={
+                    job.job_id: job.confidence
+                    for job in active
+                    if job.confidence is not None
+                },
+                categories=categories,
+            )

@@ -36,8 +36,7 @@ before prediction, see :mod:`repro.metrics.stats`).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Sequence, Tuple
 
 import numpy as np

@@ -30,6 +30,7 @@ assumption that P(y(m) >= target) does not decrease with m.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -45,6 +46,7 @@ __all__ = [
     "MCMCCurvePredictor",
     "LeastSquaresCurvePredictor",
     "LastValuePredictor",
+    "InstrumentedCurvePredictor",
 ]
 
 
@@ -327,6 +329,59 @@ class LeastSquaresCurvePredictor(CurvePredictor):
         return CurvePrediction(
             observed=y, horizon=horizon.astype(int), samples=samples
         )
+
+
+class InstrumentedCurvePredictor(CurvePredictor):
+    """Wraps any predictor with fit timing metrics and a span.
+
+    The curve fit (least-squares restarts or the full MCMC run) is the
+    single most expensive computation HyperDrive performs per decision
+    — the reason §5.2 distributes prediction to Node Agents and
+    overlaps it with training.  This wrapper measures it: every
+    ``predict`` records a ``predictor.predict`` span on the experiment
+    clock plus its genuine wall cost in the ``predictor_fit_seconds``
+    histogram, labelled by backend.
+
+    The scheduler applies this wrapper automatically whenever a live
+    :class:`~repro.observability.recorder.Recorder` is attached, so
+    backends and policies never see it.
+    """
+
+    def __init__(self, inner: CurvePredictor, recorder) -> None:
+        self._inner = inner
+        self._recorder = recorder
+        self._backend = type(inner).__name__
+        self._fit_seconds = recorder.metrics.histogram(
+            "predictor_fit_seconds",
+            help="Wall seconds spent fitting/predicting one learning curve",
+        )
+        self._fits_total = recorder.metrics.counter(
+            "predictor_fits_total", help="Curve predictions computed"
+        )
+
+    @property
+    def inner(self) -> CurvePredictor:
+        return self._inner
+
+    def min_observations(self) -> int:
+        return self._inner.min_observations()
+
+    def predict(
+        self, observed: Sequence[float], n_future: int
+    ) -> CurvePrediction:
+        with self._recorder.tracer.span(
+            "predictor.predict",
+            backend=self._backend,
+            n_observed=len(observed),
+            n_future=n_future,
+        ):
+            started = time.perf_counter()
+            try:
+                return self._inner.predict(observed, n_future)
+            finally:
+                wall = time.perf_counter() - started
+                self._fit_seconds.observe(wall, backend=self._backend)
+                self._fits_total.inc(backend=self._backend)
 
 
 class LastValuePredictor(CurvePredictor):

@@ -156,6 +156,10 @@ class ExperimentResult:
     target_achievements: List[TargetAchievement] = field(default_factory=list)
     machine_failures: int = 0
     epochs_lost_to_failures: int = 0
+    #: Observability digest (metrics export, span summary, audit-event
+    #: count, kills by reason) attached by the scheduler when a live
+    #: recorder was used; None when instrumentation was off.
+    observability: Optional[Dict[str, Any]] = None
 
     @property
     def job_training_times(self) -> Dict[str, float]:
@@ -167,8 +171,13 @@ class ExperimentResult:
         return sum(1 for job in self.jobs if job.state.value == "terminated")
 
     def summary(self) -> Dict[str, Any]:
-        """A compact dict for bench output rows."""
-        return {
+        """A compact dict for bench output rows.
+
+        When the run carried a live observability recorder, the
+        summary additionally reports the kill breakdown and audit-
+        trail size from the attached digest.
+        """
+        out = {
             "policy": self.policy_name,
             "reached_target": self.reached_target,
             "time_to_target_min": (
@@ -181,6 +190,12 @@ class ExperimentResult:
             "terminated": self.terminated_count,
             "predictions": self.predictions_made,
         }
+        if self.observability is not None:
+            out["kills_by_reason"] = self.observability.get(
+                "kills_by_reason", {}
+            )
+            out["audit_events"] = self.observability.get("audit_events", 0)
+        return out
 
     def to_dict(self) -> Dict[str, Any]:
         """Full archival record of the experiment (JSON-serialisable).
@@ -218,6 +233,7 @@ class ExperimentResult:
                     "job_id": event.job_id,
                     "timestamp": event.timestamp,
                     "machine_id": event.machine_id,
+                    "detail": event.detail,
                 }
                 for event in self.lifecycle
             ],
@@ -226,6 +242,7 @@ class ExperimentResult:
                 {
                     "job_id": s.job_id,
                     "epoch": s.epoch,
+                    "timestamp": s.timestamp,
                     "latency": s.latency,
                     "size_bytes": s.size_bytes,
                 }
@@ -234,8 +251,17 @@ class ExperimentResult:
             "target_achievements": [
                 asdict(milestone) for milestone in self.target_achievements
             ],
+            "observability": self.observability,
         }
 
-    def save_json(self, path: Union[str, Path]) -> None:
-        """Write :meth:`to_dict` to ``path`` as JSON."""
-        Path(path).write_text(json.dumps(self.to_dict()))
+    def save_json(
+        self, path: Union[str, Path], indent: Optional[int] = None
+    ) -> None:
+        """Write :meth:`to_dict` to ``path`` as JSON (newline-terminated).
+
+        Args:
+            path: destination file.
+            indent: pretty-print indentation; None writes one line.
+        """
+        text = json.dumps(self.to_dict(), indent=indent)
+        Path(path).write_text(text + "\n")

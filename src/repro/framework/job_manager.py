@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional
 
+from ..observability import NULL_RECORDER
 from .job import Job, JobState
 
 __all__ = ["JobManager"]
@@ -32,11 +33,19 @@ class JobManager:
     the actual execution and report back through the scheduler.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, recorder=None) -> None:
         self._jobs: Dict[str, Job] = {}
         self._idle: List[tuple] = []  # (sort_key, job_id) kept sorted lazily
         self._fifo_counter = itertools.count()
         self._enqueue_order: Dict[str, int] = {}
+        recorder = recorder if recorder is not None else NULL_RECORDER
+        self._m_transitions = recorder.metrics.counter(
+            "job_state_transitions_total",
+            help="Job lifecycle transitions, by destination state",
+        )
+        self._m_idle = recorder.metrics.gauge(
+            "jobs_idle", help="Depth of the idle-job queue"
+        )
 
     # ------------------------------------------------------------ plumbing
 
@@ -70,12 +79,14 @@ class JobManager:
     def _enqueue(self, job_id: str) -> None:
         self._enqueue_order[job_id] = next(self._fifo_counter)
         self._idle.append(job_id)
+        self._m_idle.set(len(self._idle))
 
     def _dequeue(self, job_id: str) -> None:
         try:
             self._idle.remove(job_id)
         except ValueError:
             raise ValueError(f"job {job_id!r} is not idle") from None
+        self._m_idle.set(len(self._idle))
 
     def _sort_key(self, job_id: str):
         job = self._jobs[job_id]
@@ -118,6 +129,7 @@ class JobManager:
         self._dequeue(job_id)
         job.transition(JobState.RUNNING)
         job.machine_id = machine_id
+        self._m_transitions.inc(to="running")
         return job
 
     def resume_job(self, job_id: str, machine_id: str) -> Job:
@@ -130,6 +142,7 @@ class JobManager:
         self._dequeue(job_id)
         job.transition(JobState.RUNNING)
         job.machine_id = machine_id
+        self._m_transitions.inc(to="running")
         return job
 
     def suspend_job(self, job_id: str) -> Job:
@@ -138,6 +151,7 @@ class JobManager:
         job.transition(JobState.SUSPENDED)
         job.machine_id = None
         self._enqueue(job_id)
+        self._m_transitions.inc(to="suspended")
         return job
 
     def terminate_job(self, job_id: str) -> Job:
@@ -147,6 +161,7 @@ class JobManager:
             self._dequeue(job_id)
         job.transition(JobState.TERMINATED)
         job.machine_id = None
+        self._m_transitions.inc(to="terminated")
         return job
 
     def complete_job(self, job_id: str) -> Job:
@@ -154,6 +169,7 @@ class JobManager:
         job = self.get(job_id)
         job.transition(JobState.COMPLETED)
         job.machine_id = None
+        self._m_transitions.inc(to="completed")
         return job
 
     def label_job(self, job_id: str, priority: float) -> None:

@@ -15,7 +15,8 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..curves.predictor import CurvePrediction, CurvePredictor
-from ..workloads.base import DomainSpec, EpochResult, TrainingRun, Workload
+from ..observability import NULL_RECORDER
+from ..workloads.base import EpochResult, TrainingRun, Workload
 from .snapshot import Snapshot, SnapshotCostModel
 
 __all__ = ["NodeAgent"]
@@ -31,6 +32,8 @@ class NodeAgent:
         predictor: learning-curve predictor run locally on this agent
             (may be shared across agents; predictors are stateless).
         seed: seed for snapshot cost sampling.
+        recorder: observability facade; the shared null recorder when
+            instrumentation is off.
     """
 
     def __init__(
@@ -40,6 +43,7 @@ class NodeAgent:
         snapshot_cost_model: SnapshotCostModel,
         predictor: Optional[CurvePredictor] = None,
         seed: int = 0,
+        recorder=None,
     ) -> None:
         self.machine_id = machine_id
         self._workload = workload
@@ -52,6 +56,19 @@ class NodeAgent:
         # prediction: shipped in/out with snapshots.
         self._curve: List[float] = []
         self.predictions_made = 0
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+        metrics = self._recorder.metrics
+        self._m_predictions = metrics.counter(
+            "agent_predictions_total",
+            help="Curve predictions run on Node Agents (§5.2)",
+        )
+        self._m_snapshot_latency = metrics.histogram(
+            "snapshot_latency_seconds",
+            help="Modelled suspend/checkpoint capture latency",
+        )
+        self._m_snapshot_size = metrics.histogram(
+            "snapshot_size_bytes", help="Modelled snapshot sizes"
+        )
 
     # ----------------------------------------------------------- lifecycle
 
@@ -114,15 +131,23 @@ class NodeAgent:
         """
         if self._run is None or self._job_id is None:
             raise RuntimeError(f"{self.machine_id} has no job to snapshot")
-        state = self._run.snapshot_state()
-        state["curve_history"] = list(self._curve)
-        return Snapshot(
+        with self._recorder.tracer.span(
+            "agent.capture_snapshot",
+            machine_id=self.machine_id,
             job_id=self._job_id,
-            epoch=self._run.epochs_completed,
-            state=state,
-            size_bytes=self._cost_model.sample_size(self._rng),
-            latency=self._cost_model.sample_latency(self._rng),
-        )
+        ):
+            state = self._run.snapshot_state()
+            state["curve_history"] = list(self._curve)
+            snapshot = Snapshot(
+                job_id=self._job_id,
+                epoch=self._run.epochs_completed,
+                state=state,
+                size_bytes=self._cost_model.sample_size(self._rng),
+                latency=self._cost_model.sample_latency(self._rng),
+            )
+        self._m_snapshot_latency.observe(snapshot.latency)
+        self._m_snapshot_size.observe(snapshot.size_bytes)
+        return snapshot
 
     def release(self) -> None:
         """Drop the hosted run (after suspend/terminate/complete)."""
@@ -145,4 +170,12 @@ class NodeAgent:
                 f"history too short ({len(self._curve)}) for prediction"
             )
         self.predictions_made += 1
-        return self._predictor.predict(self._curve, n_future)
+        self._m_predictions.inc()
+        with self._recorder.tracer.span(
+            "agent.predict",
+            machine_id=self.machine_id,
+            job_id=self._job_id,
+            n_observed=len(self._curve),
+            n_future=n_future,
+        ):
+            return self._predictor.predict(self._curve, n_future)

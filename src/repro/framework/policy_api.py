@@ -19,10 +19,11 @@ domain spec, experiment parameters (``Tmax``, target), a clock, and a
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
 
 from ..curves.predictor import CurvePrediction
+from ..observability import NULL_RECORDER
 from .appstat_db import AppStatDB
 from .events import AppStat, Decision, IterationFinished
 from .job_manager import JobManager
@@ -53,6 +54,9 @@ class PolicyContext:
             — the hook behind user-defined *global* termination
             criteria (§9 Ongoing Work).  None when the runtime does
             not support it (e.g. hand-built test harnesses).
+        recorder: observability facade (metrics / spans / audit trail);
+            the shared null recorder when instrumentation is off, so
+            SAPs may emit unconditionally.
     """
 
     job_manager: JobManager
@@ -65,6 +69,7 @@ class PolicyContext:
     start: Callable[[str, str], None]
     predict: Callable[[str, int], CurvePrediction]
     stop_experiment: Optional[Callable[[str], None]] = None
+    recorder: Any = NULL_RECORDER
 
     @property
     def normalized_target(self) -> float:

@@ -22,10 +22,15 @@ from __future__ import annotations
 
 import enum
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..curves.predictor import CurvePrediction, CurvePredictor
+from ..curves.predictor import (
+    CurvePrediction,
+    CurvePredictor,
+    InstrumentedCurvePredictor,
+)
+from ..observability import NULL_RECORDER
 from .policy_api import PolicyContext, SchedulingPolicy
 from ..workloads.base import EpochResult, Workload
 from .appstat_db import AppStatDB
@@ -88,12 +93,17 @@ class HyperDriveScheduler:
         spec: ExperimentSpec,
         clock: Callable[[], float],
         predictor: Optional[CurvePredictor] = None,
+        recorder=None,
     ) -> None:
         self.workload = workload
         self.policy = policy
         self.spec = spec
         self._clock = clock
-        self.job_manager = JobManager()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self.recorder.bind_clock(self._clock)
+        if self.recorder.enabled and predictor is not None:
+            predictor = InstrumentedCurvePredictor(predictor, self.recorder)
+        self.job_manager = JobManager(recorder=self.recorder)
         self.resource_manager = ResourceManager(spec.num_machines)
         self.appstat_db = AppStatDB()
         self.target = (
@@ -107,6 +117,7 @@ class HyperDriveScheduler:
                 snapshot_cost_model=cost_model,
                 predictor=predictor,
                 seed=spec.seed + index,
+                recorder=self.recorder,
             )
             for index, machine_id in enumerate(self.resource_manager.machine_ids)
         }
@@ -115,6 +126,28 @@ class HyperDriveScheduler:
         self._charges: Dict[str, Tuple[float, float]] = {}
         self._done = False
         self._context: Optional[PolicyContext] = None
+        metrics = self.recorder.metrics
+        self._m_epochs = metrics.counter(
+            "scheduler_epochs_total", help="Epochs processed by the scheduler"
+        )
+        self._m_epoch_duration = metrics.histogram(
+            "epoch_duration_seconds",
+            help="Experiment-clock duration of completed epochs",
+        )
+        self._m_kills = metrics.counter(
+            "scheduler_kills_total",
+            help="Jobs terminated by the SAP, by rationale",
+        )
+        self._m_suspends = metrics.counter(
+            "scheduler_suspends_total", help="Jobs suspended by the SAP"
+        )
+        self._m_promising_ratio = metrics.gauge(
+            "slots_promising_ratio",
+            help="Promising-pool slots over total machine slots",
+        )
+        self._m_jobs_active = metrics.gauge(
+            "jobs_active", help="Jobs still in play (pending/running/suspended)"
+        )
 
     # -------------------------------------------------------------- set-up
 
@@ -138,6 +171,7 @@ class HyperDriveScheduler:
             start=self._start_job,
             predict=self._predict,
             stop_experiment=self._stop_experiment,
+            recorder=self.recorder,
         )
         self.policy.bind(self._context)
         self.policy.allocate_jobs()
@@ -190,6 +224,8 @@ class HyperDriveScheduler:
         job.record(stat)
         self.appstat_db.record_stat(stat)
         self.result.epochs_trained += 1
+        self._m_epochs.inc()
+        self._m_epoch_duration.observe(result.duration)
         if self.result.best_metric is None or result.metric > self.result.best_metric:
             self.result.best_metric = result.metric
             self.result.best_job_id = job_id
@@ -240,8 +276,17 @@ class HyperDriveScheduler:
             self._record_pool_snapshot(now)
             return FollowUp(FollowUpAction.RELEASE_MACHINE)
 
-        decision = self.policy.on_iteration_finish(event)
+        with self.recorder.tracer.span(
+            "scheduler.process_epoch",
+            job_id=job_id,
+            machine_id=machine_id,
+            epoch=result.epoch,
+        ):
+            decision = self.policy.on_iteration_finish(event)
         self._record_pool_snapshot(now)
+        rationale = getattr(self.policy, "last_decision_rationale", None)
+        if self.recorder.enabled:
+            self._audit_decision(decision, job, event, rationale)
 
         if self._done:
             # The SAP invoked stop_experiment (a user-defined global
@@ -257,7 +302,7 @@ class HyperDriveScheduler:
                 # Periodic checkpoint: bounds the work a machine
                 # failure can destroy; its latency briefly holds the
                 # machine, like any suspend capture.
-                checkpoint = agent.capture_snapshot()
+                checkpoint = replace(agent.capture_snapshot(), timestamp=now)
                 self.appstat_db.save_snapshot(checkpoint)
                 self.result.snapshots.append(checkpoint)
                 blocking += checkpoint.latency
@@ -265,12 +310,13 @@ class HyperDriveScheduler:
                 FollowUpAction.NEXT_EPOCH, delay=blocking, epoch_scale=scale
             )
         if decision is Decision.SUSPEND:
-            snapshot = agent.capture_snapshot()
+            snapshot = replace(agent.capture_snapshot(), timestamp=now)
             self.appstat_db.save_snapshot(snapshot)
             self.result.snapshots.append(snapshot)
             self.job_manager.suspend_job(job_id)
             agent.release()
             self._charges.pop(machine_id, None)
+            self._m_suspends.inc()
             self._log(
                 LifecycleKind.SUSPENDED,
                 job_id,
@@ -285,7 +331,14 @@ class HyperDriveScheduler:
         agent.release()
         self.appstat_db.drop_snapshot(job_id)
         self._charges.pop(machine_id, None)
-        self._log(LifecycleKind.TERMINATED, job_id, machine_id)
+        reason = (rationale or {}).get("reason", "policy")
+        self._m_kills.inc(reason=reason)
+        self._log(
+            LifecycleKind.TERMINATED,
+            job_id,
+            machine_id,
+            dict(rationale) if rationale else None,
+        )
         return FollowUp(FollowUpAction.RELEASE_MACHINE)
 
     def machine_released(self, machine_id: str) -> None:
@@ -342,6 +395,8 @@ class HyperDriveScheduler:
         self.result.predictions_made = sum(
             agent.predictions_made for agent in self.agents.values()
         )
+        if self.recorder.enabled:
+            self.result.observability = self.recorder.snapshot()
         return self.result
 
     # ----------------------------------------------------- context closures
@@ -403,10 +458,52 @@ class HyperDriveScheduler:
 
     # ------------------------------------------------------------ internal
 
+    def _audit_decision(
+        self,
+        decision: Decision,
+        job: Job,
+        event: IterationFinished,
+        rationale: Optional[Dict],
+    ) -> None:
+        """One audit record per SAP decision, carrying the inputs that
+        produced it (confidence ``p``, ERT, the dynamic threshold, the
+        promising-slot count) plus the policy's own rationale."""
+        data = {
+            "decision": decision.value,
+            "epoch": event.epoch,
+            "metric": event.metric,
+            "confidence": job.confidence,
+            "expected_remaining_time": job.expected_remaining_time,
+            "threshold": getattr(self.policy, "threshold", None),
+            "promising_slots": getattr(self.policy, "promising_slots", None),
+            "promising": job.promising,
+        }
+        if rationale:
+            data.update(rationale)  # the policy's own account wins
+        self.recorder.audit.record(
+            "sap_decision",
+            job_id=job.job_id,
+            machine_id=event.machine_id,
+            **data,
+        )
+
     def _record_pool_snapshot(self, now: float) -> None:
         active = self.job_manager.active_jobs()
         promising = sum(1 for job in active if job.promising)
         promising_slots = getattr(self.policy, "promising_slots", 0)
+        num_machines = self.resource_manager.num_machines
+        self._m_promising_ratio.set(
+            promising_slots / num_machines if num_machines else 0.0
+        )
+        self._m_jobs_active.set(len(active))
+        if self.recorder.enabled:
+            self.recorder.audit.record(
+                "pool_snapshot",
+                promising=promising,
+                running=len(self.job_manager.running_jobs()),
+                active=len(active),
+                promising_slots=promising_slots,
+            )
         self.result.pool_timeline.append(
             PoolSnapshot(
                 timestamp=now,
@@ -433,6 +530,14 @@ class HyperDriveScheduler:
                 job_id,
                 machine_id or "-",
                 detail or "",
+            )
+        if self.recorder.enabled and kind is not LifecycleKind.CREATED:
+            self.recorder.audit.record(
+                "lifecycle",
+                job_id=job_id,
+                machine_id=machine_id,
+                event=kind.value,
+                **(detail or {}),
             )
         self.result.lifecycle.append(
             LifecycleEvent(

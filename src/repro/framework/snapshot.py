@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 import numpy as np
 
@@ -34,6 +34,8 @@ class Snapshot:
         state: opaque run state (from ``TrainingRun.snapshot_state``).
         size_bytes: modelled snapshot size.
         latency: modelled suspend latency in seconds.
+        timestamp: experiment-clock time of capture (stamped by the
+            scheduler; 0.0 for snapshots captured outside one).
     """
 
     job_id: str
@@ -41,6 +43,7 @@ class Snapshot:
     state: Dict[str, Any]
     size_bytes: float
     latency: float
+    timestamp: float = 0.0
 
     @property
     def serialized_size_bytes(self) -> int:

@@ -1,0 +1,100 @@
+"""Pluggable event exporters (JSONL to disk, in-memory for tests).
+
+Every audit record, span, and lifecycle mirror flows through one
+:class:`EventExporter`.  The contract is a single ``export(event)``
+call per event with a JSON-serialisable mapping, plus ``close``.
+Exporters must tolerate numpy scalars in event payloads — scheduler
+inputs (confidences, durations) frequently arrive as ``np.float64``.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from pathlib import Path
+from typing import Any, Dict, IO, Iterator, List, Mapping, Optional, Union
+
+__all__ = [
+    "EventExporter",
+    "JsonlExporter",
+    "InMemoryExporter",
+    "iter_jsonl",
+]
+
+
+def _json_default(value: Any) -> Any:
+    """Coerce numpy scalars (and other number-likes) for json.dumps."""
+    for caster in (float, int):
+        try:
+            return caster(value)
+        except (TypeError, ValueError):
+            continue
+    return str(value)
+
+
+def encode_event(event: Mapping[str, Any]) -> str:
+    """One event as a compact single-line JSON document."""
+    return json.dumps(event, separators=(",", ":"), default=_json_default)
+
+
+class EventExporter(abc.ABC):
+    """Sink for observability events."""
+
+    @abc.abstractmethod
+    def export(self, event: Mapping[str, Any]) -> None:
+        """Deliver one event (must not mutate it)."""
+
+    def close(self) -> None:
+        """Flush and release any resources; idempotent."""
+
+    def __enter__(self) -> "EventExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class JsonlExporter(EventExporter):
+    """Streams events to a JSON-lines file, one document per line.
+
+    The file is opened lazily on the first event so constructing the
+    exporter (e.g. from CLI flags) has no side effects when a run emits
+    nothing.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._file: Optional[IO[str]] = None
+        self.events_written = 0
+
+    def export(self, event: Mapping[str, Any]) -> None:
+        if self._file is None:
+            self._file = self.path.open("w", encoding="utf-8")
+        self._file.write(encode_event(event))
+        self._file.write("\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class InMemoryExporter(EventExporter):
+    """Collects events in a list (tests, result attachment)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def export(self, event: Mapping[str, Any]) -> None:
+        self.events.append(dict(event))
+
+
+def iter_jsonl(path: Union[str, Path]) -> Iterator[Dict[str, Any]]:
+    """Yield decoded events from a JSONL file."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

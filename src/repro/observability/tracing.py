@@ -1,0 +1,179 @@
+"""Span tracing on the experiment clock.
+
+A span wraps one hot operation — an MCMC/least-squares curve fit, a
+``process_epoch`` call, a snapshot capture — and records *two* time
+axes:
+
+* ``start``/``end`` on the **experiment clock** (simulated seconds in
+  the sim backend, scaled wall seconds in the live runtime), so span
+  placement lines up with the scheduler's own timeline and §5.2's
+  overlap-of-prediction behaviour is directly measurable; and
+* ``wall_seconds``, measured with ``time.perf_counter``, the genuine
+  compute cost of the operation (the simulated clock does not advance
+  during a Python call).
+
+The tracer keeps a bounded in-memory list of finished spans and offers
+a per-name :meth:`SpanTracer.summary`.  An optional ``on_span`` hook
+fires for every finished span (the :class:`~repro.observability.recorder.Recorder`
+uses it to stream spans to the event exporter).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Span", "SpanTracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced operation."""
+
+    name: str
+    start: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    end: Optional[float] = None
+    wall_seconds: float = 0.0
+
+    def set(self, **attributes: Any) -> None:
+        """Attach attributes mid-span (e.g. a result size)."""
+        self.attributes.update(attributes)
+
+    @property
+    def duration(self) -> float:
+        """Experiment-clock duration (0 for instantaneous sim spans)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "span",
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "wall_seconds": self.wall_seconds,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _ActiveSpan:
+    """Context manager driving one span's lifetime."""
+
+    __slots__ = ("_tracer", "span", "_wall_start")
+
+    def __init__(self, tracer: "SpanTracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+        self._wall_start = 0.0
+
+    def set(self, **attributes: Any) -> None:
+        self.span.set(**attributes)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._wall_start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        span.wall_seconds = time.perf_counter() - self._wall_start
+        span.end = self._tracer._now()
+        if exc_type is not None:
+            span.attributes["error"] = exc_type.__name__
+        self._tracer._finish(span)
+        return False
+
+
+class SpanTracer:
+    """Records spans against an injected experiment clock."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        keep_spans: bool = True,
+        max_spans: int = 200_000,
+        on_span: Optional[Callable[[Span], None]] = None,
+    ) -> None:
+        self._clock = clock
+        self.keep_spans = keep_spans
+        self.max_spans = max_spans
+        self.on_span = on_span
+        self.spans: List[Span] = []
+        self._summary: Dict[str, Dict[str, float]] = {}
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Late clock injection (the scheduler owns the clock)."""
+        self._clock = clock
+
+    def _now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """Open a span; use as a context manager."""
+        return _ActiveSpan(
+            self, Span(name=name, start=self._now(), attributes=attributes)
+        )
+
+    def _finish(self, span: Span) -> None:
+        stats = self._summary.get(span.name)
+        if stats is None:
+            stats = self._summary[span.name] = {
+                "count": 0.0,
+                "wall_seconds": 0.0,
+                "experiment_seconds": 0.0,
+            }
+        stats["count"] += 1
+        stats["wall_seconds"] += span.wall_seconds
+        stats["experiment_seconds"] += span.duration
+        if self.keep_spans and len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        if self.on_span is not None:
+            self.on_span(span)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-name aggregate: count, wall seconds, experiment seconds."""
+        return {
+            name: dict(stats) for name, stats in sorted(self._summary.items())
+        }
+
+
+class _NullSpan:
+    """Do-nothing span; shared singleton so disabled tracing costs one
+    attribute lookup and two no-op method calls."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer used when observability is disabled."""
+
+    enabled = False
+    spans: List[Span] = []
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {}
+
+
+NULL_TRACER = NullTracer()

@@ -16,9 +16,9 @@ simulated second, so a 4-hour experiment replays in ~14 s).
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
+from contextlib import contextmanager
 from typing import Any, Dict, Optional, Sequence
 
 from ..curves.predictor import CurvePredictor
@@ -26,6 +26,7 @@ from ..framework.experiment import ExperimentResult, ExperimentSpec
 from ..framework.scheduler import FollowUpAction, HyperDriveScheduler
 from ..framework.transport import MessageBus
 from ..generators.base import ExhaustedSpaceError, HyperparameterGenerator
+from ..observability import NULL_RECORDER
 from ..policies.base import SchedulingPolicy
 from ..workloads.base import EpochResult, Workload
 from ..sim.runner import default_predictor
@@ -72,17 +73,27 @@ class _LiveExperiment:
         spec: ExperimentSpec,
         predictor: CurvePredictor,
         time_scale: float,
+        recorder=None,
     ) -> None:
         self.spec = spec
         self.time_scale = time_scale
         self._t0 = time.monotonic()
         self.lock = threading.Lock()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        # Lock contention is the live runtime's analogue of the paper's
+        # central-scheduler serialisation (§5.2): measurable when
+        # observability is on.
+        self._m_lock_wait = self.recorder.metrics.histogram(
+            "runtime_lock_wait_seconds",
+            help="Wall seconds worker threads waited on the scheduler lock",
+        )
         self.scheduler = HyperDriveScheduler(
             workload=workload,
             policy=policy,
             spec=spec,
             clock=self._clock,
             predictor=_UnlockedPredictor(predictor, self.lock),
+            recorder=recorder,
         )
         self.bus = MessageBus()
         self._mailboxes = {
@@ -98,6 +109,21 @@ class _LiveExperiment:
 
     def _sleep(self, simulated_seconds: float) -> None:
         time.sleep(max(simulated_seconds, 0.0) * self.time_scale)
+
+    @contextmanager
+    def _locked(self):
+        """Acquire the scheduler lock, recording the wait when
+        observability is on."""
+        if self.recorder.enabled:
+            waited = time.perf_counter()
+            self.lock.acquire()
+            self._m_lock_wait.observe(time.perf_counter() - waited)
+        else:
+            self.lock.acquire()
+        try:
+            yield
+        finally:
+            self.lock.release()
 
     # ------------------------------------------------------------ workers
 
@@ -136,7 +162,7 @@ class _LiveExperiment:
                 extras=raw.extras,
             )
             self._sleep(extra_delay + result.duration)
-            with self.lock:
+            with self._locked():
                 followup = self.scheduler.process_epoch(machine_id, result)
                 started = self.scheduler.take_started_machines()
             self._notify_started(started)
@@ -146,7 +172,7 @@ class _LiveExperiment:
                 continue
             if followup.action is FollowUpAction.RELEASE_MACHINE:
                 self._sleep(followup.delay)
-                with self.lock:
+                with self._locked():
                     self.scheduler.machine_released(machine_id)
                     started = self.scheduler.take_started_machines()
                 self._notify_started(started)
@@ -196,6 +222,7 @@ def run_live(
     predictor: Optional[CurvePredictor] = None,
     configs: Optional[Sequence[Dict[str, Any]]] = None,
     time_scale: float = 1e-3,
+    recorder=None,
 ) -> ExperimentResult:
     """Run one experiment on the live threaded runtime.
 
@@ -207,6 +234,9 @@ def run_live(
         predictor: curve predictor; defaults to the bench predictor.
         configs: explicit configuration list.
         time_scale: wall seconds per simulated second.
+        recorder: observability facade
+            (:class:`~repro.observability.Recorder`); None disables
+            instrumentation at zero cost.
 
     Returns:
         The finalised :class:`ExperimentResult`, with timestamps on the
@@ -225,6 +255,7 @@ def run_live(
         spec=spec,
         predictor=predictor if predictor is not None else default_predictor(),
         time_scale=time_scale,
+        recorder=recorder,
     )
     if configs is not None:
         for index, config in enumerate(configs):

@@ -12,17 +12,32 @@ import heapq
 import itertools
 from typing import Callable, List, Optional, Tuple
 
+from ..observability import NULL_RECORDER
+
 __all__ = ["SimulationEngine"]
 
 
 class SimulationEngine:
-    """A simulated clock plus an ordered callback queue."""
+    """A simulated clock plus an ordered callback queue.
 
-    def __init__(self) -> None:
+    Args:
+        recorder: observability facade; when live, the engine counts
+            dispatched events (``sim_events_total``) and tracks queue
+            depth (``sim_queue_depth``) so run loops are inspectable.
+    """
+
+    def __init__(self, recorder=None) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._stopped = False
+        recorder = recorder if recorder is not None else NULL_RECORDER
+        self._m_events = recorder.metrics.counter(
+            "sim_events_total", help="Simulator callbacks dispatched"
+        )
+        self._m_queue_depth = recorder.metrics.gauge(
+            "sim_queue_depth", help="Pending events in the simulator heap"
+        )
 
     @property
     def now(self) -> float:
@@ -75,5 +90,7 @@ class SimulationEngine:
                 break
             heapq.heappop(self._heap)
             self._now = event_time
+            self._m_events.inc()
+            self._m_queue_depth.set(len(self._heap))
             callback()
         return self._now

@@ -9,8 +9,7 @@ and drives the experiment to completion.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -50,6 +49,7 @@ def run_simulation(
     spec: Optional[ExperimentSpec] = None,
     predictor: Optional[CurvePredictor] = None,
     configs: Optional[Sequence[Dict[str, Any]]] = None,
+    recorder=None,
 ) -> ExperimentResult:
     """Simulate one hyperparameter-exploration experiment.
 
@@ -62,6 +62,9 @@ def run_simulation(
         predictor: learning-curve predictor for policies that use one.
         configs: explicit configuration list (bypasses the generator;
             used for configuration-order sensitivity, §7.2.2).
+        recorder: observability facade
+            (:class:`~repro.observability.Recorder`); None disables
+            instrumentation at zero cost.
 
     Returns:
         The finalised :class:`ExperimentResult`.
@@ -71,13 +74,14 @@ def run_simulation(
     if (generator is None) == (configs is None):
         raise ValueError("provide exactly one of generator or configs")
 
-    engine = SimulationEngine()
+    engine = SimulationEngine(recorder=recorder)
     scheduler = HyperDriveScheduler(
         workload=workload,
         policy=policy,
         spec=spec,
         clock=lambda: engine.now,
         predictor=predictor if predictor is not None else default_predictor(),
+        recorder=recorder,
     )
 
     if configs is not None:

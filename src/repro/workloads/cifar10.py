@@ -28,7 +28,7 @@ activation effects), so adaptive generators see a learnable landscape.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 import numpy as np
 

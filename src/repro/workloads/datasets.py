@@ -8,7 +8,6 @@ real generalisation gaps) without shipping CIFAR-10 binaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 

@@ -7,11 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.allocation import (
-    SlotAllocation,
-    compute_slot_allocation,
-    slot_curves,
-)
+from repro.core.allocation import compute_slot_allocation, slot_curves
 
 
 def test_no_confidences_means_all_exploration():

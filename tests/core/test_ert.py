@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.ert import ERTEstimate, estimate_remaining_time
+from repro.core.ert import estimate_remaining_time
 from repro.curves.predictor import CurvePrediction
 
 

@@ -8,7 +8,6 @@ parameter bounds — for *any* curve it is handed, including garbage.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

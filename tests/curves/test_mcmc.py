@@ -17,7 +17,9 @@ def _gaussian_logpdf(mean, cov_inv):
 
 
 def test_constructor_validation():
-    fn = lambda x: -0.5 * float(x @ x)
+    def fn(x):
+        return -0.5 * float(x @ x)
+
     with pytest.raises(ValueError, match="even"):
         EnsembleSampler(3, 2, fn)
     with pytest.raises(ValueError, match="even"):

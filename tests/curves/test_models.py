@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.curves.models import CURVE_MODELS, CurveModel, get_model, model_names
+from repro.curves.models import CURVE_MODELS, get_model, model_names
 
 EXPECTED_FAMILIES = {
     "vapor_pressure",

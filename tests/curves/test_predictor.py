@@ -7,7 +7,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.curves.models import get_model
 from repro.curves.predictor import (
     CurvePrediction,
     LastValuePredictor,

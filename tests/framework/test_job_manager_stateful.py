@@ -9,13 +9,7 @@ from __future__ import annotations
 
 from hypothesis import settings
 from hypothesis import strategies as st
-from hypothesis.stateful import (
-    Bundle,
-    RuleBasedStateMachine,
-    invariant,
-    precondition,
-    rule,
-)
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.framework.job import Job, JobState
 from repro.framework.job_manager import JobManager

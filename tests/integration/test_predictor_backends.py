@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.experiments import standard_configs
 from repro.core.pop import POPPolicy
@@ -12,7 +11,6 @@ from repro.curves.predictor import (
     MCMCCurvePredictor,
 )
 from repro.framework.experiment import ExperimentSpec
-from repro.policies.bandit import BanditPolicy
 from repro.runtime.local import run_live
 from repro.sim.runner import run_simulation
 

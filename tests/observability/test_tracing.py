@@ -1,0 +1,101 @@
+"""Unit tests for the span tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability.tracing import NULL_TRACER, NullTracer, SpanTracer
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSpanTracer:
+    def test_span_records_experiment_clock_interval(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        with tracer.span("fit", backend="ls"):
+            clock.now = 3.0
+        (span,) = tracer.spans
+        assert span.name == "fit"
+        assert span.start == 0.0
+        assert span.end == 3.0
+        assert span.duration == 3.0
+        assert span.attributes == {"backend": "ls"}
+        assert span.wall_seconds >= 0.0
+
+    def test_bind_clock_late(self):
+        tracer = SpanTracer()
+        clock = FakeClock()
+        clock.now = 7.0
+        tracer.bind_clock(clock)
+        with tracer.span("op"):
+            pass
+        assert tracer.spans[0].start == 7.0
+
+    def test_set_attaches_attributes_mid_span(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with tracer.span("op") as span:
+            span.set(n=4)
+        assert tracer.spans[0].attributes["n"] == 4
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = SpanTracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("op"):
+                raise RuntimeError("boom")
+        assert tracer.spans[0].attributes["error"] == "RuntimeError"
+
+    def test_summary_aggregates_per_name(self):
+        clock = FakeClock()
+        tracer = SpanTracer(clock=clock)
+        for _ in range(3):
+            with tracer.span("fit"):
+                clock.now += 2.0
+        with tracer.span("snapshot"):
+            pass
+        summary = tracer.summary()
+        assert summary["fit"]["count"] == 3
+        assert summary["fit"]["experiment_seconds"] == pytest.approx(6.0)
+        assert summary["snapshot"]["count"] == 1
+
+    def test_keep_spans_false_still_summarises(self):
+        tracer = SpanTracer(clock=FakeClock(), keep_spans=False)
+        with tracer.span("op"):
+            pass
+        assert tracer.spans == []
+        assert tracer.summary()["op"]["count"] == 1
+
+    def test_max_spans_bounds_memory(self):
+        tracer = SpanTracer(clock=FakeClock(), max_spans=2)
+        for _ in range(5):
+            with tracer.span("op"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.summary()["op"]["count"] == 5
+
+    def test_on_span_hook_fires(self):
+        seen = []
+        tracer = SpanTracer(clock=FakeClock(), on_span=seen.append)
+        with tracer.span("op"):
+            pass
+        assert len(seen) == 1
+        assert seen[0].to_dict()["kind"] == "span"
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", a=1) as span:
+            span.set(b=2)
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.summary() == {}
+
+    def test_null_span_is_shared_singleton(self):
+        tracer = NullTracer()
+        assert tracer.span("a") is tracer.span("b")

@@ -5,12 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.workloads.cifar10 import (
-    MAX_ACCURACY,
-    MAX_EPOCHS,
-    Cifar10Workload,
-    cifar10_space,
-)
+from repro.workloads.cifar10 import MAX_ACCURACY, MAX_EPOCHS, cifar10_space
 
 
 @pytest.fixture(scope="module")

@@ -11,7 +11,6 @@ from repro.workloads.lunarlander import (
     REWARD_MAX,
     REWARD_MIN,
     SOLVED_REWARD,
-    LunarLanderWorkload,
     lunarlander_space,
 )
 

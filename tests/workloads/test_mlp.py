@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.workloads.datasets import make_blobs
-from repro.workloads.mlp import MLPTrainingRun, MLPWorkload, mlp_space
+from repro.workloads.mlp import MLPWorkload, mlp_space
 
 
 GOOD_CONFIG = {
