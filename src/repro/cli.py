@@ -7,50 +7,73 @@ Examples::
     python -m repro run --workload mlp --policy pop --live
     python -m repro record-trace --workload cifar10 --configs 40 --out t.json
     python -m repro replay --trace t.json --policy pop --orders 5
+
+Service (see ``docs/service.md``)::
+
+    python -m repro serve --root runs/ --port 8765
+    python -m repro submit --url http://127.0.0.1:8765 --workload cifar10
+    python -m repro status --url http://127.0.0.1:8765
+    python -m repro watch exp-0123abcd --url http://127.0.0.1:8765
+    python -m repro resume exp-0123abcd --root runs/
+
+Exit codes:
+
+* ``0`` — success.
+* ``2`` — usage error (bad flags/arguments; raised by argparse) or an
+  invalid output path.
+* ``3`` — runtime failure (the command raised: missing input file,
+  unreachable daemon, experiment execution error, ...).
+* ``4`` — the awaited experiment ended in a non-completed status
+  (``submit --wait``, ``watch``, ``resume``).
+* ``130`` — interrupted (Ctrl-C).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
-from typing import Callable, Dict
 
-from .core.pop import POPPolicy
+from . import registry
 from .framework.experiment import ExperimentSpec
-from .generators.bayesian import BayesianGenerator
-from .generators.grid import GridGenerator
 from .generators.random_gen import RandomGenerator
-from .policies.bandit import BanditPolicy
-from .policies.default import DefaultPolicy
-from .policies.earlyterm import EarlyTermPolicy
-from .policies.hyperband import HyperBandPolicy, SuccessiveHalvingPolicy
 from .sim.runner import run_simulation
 from .sim.trace import Trace, TraceWorkload, record_trace
-from .workloads.cifar10 import Cifar10Workload
-from .workloads.lunarlander import LunarLanderWorkload
-from .workloads.mlp import MLPWorkload
 
-WORKLOADS: Dict[str, Callable] = {
-    "cifar10": Cifar10Workload,
-    "lunarlander": LunarLanderWorkload,
-    "mlp": MLPWorkload,
-}
+# Backwards-compatible aliases: these registries used to live here.
+WORKLOADS = registry.WORKLOADS
+POLICIES = registry.POLICIES
+GENERATORS = registry.GENERATORS
 
-POLICIES: Dict[str, Callable] = {
-    "pop": POPPolicy,
-    "bandit": BanditPolicy,
-    "earlyterm": EarlyTermPolicy,
-    "default": DefaultPolicy,
-    "successive-halving": SuccessiveHalvingPolicy,
-    "hyperband": HyperBandPolicy,
-}
+#: Exit code for an awaited experiment that did not complete.
+EXIT_EXPERIMENT_NOT_COMPLETED = 4
+#: Exit code for any command that raised a runtime error.
+EXIT_RUNTIME_ERROR = 3
 
-GENERATORS: Dict[str, Callable] = {
-    "random": RandomGenerator,
-    "grid": GridGenerator,
-    "bayesian": BayesianGenerator,
-}
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8765"
+
+
+def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``run`` (local) and ``submit`` (service)."""
+    parser.add_argument("--workload", choices=WORKLOADS, default="cifar10")
+    parser.add_argument("--policy", choices=POLICIES, default="pop")
+    parser.add_argument("--generator", choices=GENERATORS, default="random")
+    parser.add_argument("--machines", type=int, default=None)
+    parser.add_argument("--configs", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--gen-seed", type=int, default=None)
+    parser.add_argument("--target", type=float, default=None)
+    parser.add_argument("--tmax-hours", type=float, default=48.0)
+    parser.add_argument(
+        "--no-stop-on-target", action="store_true",
+        help="run every configuration to completion",
+    )
+    parser.add_argument(
+        "--live", action="store_true",
+        help="use the live threaded runtime instead of simulation",
+    )
+    parser.add_argument("--time-scale", type=float, default=1e-3)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -64,24 +87,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one exploration experiment")
-    run_parser.add_argument("--workload", choices=WORKLOADS, default="cifar10")
-    run_parser.add_argument("--policy", choices=POLICIES, default="pop")
-    run_parser.add_argument("--generator", choices=GENERATORS, default="random")
-    run_parser.add_argument("--machines", type=int, default=None)
-    run_parser.add_argument("--configs", type=int, default=100)
-    run_parser.add_argument("--seed", type=int, default=0)
-    run_parser.add_argument("--gen-seed", type=int, default=None)
-    run_parser.add_argument("--target", type=float, default=None)
-    run_parser.add_argument("--tmax-hours", type=float, default=48.0)
+    _add_experiment_arguments(run_parser)
     run_parser.add_argument(
-        "--no-stop-on-target", action="store_true",
-        help="run every configuration to completion",
+        "--json", action="store_true",
+        help="print the machine-readable result dict as JSON on stdout "
+             "(the human summary moves to stderr)",
     )
-    run_parser.add_argument(
-        "--live", action="store_true",
-        help="use the live threaded runtime instead of simulation",
-    )
-    run_parser.add_argument("--time-scale", type=float, default=1e-3)
     run_parser.add_argument(
         "--save-result", metavar="PATH", default=None,
         help="archive the full result as JSON",
@@ -119,74 +130,136 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="render an archived result JSON as markdown"
     )
     report_parser.add_argument("--result", required=True)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the experiment service daemon"
+    )
+    serve_parser.add_argument(
+        "--root", required=True,
+        help="run-store directory (SQLite index + event journals)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8765)
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent experiment workers",
+    )
+    serve_parser.add_argument(
+        "--resume-interrupted", action="store_true",
+        help="replay experiments a previous daemon left running",
+    )
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit an experiment to a running daemon"
+    )
+    _add_experiment_arguments(submit_parser)
+    submit_parser.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    submit_parser.add_argument(
+        "--checkpoint-every", type=int, default=25,
+        help="epochs between durable service checkpoints",
+    )
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="block until the experiment finishes and print its summary",
+    )
+    submit_parser.add_argument("--poll", type=float, default=0.5)
+
+    status_parser = sub.add_parser(
+        "status", help="show experiments known to a daemon or a store"
+    )
+    status_parser.add_argument("id", nargs="?", default=None)
+    status_parser.add_argument("--url", default=None)
+    status_parser.add_argument(
+        "--root", default=None,
+        help="read the run store directly (no daemon required)",
+    )
+
+    watch_parser = sub.add_parser(
+        "watch", help="follow one experiment until it finishes"
+    )
+    watch_parser.add_argument("id")
+    watch_parser.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    watch_parser.add_argument("--poll", type=float, default=0.5)
+    watch_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up after this many seconds (exit 3)",
+    )
+
+    resume_parser = sub.add_parser(
+        "resume", help="resume an interrupted experiment from its store"
+    )
+    resume_parser.add_argument("id")
+    resume_parser.add_argument("--root", required=True)
     return parser
 
 
 def _default_gen_seed(workload_name: str) -> int:
-    from .analysis.experiments import RL_GENERATOR_SEED, SL_GENERATOR_SEED
-
-    return RL_GENERATOR_SEED if workload_name == "lunarlander" else SL_GENERATOR_SEED
+    return registry.default_gen_seed(workload_name)
 
 
 def _default_machines(workload_name: str) -> int:
-    return 15 if workload_name == "lunarlander" else 4
+    return registry.default_machines(workload_name)
 
 
-def _print_result(result) -> None:
+def _print_result(result, file=None) -> None:
+    out = sys.stdout if file is None else file
     summary = result.summary()
     time_to_target = summary["time_to_target_min"]
     best_metric = summary["best_metric"]
-    print(f"policy          : {summary['policy']}")
-    print(f"reached target  : {summary['reached_target']}")
+    print(f"policy          : {summary['policy']}", file=out)
+    print(f"reached target  : {summary['reached_target']}", file=out)
     print(
         "time to target  : "
-        + ("n/a" if time_to_target is None else f"{time_to_target:.1f} min")
+        + ("n/a" if time_to_target is None else f"{time_to_target:.1f} min"),
+        file=out,
     )
     # best_metric is None when no epoch completed (e.g. a tiny --tmax-hours).
     print(
         "best metric     : "
-        + ("n/a" if best_metric is None else f"{best_metric:.4f}")
+        + ("n/a" if best_metric is None else f"{best_metric:.4f}"),
+        file=out,
     )
-    print(f"epochs trained  : {summary['epochs_trained']}")
-    print(f"jobs terminated : {summary['terminated']}")
-    print(f"predictions     : {summary['predictions']}")
-    print(f"suspends        : {len(result.snapshots)}")
+    print(f"epochs trained  : {summary['epochs_trained']}", file=out)
+    print(f"jobs terminated : {summary['terminated']}", file=out)
+    print(f"predictions     : {summary['predictions']}", file=out)
+    print(f"suspends        : {len(result.snapshots)}", file=out)
     if "kills_by_reason" in summary and summary["kills_by_reason"]:
         breakdown = ", ".join(
             f"{reason}={int(count)}"
             for reason, count in sorted(summary["kills_by_reason"].items())
         )
-        print(f"kills by reason : {breakdown}")
+        print(f"kills by reason : {breakdown}", file=out)
 
 
-def _print_span_summary(recorder) -> None:
+def _print_span_summary(recorder, file=None) -> None:
+    out = sys.stdout if file is None else file
     spans = recorder.tracer.summary()
     if not spans:
         return
-    print("spans           :")
+    print("spans           :", file=out)
     width = max(len(name) for name in spans)
     for name, stats in spans.items():
         print(
             f"  {name:<{width}}  x{int(stats['count']):<6} "
             f"wall {stats['wall_seconds']:.3f}s  "
-            f"sim {stats['experiment_seconds']:.1f}s"
+            f"sim {stats['experiment_seconds']:.1f}s",
+            file=out,
         )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    workload = WORKLOADS[args.workload]()
-    policy = POLICIES[args.policy]()
+    # In --json mode stdout carries exactly one JSON document (the
+    # result dict); everything human-readable goes to stderr.
+    info = sys.stderr if args.json else sys.stdout
+    workload = registry.build_workload(args.workload)
+    policy = registry.build_policy(args.policy)
     gen_seed = args.gen_seed
     if gen_seed is None:
-        gen_seed = _default_gen_seed(args.workload)
-    machines = args.machines or _default_machines(args.workload)
-    generator_cls = GENERATORS[args.generator]
-    if args.generator == "grid":
-        generator = generator_cls(workload.space, resolution=3,
-                                  max_configs=args.configs)
-    else:
-        generator = generator_cls(workload.space, seed=gen_seed,
-                                  max_configs=args.configs)
+        gen_seed = registry.default_gen_seed(args.workload)
+    machines = args.machines or registry.default_machines(args.workload)
+    generator = registry.build_generator(
+        args.generator, workload, max_configs=args.configs, gen_seed=gen_seed
+    )
     spec = ExperimentSpec(
         num_machines=machines,
         num_configs=args.configs,
@@ -228,21 +301,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     finally:
         if recorder is not None:
             recorder.close()
-    _print_result(result)
+    _print_result(result, file=info)
     if recorder is not None and args.trace:
-        _print_span_summary(recorder)
+        _print_span_summary(recorder, file=info)
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
             handle.write(recorder.metrics.render_text())
-        print(f"metrics written -> {args.metrics_out}")
+        print(f"metrics written -> {args.metrics_out}", file=info)
     if args.emit_events:
         print(
             f"audit trail     -> {args.emit_events} "
-            f"({recorder.exporter.events_written} events)"
+            f"({recorder.exporter.events_written} events)",
+            file=info,
         )
     if args.save_result:
         result.save_json(args.save_result)
-        print(f"result archived -> {args.save_result}")
+        print(f"result archived -> {args.save_result}", file=info)
+    if args.json:
+        from .observability.exporters import encode_event
+
+        print(encode_event(result.to_dict()))
     return 0
 
 
@@ -254,10 +332,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_record_trace(args: argparse.Namespace) -> int:
-    workload = WORKLOADS[args.workload]()
+    workload = registry.build_workload(args.workload)
     gen_seed = args.gen_seed
     if gen_seed is None:
-        gen_seed = _default_gen_seed(args.workload)
+        gen_seed = registry.default_gen_seed(args.workload)
     generator = RandomGenerator(
         workload.space, seed=gen_seed, max_configs=args.configs
     )
@@ -291,6 +369,164 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------------ service
+
+
+def _submission_from_args(args: argparse.Namespace):
+    from .service.submission import Submission
+
+    return Submission(
+        workload=args.workload,
+        policy=args.policy,
+        generator=args.generator,
+        machines=args.machines,
+        configs=args.configs,
+        seed=args.seed,
+        gen_seed=args.gen_seed,
+        target=args.target,
+        tmax_hours=args.tmax_hours,
+        stop_on_target=not args.no_stop_on_target,
+        live=args.live,
+        time_scale=args.time_scale,
+        checkpoint_every=getattr(args, "checkpoint_every", 25),
+    )
+
+
+def _record_line(record: dict) -> str:
+    checkpoint = record.get("checkpoint") or {}
+    epochs = checkpoint.get("epochs_trained", 0)
+    best = checkpoint.get("best_metric")
+    result = record.get("result")
+    if result is not None:
+        epochs = result.get("epochs_trained", epochs)
+        best = result.get("best_metric", best)
+    best_text = "n/a" if best is None else f"{best:.4f}"
+    return (
+        f"{record['id']}  {record['status']:<11} "
+        f"{record['submission']['workload']:<12} "
+        f"{record['submission']['policy']:<10} "
+        f"epochs={epochs:<6} best={best_text}"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.daemon import ExperimentService
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    service = ExperimentService(
+        root=args.root,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        resume_interrupted=args.resume_interrupted,
+    )
+    service.start()
+    print(f"experiment service listening on {service.url}")
+    print(f"run store       : {args.root}")
+    print(f"workers         : {args.workers}")
+    print("endpoints       : POST /experiments · GET /experiments[/{id}"
+          "[/events]] · DELETE /experiments/{id} · GET /metrics")
+    sys.stdout.flush()
+    service.serve_until_interrupted()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    record = client.submit(_submission_from_args(args).to_dict())
+    # Bare id on stdout so scripts can capture it; context to stderr.
+    print(record["id"])
+    print(f"submitted {record['id']} ({record['status']}) to {args.url}",
+          file=sys.stderr)
+    if not args.wait:
+        return 0
+    final = client.watch(record["id"], poll_seconds=args.poll)
+    print(_record_line(final), file=sys.stderr)
+    return 0 if final["status"] == "completed" else EXIT_EXPERIMENT_NOT_COMPLETED
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    if (args.url is None) == (args.root is None):
+        print("error: provide exactly one of --url or --root",
+              file=sys.stderr)
+        return 2
+    if args.url is not None:
+        from .service.client import ServiceClient
+
+        client = ServiceClient(args.url)
+        if args.id is not None:
+            print(json.dumps(client.get(args.id), indent=2))
+            return 0
+        records = client.list_experiments()
+    else:
+        from .service.store import RunStore
+
+        store = RunStore(args.root)
+        if args.id is not None:
+            record = store.get(args.id)
+            if record is None:
+                print(f"error: unknown experiment {args.id!r}",
+                      file=sys.stderr)
+                return EXIT_RUNTIME_ERROR
+            print(json.dumps(record.to_dict(), indent=2))
+            return 0
+        records = [
+            record.to_dict(include_result=False)
+            for record in store.list_experiments()
+        ]
+    if not records:
+        print("no experiments")
+        return 0
+    for record in records:
+        print(_record_line(record))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+
+    def on_update(record: dict) -> None:
+        print(_record_line(record))
+        sys.stdout.flush()
+
+    final = client.watch(
+        args.id,
+        poll_seconds=args.poll,
+        timeout=args.timeout,
+        on_update=on_update,
+    )
+    return 0 if final["status"] == "completed" else EXIT_EXPERIMENT_NOT_COMPLETED
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from .service import executor
+    from .service.store import COMPLETED, RunStore
+
+    store = RunStore(args.root)
+    recovered = store.recover_interrupted()
+    if recovered:
+        print(f"marked interrupted: {', '.join(recovered)}", file=sys.stderr)
+    record = store.get(args.id)
+    if record is None:
+        print(f"error: unknown experiment {args.id!r}", file=sys.stderr)
+        return EXIT_RUNTIME_ERROR
+    checkpoint = record.checkpoint or {}
+    print(
+        f"resuming {args.id} from checkpoint at "
+        f"{checkpoint.get('epochs_trained', 0)} epochs",
+        file=sys.stderr,
+    )
+    final = executor.resume(store, args.id)
+    print(_record_line(final.to_dict()))
+    return 0 if final.status == COMPLETED else EXIT_EXPERIMENT_NOT_COMPLETED
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.verbose:
@@ -300,8 +536,22 @@ def main(argv=None) -> int:
         "record-trace": _cmd_record_trace,
         "replay": _cmd_replay,
         "report": _cmd_report,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "watch": _cmd_watch,
+        "resume": _cmd_resume,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        # Documented exit-code contract: runtime failures are reported
+        # on stderr and exit 3 instead of dumping a traceback.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_RUNTIME_ERROR
 
 
 if __name__ == "__main__":

@@ -388,6 +388,41 @@ class HyperDriveScheduler:
             return
         self.policy.allocate_jobs()
 
+    def checkpoint_state(self) -> Dict[str, object]:
+        """A JSON-serialisable progress checkpoint of the experiment.
+
+        This is *observable* state — clock, epoch counts, per-job
+        progress, headline metrics — persisted periodically by the
+        experiment service for status reporting and resume bookkeeping.
+        It is not a full state capture: recovery reconstructs the run
+        by deterministic replay of the journaled inputs (see
+        ``docs/service.md``), with this checkpoint marking how far the
+        interrupted run had progressed.
+        """
+        best = self.result.best_metric
+        return {
+            "clock": float(self._clock()),
+            "epochs_trained": int(self.result.epochs_trained),
+            "best_metric": None if best is None else float(best),
+            "best_job_id": self.result.best_job_id,
+            "reached_target": bool(self.result.reached_target),
+            "target": float(self.target),
+            "machine_failures": int(self.result.machine_failures),
+            "suspend_snapshots": len(self.result.snapshots),
+            "jobs": {
+                job.job_id: {
+                    "state": job.state.value,
+                    "epochs": int(job.epochs_completed),
+                    "best_metric": (
+                        None
+                        if job.best_metric is None
+                        else float(job.best_metric)
+                    ),
+                }
+                for job in self.job_manager.jobs()
+            },
+        }
+
     def finalize(self) -> ExperimentResult:
         """Close out the experiment and return the result object."""
         self.result.finished_at = self._clock()

@@ -1,0 +1,107 @@
+"""Named component registries shared by the CLI and the service.
+
+One place maps user-facing names ("cifar10", "pop", "random") onto the
+classes behind them, so the command line and the experiment service
+(:mod:`repro.service`) accept identical vocabularies and reject unknown
+names with the same error.  Adding a workload/policy/generator here
+makes it reachable from ``repro run``, ``repro submit``, and the
+daemon's ``POST /experiments`` at once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .core.pop import POPPolicy
+from .generators.base import HyperparameterGenerator
+from .generators.bayesian import BayesianGenerator
+from .generators.grid import GridGenerator
+from .generators.random_gen import RandomGenerator
+from .policies.bandit import BanditPolicy
+from .policies.base import SchedulingPolicy
+from .policies.default import DefaultPolicy
+from .policies.earlyterm import EarlyTermPolicy
+from .policies.hyperband import HyperBandPolicy, SuccessiveHalvingPolicy
+from .workloads.base import Workload
+from .workloads.cifar10 import Cifar10Workload
+from .workloads.lunarlander import LunarLanderWorkload
+from .workloads.mlp import MLPWorkload
+
+__all__ = [
+    "WORKLOADS",
+    "POLICIES",
+    "GENERATORS",
+    "build_workload",
+    "build_policy",
+    "build_generator",
+    "default_gen_seed",
+    "default_machines",
+]
+
+WORKLOADS: Dict[str, Callable] = {
+    "cifar10": Cifar10Workload,
+    "lunarlander": LunarLanderWorkload,
+    "mlp": MLPWorkload,
+}
+
+POLICIES: Dict[str, Callable] = {
+    "pop": POPPolicy,
+    "bandit": BanditPolicy,
+    "earlyterm": EarlyTermPolicy,
+    "default": DefaultPolicy,
+    "successive-halving": SuccessiveHalvingPolicy,
+    "hyperband": HyperBandPolicy,
+}
+
+GENERATORS: Dict[str, Callable] = {
+    "random": RandomGenerator,
+    "grid": GridGenerator,
+    "bayesian": BayesianGenerator,
+}
+
+
+def _lookup(registry: Dict[str, Callable], kind: str, name: str) -> Callable:
+    try:
+        return registry[name]
+    except KeyError:
+        choices = ", ".join(sorted(registry))
+        raise ValueError(f"unknown {kind} {name!r} (choices: {choices})") from None
+
+
+def default_gen_seed(workload_name: str) -> int:
+    """The published generator seed for ``workload_name``."""
+    from .analysis.experiments import RL_GENERATOR_SEED, SL_GENERATOR_SEED
+
+    return RL_GENERATOR_SEED if workload_name == "lunarlander" else SL_GENERATOR_SEED
+
+
+def default_machines(workload_name: str) -> int:
+    """The paper's cluster size for ``workload_name``."""
+    return 15 if workload_name == "lunarlander" else 4
+
+
+def build_workload(name: str) -> Workload:
+    """Instantiate the workload registered under ``name``."""
+    return _lookup(WORKLOADS, "workload", name)()
+
+
+def build_policy(name: str) -> SchedulingPolicy:
+    """Instantiate the scheduling policy registered under ``name``."""
+    return _lookup(POLICIES, "policy", name)()
+
+
+def build_generator(
+    name: str,
+    workload: Workload,
+    max_configs: int,
+    gen_seed: Optional[int] = None,
+) -> HyperparameterGenerator:
+    """Instantiate the hyperparameter generator registered under ``name``.
+
+    The grid generator is deterministic and takes a resolution instead
+    of a seed; every other generator receives ``gen_seed``.
+    """
+    generator_cls = _lookup(GENERATORS, "generator", name)
+    if name == "grid":
+        return generator_cls(workload.space, resolution=3, max_configs=max_configs)
+    return generator_cls(workload.space, seed=gen_seed, max_configs=max_configs)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from ..curves.predictor import CurvePredictor
 from ..framework.experiment import ExperimentResult, ExperimentSpec
@@ -74,9 +74,15 @@ class _LiveExperiment:
         predictor: CurvePredictor,
         time_scale: float,
         recorder=None,
+        cancel_event: Optional[threading.Event] = None,
+        progress_hook: Optional[Callable] = None,
+        progress_every_epochs: int = 50,
     ) -> None:
         self.spec = spec
         self.time_scale = time_scale
+        self.cancel_event = cancel_event
+        self.progress_hook = progress_hook
+        self.progress_every_epochs = progress_every_epochs
         self._t0 = time.monotonic()
         self.lock = threading.Lock()
         self.recorder = recorder if recorder is not None else NULL_RECORDER
@@ -108,7 +114,10 @@ class _LiveExperiment:
         return (time.monotonic() - self._t0) / self.time_scale
 
     def _sleep(self, simulated_seconds: float) -> None:
-        time.sleep(max(simulated_seconds, 0.0) * self.time_scale)
+        # Event.wait instead of time.sleep so a stop/cancel mid-epoch
+        # wakes the worker immediately instead of after the full
+        # (scaled) epoch duration.
+        self.stop_event.wait(max(simulated_seconds, 0.0) * self.time_scale)
 
     @contextmanager
     def _locked(self):
@@ -162,6 +171,10 @@ class _LiveExperiment:
                 extras=raw.extras,
             )
             self._sleep(extra_delay + result.duration)
+            if self.stop_event.is_set():
+                # Stopped/cancelled mid-epoch: the epoch never finished,
+                # so its result must not be recorded.
+                return
             with self._locked():
                 followup = self.scheduler.process_epoch(machine_id, result)
                 started = self.scheduler.take_started_machines()
@@ -172,6 +185,8 @@ class _LiveExperiment:
                 continue
             if followup.action is FollowUpAction.RELEASE_MACHINE:
                 self._sleep(followup.delay)
+                if self.stop_event.is_set():
+                    return
                 with self._locked():
                     self.scheduler.machine_released(machine_id)
                     started = self.scheduler.take_started_machines()
@@ -189,29 +204,71 @@ class _LiveExperiment:
             started = self.scheduler.take_started_machines()
         for machine_id in self.scheduler.resource_manager.machine_ids:
             thread = threading.Thread(
-                target=self._worker, args=(machine_id,), daemon=True
+                target=self._worker,
+                args=(machine_id,),
+                name=f"live-worker-{machine_id}",
+                daemon=True,
             )
             thread.start()
             self._threads.append(thread)
         self._notify_started(started)
 
+        try:
+            self._monitor()
+        except BaseException:
+            # KeyboardInterrupt (or any monitor failure) must not
+            # abandon the workers silently: stop them best-effort, then
+            # let the original exception propagate.
+            self._shutdown(strict=False)
+            raise
+        self._shutdown(strict=True)
+        with self.lock:
+            return self.scheduler.finalize()
+
+    def _monitor(self) -> None:
+        """Wait for completion, cancellation, or the Tmax deadline,
+        emitting progress checkpoints along the way."""
         deadline = time.monotonic() + self.spec.tmax * self.time_scale + 30.0
+        last_progress = 0
         while not self.stop_event.is_set() and time.monotonic() < deadline:
             time.sleep(0.02)
+            if self.cancel_event is not None and self.cancel_event.is_set():
+                return
             with self.lock:
                 quiescent = (
                     self.scheduler.resource_manager.num_busy == 0
                     and self.scheduler.job_manager.num_idle == 0
                 )
+                epochs = self.scheduler.result.epochs_trained
+                if (
+                    self.progress_hook is not None
+                    and epochs - last_progress >= self.progress_every_epochs
+                ):
+                    last_progress = epochs
+                    self.progress_hook(self.scheduler)
             if quiescent:
-                break
+                return
+
+    def _shutdown(self, strict: bool) -> None:
+        """Stop all workers; with ``strict`` raise if any fail to stop.
+
+        The daemon's cancel endpoint relies on this path being
+        reliable: a worker that outlives the join window means the
+        scheduler may still mutate after finalize, so that is an error
+        rather than a silent leak.
+        """
         self.stop_event.set()
         for machine_id in self._mailboxes:
             self.bus.send(machine_id, _STOP, None, sender="scheduler")
         for thread in self._threads:
             thread.join(timeout=5.0)
-        with self.lock:
-            return self.scheduler.finalize()
+        stuck = [thread.name for thread in self._threads if thread.is_alive()]
+        if stuck and strict:
+            raise RuntimeError(
+                "live runtime workers failed to stop within 5s: "
+                + ", ".join(stuck)
+                + "; experiment state may be inconsistent"
+            )
 
 
 def run_live(
@@ -223,6 +280,9 @@ def run_live(
     configs: Optional[Sequence[Dict[str, Any]]] = None,
     time_scale: float = 1e-3,
     recorder=None,
+    cancel_event: Optional[threading.Event] = None,
+    progress_hook: Optional[Callable] = None,
+    progress_every_epochs: int = 50,
 ) -> ExperimentResult:
     """Run one experiment on the live threaded runtime.
 
@@ -237,10 +297,19 @@ def run_live(
         recorder: observability facade
             (:class:`~repro.observability.Recorder`); None disables
             instrumentation at zero cost.
+        cancel_event: external cancellation signal; setting it stops
+            the run promptly (in-flight epochs are discarded) and
+            returns the partial result.
+        progress_hook: called with the scheduler (under the lock)
+            roughly every ``progress_every_epochs`` trained epochs.
+        progress_every_epochs: epoch granularity of ``progress_hook``.
 
     Returns:
         The finalised :class:`ExperimentResult`, with timestamps on the
         simulated-seconds axis (comparable to ``run_simulation``).
+
+    Raises:
+        RuntimeError: a worker thread failed to stop during shutdown.
     """
     if spec is None:
         spec = ExperimentSpec()
@@ -248,6 +317,8 @@ def run_live(
         raise ValueError("provide exactly one of generator or configs")
     if time_scale <= 0:
         raise ValueError("time_scale must be positive")
+    if progress_every_epochs < 1:
+        raise ValueError("progress_every_epochs must be >= 1")
 
     experiment = _LiveExperiment(
         workload=workload,
@@ -256,6 +327,9 @@ def run_live(
         predictor=predictor if predictor is not None else default_predictor(),
         time_scale=time_scale,
         recorder=recorder,
+        cancel_event=cancel_event,
+        progress_hook=progress_hook,
+        progress_every_epochs=progress_every_epochs,
     )
     if configs is not None:
         for index, config in enumerate(configs):

@@ -1,0 +1,59 @@
+"""The experiment service: durable runs, a daemon, and resumable state.
+
+HyperDrive is *middleware* (§4–§5): a long-lived system that accepts
+experiments, manages jobs across machines, and survives interruption.
+This package is that deployment shape for the reproduction:
+
+* :mod:`~repro.service.store` — a durable run store: experiment specs,
+  status transitions, checkpoints, and results in SQLite, paired with
+  a per-experiment JSONL write-ahead event journal.
+* :mod:`~repro.service.submission` — the validated submission record a
+  client hands the service (workload/policy/generator names plus
+  experiment parameters).
+* :mod:`~repro.service.executor` — runs one stored experiment against
+  either runtime, wiring cancellation polls, periodic checkpoints, and
+  the audit trail into the journal; ``resume`` reconstructs an
+  interrupted experiment from the journal and continues it.
+* :mod:`~repro.service.daemon` — ``repro serve``: a concurrent worker
+  pool draining the queue plus a JSON HTTP API on stdlib
+  ``http.server`` (submit / status / events / metrics / cancel).
+* :mod:`~repro.service.client` — a stdlib-``urllib`` client for the
+  HTTP API, used by ``repro submit`` / ``status`` / ``watch``.
+
+See ``docs/service.md`` for the API reference, store schema, resume
+semantics, and failure modes.
+"""
+
+from .client import ServiceClient, ServiceError
+from .daemon import ExperimentService
+from .executor import execute, resume
+from .store import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    INTERRUPTED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATUSES,
+    RunRecord,
+    RunStore,
+)
+from .submission import Submission
+
+__all__ = [
+    "CANCELLED",
+    "COMPLETED",
+    "ExperimentService",
+    "FAILED",
+    "INTERRUPTED",
+    "QUEUED",
+    "RUNNING",
+    "RunRecord",
+    "RunStore",
+    "ServiceClient",
+    "ServiceError",
+    "Submission",
+    "TERMINAL_STATUSES",
+    "execute",
+    "resume",
+]

@@ -1,0 +1,156 @@
+"""HTTP client for the experiment service (stdlib ``urllib`` only).
+
+:class:`ServiceClient` wraps the daemon's JSON API for programmatic use
+and for the ``repro submit`` / ``status`` / ``watch`` CLI verbs.  HTTP
+errors surface as :class:`ServiceError` carrying the status code and
+the server's error message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional
+
+from .store import TERMINAL_STATUSES
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An HTTP API call failed.
+
+    Attributes:
+        status: HTTP status code (0 when the daemon was unreachable).
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` daemon."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- plumbing
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> bytes:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as err:
+            body = err.read()
+            message = f"HTTP {err.code}"
+            try:
+                message = json.loads(body).get("error", message)
+            except (ValueError, AttributeError):
+                pass
+            raise ServiceError(err.code, message) from None
+        except urllib.error.URLError as err:
+            raise ServiceError(
+                0, f"cannot reach service at {self.base_url}: {err.reason}"
+            ) from None
+
+    def _request_json(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        return json.loads(self._request(method, path, payload))
+
+    # ------------------------------------------------------------ endpoints
+
+    def health(self) -> Dict[str, Any]:
+        return self._request_json("GET", "/healthz")
+
+    def submit(self, submission: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a submission; returns the created experiment record."""
+        return self._request_json("POST", "/experiments", submission)
+
+    def list_experiments(self) -> List[Dict[str, Any]]:
+        return self._request_json("GET", "/experiments")["experiments"]
+
+    def get(self, exp_id: str) -> Dict[str, Any]:
+        return self._request_json("GET", f"/experiments/{exp_id}")
+
+    def events(self, exp_id: str, offset: int = 0) -> List[Dict[str, Any]]:
+        """Journal events from ``offset`` (NDJSON decoded client-side)."""
+        raw = self._request(
+            "GET", f"/experiments/{exp_id}/events?offset={int(offset)}"
+        )
+        return [
+            json.loads(line)
+            for line in raw.decode("utf-8").splitlines()
+            if line.strip()
+        ]
+
+    def cancel(self, exp_id: str) -> Dict[str, Any]:
+        return self._request_json("DELETE", f"/experiments/{exp_id}")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics").decode("utf-8")
+
+    # ---------------------------------------------------------------- watch
+
+    def watch(
+        self,
+        exp_id: str,
+        poll_seconds: float = 0.5,
+        timeout: Optional[float] = None,
+        on_update: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Poll an experiment until it reaches a terminal status.
+
+        Args:
+            exp_id: experiment id.
+            poll_seconds: polling interval.
+            timeout: give up after this many wall seconds (None = wait
+                forever).
+            on_update: called with the record whenever the
+                status or checkpoint changes.
+
+        Returns:
+            The terminal experiment record.
+
+        Raises:
+            TimeoutError: the experiment did not finish in time.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        last_seen: Optional[str] = None
+        while True:
+            record = self.get(exp_id)
+            fingerprint = json.dumps(
+                [record["status"], record.get("checkpoint")], sort_keys=True
+            )
+            if fingerprint != last_seen:
+                last_seen = fingerprint
+                if on_update is not None:
+                    on_update(record)
+            if record["status"] in TERMINAL_STATUSES or record["status"] == "interrupted":
+                return record
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"experiment {exp_id} still {record['status']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)

@@ -1,0 +1,347 @@
+"""The multi-experiment daemon behind ``repro serve``.
+
+An :class:`ExperimentService` owns a :class:`~repro.service.store.RunStore`,
+a pool of worker threads that claim queued experiments and drive them
+through :mod:`~repro.service.executor`, and a JSON HTTP API on stdlib
+``http.server``:
+
+========  ==============================  =======================================
+method    path                            purpose
+========  ==============================  =======================================
+GET       ``/healthz``                    liveness + version
+POST      ``/experiments``                submit a :class:`Submission` JSON body
+GET       ``/experiments``                list all experiments (no result bodies)
+GET       ``/experiments/{id}``           one experiment incl. checkpoint/result
+GET       ``/experiments/{id}/events``    the event journal as NDJSON
+                                          (``?offset=N`` skips the first N)
+DELETE    ``/experiments/{id}``           request cancellation
+GET       ``/metrics``                    Prometheus-style service metrics
+========  ==============================  =======================================
+
+On startup the service marks experiments a dead daemon left RUNNING as
+INTERRUPTED; with ``resume_interrupted=True`` the workers replay them
+(:func:`~repro.service.executor.resume`) before taking new work.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+from urllib.parse import parse_qs, urlparse
+
+from ..observability.exporters import encode_event
+from ..observability.metrics import MetricsRegistry
+from . import executor
+from .store import RunStore
+from .submission import Submission
+
+__all__ = ["ExperimentService"]
+
+logger = logging.getLogger(__name__)
+
+_EXPERIMENT_ROUTE = re.compile(r"^/experiments/([A-Za-z0-9_-]+)(/events)?$")
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service: "ExperimentService"
+
+
+class ExperimentService:
+    """Durable experiment daemon: worker pool + HTTP endpoint."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        resume_interrupted: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.store = RunStore(root)
+        self.metrics = MetricsRegistry()
+        self._m_submitted = self.metrics.counter(
+            "service_experiments_submitted_total",
+            help="Experiments accepted by the service",
+        )
+        self._m_finished = self.metrics.counter(
+            "service_experiments_finished_total",
+            help="Experiments that reached a terminal status, by status",
+        )
+        self._m_running = self.metrics.gauge(
+            "service_experiments_running",
+            help="Experiments currently executing on a worker",
+        )
+        self._m_epochs = self.metrics.counter(
+            "service_epochs_trained_total",
+            help="Epochs trained across all completed experiments",
+        )
+        self._m_http = self.metrics.counter(
+            "service_http_requests_total",
+            help="HTTP API requests, by method and status code",
+        )
+        self._workers = workers
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._resume_lock = threading.Lock()
+        interrupted = self.store.recover_interrupted()
+        self._resume_queue: List[str] = interrupted if resume_interrupted else []
+        if interrupted:
+            logger.info(
+                "found %d interrupted experiment(s): %s%s",
+                len(interrupted),
+                ", ".join(interrupted),
+                " (will resume)" if resume_interrupted else "",
+            )
+        self._server = _ServiceHTTPServer((host, port), _Handler)
+        self._server.service = self
+
+    # ------------------------------------------------------------ addresses
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Start the HTTP listener and the worker pool (non-blocking)."""
+        http_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="service-http",
+            daemon=True,
+        )
+        http_thread.start()
+        self._threads.append(http_thread)
+        for index in range(self._workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"service-worker-{index}",
+                daemon=True,
+            )
+            worker.start()
+            self._threads.append(worker)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Shut down the listener and wait for workers to finish the
+        experiment they are on (idempotent)."""
+        self._stop.set()
+        self._server.shutdown()
+        self._server.server_close()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+        self.store.close()
+
+    def serve_until_interrupted(self) -> None:
+        """Block until KeyboardInterrupt, then stop gracefully."""
+        try:
+            while not self._stop.wait(0.5):
+                pass
+        except KeyboardInterrupt:
+            logger.info("interrupt received; shutting down")
+        finally:
+            self.stop()
+
+    # -------------------------------------------------------------- workers
+
+    def _next_resume(self) -> Optional[str]:
+        with self._resume_lock:
+            return self._resume_queue.pop(0) if self._resume_queue else None
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            resume_id = self._next_resume()
+            if resume_id is not None:
+                self._execute(resume_id, resuming=True)
+                continue
+            record = self.store.claim_next_queued()
+            if record is None:
+                self._stop.wait(0.05)
+                continue
+            self._execute(record.id, resuming=False)
+
+    def _execute(self, exp_id: str, resuming: bool) -> None:
+        self._m_running.inc()
+        try:
+            run = executor.resume if resuming else executor.execute
+            final = run(self.store, exp_id)
+        except Exception:
+            logger.exception("experiment %s failed", exp_id)
+            self._m_finished.inc(status="failed")
+        else:
+            self._m_finished.inc(status=final.status)
+            if final.result is not None:
+                self._m_epochs.inc(final.result.get("epochs_trained", 0))
+        finally:
+            self._m_running.dec()
+
+    # ------------------------------------------------------------- HTTP API
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        submission = Submission.from_dict(payload)
+        record = self.store.submit(submission)
+        self._m_submitted.inc()
+        return record.to_dict()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning :class:`ExperimentService`."""
+
+    server: _ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def service(self) -> ExperimentService:
+        return self.server.service
+
+    def log_message(self, format: str, *args: Any) -> None:
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.service._m_http.inc(method=self.command, code=str(code))
+
+    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+        self._send(
+            code,
+            (encode_event(payload) + "\n").encode("utf-8"),
+            "application/json",
+        )
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _read_json_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        return json.loads(raw)
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            self._route(method)
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:
+            logger.exception("unhandled error serving %s %s", method, self.path)
+            try:
+                self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+            except Exception:
+                pass
+
+    # --------------------------------------------------------------- routes
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def _route(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/") or "/"
+        if method == "GET" and path == "/healthz":
+            from .. import __version__
+
+            self._send_json(200, {"status": "ok", "version": __version__})
+            return
+        if method == "GET" and path == "/metrics":
+            body = self.service.metrics.render_text().encode("utf-8")
+            self._send(200, body, "text/plain; version=0.0.4")
+            return
+        if path == "/experiments":
+            if method == "POST":
+                self._post_experiment()
+                return
+            if method == "GET":
+                records = self.service.store.list_experiments()
+                self._send_json(
+                    200,
+                    {
+                        "experiments": [
+                            record.to_dict(include_result=False)
+                            for record in records
+                        ]
+                    },
+                )
+                return
+        match = _EXPERIMENT_ROUTE.match(path)
+        if match is not None:
+            exp_id, events = match.group(1), match.group(2)
+            if events and method == "GET":
+                self._get_events(exp_id, parsed.query)
+                return
+            if not events and method == "GET":
+                self._get_experiment(exp_id)
+                return
+            if not events and method == "DELETE":
+                self._delete_experiment(exp_id)
+                return
+        self._send_error_json(404, f"no route for {method} {path}")
+
+    def _post_experiment(self) -> None:
+        try:
+            payload = self._read_json_body()
+            record = self.service.submit(payload)
+        except (ValueError, TypeError, json.JSONDecodeError) as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(201, record)
+
+    def _get_experiment(self, exp_id: str) -> None:
+        record = self.service.store.get(exp_id)
+        if record is None:
+            self._send_error_json(404, f"unknown experiment {exp_id!r}")
+            return
+        self._send_json(200, record.to_dict())
+
+    def _get_events(self, exp_id: str, query: str) -> None:
+        if self.service.store.get(exp_id) is None:
+            self._send_error_json(404, f"unknown experiment {exp_id!r}")
+            return
+        try:
+            offset = int(parse_qs(query).get("offset", ["0"])[0])
+        except ValueError:
+            self._send_error_json(400, "offset must be an integer")
+            return
+        events = self.service.store.read_events(exp_id, offset=max(offset, 0))
+        body = "".join(encode_event(event) + "\n" for event in events)
+        self._send(200, body.encode("utf-8"), "application/x-ndjson")
+
+    def _delete_experiment(self, exp_id: str) -> None:
+        try:
+            record = self.service.store.request_cancel(exp_id)
+        except KeyError:
+            self._send_error_json(404, f"unknown experiment {exp_id!r}")
+            return
+        except ValueError as exc:
+            self._send_error_json(409, str(exc))
+            return
+        self._send_json(202, record.to_dict(include_result=False))

@@ -1,0 +1,237 @@
+"""Execute and resume stored experiments.
+
+``execute`` drives one experiment from the run store through either
+runtime, wiring three service concerns into the run:
+
+* **Journal**: the run's audit trail streams into the store journal
+  through a :class:`~repro.service.store.JournalExporter`; the minted
+  configuration list is journaled before the first epoch.
+* **Checkpoints**: every ``checkpoint_every`` epochs the scheduler's
+  :meth:`~repro.framework.scheduler.HyperDriveScheduler.checkpoint_state`
+  is persisted — progress for ``repro status``/``watch`` and the
+  bookkeeping ``repro resume`` validates against.
+* **Cancellation**: the executor polls the store's ``cancel_requested``
+  flag (sim: inside the event loop's stop-check; live: a monitor
+  thread that sets the runtime's cancel event) and records a partial
+  result under the CANCELLED status.
+
+``resume`` is the paper's suspend/resume story (§5.1) at experiment
+granularity: an experiment whose process died is reconstructed from its
+journal — the submission seeds plus the exact minted configuration
+stream — and re-driven to completion.  Because both runtimes are
+deterministic given those inputs, the resumed run retraces the
+interrupted trajectory past the last checkpoint and finishes exactly as
+an uninterrupted run would (see ``docs/service.md`` for the semantics
+and their limits on the live runtime).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from ..generators.base import ExhaustedSpaceError
+from ..observability import Recorder
+from .store import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    INTERRUPTED,
+    QUEUED,
+    RUNNING,
+    RunRecord,
+    RunStore,
+)
+from .submission import Submission
+
+__all__ = ["execute", "resume"]
+
+CheckpointHook = Callable[[Dict[str, Any]], None]
+
+
+def execute(
+    store: RunStore,
+    exp_id: str,
+    on_checkpoint: Optional[CheckpointHook] = None,
+    poll_wall_seconds: float = 0.25,
+) -> RunRecord:
+    """Run one stored experiment to a terminal status.
+
+    The experiment must be QUEUED (offline callers) or RUNNING (daemon
+    workers that already claimed it).  Returns the final record; on an
+    execution error the experiment is marked FAILED and the exception
+    re-raised.
+
+    Args:
+        store: the run store holding the experiment.
+        exp_id: experiment id.
+        on_checkpoint: test/ops hook invoked with each checkpoint state
+            after it is persisted.
+        poll_wall_seconds: wall-clock throttle on cancellation polls.
+    """
+    record = store.get(exp_id)
+    if record is None:
+        raise KeyError(f"unknown experiment {exp_id!r}")
+    if record.status == QUEUED:
+        store.mark_running(exp_id)
+    elif record.status != RUNNING:
+        raise ValueError(
+            f"experiment {exp_id} is {record.status}; only queued/running "
+            "experiments can be executed"
+        )
+    return _run(store, exp_id, on_checkpoint, poll_wall_seconds)
+
+
+def resume(
+    store: RunStore,
+    exp_id: str,
+    on_checkpoint: Optional[CheckpointHook] = None,
+    poll_wall_seconds: float = 0.25,
+) -> RunRecord:
+    """Resume an INTERRUPTED experiment from its journal.
+
+    Replays the journaled configuration stream under the stored
+    submission (same seeds), which on the deterministic runtimes
+    retraces the interrupted run and continues it to completion.  The
+    last checkpoint is journaled alongside the ``resumed`` marker so
+    the recovery point is auditable.
+    """
+    record = store.get(exp_id)
+    if record is None:
+        raise KeyError(f"unknown experiment {exp_id!r}")
+    if record.status != INTERRUPTED:
+        raise ValueError(
+            f"experiment {exp_id} is {record.status}; only interrupted "
+            "experiments can be resumed (run recover_interrupted first)"
+        )
+    checkpoint = record.checkpoint or {}
+    store.append_event(
+        exp_id,
+        "resumed",
+        from_epoch=checkpoint.get("epochs_trained", 0),
+        from_clock=checkpoint.get("clock", 0.0),
+    )
+    store.mark_running(exp_id)
+    return _run(store, exp_id, on_checkpoint, poll_wall_seconds)
+
+
+def _run(
+    store: RunStore,
+    exp_id: str,
+    on_checkpoint: Optional[CheckpointHook],
+    poll_wall_seconds: float,
+) -> RunRecord:
+    record = store.get(exp_id)
+    assert record is not None
+    submission = Submission.from_dict(record.submission)
+    workload = submission.build_workload()
+    policy = submission.build_policy()
+    spec = submission.build_spec()
+
+    # Replay anchor: mint once, journal, and always run from the
+    # journaled list — a resumed run sees the identical stream.
+    configs = store.minted_configs(exp_id)
+    if configs is None:
+        generator = submission.build_generator(workload)
+        configs = []
+        for _ in range(submission.configs):
+            try:
+                configs.append(generator.create_job()[1])
+            except ExhaustedSpaceError:
+                break
+        store.record_configs(exp_id, configs)
+
+    recorder = Recorder(exporter=store.journal_exporter(exp_id))
+
+    def checkpoint_hook(scheduler) -> None:
+        state = scheduler.checkpoint_state()
+        store.save_checkpoint(exp_id, state)
+        if on_checkpoint is not None:
+            on_checkpoint(state)
+
+    try:
+        if submission.live:
+            result = _run_live(
+                store, exp_id, submission, workload, policy, spec, configs,
+                recorder, checkpoint_hook, poll_wall_seconds,
+            )
+        else:
+            result = _run_sim(
+                store, exp_id, submission, workload, policy, spec, configs,
+                recorder, checkpoint_hook, poll_wall_seconds,
+            )
+    except Exception as exc:
+        store.mark_finished(
+            exp_id, FAILED, error=f"{type(exc).__name__}: {exc}"
+        )
+        raise
+    status = CANCELLED if store.cancel_requested(exp_id) else COMPLETED
+    store.mark_finished(exp_id, status, result=result.to_dict())
+    final = store.get(exp_id)
+    assert final is not None
+    return final
+
+
+def _run_sim(
+    store, exp_id, submission, workload, policy, spec, configs,
+    recorder, checkpoint_hook, poll_wall_seconds,
+):
+    from ..sim.runner import run_simulation
+
+    state = {"next_poll": 0.0, "cancelled": False}
+
+    def stop_check() -> bool:
+        now = time.monotonic()
+        if now >= state["next_poll"]:
+            state["next_poll"] = now + poll_wall_seconds
+            state["cancelled"] = store.cancel_requested(exp_id)
+        return state["cancelled"]
+
+    return run_simulation(
+        workload,
+        policy,
+        configs=configs,
+        spec=spec,
+        recorder=recorder,
+        stop_check=stop_check,
+        progress_hook=checkpoint_hook,
+        progress_every_epochs=submission.checkpoint_every,
+    )
+
+
+def _run_live(
+    store, exp_id, submission, workload, policy, spec, configs,
+    recorder, checkpoint_hook, poll_wall_seconds,
+):
+    from ..runtime.local import run_live
+
+    cancel_event = threading.Event()
+    done = threading.Event()
+
+    def monitor() -> None:
+        while not done.is_set():
+            if store.cancel_requested(exp_id):
+                cancel_event.set()
+                return
+            done.wait(max(poll_wall_seconds, 0.02))
+
+    monitor_thread = threading.Thread(
+        target=monitor, name=f"cancel-monitor-{exp_id}", daemon=True
+    )
+    monitor_thread.start()
+    try:
+        return run_live(
+            workload,
+            policy,
+            configs=configs,
+            spec=spec,
+            time_scale=submission.time_scale,
+            recorder=recorder,
+            cancel_event=cancel_event,
+            progress_hook=checkpoint_hook,
+            progress_every_epochs=submission.checkpoint_every,
+        )
+    finally:
+        done.set()
+        monitor_thread.join(timeout=5.0)

@@ -1,0 +1,441 @@
+"""The durable run store: SQLite index + JSONL write-ahead journal.
+
+Two complementary persistence layers per experiment:
+
+* **SQLite** (``store.db``) holds the queryable index: submission,
+  status, timestamps, latest checkpoint, final result.  It is what the
+  daemon's workers claim work from and what ``GET /experiments``
+  serves.
+* **A JSONL event journal** (``journal/<id>.jsonl``) is the append-only
+  record of everything that happened: submission, minted
+  configurations, status transitions, periodic checkpoints, the audit
+  trail streamed from the run's :class:`~repro.observability.Recorder`,
+  and the final result.  Payload-bearing events (configs, checkpoints,
+  results) are appended *before* the SQLite row is updated, so after a
+  crash the journal is never behind the index — ``repro resume`` and
+  ``GET /experiments/{id}/events`` both read it directly.
+
+The store is safe for concurrent use from the daemon's worker and HTTP
+threads: SQLite connections are short-lived per call, and journal
+appends go through per-experiment cached handles behind a lock, flushed
+on every event so a killed process loses nothing already reported.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Union
+
+from ..observability.exporters import EventExporter, encode_event
+from .submission import Submission
+
+__all__ = [
+    "QUEUED",
+    "RUNNING",
+    "COMPLETED",
+    "FAILED",
+    "CANCELLED",
+    "INTERRUPTED",
+    "TERMINAL_STATUSES",
+    "RunRecord",
+    "RunStore",
+    "JournalExporter",
+]
+
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+INTERRUPTED = "interrupted"
+
+#: Statuses an experiment can never leave.
+TERMINAL_STATUSES = frozenset({COMPLETED, FAILED, CANCELLED})
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS experiments (
+    id               TEXT PRIMARY KEY,
+    submission       TEXT NOT NULL,
+    status           TEXT NOT NULL,
+    created_at       REAL NOT NULL,
+    started_at       REAL,
+    finished_at      REAL,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    checkpoint       TEXT,
+    result           TEXT,
+    error            TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_experiments_status
+    ON experiments (status, created_at);
+"""
+
+
+@dataclass
+class RunRecord:
+    """One experiment as stored (the SQLite row, decoded)."""
+
+    id: str
+    submission: Dict[str, Any]
+    status: str
+    created_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    cancel_requested: bool = False
+    checkpoint: Optional[Dict[str, Any]] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    def to_dict(self, include_result: bool = True) -> Dict[str, Any]:
+        """JSON document served by the HTTP API.
+
+        Args:
+            include_result: drop the (large) result payload for list
+                views; detail views keep it.
+        """
+        out: Dict[str, Any] = {
+            "id": self.id,
+            "submission": self.submission,
+            "status": self.status,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "cancel_requested": self.cancel_requested,
+            "checkpoint": self.checkpoint,
+            "error": self.error,
+        }
+        if include_result:
+            out["result"] = self.result
+        return out
+
+
+class RunStore:
+    """Durable experiment state under one root directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.db_path = self.root / "store.db"
+        self.journal_dir = self.root / "journal"
+        self.journal_dir.mkdir(exist_ok=True)
+        self._lock = threading.Lock()
+        self._handles: Dict[str, IO[str]] = {}
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.db_path, timeout=30.0)
+        conn.row_factory = sqlite3.Row
+        return conn
+
+    @staticmethod
+    def _decode(row: sqlite3.Row) -> RunRecord:
+        return RunRecord(
+            id=row["id"],
+            submission=json.loads(row["submission"]),
+            status=row["status"],
+            created_at=row["created_at"],
+            started_at=row["started_at"],
+            finished_at=row["finished_at"],
+            cancel_requested=bool(row["cancel_requested"]),
+            checkpoint=(
+                json.loads(row["checkpoint"]) if row["checkpoint"] else None
+            ),
+            result=json.loads(row["result"]) if row["result"] else None,
+            error=row["error"],
+        )
+
+    def _require(self, conn: sqlite3.Connection, exp_id: str) -> sqlite3.Row:
+        row = conn.execute(
+            "SELECT * FROM experiments WHERE id = ?", (exp_id,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"unknown experiment {exp_id!r}")
+        return row
+
+    def close(self) -> None:
+        """Close cached journal handles (idempotent)."""
+        with self._lock:
+            for handle in self._handles.values():
+                handle.close()
+            self._handles.clear()
+
+    # -------------------------------------------------------------- journal
+
+    def journal_path(self, exp_id: str) -> Path:
+        return self.journal_dir / f"{exp_id}.jsonl"
+
+    def append_event(self, exp_id: str, kind: str, **payload: Any) -> None:
+        """Append one event to the experiment's journal and flush it.
+
+        The flush-per-event discipline is what makes the journal a
+        write-ahead log: anything acknowledged here survives a process
+        kill, even if the SQLite mirror never happens.
+        """
+        event = {"kind": kind, "wall_time": time.time(), **payload}
+        line = encode_event(event)
+        with self._lock:
+            handle = self._handles.get(exp_id)
+            if handle is None:
+                handle = self.journal_path(exp_id).open("a", encoding="utf-8")
+                self._handles[exp_id] = handle
+            handle.write(line)
+            handle.write("\n")
+            handle.flush()
+
+    def read_events(self, exp_id: str, offset: int = 0) -> List[Dict[str, Any]]:
+        """Decoded journal events, skipping the first ``offset`` lines."""
+        path = self.journal_path(exp_id)
+        if not path.exists():
+            return []
+        events = []
+        with path.open("r", encoding="utf-8") as handle:
+            for index, line in enumerate(handle):
+                if index < offset:
+                    continue
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+        return events
+
+    def journal_exporter(self, exp_id: str) -> "JournalExporter":
+        """An observability exporter that streams into the journal."""
+        return JournalExporter(self, exp_id)
+
+    def _close_journal(self, exp_id: str) -> None:
+        with self._lock:
+            handle = self._handles.pop(exp_id, None)
+        if handle is not None:
+            handle.close()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def submit(self, submission: Union[Submission, Dict[str, Any]]) -> RunRecord:
+        """Persist a new experiment in the queue; returns its record."""
+        if isinstance(submission, dict):
+            submission = Submission.from_dict(submission)
+        exp_id = f"exp-{uuid.uuid4().hex[:12]}"
+        payload = submission.to_dict()
+        now = time.time()
+        self.append_event(exp_id, "submitted", submission=payload)
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT INTO experiments (id, submission, status, created_at)"
+                " VALUES (?, ?, ?, ?)",
+                (exp_id, json.dumps(payload), QUEUED, now),
+            )
+        return RunRecord(
+            id=exp_id, submission=payload, status=QUEUED, created_at=now
+        )
+
+    def get(self, exp_id: str) -> Optional[RunRecord]:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM experiments WHERE id = ?", (exp_id,)
+            ).fetchone()
+        return self._decode(row) if row is not None else None
+
+    def list_experiments(self) -> List[RunRecord]:
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT * FROM experiments ORDER BY created_at, id"
+            ).fetchall()
+        return [self._decode(row) for row in rows]
+
+    def claim_next_queued(self) -> Optional[RunRecord]:
+        """Atomically move the oldest queued experiment to RUNNING.
+
+        Safe against concurrent workers: the compare-and-set UPDATE
+        only wins for one claimant; losers retry on the next row.
+        """
+        with self._connect() as conn:
+            while True:
+                row = conn.execute(
+                    "SELECT id FROM experiments WHERE status = ?"
+                    " ORDER BY created_at, id LIMIT 1",
+                    (QUEUED,),
+                ).fetchone()
+                if row is None:
+                    return None
+                cursor = conn.execute(
+                    "UPDATE experiments SET status = ?, started_at = ?"
+                    " WHERE id = ? AND status = ?",
+                    (RUNNING, time.time(), row["id"], QUEUED),
+                )
+                conn.commit()
+                if cursor.rowcount:
+                    self.append_event(row["id"], "status", status=RUNNING)
+                    return self.get(row["id"])
+
+    def mark_running(self, exp_id: str) -> None:
+        """Move a queued (or resuming interrupted) experiment to RUNNING."""
+        self.append_event(exp_id, "status", status=RUNNING)
+        with self._connect() as conn:
+            row = self._require(conn, exp_id)
+            if row["status"] not in (QUEUED, INTERRUPTED):
+                raise ValueError(
+                    f"experiment {exp_id} is {row['status']}, not startable"
+                )
+            conn.execute(
+                "UPDATE experiments SET status = ?, started_at = ?"
+                " WHERE id = ?",
+                (RUNNING, time.time(), exp_id),
+            )
+
+    def mark_finished(
+        self,
+        exp_id: str,
+        status: str,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        """Record a terminal status (journal first, then the index)."""
+        if status not in TERMINAL_STATUSES:
+            raise ValueError(f"{status!r} is not a terminal status")
+        self.append_event(exp_id, "status", status=status, error=error)
+        if result is not None:
+            self.append_event(exp_id, "result", result=result)
+        with self._connect() as conn:
+            self._require(conn, exp_id)
+            conn.execute(
+                "UPDATE experiments SET status = ?, finished_at = ?,"
+                " result = ?, error = ? WHERE id = ?",
+                (
+                    status,
+                    time.time(),
+                    encode_event(result) if result is not None else None,
+                    error,
+                    exp_id,
+                ),
+            )
+        self._close_journal(exp_id)
+
+    def request_cancel(self, exp_id: str) -> RunRecord:
+        """Ask a queued/running experiment to stop.
+
+        A queued experiment is cancelled immediately (no worker will
+        claim it); a running one gets ``cancel_requested`` set, which
+        the executor's stop-check polls.  Raises ``KeyError`` for an
+        unknown id and ``ValueError`` once the experiment is terminal.
+        """
+        with self._connect() as conn:
+            row = self._require(conn, exp_id)
+            status = row["status"]
+            if status in TERMINAL_STATUSES:
+                raise ValueError(f"experiment {exp_id} is already {status}")
+        if status == QUEUED:
+            # Not claimed yet: cancel without waiting for a worker.
+            self.append_event(exp_id, "cancel_requested")
+            with self._connect() as conn:
+                cursor = conn.execute(
+                    "UPDATE experiments SET status = ?, finished_at = ?,"
+                    " cancel_requested = 1 WHERE id = ? AND status = ?",
+                    (CANCELLED, time.time(), exp_id, QUEUED),
+                )
+                conn.commit()
+            if cursor.rowcount:
+                self.append_event(exp_id, "status", status=CANCELLED)
+                self._close_journal(exp_id)
+                record = self.get(exp_id)
+                assert record is not None
+                return record
+            # Lost the race with a claiming worker; fall through to the
+            # running-experiment path.
+        self.append_event(exp_id, "cancel_requested")
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE experiments SET cancel_requested = 1 WHERE id = ?",
+                (exp_id,),
+            )
+        record = self.get(exp_id)
+        assert record is not None
+        return record
+
+    def cancel_requested(self, exp_id: str) -> bool:
+        with self._connect() as conn:
+            row = self._require(conn, exp_id)
+        return bool(row["cancel_requested"])
+
+    def recover_interrupted(self) -> List[str]:
+        """Mark stale RUNNING experiments as INTERRUPTED.
+
+        Called when a store is (re)opened by a daemon or ``repro
+        resume``: any experiment still marked running belonged to a
+        process that died.  Returns the affected ids.
+        """
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT id FROM experiments WHERE status = ?", (RUNNING,)
+            ).fetchall()
+        interrupted = []
+        for row in rows:
+            self.append_event(row["id"], "status", status=INTERRUPTED)
+            with self._connect() as conn:
+                conn.execute(
+                    "UPDATE experiments SET status = ? WHERE id = ?"
+                    " AND status = ?",
+                    (INTERRUPTED, row["id"], RUNNING),
+                )
+            interrupted.append(row["id"])
+        return interrupted
+
+    # ------------------------------------------------------ run-time payload
+
+    def record_configs(
+        self, exp_id: str, configs: List[Dict[str, Any]]
+    ) -> None:
+        """Journal the full minted configuration list (once per run).
+
+        This is the replay anchor: with the submission (seeds) and this
+        exact configuration stream, a deterministic runtime reproduces
+        the experiment's trajectory — the basis of ``repro resume``.
+        """
+        self.append_event(exp_id, "configs", configs=configs)
+
+    def minted_configs(self, exp_id: str) -> Optional[List[Dict[str, Any]]]:
+        """The journaled configuration list, or None if never minted."""
+        configs = None
+        for event in self.read_events(exp_id):
+            if event.get("kind") == "configs":
+                configs = event["configs"]
+        return configs
+
+    def save_checkpoint(self, exp_id: str, state: Dict[str, Any]) -> None:
+        """Persist a progress checkpoint (journal first, then index)."""
+        self.append_event(exp_id, "checkpoint", state=state)
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE experiments SET checkpoint = ? WHERE id = ?",
+                (encode_event(state), exp_id),
+            )
+
+    def latest_checkpoint(self, exp_id: str) -> Optional[Dict[str, Any]]:
+        record = self.get(exp_id)
+        if record is None:
+            raise KeyError(f"unknown experiment {exp_id!r}")
+        return record.checkpoint
+
+
+class JournalExporter(EventExporter):
+    """Streams a run's audit trail into its store journal.
+
+    Each observability event (audit record or span) is wrapped as a
+    journal event of kind ``audit`` so service-level events and the
+    scheduler's decision trail interleave in one ordered log.
+    """
+
+    def __init__(self, store: RunStore, exp_id: str) -> None:
+        self._store = store
+        self._exp_id = exp_id
+        self.events_written = 0
+
+    def export(self, event) -> None:
+        self._store.append_event(self._exp_id, "audit", record=dict(event))
+        self.events_written += 1

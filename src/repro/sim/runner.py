@@ -9,7 +9,7 @@ and drives the experiment to completion.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -50,6 +50,9 @@ def run_simulation(
     predictor: Optional[CurvePredictor] = None,
     configs: Optional[Sequence[Dict[str, Any]]] = None,
     recorder=None,
+    stop_check: Optional[Callable[[], bool]] = None,
+    progress_hook: Optional[Callable[[HyperDriveScheduler], None]] = None,
+    progress_every_epochs: int = 50,
 ) -> ExperimentResult:
     """Simulate one hyperparameter-exploration experiment.
 
@@ -65,6 +68,13 @@ def run_simulation(
         recorder: observability facade
             (:class:`~repro.observability.Recorder`); None disables
             instrumentation at zero cost.
+        stop_check: external cancellation probe, polled between events;
+            returning True ends the run early with a partial result
+            (the experiment service's cancel endpoint rides on this).
+        progress_hook: called with the scheduler roughly every
+            ``progress_every_epochs`` trained epochs (service
+            checkpointing); None disables the bookkeeping.
+        progress_every_epochs: epoch granularity of ``progress_hook``.
 
     Returns:
         The finalised :class:`ExperimentResult`.
@@ -102,16 +112,29 @@ def run_simulation(
     if spec.machine_mtbf is not None:
         _arm_failures(scheduler, engine, generations, spec)
 
-    scheduler.begin()
-    _schedule_started_machines(scheduler, engine, generations)
-    engine.run(
-        until=spec.tmax,
+    if progress_every_epochs < 1:
+        raise ValueError("progress_every_epochs must be >= 1")
+    last_progress = 0
+
+    def _stop_when() -> bool:
         # Stop on target, and also once no job is live — otherwise
         # perpetual fault-injection events would idle the clock out to
         # Tmax after the real work has finished.
-        stop_when=lambda: scheduler.done
-        or not scheduler.job_manager.active_jobs(),
-    )
+        nonlocal last_progress
+        if (
+            progress_hook is not None
+            and scheduler.result.epochs_trained - last_progress
+            >= progress_every_epochs
+        ):
+            last_progress = scheduler.result.epochs_trained
+            progress_hook(scheduler)
+        if scheduler.done or not scheduler.job_manager.active_jobs():
+            return True
+        return stop_check is not None and stop_check()
+
+    scheduler.begin()
+    _schedule_started_machines(scheduler, engine, generations)
+    engine.run(until=spec.tmax, stop_when=_stop_when)
     return scheduler.finalize()
 
 

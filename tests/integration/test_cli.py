@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -88,3 +90,135 @@ def test_record_and_replay_roundtrip(tmp_path, capsys):
 def test_unknown_policy_rejected():
     with pytest.raises(SystemExit):
         main(["run", "--policy", "nonsense"])
+
+
+def test_run_json_emits_machine_readable_result(capsys):
+    code = main(
+        [
+            "run",
+            "--workload", "cifar10",
+            "--policy", "bandit",
+            "--configs", "6",
+            "--machines", "2",
+            "--json",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)  # stdout is exactly one JSON doc
+    assert payload["policy"] == "bandit"
+    assert payload["epochs_trained"] > 0
+    assert "policy          : bandit" in captured.err  # summary on stderr
+
+
+def test_save_result_and_report_roundtrip(tmp_path, capsys):
+    result_path = tmp_path / "result.json"
+    code = main(
+        [
+            "run",
+            "--workload", "cifar10",
+            "--policy", "default",
+            "--configs", "4",
+            "--machines", "2",
+            "--no-stop-on-target",
+            "--tmax-hours", "2",
+            "--save-result", str(result_path),
+        ]
+    )
+    assert code == 0
+    assert result_path.exists()
+    capsys.readouterr()
+    assert main(["report", "--result", str(result_path)]) == 0
+    assert capsys.readouterr().out.strip()
+
+
+def test_missing_report_file_exits_3(capsys):
+    assert main(["report", "--result", "/nonexistent/result.json"]) == 3
+    assert "error:" in capsys.readouterr().err
+
+
+def test_service_verbs_roundtrip(tmp_path, capsys):
+    """submit -> watch -> status through main(argv) against a live
+    in-process daemon, then status --root against the store offline."""
+    from repro.service.daemon import ExperimentService
+
+    root = tmp_path / "runs"
+    service = ExperimentService(root, port=0, workers=1)
+    service.start()
+    try:
+        code = main(
+            [
+                "submit",
+                "--url", service.url,
+                "--workload", "cifar10",
+                "--policy", "bandit",
+                "--configs", "4",
+                "--machines", "2",
+                "--checkpoint-every", "5",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        exp_id = captured.out.strip()  # bare id on stdout for scripts
+        assert exp_id.startswith("exp-")
+        assert "submitted" in captured.err
+
+        code = main(
+            ["watch", exp_id, "--url", service.url,
+             "--poll", "0.1", "--timeout", "300"]
+        )
+        assert code == 0
+        assert "completed" in capsys.readouterr().out
+
+        assert main(["status", "--url", service.url]) == 0
+        assert exp_id in capsys.readouterr().out
+
+        assert main(["status", exp_id, "--url", service.url]) == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "completed"
+    finally:
+        service.stop()
+
+    # the store outlives the daemon
+    assert main(["status", "--root", str(root)]) == 0
+    offline = capsys.readouterr().out
+    assert exp_id in offline and "completed" in offline
+
+
+def test_status_requires_exactly_one_source(capsys):
+    assert main(["status"]) == 2
+    assert main(["status", "--url", "http://x", "--root", "y"]) == 2
+    assert "exactly one" in capsys.readouterr().err
+
+
+def test_submit_unreachable_daemon_exits_3(capsys):
+    code = main(
+        ["submit", "--url", "http://127.0.0.1:1", "--configs", "2"]
+    )
+    assert code == 3
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_cli_resume_completes_interrupted_experiment(tmp_path, capsys):
+    from repro.service.store import RunStore
+    from repro.service.submission import Submission
+
+    root = tmp_path / "runs"
+    store = RunStore(root)
+    record = store.submit(
+        Submission(
+            workload="cifar10", policy="bandit", configs=4,
+            machines=2, checkpoint_every=5,
+        )
+    )
+    store.claim_next_queued()  # claimed, then the "daemon dies"
+    store.close()
+
+    assert main(["resume", record.id, "--root", str(root)]) == 0
+    captured = capsys.readouterr()
+    assert "completed" in captured.out
+    assert record.id in captured.err  # recovery context goes to stderr
+
+
+def test_cli_resume_unknown_id_exits_3(tmp_path, capsys):
+    assert main(["resume", "exp-missing", "--root", str(tmp_path)]) == 3
+    assert "unknown experiment" in capsys.readouterr().err

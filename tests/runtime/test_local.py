@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro.analysis.experiments import standard_configs
@@ -81,6 +84,53 @@ def test_live_matches_simulation_for_bandit(cifar10_workload):
     assert states_sim == states_live
     # wall-clock agreement within the paper's 13% validation error
     assert live.finished_at == pytest.approx(sim.finished_at, rel=0.13)
+
+
+def test_live_cancel_event_stops_run_with_partial_result(cifar10_workload):
+    """Setting the cancel event mid-run stops the workers gracefully
+    and returns the partial result — the daemon's DELETE path."""
+    configs = standard_configs(cifar10_workload, 4)
+    cancel = threading.Event()
+    progressed = []
+
+    def hook(scheduler):
+        progressed.append(scheduler.result.epochs_trained)
+        cancel.set()
+
+    result = run_live(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=2, num_configs=4, seed=0, stop_on_target=False
+        ),
+        time_scale=2e-3,
+        cancel_event=cancel,
+        progress_hook=hook,
+        progress_every_epochs=10,
+    )
+    full = 4 * cifar10_workload.domain.max_epochs
+    assert progressed and progressed[0] >= 10
+    assert 0 < result.epochs_trained < full
+
+
+def test_live_preset_cancel_event_returns_promptly(cifar10_workload):
+    configs = standard_configs(cifar10_workload, 2)
+    cancel = threading.Event()
+    cancel.set()
+    start = time.monotonic()
+    result = run_live(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=2, num_configs=2, seed=0, stop_on_target=False
+        ),
+        time_scale=2e-3,  # full run would take ~7s wall
+        cancel_event=cancel,
+    )
+    assert time.monotonic() - start < 2.0
+    assert result.epochs_trained < 2 * cifar10_workload.domain.max_epochs
 
 
 def test_live_timestamps_on_simulated_axis(cifar10_workload):

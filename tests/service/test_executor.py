@@ -1,0 +1,140 @@
+"""Tests for the experiment executor (run, checkpoint, cancel, resume)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import executor
+from repro.service.store import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    RunStore,
+)
+from repro.service.submission import Submission
+
+
+def test_execute_completes_and_persists_everything(store, small_submission):
+    record = store.submit(small_submission)
+    final = executor.execute(store, record.id)
+    assert final.status == COMPLETED
+    assert final.result is not None
+    assert final.result["epochs_trained"] > 0
+    assert final.result["policy"] == "bandit"
+    # progress checkpoints were persisted along the way
+    assert final.checkpoint is not None
+    assert final.checkpoint["epochs_trained"] > 0
+    assert set(final.checkpoint["jobs"]) == {
+        f"job-{i:04d}" for i in range(small_submission.configs)
+    }
+    kinds = {event["kind"] for event in store.read_events(record.id)}
+    assert {"submitted", "configs", "checkpoint", "audit", "result"} <= kinds
+    # the audit trail carries real scheduler decisions
+    audit_kinds = {
+        event["record"]["kind"]
+        for event in store.read_events(record.id)
+        if event["kind"] == "audit"
+    }
+    assert "lifecycle" in audit_kinds
+
+
+def test_execute_unknown_id(store):
+    with pytest.raises(KeyError):
+        executor.execute(store, "exp-missing")
+
+
+def test_execute_rejects_terminal_experiment(store, small_submission):
+    record = store.submit(small_submission)
+    store.claim_next_queued()
+    store.mark_finished(record.id, COMPLETED, result={})
+    with pytest.raises(ValueError, match="only queued/running"):
+        executor.execute(store, record.id)
+
+
+def test_execute_marks_failed_on_error(store, monkeypatch):
+    record = store.submit(Submission(workload="cifar10", configs=2))
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("synthetic failure")
+
+    monkeypatch.setattr(executor, "_run_sim", boom)
+    with pytest.raises(RuntimeError, match="synthetic failure"):
+        executor.execute(store, record.id)
+    final = store.get(record.id)
+    assert final.status == FAILED
+    assert "synthetic failure" in final.error
+
+
+def test_cancellation_mid_run_yields_partial_result(store):
+    """Cancel lands between checkpoints; the run stops with a partial
+    result under CANCELLED — the path the daemon's DELETE endpoint uses."""
+    submission = Submission(
+        workload="cifar10",
+        policy="default",
+        configs=12,
+        machines=2,
+        stop_on_target=False,
+        checkpoint_every=1,
+    )
+    record = store.submit(submission)
+    first_checkpoint = threading.Event()
+    proceed = threading.Event()
+
+    def on_checkpoint(state):
+        first_checkpoint.set()
+        proceed.wait(timeout=30)
+
+    worker = threading.Thread(
+        target=lambda: executor.execute(
+            store, record.id,
+            on_checkpoint=on_checkpoint,
+            poll_wall_seconds=0.0,
+        )
+    )
+    worker.start()
+    assert first_checkpoint.wait(timeout=60)
+    store.request_cancel(record.id)
+    proceed.set()
+    worker.join(timeout=60)
+    assert not worker.is_alive()
+    final = store.get(record.id)
+    assert final.status == CANCELLED
+    assert final.result is not None
+    # partial: nowhere near the full default-policy epoch count
+    full = submission.configs * 120  # cifar10 max_epochs
+    assert 0 < final.result["epochs_trained"] < full
+
+
+def test_resume_requires_interrupted_status(store, small_submission):
+    record = store.submit(small_submission)
+    with pytest.raises(ValueError, match="only interrupted"):
+        executor.resume(store, record.id)
+
+
+def test_resume_completes_an_interrupted_experiment(tmp_path, small_submission):
+    """Claimed-then-crashed (no process kill): recover + resume finishes
+    the run from the journaled configuration stream."""
+    root = tmp_path / "runs"
+    store = RunStore(root)
+    record = store.submit(small_submission)
+    store.claim_next_queued()
+    # journal the minted configs the way a real run would, then "crash"
+    workload = small_submission.build_workload()
+    generator = small_submission.build_generator(workload)
+    configs = [
+        generator.create_job()[1] for _ in range(small_submission.configs)
+    ]
+    store.record_configs(record.id, configs)
+    store.close()
+
+    reopened = RunStore(root)
+    assert reopened.recover_interrupted() == [record.id]
+    final = executor.resume(reopened, record.id)
+    assert final.status == COMPLETED
+    assert final.result["epochs_trained"] > 0
+    kinds = [event["kind"] for event in reopened.read_events(record.id)]
+    assert "resumed" in kinds
+    # the resumed run used the journaled configs, not fresh mints
+    assert reopened.minted_configs(record.id) == configs

@@ -1,0 +1,106 @@
+"""End-to-end resume: kill an experiment mid-run, resume it, and check
+the final result matches an uninterrupted run with the same seeds.
+
+This is the acceptance test for the service's durability story.  The
+driver subprocess hard-exits (``os._exit``) from inside a checkpoint
+hook — no cleanup, no atexit — leaving a RUNNING row and a partially
+written journal behind, exactly like a daemon crash.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.service import executor
+from repro.service.store import COMPLETED, RunStore
+
+DRIVER = """\
+import os
+import sys
+
+from repro.service import executor
+from repro.service.store import RunStore
+from repro.service.submission import Submission
+
+store = RunStore(sys.argv[1])
+record = store.submit(Submission(
+    workload="cifar10",
+    policy="bandit",
+    configs=6,
+    machines=2,
+    seed=1,
+    checkpoint_every=5,
+))
+print(record.id, flush=True)
+
+seen = {"checkpoints": 0}
+
+def die_after_two(state):
+    seen["checkpoints"] += 1
+    if seen["checkpoints"] >= 2:
+        os._exit(23)
+
+executor.execute(store, record.id, on_checkpoint=die_after_two)
+"""
+
+
+def _src_path() -> str:
+    return str(Path(__file__).resolve().parents[2] / "src")
+
+
+def test_killed_experiment_resumes_to_identical_result(tmp_path):
+    driver = tmp_path / "driver.py"
+    driver.write_text(DRIVER)
+    root = tmp_path / "runs"
+
+    proc = subprocess.run(
+        [sys.executable, str(driver), str(root)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env={**os.environ, "PYTHONPATH": _src_path()},
+    )
+    assert proc.returncode == 23, proc.stderr
+    exp_id = proc.stdout.strip().splitlines()[-1]
+
+    # The crash left a stale RUNNING row with real progress behind it.
+    store = RunStore(root)
+    crashed = store.get(exp_id)
+    assert crashed.status == "running"
+    assert crashed.checkpoint["epochs_trained"] > 0
+    assert store.minted_configs(exp_id) is not None
+
+    assert store.recover_interrupted() == [exp_id]
+    resumed = executor.resume(store, exp_id)
+    assert resumed.status == COMPLETED
+
+    # Uninterrupted baseline: same submission, fresh store.
+    baseline_store = RunStore(tmp_path / "baseline")
+    baseline_rec = baseline_store.submit(crashed.submission)
+    baseline = executor.execute(baseline_store, baseline_rec.id)
+
+    # Identical outcome: same winner, same configuration, same totals.
+    for key in (
+        "best_job_id",
+        "best_metric",
+        "epochs_trained",
+        "finished_at",
+        "reached_target",
+    ):
+        assert resumed.result[key] == baseline.result[key], key
+    assert (
+        store.minted_configs(exp_id)
+        == baseline_store.minted_configs(baseline_rec.id)
+    )
+    best_idx = int(resumed.result["best_job_id"].split("-")[1])
+    assert (
+        store.minted_configs(exp_id)[best_idx]
+        == baseline_store.minted_configs(baseline_rec.id)[best_idx]
+    )
+
+    # The journal records the recovery point.
+    kinds = [event["kind"] for event in store.read_events(exp_id)]
+    assert "resumed" in kinds

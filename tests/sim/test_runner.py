@@ -97,6 +97,56 @@ def test_exhausted_generator_handled(cifar10_workload):
     assert len(result.jobs) == 3
 
 
+def test_stop_check_halts_run_with_partial_result(cifar10_workload):
+    configs = standard_configs(cifar10_workload, 4)
+    calls = {"n": 0}
+
+    def stop_after_five_events() -> bool:
+        calls["n"] += 1
+        return calls["n"] > 5
+
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=2, num_configs=4, seed=0, stop_on_target=False
+        ),
+        stop_check=stop_after_five_events,
+    )
+    full = 4 * cifar10_workload.domain.max_epochs
+    assert result.epochs_trained < full
+
+
+def test_progress_hook_fires_at_epoch_granularity(cifar10_workload):
+    configs = standard_configs(cifar10_workload, 4)
+    seen = []
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        configs=configs,
+        spec=ExperimentSpec(
+            num_machines=2, num_configs=4, seed=0, stop_on_target=False
+        ),
+        progress_hook=lambda s: seen.append(s.result.epochs_trained),
+        progress_every_epochs=50,
+    )
+    assert seen == sorted(seen)
+    assert len(seen) >= result.epochs_trained // 50 - 1
+    assert all(epochs >= 50 for epochs in seen)
+
+
+def test_progress_every_epochs_validated(cifar10_workload):
+    configs = standard_configs(cifar10_workload, 2)
+    with pytest.raises(ValueError, match="progress_every_epochs"):
+        run_simulation(
+            cifar10_workload,
+            DefaultPolicy(),
+            configs=configs,
+            progress_every_epochs=0,
+        )
+
+
 def test_timestamps_monotone_in_lifecycle(cifar10_workload):
     configs = standard_configs(cifar10_workload, 4)
     result = run_simulation(
