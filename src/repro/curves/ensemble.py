@@ -124,6 +124,38 @@ class CurveEnsemble:
             total = total + weights[k] * slot.model(x_arr, theta)
         return total
 
+    def predict_batch(self, x: np.ndarray, vecs: np.ndarray) -> np.ndarray:
+        """Mean predictions for a batch of packed vectors at once.
+
+        Vectorised counterpart of :meth:`predict`: each family is
+        evaluated a single time over the whole stacked parameter block
+        instead of once per vector, which is what makes posterior
+        sample generation (hundreds of vectors per prediction) cheap.
+        Row ``i`` is numerically identical to ``predict(x, vecs[i])``
+        — same accumulation order per family, same element-wise ops.
+
+        Args:
+            x: epoch indices, shape (H,).
+            vecs: packed parameter vectors, shape (B, dim).
+
+        Returns:
+            Mean trajectories, shape (B, H).
+        """
+        x_arr = np.asarray(x, dtype=float)
+        vecs_arr = np.asarray(vecs, dtype=float)
+        if vecs_arr.ndim != 2 or vecs_arr.shape[1] != self.dim:
+            raise ValueError(
+                f"vecs must have shape (B, {self.dim}), got {vecs_arr.shape}"
+            )
+        weights = self.weights(vecs_arr)  # (B, K)
+        total = np.zeros((vecs_arr.shape[0], x_arr.size), dtype=float)
+        for k, slot in enumerate(self._slots):
+            thetas = vecs_arr[:, slot.start : slot.stop]  # (B, P)
+            total = total + weights[:, k : k + 1] * slot.model(
+                x_arr, thetas[:, None, :]
+            )
+        return total
+
     # ---------------------------------------------------------------- prior
 
     def log_prior(self, vec: np.ndarray) -> float:
@@ -167,6 +199,55 @@ class CurveEnsemble:
         if not np.isfinite(ll):
             return -np.inf
         return lp + ll
+
+    def log_posterior_batch(
+        self, vecs: np.ndarray, y: np.ndarray
+    ) -> np.ndarray:
+        """Log posterior of many packed vectors in stacked numpy ops.
+
+        Entry ``i`` equals ``log_posterior(vecs[i], y)`` (same
+        arithmetic per row); the batch form exists so the MCMC sampler
+        can score a whole walker ensemble per sweep instead of calling
+        the scalar path once per walker.
+        """
+        vecs_arr = np.asarray(vecs, dtype=float)
+        if vecs_arr.ndim != 2 or vecs_arr.shape[1] != self.dim:
+            raise ValueError(
+                f"vecs must have shape (B, {self.dim}), got {vecs_arr.shape}"
+            )
+        n_vecs = vecs_arr.shape[0]
+        in_support = np.ones(n_vecs, dtype=bool)
+        for slot in self._slots:
+            theta = vecs_arr[:, slot.start : slot.stop]
+            lower = np.asarray(slot.model.lower)
+            upper = np.asarray(slot.model.upper)
+            in_support &= np.all(
+                (theta >= lower) & (theta <= upper), axis=1
+            )
+        sigma = np.exp(np.clip(vecs_arr[:, -1], -50.0, 50.0))
+        in_support &= (sigma >= _SIGMA_MIN) & (sigma <= _SIGMA_MAX)
+
+        raw_w = vecs_arr[:, self._theta_len : self._theta_len + self.num_models]
+        log_prior = -0.5 * np.sum(raw_w**2, axis=1) / 25.0
+
+        y_arr = np.asarray(y, dtype=float)
+        x = np.arange(1, y_arr.size + 1, dtype=float)
+        out = np.full(n_vecs, -np.inf)
+        if np.any(in_support):
+            supported = vecs_arr[in_support]
+            mean = self.predict_batch(x, supported)
+            sigma_ll = np.exp(np.clip(supported[:, -1], -12.0, 2.0))
+            resid = y_arr - mean
+            n = y_arr.size
+            log_like = (
+                -0.5 * np.sum(resid**2, axis=1) / sigma_ll**2
+                - n * np.log(sigma_ll)
+                - 0.5 * n * np.log(2.0 * np.pi)
+            )
+            total = log_prior[in_support] + log_like
+            total[~np.isfinite(total)] = -np.inf
+            out[in_support] = total
+        return out
 
     # ------------------------------------------------------- initialisation
 

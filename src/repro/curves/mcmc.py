@@ -25,6 +25,7 @@ import numpy as np
 __all__ = ["EnsembleSampler", "SamplerResult"]
 
 LogProbFn = Callable[[np.ndarray], float]
+LogProbBatchFn = Callable[[np.ndarray], np.ndarray]
 
 
 @dataclass
@@ -61,6 +62,14 @@ class EnsembleSampler:
         dim: dimensionality of the target.
         log_prob_fn: log target density (up to a constant).
         stretch: the stretch-move scale parameter ``a`` (> 1).
+        log_prob_batch_fn: optional vectorised density taking a
+            ``(B, dim)`` block and returning ``(B,)`` log values.  When
+            given, the sampler scores each half-ensemble's proposals in
+            one call instead of one python call per walker — the bulk
+            of the §5.2 prediction-cost win for the MCMC backend.  It
+            must agree with ``log_prob_fn`` row-for-row: the rng stream
+            and the accept/reject sequence are unchanged, so batched
+            and scalar runs produce identical chains.
     """
 
     def __init__(
@@ -69,6 +78,7 @@ class EnsembleSampler:
         dim: int,
         log_prob_fn: LogProbFn,
         stretch: float = 2.0,
+        log_prob_batch_fn: Optional[LogProbBatchFn] = None,
     ) -> None:
         if n_walkers < 2 or n_walkers % 2 != 0:
             raise ValueError("n_walkers must be an even integer >= 2")
@@ -79,7 +89,14 @@ class EnsembleSampler:
         self.n_walkers = n_walkers
         self.dim = dim
         self.log_prob_fn = log_prob_fn
+        self.log_prob_batch_fn = log_prob_batch_fn
         self.stretch = stretch
+
+    def _score(self, block: np.ndarray) -> np.ndarray:
+        """Log probabilities of a (B, dim) block, batched when possible."""
+        if self.log_prob_batch_fn is not None:
+            return np.asarray(self.log_prob_batch_fn(block), dtype=float)
+        return np.array([self.log_prob_fn(row) for row in block])
 
     def _draw_z(self, size: int, rng: np.random.Generator) -> np.ndarray:
         """Sample from g(z) ∝ 1/sqrt(z) on [1/a, a] via inverse CDF."""
@@ -112,7 +129,7 @@ class EnsembleSampler:
                 f"initial must have shape ({self.n_walkers}, {self.dim}),"
                 f" got {walkers.shape}"
             )
-        log_probs = np.array([self.log_prob_fn(w) for w in walkers])
+        log_probs = self._score(walkers)
         if not np.all(np.isfinite(log_probs)):
             bad = int(np.sum(~np.isfinite(log_probs)))
             raise ValueError(
@@ -139,9 +156,14 @@ class EnsembleSampler:
                 z = self._draw_z(n_active, rng)
                 partners = complement[rng.integers(0, half, size=n_active)]
                 proposals = partners + z[:, None] * (active - partners)
+                # Score the whole half-ensemble's proposals up front
+                # (one vectorised call when a batch density is wired);
+                # the accept/reject loop below consumes the rng in the
+                # same order as the scalar path, so chains match.
+                proposal_lps = self._score(proposals)
                 for i in range(n_active):
                     idx = i if first.start in (0, None) else half + i
-                    new_lp = self.log_prob_fn(proposals[i])
+                    new_lp = proposal_lps[i]
                     total += 1
                     if not np.isfinite(new_lp):
                         continue

@@ -32,7 +32,7 @@ from __future__ import annotations
 import abc
 import time
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -150,6 +150,7 @@ class MCMCCurvePredictor(CurvePredictor):
         max_posterior_samples: int = 800,
         seed: int = 0,
         model_names: Optional[Sequence[str]] = None,
+        fit_cache=None,
     ) -> None:
         if not 0.0 <= burn_fraction < 1.0:
             raise ValueError("burn_fraction must be in [0, 1)")
@@ -159,6 +160,13 @@ class MCMCCurvePredictor(CurvePredictor):
         self.thin = max(1, thin)
         self.max_posterior_samples = max_posterior_samples
         self.seed = seed
+        self._model_names = None if model_names is None else tuple(model_names)
+        #: Optional prefix-keyed fit cache
+        #: (:class:`repro.curves.engine.FitCache`): the least-squares
+        #: fits that seed the walkers are memoized per prefix and
+        #: warm-started from the ``n-1`` prefix, so the MCMC initial
+        #: state reuses the previous epoch's solution.
+        self.fit_cache = fit_cache
         if model_names is None:
             self._ensemble = CurveEnsemble()
         else:
@@ -167,6 +175,10 @@ class MCMCCurvePredictor(CurvePredictor):
             self._ensemble = CurveEnsemble(
                 [get_model(name) for name in model_names]
             )
+
+    def _cache_params_key(self) -> tuple:
+        names = self._model_names or tuple(m.name for m in self._ensemble.models)
+        return ("mcmc-init", names, self.seed)
 
     def predict(
         self, observed: Sequence[float], n_future: int
@@ -179,12 +191,22 @@ class MCMCCurvePredictor(CurvePredictor):
             )
         rng = np.random.default_rng(self.seed + y.size)
         ensemble = self._ensemble
-        center = ensemble.initial_vector(y, rng=rng)
+        fits = None
+        if self.fit_cache is not None:
+            fits = fit_all_models(
+                y,
+                models=ensemble.models,
+                rng=rng,
+                cache=self.fit_cache,
+                params_key=self._cache_params_key(),
+            )
+        center = ensemble.initial_vector(y, fits=fits, rng=rng)
         walkers = ensemble.scatter_around(center, self.n_walkers, rng)
         sampler = EnsembleSampler(
             n_walkers=self.n_walkers,
             dim=ensemble.dim,
             log_prob_fn=lambda v: ensemble.log_posterior(v, y),
+            log_prob_batch_fn=lambda vs: ensemble.log_posterior_batch(vs, y),
         )
         result = sampler.run(walkers, self.n_samples, rng=rng)
         burn = int(self.burn_fraction * self.n_samples)
@@ -196,11 +218,14 @@ class MCMCCurvePredictor(CurvePredictor):
             flat = flat[keep]
 
         horizon = np.arange(y.size + 1, y.size + n_future + 1, dtype=float)
-        samples = np.empty((flat.shape[0], n_future))
-        for i, vec in enumerate(flat):
-            mean = ensemble.predict(horizon, vec)
-            sigma = float(np.exp(np.clip(vec[-1], -12.0, 2.0)))
-            samples[i] = mean + sigma * rng.standard_normal(n_future)
+        # Batched posterior-sample evaluation: every family is applied
+        # once to the stacked parameter block instead of once per
+        # posterior vector.  Row-major noise draws keep the rng stream
+        # identical to the historical per-vector loop.
+        means = ensemble.predict_batch(horizon, flat)
+        sigmas = np.exp(np.clip(flat[:, -1], -12.0, 2.0))
+        noise = rng.standard_normal((flat.shape[0], n_future))
+        samples = means + sigmas[:, None] * noise
         samples = np.clip(samples, 0.0, 1.0)
         return CurvePrediction(
             observed=y, horizon=horizon.astype(int), samples=samples
@@ -240,6 +265,7 @@ class LeastSquaresCurvePredictor(CurvePredictor):
         model_names: Optional[Sequence[str]] = None,
         max_nfev: int = 200,
         horizon_inflation: float = 0.15,
+        fit_cache=None,
     ) -> None:
         if n_sample_curves < 2:
             raise ValueError("need at least 2 sample curves")
@@ -250,6 +276,7 @@ class LeastSquaresCurvePredictor(CurvePredictor):
         self.min_noise = min_noise
         self.seed = seed
         self.horizon_inflation = horizon_inflation
+        self._model_names = None if model_names is None else tuple(model_names)
         if model_names is None:
             self._models = None
         else:
@@ -257,6 +284,22 @@ class LeastSquaresCurvePredictor(CurvePredictor):
 
             self._models = [get_model(name) for name in model_names]
         self.max_nfev = max_nfev
+        #: Optional prefix-keyed fit cache
+        #: (:class:`repro.curves.engine.FitCache`).  When attached,
+        #: per-family fits are memoized on the exact observed prefix
+        #: and warm-started from the ``n-1`` prefix; the sampling rng
+        #: then switches to a stream decoupled from fit computation so
+        #: a cache hit and a cold refit yield the identical prediction.
+        #: When None (the default) the legacy code path runs unchanged.
+        self.fit_cache = fit_cache
+
+    def _cache_params_key(self) -> tuple:
+        names = self._model_names
+        if names is None:
+            from .models import model_names as all_names
+
+            names = tuple(all_names())
+        return ("ls", names, self.restarts, self.max_nfev, self.seed)
 
     def predict(
         self, observed: Sequence[float], n_future: int
@@ -268,13 +311,29 @@ class LeastSquaresCurvePredictor(CurvePredictor):
                 f" got {y.size}"
             )
         rng = np.random.default_rng(self.seed + 7919 * y.size)
-        fits = fit_all_models(
-            y,
-            models=self._models,
-            rng=rng,
-            restarts=self.restarts,
-            max_nfev=self.max_nfev,
-        )
+        if self.fit_cache is not None:
+            fits = fit_all_models(
+                y,
+                models=self._models,
+                rng=rng,
+                restarts=self.restarts,
+                max_nfev=self.max_nfev,
+                cache=self.fit_cache,
+                params_key=self._cache_params_key(),
+            )
+            # Fresh sampling stream, independent of how many fits the
+            # cache skipped: hot and cold calls sample identically.
+            rng = np.random.default_rng(
+                (self.seed + 7919 * y.size) ^ 0x5F3759DF
+            )
+        else:
+            fits = fit_all_models(
+                y,
+                models=self._models,
+                rng=rng,
+                restarts=self.restarts,
+                max_nfev=self.max_nfev,
+            )
         usable = [f for f in fits.values() if np.isfinite(f.mse)]
         horizon = np.arange(y.size + 1, y.size + n_future + 1, dtype=float)
 
@@ -345,12 +404,25 @@ class InstrumentedCurvePredictor(CurvePredictor):
     The scheduler applies this wrapper automatically whenever a live
     :class:`~repro.observability.recorder.Recorder` is attached, so
     backends and policies never see it.
+
+    Timings are taken from a monotonic clock (``time.monotonic`` by
+    default, injectable for tests): wall-clock sources like
+    ``time.time`` can step backwards under NTP adjustment and produce
+    negative "durations" that corrupt the histogram quantiles.
     """
 
-    def __init__(self, inner: CurvePredictor, recorder) -> None:
+    def __init__(
+        self,
+        inner: CurvePredictor,
+        recorder,
+        monotonic_clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         self._inner = inner
         self._recorder = recorder
         self._backend = type(inner).__name__
+        self._monotonic = (
+            time.monotonic if monotonic_clock is None else monotonic_clock
+        )
         self._fit_seconds = recorder.metrics.histogram(
             "predictor_fit_seconds",
             help="Wall seconds spent fitting/predicting one learning curve",
@@ -375,11 +447,11 @@ class InstrumentedCurvePredictor(CurvePredictor):
             n_observed=len(observed),
             n_future=n_future,
         ):
-            started = time.perf_counter()
+            started = self._monotonic()
             try:
                 return self._inner.predict(observed, n_future)
             finally:
-                wall = time.perf_counter() - started
+                wall = self._monotonic() - started
                 self._fit_seconds.observe(wall, backend=self._backend)
                 self._fits_total.inc(backend=self._backend)
 

@@ -171,11 +171,16 @@ class NodeAgent:
             )
         self.predictions_made += 1
         self._m_predictions.inc()
+        # Hand the predictor an immutable snapshot of the history: the
+        # parallel engine may ship it to a worker process (or hold it
+        # past this call), and the live runtime keeps training — the
+        # list must not mutate under the prediction.
+        observed = tuple(self._curve)
         with self._recorder.tracer.span(
             "agent.predict",
             machine_id=self.machine_id,
             job_id=self._job_id,
-            n_observed=len(self._curve),
+            n_observed=len(observed),
             n_future=n_future,
         ):
-            return self._predictor.predict(self._curve, n_future)
+            return self._predictor.predict(observed, n_future)

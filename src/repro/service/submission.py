@@ -42,6 +42,9 @@ class Submission:
         time_scale: wall seconds per simulated second (live runtime).
         checkpoint_every: epochs between service checkpoints written to
             the run store (progress visibility + resume bookkeeping).
+        predict_workers: prediction process-pool size (§5.2 overlap);
+            1 keeps the legacy inline predictor, which is the
+            deterministic default.
     """
 
     workload: str = "cifar10"
@@ -57,6 +60,7 @@ class Submission:
     live: bool = False
     time_scale: float = 1e-3
     checkpoint_every: int = 25
+    predict_workers: int = 1
 
     def __post_init__(self) -> None:
         for kind, reg, name in (
@@ -79,6 +83,8 @@ class Submission:
             raise ValueError("time_scale must be positive")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.predict_workers < 1:
+            raise ValueError("predict_workers must be >= 1")
 
     # -------------------------------------------------------- serialisation
 
@@ -136,4 +142,5 @@ class Submission:
             target=self.target,
             tmax=self.tmax_hours * 3600.0,
             stop_on_target=self.stop_on_target,
+            predict_workers=self.predict_workers,
         )

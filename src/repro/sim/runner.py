@@ -132,10 +132,15 @@ def run_simulation(
             return True
         return stop_check is not None and stop_check()
 
-    scheduler.begin()
-    _schedule_started_machines(scheduler, engine, generations)
-    engine.run(until=spec.tmax, stop_when=_stop_when)
-    return scheduler.finalize()
+    try:
+        scheduler.begin()
+        _schedule_started_machines(scheduler, engine, generations)
+        engine.run(until=spec.tmax, stop_when=_stop_when)
+        return scheduler.finalize()
+    finally:
+        # finalize() already closes scheduler-owned resources; this
+        # covers exception exits so prediction workers never leak.
+        scheduler.close()
 
 
 def _arm_failures(

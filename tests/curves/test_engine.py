@@ -1,0 +1,393 @@
+"""Tests for the parallel prediction engine (pool + prefix-fit cache)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.curves.engine import (
+    FitCache,
+    ParallelPredictionService,
+    PredictionEngineError,
+    unwrap_service,
+)
+from repro.curves.fitting import curve_cache_key, fit_all_models
+from repro.curves.predictor import (
+    CurvePredictor,
+    InstrumentedCurvePredictor,
+    LeastSquaresCurvePredictor,
+)
+from repro.framework.experiment import ExperimentSpec
+from repro.generators.random_gen import RandomGenerator
+from repro.observability import InMemoryExporter, Recorder
+from repro.policies.default import DefaultPolicy
+from repro.sim.runner import run_simulation
+
+
+def _curve(n: int = 8) -> list:
+    return list(0.4 + 0.45 * (1.0 - np.exp(-0.35 * np.arange(1, n + 1))))
+
+
+def _ls_predictor(**overrides) -> LeastSquaresCurvePredictor:
+    kwargs = dict(
+        n_sample_curves=30,
+        restarts=1,
+        model_names=("pow3", "weibull", "mmf", "ilog2"),
+        max_nfev=40,
+        seed=5,
+    )
+    kwargs.update(overrides)
+    return LeastSquaresCurvePredictor(**kwargs)
+
+
+class _CrashingPredictor(CurvePredictor):
+    """Kills its worker process hard, simulating an OOM/segfault."""
+
+    def min_observations(self) -> int:
+        return 1
+
+    def predict(self, observed, n_future):
+        os._exit(13)
+
+
+# --------------------------------------------------------------- FitCache
+
+
+class TestFitCache:
+    def test_lru_eviction(self):
+        cache = FitCache(maxsize=2)
+        fits = fit_all_models(
+            _curve(), rng=np.random.default_rng(0), restarts=1
+        )
+        fit = next(iter(fits.values()))
+        k1 = curve_cache_key(np.asarray(_curve(4)))
+        k2 = curve_cache_key(np.asarray(_curve(5)))
+        k3 = curve_cache_key(np.asarray(_curve(6)))
+        cache.put("m", k1, ("p",), fit)
+        cache.put("m", k2, ("p",), fit)
+        assert cache.get("m", k1, ("p",)) is fit  # refresh k1's recency
+        cache.put("m", k3, ("p",), fit)  # evicts k2, the LRU entry
+        assert cache.get("m", k2, ("p",)) is None
+        assert cache.get("m", k1, ("p",)) is fit
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_counters_and_hit_rate(self):
+        cache = FitCache(maxsize=8)
+        fits = fit_all_models(
+            _curve(), rng=np.random.default_rng(0), restarts=1
+        )
+        fit = next(iter(fits.values()))
+        key = curve_cache_key(np.asarray(_curve()))
+        assert cache.get("m", key, ()) is None
+        cache.put("m", key, (), fit, warm_started=True)
+        assert cache.get("m", key, ()) is fit
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.warm_starts == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+        stats = cache.stats()
+        assert stats["size"] == 1
+
+    def test_peek_does_not_count(self):
+        cache = FitCache()
+        key = curve_cache_key(np.asarray(_curve()))
+        assert cache.peek("m", key, ()) is None
+        assert cache.misses == 0 and cache.hits == 0
+
+    def test_params_key_isolates_configurations(self):
+        """Changing predictor parameters must invalidate cached fits."""
+        y = _curve()
+        a = _ls_predictor(restarts=1, fit_cache=FitCache())
+        b = _ls_predictor(restarts=2, fit_cache=a.fit_cache)
+        a.predict(y, 3)
+        assert a.fit_cache.misses > 0 and a.fit_cache.hits == 0
+        misses_before = a.fit_cache.misses
+        # Same curve, different fitting params -> distinct entries.
+        b.predict(y, 3)
+        assert a.fit_cache.misses > misses_before
+        # Re-running either configuration now hits.
+        a.predict(y, 3)
+        assert a.fit_cache.hits > 0
+
+    def test_rejects_invalid_size(self):
+        with pytest.raises(ValueError):
+            FitCache(maxsize=0)
+
+
+def test_fit_all_models_requires_params_key_with_cache():
+    with pytest.raises(ValueError, match="params_key"):
+        fit_all_models(_curve(), cache=FitCache())
+
+
+def test_warm_start_reuses_previous_prefix():
+    """Growing a curve by one epoch warm-starts from the n-1 fits."""
+    cache = FitCache()
+    predictor = _ls_predictor(fit_cache=cache)
+    y = _curve(10)
+    predictor.predict(y[:8], 3)
+    warm_before = cache.warm_starts
+    predictor.predict(y[:9], 3)
+    assert cache.warm_starts > warm_before
+
+
+def test_cached_predictions_are_reproducible():
+    """Hot and cold cache paths must yield the identical prediction."""
+    y = _curve()
+    cold = _ls_predictor(fit_cache=FitCache()).predict(y, 4)
+    warm_predictor = _ls_predictor(fit_cache=FitCache())
+    warm_predictor.predict(y, 4)
+    hot = warm_predictor.predict(y, 4)  # second call: every fit cached
+    np.testing.assert_array_equal(cold.samples, hot.samples)
+
+
+# ------------------------------------------------- ParallelPredictionService
+
+
+class TestServiceInline:
+    def test_workers_1_is_byte_identical_to_legacy(self):
+        y = _curve()
+        legacy = _ls_predictor().predict(y, 6)
+        service = ParallelPredictionService(_ls_predictor(), workers=1)
+        pooled = service.predict(y, 6)
+        np.testing.assert_array_equal(legacy.samples, pooled.samples)
+        np.testing.assert_array_equal(legacy.horizon, pooled.horizon)
+        assert not service.cache_enabled  # no cache at workers=1 default
+
+    def test_empty_curve_rejected(self):
+        service = ParallelPredictionService(_ls_predictor(), workers=1)
+        with pytest.raises(ValueError, match="at least"):
+            service.predict([], 3)
+
+    def test_single_point_curve_rejected(self):
+        service = ParallelPredictionService(_ls_predictor(), workers=1)
+        with pytest.raises(ValueError, match="at least"):
+            service.predict([0.5], 3)
+
+    def test_invalid_horizon_rejected(self):
+        service = ParallelPredictionService(_ls_predictor(), workers=1)
+        with pytest.raises(ValueError, match="n_future"):
+            service.predict(_curve(), 0)
+
+    def test_empty_batch(self):
+        service = ParallelPredictionService(_ls_predictor(), workers=1)
+        assert service.predict_batch([]) == []
+
+    def test_closed_service_refuses_work(self):
+        service = ParallelPredictionService(_ls_predictor(), workers=1)
+        service.close()
+        with pytest.raises(PredictionEngineError, match="closed"):
+            service.predict(_curve(), 3)
+
+    def test_submit_returns_completed_future(self):
+        service = ParallelPredictionService(_ls_predictor(), workers=1)
+        future = service.submit(_curve(), 3)
+        assert future.result().samples.shape[1] == 3
+
+    def test_submit_surfaces_errors_via_future(self):
+        service = ParallelPredictionService(_ls_predictor(), workers=1)
+        future = service.submit([], 3)
+        with pytest.raises(ValueError):
+            future.result()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelPredictionService(_ls_predictor(), workers=0)
+        with pytest.raises(ValueError, match="cache_size"):
+            ParallelPredictionService(_ls_predictor(), cache_size=-1)
+
+    def test_inline_cache_opt_in(self):
+        service = ParallelPredictionService(
+            _ls_predictor(), workers=1, use_cache=True, cache_size=64
+        )
+        service.predict(_curve(), 3)
+        service.predict(_curve(), 3)
+        stats = service.cache_stats()
+        assert stats["hits"] > 0
+
+
+class TestServicePooled:
+    def test_pool_matches_cached_serial(self):
+        """Pooled prediction equals the cached single-process result."""
+        y = _curve()
+        serial = ParallelPredictionService(
+            _ls_predictor(), workers=1, use_cache=True, cache_size=64
+        )
+        expected = serial.predict(y, 4)
+        with ParallelPredictionService(
+            _ls_predictor(), workers=2, cache_size=64
+        ) as pooled:
+            batch = pooled.predict_batch([(y, 4), (y, 4), (y, 4)])
+        for prediction in batch:
+            np.testing.assert_array_equal(expected.samples, prediction.samples)
+        serial.close()
+
+    def test_batch_preserves_order(self):
+        curves = [(_curve(5 + i), 3) for i in range(5)]
+        with ParallelPredictionService(
+            _ls_predictor(), workers=2, cache_size=64
+        ) as service:
+            batch = service.predict_batch(curves)
+        assert len(batch) == 5
+        for (observed, _), prediction in zip(curves, batch):
+            assert prediction.observed.size == len(observed)
+            assert prediction.horizon[0] == len(observed) + 1
+
+    def test_pool_cache_counters_aggregate(self):
+        y = _curve()
+        with ParallelPredictionService(
+            _ls_predictor(), workers=2, cache_size=64
+        ) as service:
+            service.predict_batch([(y, 3)] * 4)
+            stats = service.cache_stats()
+        assert stats["misses"] > 0
+        assert stats["hits"] > 0
+
+    def test_validation_error_propagates_without_killing_pool(self):
+        with ParallelPredictionService(
+            _ls_predictor(), workers=2, cache_size=64
+        ) as service:
+            with pytest.raises(ValueError, match="at least"):
+                service.predict([], 3)
+            # The pool survives a clean exception and keeps serving.
+            prediction = service.predict(_curve(), 3)
+            assert prediction.samples.shape[1] == 3
+
+    def test_worker_crash_raises_clean_error(self):
+        """A dying worker must surface an error, not hang the caller."""
+        with ParallelPredictionService(
+            _CrashingPredictor(), workers=2, cache_size=0
+        ) as service:
+            with pytest.raises(PredictionEngineError, match="worker"):
+                service.predict_batch([(_curve(), 3)])
+            # The service shut itself down to avoid wedged futures.
+            with pytest.raises(PredictionEngineError, match="closed"):
+                service.predict(_curve(), 3)
+
+    def test_metrics_exported_through_recorder(self):
+        recorder = Recorder(exporter=InMemoryExporter())
+        y = _curve()
+        with ParallelPredictionService(
+            _ls_predictor(), workers=2, cache_size=64, recorder=recorder
+        ) as service:
+            service.predict_batch([(y, 3)] * 4)
+        metrics = recorder.metrics
+        assert metrics.counter("prediction_requests_total").total == 4
+        assert metrics.counter("prediction_cache_hits_total").total > 0
+        assert metrics.counter("prediction_cache_misses_total").total > 0
+        # Queue drained by the time the batch returned.
+        assert metrics.gauge("prediction_pool_queue_depth").value() == 0
+
+
+class TestInstrumentedTimings:
+    """Regression: predictor timings must come from a monotonic clock.
+
+    Wall-clock sources (``time.time``) can step backwards under NTP
+    adjustment and record negative durations; the instrumented wrapper
+    therefore takes its timestamps from ``time.monotonic`` (injectable
+    here so the invariant is testable).
+    """
+
+    def test_durations_use_injected_monotonic_clock(self):
+        recorder = Recorder(exporter=InMemoryExporter())
+        ticks = iter([10.0, 10.25, 11.0, 11.5])
+        wrapped = InstrumentedCurvePredictor(
+            _ls_predictor(), recorder, monotonic_clock=lambda: next(ticks)
+        )
+        wrapped.predict(_curve(), 3)
+        wrapped.predict(_curve(), 3)
+        histogram = recorder.metrics.histogram("predictor_fit_seconds")
+        backend = "LeastSquaresCurvePredictor"
+        assert histogram.count(backend=backend) == 2
+        assert histogram.sum(backend=backend) == pytest.approx(0.75)
+
+    def test_default_clock_records_nonnegative_durations(self):
+        recorder = Recorder(exporter=InMemoryExporter())
+        wrapped = InstrumentedCurvePredictor(_ls_predictor(), recorder)
+        for _ in range(3):
+            wrapped.predict(_curve(), 3)
+        histogram = recorder.metrics.histogram("predictor_fit_seconds")
+        backend = "LeastSquaresCurvePredictor"
+        assert histogram.count(backend=backend) == 3
+        assert histogram.quantile(0.0, backend=backend) >= 0.0
+
+
+def test_unwrap_service_walks_wrapper_chains():
+    service = ParallelPredictionService(_ls_predictor(), workers=1)
+    recorder = Recorder(exporter=InMemoryExporter())
+    wrapped = InstrumentedCurvePredictor(service, recorder)
+    assert unwrap_service(wrapped) is service
+    assert unwrap_service(service) is service
+    assert unwrap_service(_ls_predictor()) is None
+    assert unwrap_service(None) is None
+    service.close()
+
+
+# -------------------------------------------------------- spec + scheduler
+
+
+def test_spec_validates_engine_fields():
+    with pytest.raises(ValueError, match="predict_workers"):
+        ExperimentSpec(predict_workers=0)
+    with pytest.raises(ValueError, match="predict_cache_size"):
+        ExperimentSpec(predict_cache_size=-1)
+
+
+def test_workers_1_simulation_is_deterministic(cifar10_workload):
+    """Two identical workers=1 runs replay the same decision sequence.
+
+    This is the acceptance bar for the engine: with the default spec
+    (no pool, no cache) POP's kill/promote sequence and final result
+    must be unchanged run-to-run (and therefore unchanged from the
+    pre-engine code path, which this configuration executes verbatim).
+    """
+
+    def one_run():
+        gen = RandomGenerator(
+            cifar10_workload.space, seed=2, max_configs=5
+        )
+        return run_simulation(
+            cifar10_workload,
+            DefaultPolicy(),
+            generator=gen,
+            spec=ExperimentSpec(
+                num_machines=2,
+                num_configs=5,
+                seed=0,
+                stop_on_target=False,
+                tmax=4 * 3600.0,
+            ),
+        )
+
+    first, second = one_run(), one_run()
+    events_a = [
+        (e.kind.value, e.job_id, e.timestamp) for e in first.lifecycle
+    ]
+    events_b = [
+        (e.kind.value, e.job_id, e.timestamp) for e in second.lifecycle
+    ]
+    assert events_a == events_b
+    assert first.best_metric == second.best_metric
+    assert first.epochs_trained == second.epochs_trained
+
+
+def test_scheduler_owns_and_closes_pool(cifar10_workload, fast_predictor):
+    """predict_workers>1 runs end-to-end and the pool is torn down."""
+    gen = RandomGenerator(cifar10_workload.space, seed=2, max_configs=4)
+    result = run_simulation(
+        cifar10_workload,
+        DefaultPolicy(),
+        generator=gen,
+        predictor=_ls_predictor(),
+        spec=ExperimentSpec(
+            num_machines=2,
+            num_configs=4,
+            seed=0,
+            stop_on_target=False,
+            tmax=3 * 3600.0,
+            predict_workers=2,
+            predict_cache_size=128,
+        ),
+    )
+    assert result.epochs_trained > 0

@@ -121,3 +121,43 @@ def test_pack_rejects_nonpositive_sigma(small_ensemble):
     thetas = {"pow3": [0.7, 0.4, 0.6], "weibull": [0.8, 0.1, 0.1, 1.0]}
     with pytest.raises(ValueError, match="sigma must be positive"):
         small_ensemble.pack(thetas, weights=[0.5, 0.5], sigma=0.0)
+
+
+def test_predict_batch_matches_serial_rows(small_ensemble):
+    rng = np.random.default_rng(3)
+    x = np.arange(6, 13, dtype=float)
+    vecs = np.stack(
+        [
+            small_ensemble.scatter_around(
+                np.zeros(small_ensemble.dim), 1, rng
+            )[0]
+            for _ in range(5)
+        ]
+    )
+    batched = small_ensemble.predict_batch(x, vecs)
+    for row, vec in zip(batched, vecs):
+        np.testing.assert_array_equal(row, small_ensemble.predict(x, vec))
+
+
+def test_predict_batch_validates_shape(small_ensemble):
+    with pytest.raises(ValueError, match="shape"):
+        small_ensemble.predict_batch(
+            np.arange(1, 4, dtype=float), np.zeros((2, 3))
+        )
+
+
+def test_log_posterior_batch_matches_serial_rows(small_ensemble):
+    rng = np.random.default_rng(7)
+    y = _target_curve(8)
+    center = small_ensemble.initial_vector(y, rng=rng)
+    vecs = small_ensemble.scatter_around(center, 6, rng)
+    # Include an out-of-support row: theta pushed past the bounds.
+    broken = vecs[0].copy()
+    broken[0] = 1e6
+    vecs = np.vstack([vecs, broken])
+    batched = small_ensemble.log_posterior_batch(vecs, y)
+    serial = np.array(
+        [small_ensemble.log_posterior(vec, y) for vec in vecs]
+    )
+    np.testing.assert_array_equal(batched, serial)
+    assert batched[-1] == -np.inf

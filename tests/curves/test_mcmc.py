@@ -100,3 +100,26 @@ def test_deterministic_given_rng_seed():
         return sampler.run(0.1 * rng.standard_normal((8, 1)), 30, rng=rng).chain
 
     np.testing.assert_array_equal(run_once(), run_once())
+
+
+def test_batched_scoring_produces_identical_chains():
+    """Wiring a batch density must not change the chain at all: the rng
+    stream and the accept/reject order are unchanged, so batched and
+    scalar runs are bit-identical."""
+
+    def log_prob(vec):
+        return -0.5 * float(np.sum(vec**2))
+
+    def log_prob_batch(block):
+        return -0.5 * np.sum(np.asarray(block) ** 2, axis=1)
+
+    initial = np.random.default_rng(11).normal(size=(8, 2))
+    scalar = EnsembleSampler(8, 2, log_prob).run(
+        initial, 40, rng=np.random.default_rng(5)
+    )
+    batched = EnsembleSampler(
+        8, 2, log_prob, log_prob_batch_fn=log_prob_batch
+    ).run(initial, 40, rng=np.random.default_rng(5))
+    np.testing.assert_array_equal(scalar.chain, batched.chain)
+    np.testing.assert_array_equal(scalar.log_probs, batched.log_probs)
+    assert scalar.acceptance_rate == batched.acceptance_rate
