@@ -154,6 +154,83 @@ def _build_parser() -> argparse.ArgumentParser:
         "--resume-interrupted", action="store_true",
         help="replay experiments a previous daemon left running",
     )
+    serve_parser.add_argument(
+        "--cluster-workers", type=int, default=None,
+        help="execute experiments on the multi-process cluster runtime "
+             "with this many local worker processes (see docs/cluster.md)",
+    )
+
+    cluster_parser = sub.add_parser(
+        "cluster-demo",
+        help="run one experiment on the multi-process cluster runtime, "
+             "optionally injecting deterministic faults",
+    )
+    cluster_parser.add_argument("--workload", choices=WORKLOADS, default="cifar10")
+    cluster_parser.add_argument("--policy", choices=POLICIES, default="pop")
+    cluster_parser.add_argument("--generator", choices=GENERATORS, default="random")
+    cluster_parser.add_argument(
+        "--workers", type=int, default=3,
+        help="worker processes (= cluster machines)",
+    )
+    cluster_parser.add_argument("--configs", type=int, default=12)
+    cluster_parser.add_argument("--seed", type=int, default=0)
+    cluster_parser.add_argument("--gen-seed", type=int, default=None)
+    cluster_parser.add_argument("--target", type=float, default=None)
+    cluster_parser.add_argument("--tmax-hours", type=float, default=48.0)
+    cluster_parser.add_argument(
+        "--no-stop-on-target", action="store_true",
+        help="run every configuration to completion",
+    )
+    cluster_parser.add_argument("--time-scale", type=float, default=1e-4)
+    cluster_parser.add_argument(
+        "--checkpoint-every", type=int, default=3,
+        help="epochs between periodic snapshots (bounds work a failure "
+             "can destroy)",
+    )
+    cluster_parser.add_argument(
+        "--heartbeat-interval", type=float, default=0.1,
+        help="seconds between heartbeat pings",
+    )
+    cluster_parser.add_argument(
+        "--miss-threshold", type=int, default=3,
+        help="consecutive missed pings before a silent node is dead",
+    )
+    cluster_parser.add_argument(
+        "--retry-budget", type=int, default=3,
+        help="migrations allowed per job before it is terminated",
+    )
+    cluster_parser.add_argument(
+        "--kill", action="append", default=[], metavar="MACHINE@epoch:N",
+        help="SIGKILL a worker after it trains its N-th epoch "
+             "(e.g. machine-01@epoch:3); repeatable",
+    )
+    cluster_parser.add_argument(
+        "--drop-heartbeats", action="append", default=[],
+        metavar="MACHINE@after:N,count:M",
+        help="suppress M pongs after N answered pings; repeatable",
+    )
+    cluster_parser.add_argument(
+        "--delay-send", action="append", default=[],
+        metavar="MACHINE@seconds:S[,after:N]",
+        help="delay every worker->head frame by S seconds; repeatable",
+    )
+    cluster_parser.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable result dict as JSON on stdout",
+    )
+    cluster_parser.add_argument(
+        "--emit-events", metavar="PATH", default=None,
+        help="stream the audit trail (incl. cluster membership "
+             "transitions and migrations) as JSONL",
+    )
+    cluster_parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the metrics registry as Prometheus-style text",
+    )
+    cluster_parser.add_argument(
+        "--save-result", metavar="PATH", default=None,
+        help="archive the full result as JSON",
+    )
 
     submit_parser = sub.add_parser(
         "submit", help="submit an experiment to a running daemon"
@@ -331,6 +408,85 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_demo(args: argparse.Namespace) -> int:
+    """One experiment on the multi-process cluster runtime.
+
+    Demonstrates (and smoke-tests) heartbeat failure detection and
+    snapshot migration: ``--kill machine-01@epoch:3`` SIGKILLs a worker
+    mid-run and the experiment still completes on the survivors.
+    """
+    from pathlib import Path
+
+    from .cluster import FaultPlan, run_cluster
+    from .observability import JsonlExporter, Recorder
+
+    info = sys.stderr if args.json else sys.stdout
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    for out_path in (args.emit_events, args.metrics_out):
+        if out_path and not Path(out_path).parent.is_dir():
+            print(f"error: output directory does not exist: {out_path}",
+                  file=sys.stderr)
+            return 2
+    fault_plan = FaultPlan.parse(
+        kill=args.kill,
+        drop_heartbeats=args.drop_heartbeats,
+        delay_send=args.delay_send,
+    )
+    workload = registry.build_workload(args.workload)
+    policy = registry.build_policy(args.policy)
+    gen_seed = args.gen_seed
+    if gen_seed is None:
+        gen_seed = registry.default_gen_seed(args.workload)
+    generator = registry.build_generator(
+        args.generator, workload, max_configs=args.configs, gen_seed=gen_seed
+    )
+    spec = ExperimentSpec(
+        num_machines=args.workers,
+        num_configs=args.configs,
+        seed=args.seed,
+        target=args.target,
+        tmax=args.tmax_hours * 3600.0,
+        stop_on_target=not args.no_stop_on_target,
+        checkpoint_interval=args.checkpoint_every,
+    )
+    exporter = JsonlExporter(args.emit_events) if args.emit_events else None
+    recorder = Recorder(exporter=exporter)
+    try:
+        result = run_cluster(
+            workload, policy, generator=generator, spec=spec,
+            time_scale=args.time_scale, fault_plan=fault_plan,
+            recorder=recorder,
+            heartbeat_interval=args.heartbeat_interval,
+            miss_threshold=args.miss_threshold,
+            retry_budget=args.retry_budget,
+        )
+    finally:
+        recorder.close()
+    _print_result(result, file=info)
+    print(f"machine failures: {result.machine_failures}", file=info)
+    print(f"epochs lost     : {result.epochs_lost_to_failures}", file=info)
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(recorder.metrics.render_text())
+        print(f"metrics written -> {args.metrics_out}", file=info)
+    if args.emit_events:
+        print(
+            f"audit trail     -> {args.emit_events} "
+            f"({recorder.exporter.events_written} events)",
+            file=info,
+        )
+    if args.save_result:
+        result.save_json(args.save_result)
+        print(f"result archived -> {args.save_result}", file=info)
+    if args.json:
+        from .observability.exporters import encode_event
+
+        print(encode_event(result.to_dict()))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import report_from_json
 
@@ -423,17 +579,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.cluster_workers is not None and args.cluster_workers < 1:
+        print("error: --cluster-workers must be >= 1", file=sys.stderr)
+        return 2
     service = ExperimentService(
         root=args.root,
         host=args.host,
         port=args.port,
         workers=args.workers,
         resume_interrupted=args.resume_interrupted,
+        cluster_workers=args.cluster_workers,
     )
     service.start()
     print(f"experiment service listening on {service.url}")
     print(f"run store       : {args.root}")
     print(f"workers         : {args.workers}")
+    if args.cluster_workers:
+        print(f"cluster workers : {args.cluster_workers} processes per run")
     print("endpoints       : POST /experiments · GET /experiments[/{id}"
           "[/events]] · DELETE /experiments/{id} · GET /metrics")
     sys.stdout.flush()
@@ -544,6 +706,7 @@ def main(argv=None) -> int:
         "record-trace": _cmd_record_trace,
         "replay": _cmd_replay,
         "report": _cmd_report,
+        "cluster-demo": _cmd_cluster_demo,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,

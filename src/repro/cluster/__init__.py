@@ -1,0 +1,43 @@
+"""Multi-process cluster runtime (the paper's deployed shape, §4-5).
+
+Node Agents run in separate worker processes behind a length-prefixed
+JSON protocol over TCP; the head process runs the unchanged
+:class:`~repro.framework.scheduler.HyperDriveScheduler` against
+socket-backed agent proxies, with heartbeat failure detection and
+snapshot-based job migration off dead nodes.
+"""
+
+from .agent import RemoteAgent
+from .faults import DelaySend, DropHeartbeats, FaultPlan, KillAtEpoch
+from .membership import HeartbeatMonitor, NodeState
+from .protocol import (
+    FrameError,
+    decode_payload,
+    encode_payload,
+    pack_frame,
+    recv_frame,
+    send_frame,
+)
+from .runtime import ClusterStartupError, run_cluster
+from .transport import ClusterTransport, NodeFailure, WorkerEndpoint
+
+__all__ = [
+    "run_cluster",
+    "ClusterStartupError",
+    "RemoteAgent",
+    "ClusterTransport",
+    "WorkerEndpoint",
+    "NodeFailure",
+    "HeartbeatMonitor",
+    "NodeState",
+    "FaultPlan",
+    "KillAtEpoch",
+    "DropHeartbeats",
+    "DelaySend",
+    "FrameError",
+    "encode_payload",
+    "decode_payload",
+    "pack_frame",
+    "send_frame",
+    "recv_frame",
+]

@@ -1,0 +1,215 @@
+"""Deterministic fault injection for the cluster runtime.
+
+A :class:`FaultPlan` is a per-machine list of fault specs shipped to
+worker processes at spawn time.  Every trigger counts *events* (epochs
+trained on the worker, pings answered, frames sent) rather than wall
+time, so two runs with the same plan inject faults at identical points
+in the execution — the property the determinism tests assert.
+
+Fault kinds:
+
+``kill_at_epoch``
+    SIGKILL the worker process the moment it finishes training its
+    N-th epoch, *before* the epoch result is reported — the crash
+    destroys that epoch's work, exactly like a real mid-epoch failure.
+
+``drop_heartbeats``
+    Suppress ``count`` pong replies starting after the worker has
+    answered ``after`` pings.  The connection stays open; the head's
+    miss-threshold logic must declare the node dead (and recover it
+    when pongs resume).
+
+``delay_send``
+    Sleep ``seconds`` before every frame the worker sends once its
+    ``after``-th send has happened.  Models a degraded link; used to
+    exercise RPC timeouts without killing anything.
+
+Plans parse from compact CLI strings (``repro cluster-demo --kill
+machine-01@epoch:3``) and serialise to/from JSON dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "KillAtEpoch",
+    "DropHeartbeats",
+    "DelaySend",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class KillAtEpoch:
+    """SIGKILL the worker after it trains its ``epoch``-th epoch."""
+
+    machine_id: str
+    epoch: int
+
+    def __post_init__(self) -> None:
+        if self.epoch < 1:
+            raise ValueError("kill epoch must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "kill_at_epoch", "machine_id": self.machine_id,
+                "epoch": self.epoch}
+
+
+@dataclass(frozen=True)
+class DropHeartbeats:
+    """Suppress ``count`` pongs after answering ``after`` pings."""
+
+    machine_id: str
+    after: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "drop_heartbeats", "machine_id": self.machine_id,
+                "after": self.after, "count": self.count}
+
+
+@dataclass(frozen=True)
+class DelaySend:
+    """Delay every outbound frame by ``seconds`` after the ``after``-th."""
+
+    machine_id: str
+    seconds: float
+    after: int = 0
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("delay seconds must be >= 0")
+        if self.after < 0:
+            raise ValueError("after must be >= 0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "delay_send", "machine_id": self.machine_id,
+                "seconds": self.seconds, "after": self.after}
+
+
+_FAULT_KINDS = {
+    "kill_at_epoch": KillAtEpoch,
+    "drop_heartbeats": DropHeartbeats,
+    "delay_send": DelaySend,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full fault schedule of one cluster run."""
+
+    faults: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if type(fault) not in _FAULT_KINDS.values():
+                raise TypeError(f"unknown fault type {type(fault).__name__}")
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def for_machine(self, machine_id: str) -> "FaultPlan":
+        """The sub-plan shipped to one worker process."""
+        return FaultPlan(
+            tuple(f for f in self.faults if f.machine_id == machine_id)
+        )
+
+    def kill_epoch(self, machine_id: str) -> Optional[int]:
+        """Earliest ``kill_at_epoch`` trigger for ``machine_id``."""
+        epochs = [
+            f.epoch
+            for f in self.faults
+            if isinstance(f, KillAtEpoch) and f.machine_id == machine_id
+        ]
+        return min(epochs) if epochs else None
+
+    def heartbeat_drops(self, machine_id: str) -> List[DropHeartbeats]:
+        return [
+            f
+            for f in self.faults
+            if isinstance(f, DropHeartbeats) and f.machine_id == machine_id
+        ]
+
+    def send_delays(self, machine_id: str) -> List[DelaySend]:
+        return [
+            f
+            for f in self.faults
+            if isinstance(f, DelaySend) and f.machine_id == machine_id
+        ]
+
+    # -------------------------------------------------------- serialisation
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [fault.to_dict() for fault in self.faults]
+
+    @classmethod
+    def from_dicts(cls, specs: List[Dict[str, Any]]) -> "FaultPlan":
+        faults = []
+        for spec in specs:
+            spec = dict(spec)
+            kind = spec.pop("kind", None)
+            if kind not in _FAULT_KINDS:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            faults.append(_FAULT_KINDS[kind](**spec))
+        return cls(tuple(faults))
+
+    @classmethod
+    def parse(cls, kill: List[str] = (), drop_heartbeats: List[str] = (),
+              delay_send: List[str] = ()) -> "FaultPlan":
+        """Build a plan from CLI-style fault strings.
+
+        Formats::
+
+            --kill            machine-01@epoch:3
+            --drop-heartbeats machine-02@after:5,count:4
+            --delay-send      machine-00@seconds:0.2[,after:10]
+        """
+        faults: List[Any] = []
+        for text in kill:
+            machine_id, params = _split_spec(text, "kill")
+            faults.append(KillAtEpoch(machine_id, int(_require(params, "epoch", "kill"))))
+        for text in drop_heartbeats:
+            machine_id, params = _split_spec(text, "drop-heartbeats")
+            faults.append(DropHeartbeats(
+                machine_id,
+                after=int(_require(params, "after", "drop-heartbeats")),
+                count=int(_require(params, "count", "drop-heartbeats")),
+            ))
+        for text in delay_send:
+            machine_id, params = _split_spec(text, "delay-send")
+            faults.append(DelaySend(
+                machine_id,
+                seconds=float(_require(params, "seconds", "delay-send")),
+                after=int(params.get("after", 0)),
+            ))
+        return cls(tuple(faults))
+
+
+def _split_spec(text: str, flag: str):
+    machine_id, sep, rest = text.partition("@")
+    if not sep or not machine_id or not rest:
+        raise ValueError(
+            f"bad --{flag} spec {text!r}: expected machine-id@key:value[,...]"
+        )
+    params: Dict[str, str] = {}
+    for part in rest.split(","):
+        key, sep, value = part.partition(":")
+        if not sep or not key or not value:
+            raise ValueError(f"bad --{flag} parameter {part!r} in {text!r}")
+        params[key.strip()] = value.strip()
+    return machine_id, params
+
+
+def _require(params: Dict[str, str], key: str, flag: str) -> str:
+    if key not in params:
+        raise ValueError(f"--{flag} spec is missing required {key!r}")
+    return params[key]

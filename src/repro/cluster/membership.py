@@ -1,0 +1,232 @@
+"""Cluster membership: heartbeat failure detection.
+
+The Job & Resource Manager in the paper learns about node failures from
+its GRPC channel to each Node Agent (§4).  Here the head pings every
+worker on a fixed interval; a worker that misses ``miss_threshold``
+consecutive pings is declared **down**, which frees its slot in the
+``ResourceManager`` and triggers job migration (handled by the cluster
+runtime via the :attr:`HeartbeatMonitor.on_down` callback).
+
+Two distinct paths lead to *down*:
+
+* **Socket death** — the connection drops (worker SIGKILLed, machine
+  gone).  The transport's reader thread notices EOF immediately, so
+  death is declared without waiting out the miss threshold.
+* **Silent node** — the connection is up but pongs stop (GC pause,
+  overload, injected ``drop_heartbeats`` fault).  Misses accumulate per
+  ping interval until the threshold trips.
+
+A node that answers again after being declared down (the silent-node
+case, or a reconnect after backoff) is declared **up** again through
+:attr:`HeartbeatMonitor.on_up`; the runtime recovers the machine in the
+resource pool.
+
+All transitions are recorded on the audit trail and reflected in the
+``cluster_nodes_up`` gauge; pong round-trips feed the
+``cluster_heartbeat_rtt_seconds`` histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from ..observability import NULL_RECORDER
+
+__all__ = ["NodeState", "HeartbeatMonitor"]
+
+
+class NodeState:
+    UP = "up"
+    DOWN = "down"
+
+
+class _NodeHealth:
+    __slots__ = ("machine_id", "state", "connected", "misses", "last_seq")
+
+    def __init__(self, machine_id: str) -> None:
+        self.machine_id = machine_id
+        self.state = NodeState.DOWN  # until the first hello
+        self.connected = False
+        self.misses = 0
+        self.last_seq = -1
+
+
+class HeartbeatMonitor:
+    """Periodic ping/pong membership over a :class:`ClusterTransport`.
+
+    Args:
+        transport: head-side transport (pings go through it; its
+            connected/disconnected/pong callbacks feed this monitor).
+        machine_ids: the full expected membership.
+        interval: seconds between ping rounds (wall-clock; heartbeats
+            are an infrastructure concern, not experiment time).
+        miss_threshold: consecutive unanswered pings before a
+            connected-but-silent node is declared down.
+        recorder: observability sink (gauge, histogram, audit events).
+    """
+
+    def __init__(
+        self,
+        transport,
+        machine_ids: List[str],
+        interval: float = 0.2,
+        miss_threshold: int = 3,
+        recorder=NULL_RECORDER,
+    ) -> None:
+        if miss_threshold < 1:
+            raise ValueError("miss_threshold must be >= 1")
+        self._transport = transport
+        self._interval = interval
+        self._miss_threshold = miss_threshold
+        self._recorder = recorder
+        self._lock = threading.Lock()
+        self._nodes: Dict[str, _NodeHealth] = {
+            machine_id: _NodeHealth(machine_id) for machine_id in machine_ids
+        }
+        self._seq = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._all_up = threading.Event()
+        self.on_down: Optional[Callable[[str], None]] = None
+        self.on_up: Optional[Callable[[str], None]] = None
+        self._nodes_up_gauge = recorder.metrics.gauge(
+            "cluster_nodes_up", help="Cluster nodes currently alive"
+        )
+        self._rtt_histogram = recorder.metrics.histogram(
+            "cluster_heartbeat_rtt_seconds",
+            help="Heartbeat round-trip time per node",
+        )
+        transport.on_node_connected = self.note_connected
+        transport.on_node_disconnected = self.note_disconnected
+        transport.on_pong = self.note_pong
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._ping_loop, name="heartbeat-monitor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def wait_all_up(self, timeout: float) -> bool:
+        """Block until every expected node has said hello (startup barrier)."""
+        return self._all_up.wait(timeout)
+
+    # -------------------------------------------------------------- queries
+
+    def state(self, machine_id: str) -> str:
+        with self._lock:
+            return self._nodes[machine_id].state
+
+    def is_up(self, machine_id: str) -> bool:
+        return self.state(machine_id) == NodeState.UP
+
+    @property
+    def nodes_up(self) -> int:
+        with self._lock:
+            return sum(
+                1 for node in self._nodes.values() if node.state == NodeState.UP
+            )
+
+    # ---------------------------------------------------- transport callbacks
+
+    def note_connected(self, machine_id: str) -> None:
+        """A worker said hello (initial connect or reconnect)."""
+        if self._stop.is_set():
+            return  # tear-down noise, not membership
+        came_up = False
+        with self._lock:
+            node = self._nodes.get(machine_id)
+            if node is None:
+                return  # a stranger; transport accepted it, we ignore it
+            node.connected = True
+            node.misses = 0
+            if node.state != NodeState.UP:
+                node.state = NodeState.UP
+                came_up = True
+            all_up = all(
+                n.state == NodeState.UP for n in self._nodes.values()
+            )
+        if all_up:
+            self._all_up.set()
+        if came_up:
+            self._transition(machine_id, NodeState.UP, "connected")
+
+    def note_disconnected(self, machine_id: str) -> None:
+        """A worker's socket died: immediate death, no miss-counting."""
+        if self._stop.is_set():
+            return  # expected EOFs while the head shuts workers down
+        went_down = False
+        with self._lock:
+            node = self._nodes.get(machine_id)
+            if node is None:
+                return
+            node.connected = False
+            if node.state == NodeState.UP:
+                node.state = NodeState.DOWN
+                went_down = True
+        if went_down:
+            self._transition(machine_id, NodeState.DOWN, "connection_lost")
+
+    def note_pong(self, machine_id: str, seq: int, rtt: float) -> None:
+        """A heartbeat answer arrived (possibly from a silent node)."""
+        if self._stop.is_set():
+            return
+        came_up = False
+        with self._lock:
+            node = self._nodes.get(machine_id)
+            if node is None:
+                return
+            node.misses = 0
+            node.last_seq = seq
+            if node.state == NodeState.DOWN and node.connected:
+                # Pongs resumed on a live socket: a silent node woke up.
+                node.state = NodeState.UP
+                came_up = True
+        self._rtt_histogram.observe(rtt, machine_id=machine_id)
+        if came_up:
+            self._transition(machine_id, NodeState.UP, "heartbeats_resumed")
+
+    # ------------------------------------------------------------- internal
+
+    def _ping_loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._seq += 1
+            newly_down = []
+            with self._lock:
+                targets = [
+                    node.machine_id
+                    for node in self._nodes.values()
+                    if node.connected
+                ]
+            for machine_id in targets:
+                sent = self._transport.ping(machine_id, self._seq)
+                with self._lock:
+                    node = self._nodes[machine_id]
+                    if not node.connected or node.state != NodeState.UP:
+                        continue
+                    if not sent:
+                        # Link already torn down; the disconnect callback
+                        # handles the transition.
+                        continue
+                    node.misses += 1
+                    if node.misses >= self._miss_threshold:
+                        node.state = NodeState.DOWN
+                        newly_down.append(machine_id)
+            for machine_id in newly_down:
+                self._transition(machine_id, NodeState.DOWN, "heartbeat_timeout")
+
+    def _transition(self, machine_id: str, state: str, reason: str) -> None:
+        self._nodes_up_gauge.set(self.nodes_up)
+        self._recorder.audit.record(
+            "cluster_node_" + state, machine_id=machine_id, reason=reason
+        )
+        callback = self.on_up if state == NodeState.UP else self.on_down
+        if callback is not None:
+            callback(machine_id)

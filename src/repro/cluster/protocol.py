@@ -1,0 +1,138 @@
+"""Wire protocol for the cluster runtime (the GRPC stand-in, §5).
+
+Frames are length-prefixed JSON documents over a TCP stream: a 4-byte
+big-endian unsigned length followed by that many bytes of UTF-8 JSON.
+Every frame carries the :class:`~repro.framework.transport.Message`
+envelope fields (``topic``, ``kind``, ``payload``, ``sender``) so the
+socket hop preserves the in-process bus discipline exactly.
+
+Payloads may contain numpy arrays and scalars (model weights inside
+suspend snapshots, curve-prediction sample matrices); those are encoded
+as tagged JSON objects::
+
+    {"__nd__": {"dtype": "float64", "shape": [3, 2], "data": "<base64>"}}
+    {"__bytes__": "<base64>"}
+
+so the protocol stays inspectable with ``nc``/``tcpdump`` while still
+round-tripping binary state bit-exactly.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "encode_payload",
+    "decode_payload",
+    "pack_frame",
+    "send_frame",
+    "recv_frame",
+]
+
+#: Upper bound on one frame's body.  CRIU-style snapshots reach ~44 MB
+#: (Fig. 10); 256 MB leaves headroom while catching corrupt length
+#: prefixes before they turn into absurd allocations.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class FrameError(ConnectionError):
+    """The stream ended mid-frame or carried a malformed frame."""
+
+
+def encode_payload(value: Any) -> Any:
+    """Recursively map a payload onto JSON-representable values."""
+    if isinstance(value, np.ndarray):
+        return {
+            "__nd__": {
+                "dtype": str(value.dtype),
+                "shape": list(value.shape),
+                "data": base64.b64encode(np.ascontiguousarray(value).tobytes()).decode("ascii"),
+            }
+        }
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(key): encode_payload(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_payload(item) for item in value]
+    return value
+
+
+def decode_payload(value: Any) -> Any:
+    """Invert :func:`encode_payload` (tagged objects back to binary)."""
+    if isinstance(value, dict):
+        if set(value) == {"__nd__"}:
+            spec = value["__nd__"]
+            raw = base64.b64decode(spec["data"])
+            array = np.frombuffer(raw, dtype=np.dtype(spec["dtype"]))
+            return array.reshape(spec["shape"]).copy()
+        if set(value) == {"__bytes__"}:
+            return base64.b64decode(value["__bytes__"])
+        return {key: decode_payload(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_payload(item) for item in value]
+    return value
+
+
+def pack_frame(document: Dict[str, Any]) -> bytes:
+    """Serialise one frame (length prefix + JSON body)."""
+    body = json.dumps(encode_payload(document), separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds protocol maximum")
+    return _LENGTH.pack(len(body)) + body
+
+
+def send_frame(sock: socket.socket, document: Dict[str, Any]) -> None:
+    """Write one frame to ``sock`` (atomic from the reader's view)."""
+    sock.sendall(pack_frame(document))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == n and not chunks:
+                return None  # clean EOF on a frame boundary
+            raise FrameError("stream ended mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one frame, or None on clean EOF.
+
+    Raises:
+        FrameError: on a truncated stream, an oversized length prefix,
+            or a body that is not a JSON object.
+    """
+    prefix = _recv_exact(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds protocol maximum")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise FrameError("stream ended mid-frame")
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"malformed frame body: {exc}") from exc
+    if not isinstance(document, dict):
+        raise FrameError("frame body must be a JSON object")
+    return decode_payload(document)

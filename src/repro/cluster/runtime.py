@@ -1,0 +1,573 @@
+"""The cluster runtime: scheduler at the head, Node Agents in worker
+processes.
+
+This is the closest the repo gets to the paper's deployed shape (§4):
+the Job & Resource Manager (our :class:`HyperDriveScheduler`) runs in
+the head process and drives per-machine Node Agents over a network
+protocol.  Every worker is a real OS process hosting a real
+:class:`~repro.framework.node_agent.NodeAgent`; the head talks to it
+through :class:`~repro.cluster.agent.RemoteAgent` proxies over the
+framed TCP transport.
+
+Control flow mirrors :mod:`repro.runtime.local` exactly — one driver
+thread per machine, training outside the scheduler lock, scaled-wall
+sleeps for epoch durations — so live and cluster results are directly
+comparable.  What the cluster adds:
+
+* **Membership** — heartbeats detect dead or silent workers
+  (:mod:`repro.cluster.membership`).
+* **Failure recovery** — a dead node's job is suspended, its history
+  truncated to the last snapshot, and the POP policy reallocates it to
+  a survivor, which resumes from the snapshot and pays its suspend
+  latency again as resume cost.  Each job has a bounded retry budget;
+  exhausting it terminates the job instead of migrating it forever.
+* **Fault injection** — a :class:`~repro.cluster.faults.FaultPlan`
+  ships deterministic kill/drop/delay triggers to the workers.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..curves.predictor import CurvePredictor
+from ..framework.experiment import ExperimentResult, ExperimentSpec
+from ..framework.scheduler import FollowUpAction, HyperDriveScheduler
+from ..generators.base import ExhaustedSpaceError, HyperparameterGenerator
+from ..observability import NULL_RECORDER
+from ..policies.base import SchedulingPolicy
+from ..sim.runner import default_predictor
+from ..workloads.base import EpochResult, Workload
+from .agent import RemoteAgent
+from .faults import FaultPlan
+from .membership import HeartbeatMonitor
+from .transport import ClusterTransport, NodeFailure
+from .worker import worker_main
+
+__all__ = ["run_cluster", "ClusterStartupError"]
+
+logger = logging.getLogger(__name__)
+
+_START = "start"
+_STOP = "stop"
+
+
+class ClusterStartupError(RuntimeError):
+    """The worker fleet failed to assemble within the startup window."""
+
+
+class _ClusterExperiment:
+    """One cluster run: worker processes + head-side driver threads."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        policy: SchedulingPolicy,
+        spec: ExperimentSpec,
+        predictor: CurvePredictor,
+        time_scale: float,
+        fault_plan: FaultPlan,
+        recorder=None,
+        heartbeat_interval: float = 0.1,
+        miss_threshold: int = 3,
+        retry_budget: int = 3,
+        rpc_timeout: float = 60.0,
+        startup_timeout: float = 30.0,
+        cancel_event: Optional[threading.Event] = None,
+        progress_hook: Optional[Callable] = None,
+        progress_every_epochs: int = 50,
+    ) -> None:
+        self.spec = spec
+        self.time_scale = time_scale
+        self.fault_plan = fault_plan
+        self.retry_budget = retry_budget
+        self.startup_timeout = startup_timeout
+        self.cancel_event = cancel_event
+        self.progress_hook = progress_hook
+        self.progress_every_epochs = progress_every_epochs
+        self._workload = workload
+        self._predictor = predictor
+        self._t0 = time.monotonic()
+        self.lock = threading.Lock()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self._m_lock_wait = self.recorder.metrics.histogram(
+            "runtime_lock_wait_seconds",
+            help="Wall seconds driver threads waited on the scheduler lock",
+        )
+        self._m_migrations = self.recorder.metrics.counter(
+            "cluster_migrations_total",
+            help="Jobs rescheduled off dead nodes onto survivors",
+        )
+        self.transport = ClusterTransport()
+        # Node Agents live in worker processes; the scheduler gets
+        # socket proxies and must not build a head-side prediction
+        # pool (predictions are remote, §5.2's distributed shape).
+        self.scheduler = HyperDriveScheduler(
+            workload=workload,
+            policy=policy,
+            spec=spec,
+            clock=self._clock,
+            predictor=None,
+            recorder=recorder,
+            agent_factory=lambda machine_id, **_ignored: RemoteAgent(
+                machine_id, self.transport, rpc_timeout=rpc_timeout
+            ),
+        )
+        self.machine_ids = self.scheduler.resource_manager.machine_ids
+        # Head-local driver mailboxes: distinct from the machine topics,
+        # which route over sockets once workers register.  Declared
+        # before anything can send to them (no startup race).
+        self._drive = {
+            machine_id: self.transport.declare_topic(f"drive/{machine_id}")
+            for machine_id in self.machine_ids
+        }
+        self._membership_box = self.transport.declare_topic("membership")
+        self.heartbeat = HeartbeatMonitor(
+            self.transport,
+            self.machine_ids,
+            interval=heartbeat_interval,
+            miss_threshold=miss_threshold,
+            recorder=self.recorder,
+        )
+        self.stop_event = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._processes: Dict[str, multiprocessing.process.BaseProcess] = {}
+        self._retries: Dict[str, int] = {}
+        # Jobs knocked off dead machines, awaiting their restart (the
+        # policy may resume them immediately or queue them until a
+        # survivor frees up).  Guarded by the scheduler lock.
+        self._displaced: Dict[str, Dict[str, float]] = {}
+        # Resume latency charged to a machine's next epoch after it
+        # picks up a migrated job (guarded by the scheduler lock).
+        self._resume_charges: Dict[str, float] = {}
+
+    # ----------------------------------------------------------------- time
+
+    def _clock(self) -> float:
+        return (time.monotonic() - self._t0) / self.time_scale
+
+    def _sleep(self, simulated_seconds: float) -> None:
+        self.stop_event.wait(max(simulated_seconds, 0.0) * self.time_scale)
+
+    @contextmanager
+    def _locked(self):
+        if self.recorder.enabled:
+            waited = time.perf_counter()
+            self.lock.acquire()
+            self._m_lock_wait.observe(time.perf_counter() - waited)
+        else:
+            self.lock.acquire()
+        try:
+            yield
+        finally:
+            self.lock.release()
+
+    # ------------------------------------------------------------- start-up
+
+    def spawn_workers(self) -> None:
+        """Start the transport and launch one process per machine."""
+        self.transport.start()
+        host, port = self.transport.address
+        context = multiprocessing.get_context("spawn")
+        for index, machine_id in enumerate(self.machine_ids):
+            process = context.Process(
+                target=worker_main,
+                args=(
+                    host,
+                    port,
+                    machine_id,
+                    self._workload,
+                    self._predictor,
+                    self.spec.seed + index,
+                    self.fault_plan.for_machine(machine_id).to_dicts(),
+                ),
+                name=f"cluster-worker-{machine_id}",
+                daemon=True,
+            )
+            process.start()
+            self._processes[machine_id] = process
+        self.heartbeat.start()
+        if not self.heartbeat.wait_all_up(self.startup_timeout):
+            missing = [
+                machine_id
+                for machine_id in self.machine_ids
+                if not self.heartbeat.is_up(machine_id)
+            ]
+            raise ClusterStartupError(
+                f"workers never registered within {self.startup_timeout}s: "
+                + ", ".join(missing)
+            )
+        # Membership callbacks attach only after the startup barrier, so
+        # the initial hellos do not masquerade as recoveries.
+        self.heartbeat.on_down = self._on_down_signal
+        self.heartbeat.on_up = self._on_up_signal
+
+    # ------------------------------------------------------------ membership
+
+    def _on_down_signal(self, machine_id: str) -> None:
+        """Heartbeat verdict: fail RPCs *now*, defer the scheduler work.
+
+        Runs on a transport reader thread (socket death) or the
+        heartbeat thread (miss threshold).  ``mark_dead`` happens here,
+        before anything queues, so a driver blocked in an RPC against
+        this node wakes with :class:`NodeFailure` within its poll slice
+        instead of waiting out its timeout.  The migration itself runs
+        on the membership thread: it issues RPCs of its own, and those
+        must never execute on a connection's reader thread (the reply
+        would have to be delivered by the very thread awaiting it).
+        """
+        self.scheduler.agents[machine_id].mark_dead()
+        self.transport.send("membership", "down", machine_id, sender="heartbeat")
+
+    def _on_up_signal(self, machine_id: str) -> None:
+        self.transport.send("membership", "up", machine_id, sender="heartbeat")
+
+    def _membership_loop(self) -> None:
+        """Serialise node up/down handling off the transport threads."""
+        while not self.stop_event.is_set():
+            message = self._membership_box.get(timeout=0.02)
+            if message is None:
+                continue
+            if message.kind == "down":
+                self._node_down(message.payload)
+            else:
+                self._node_up(message.payload)
+
+    def _node_down(self, machine_id: str) -> None:
+        """A worker died or went silent: free its slot, migrate its job."""
+        agent: RemoteAgent = self.scheduler.agents[machine_id]
+        agent.mark_dead()
+        if self.stop_event.is_set():
+            return
+        with self._locked():
+            if self.scheduler.resource_manager.is_failed(machine_id):
+                return  # raced with another down-path for the same node
+            displaced = agent.job_id
+            self.scheduler.machine_failed(machine_id)
+            agent.forget()
+            if displaced is not None:
+                self._retries[displaced] = self._retries.get(displaced, 0) + 1
+                if self._retries[displaced] > self.retry_budget:
+                    # The job keeps landing on dying machines; stop
+                    # feeding it slots.
+                    self._displaced.pop(displaced, None)
+                    self.scheduler.job_manager.terminate_job(displaced)
+                    self.scheduler.appstat_db.drop_snapshot(displaced)
+                    self.recorder.audit.record(
+                        "cluster_retry_budget_exhausted",
+                        job_id=displaced,
+                        machine_id=machine_id,
+                        retries=self._retries[displaced],
+                    )
+                else:
+                    snapshot = self.scheduler.appstat_db.load_snapshot(displaced)
+                    self._displaced[displaced] = {
+                        "resume_epoch": snapshot.epoch if snapshot else 0,
+                        "resume_latency": snapshot.latency if snapshot else 0.0,
+                    }
+            if self.scheduler.done:
+                started = []
+            else:
+                self.scheduler.policy.allocate_jobs()
+                started = self._take_started()
+        self._notify_started(started)
+
+    def _node_up(self, machine_id: str) -> None:
+        """A down node answered again (reconnect or resumed pongs)."""
+        agent: RemoteAgent = self.scheduler.agents[machine_id]
+        if self.stop_event.is_set():
+            return
+        with self._locked():
+            if not self.scheduler.resource_manager.is_failed(machine_id):
+                return
+            agent.mark_alive()
+            self.scheduler.machine_recovered(machine_id)
+            started = self._take_started()
+        self._notify_started(started)
+
+    def _take_started(self) -> List[str]:
+        """Collect newly started machines; settle displaced-job landings.
+
+        Called under the scheduler lock.  A job knocked off a dead node
+        may restart immediately (a survivor was idle) or minutes later
+        (the policy queued it) — either way its first restart passes
+        through here, where the snapshot's suspend latency is charged
+        to the new machine as resume cost and the migration is audited.
+        """
+        started = self.scheduler.take_started_machines()
+        for machine_id in started:
+            job_id = self.scheduler.agents[machine_id].job_id
+            if job_id is None or job_id not in self._displaced:
+                continue
+            charge = self._displaced.pop(job_id)
+            self._resume_charges[machine_id] = charge["resume_latency"]
+            self._m_migrations.inc()
+            self.recorder.audit.record(
+                "cluster_migration",
+                job_id=job_id,
+                machine_id=machine_id,
+                resume_epoch=charge["resume_epoch"],
+                resume_latency=charge["resume_latency"],
+            )
+        return started
+
+    # -------------------------------------------------------------- drivers
+
+    def _notify_started(self, started: Sequence[str]) -> None:
+        for machine_id in started:
+            self.transport.send(
+                f"drive/{machine_id}", _START, None, sender="scheduler"
+            )
+
+    def _driver(self, machine_id: str) -> None:
+        mailbox = self._drive[machine_id]
+        while not self.stop_event.is_set():
+            message = mailbox.get(timeout=0.02)
+            if message is None:
+                continue
+            if message.kind == _STOP:
+                return
+            try:
+                self._run_assignment(machine_id)
+            except NodeFailure:
+                # The node died under us; membership handles recovery.
+                continue
+
+    def _run_assignment(self, machine_id: str) -> None:
+        """Drive the hosted job epoch by epoch (the live runtime's loop,
+        with every agent call crossing the wire)."""
+        agent: RemoteAgent = self.scheduler.agents[machine_id]
+        with self._locked():
+            extra_delay = self._resume_charges.pop(machine_id, 0.0)
+        scale = 1.0
+        while not self.stop_event.is_set():
+            if agent.run is None:
+                return
+            raw = agent.train_epoch()
+            result = EpochResult(
+                epoch=raw.epoch,
+                duration=raw.duration
+                * scale
+                / self.scheduler.machine_speed(machine_id),
+                metric=raw.metric,
+                done=raw.done,
+                extras=raw.extras,
+            )
+            self._sleep(extra_delay + result.duration)
+            if self.stop_event.is_set():
+                return
+            with self._locked():
+                if agent.dead or agent.job_id is None:
+                    # Declared dead while we slept out the epoch; the
+                    # result belongs to a failed machine and must not
+                    # be recorded.
+                    return
+                followup = self.scheduler.process_epoch(machine_id, result)
+                started = self._take_started()
+            self._notify_started(started)
+
+            if followup.action is FollowUpAction.NEXT_EPOCH:
+                extra_delay, scale = followup.delay, followup.epoch_scale
+                continue
+            if followup.action is FollowUpAction.RELEASE_MACHINE:
+                self._sleep(followup.delay)
+                if self.stop_event.is_set():
+                    return
+                with self._locked():
+                    if self.scheduler.resource_manager.is_failed(machine_id):
+                        return
+                    self.scheduler.machine_released(machine_id)
+                    started = self._take_started()
+                self._notify_started(started)
+                return
+            # EXPERIMENT_DONE
+            self.stop_event.set()
+            return
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> ExperimentResult:
+        self.spawn_workers()
+        membership = threading.Thread(
+            target=self._membership_loop, name="cluster-membership", daemon=True
+        )
+        membership.start()
+        self._threads.append(membership)
+        with self.lock:
+            self.scheduler.begin()
+            started = self._take_started()
+        for machine_id in self.machine_ids:
+            thread = threading.Thread(
+                target=self._driver,
+                args=(machine_id,),
+                name=f"cluster-driver-{machine_id}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        self._notify_started(started)
+        try:
+            self._monitor()
+        except BaseException:
+            self._shutdown(strict=False)
+            raise
+        self._shutdown(strict=True)
+        with self.lock:
+            return self.scheduler.finalize()
+
+    def _monitor(self) -> None:
+        deadline = time.monotonic() + self.spec.tmax * self.time_scale + 30.0
+        last_progress = 0
+        while not self.stop_event.is_set() and time.monotonic() < deadline:
+            time.sleep(0.02)
+            if self.cancel_event is not None and self.cancel_event.is_set():
+                return
+            if self.recorder.enabled:
+                self.transport.export_metrics(self.recorder.metrics)
+            with self.lock:
+                quiescent = (
+                    self.scheduler.resource_manager.num_busy == 0
+                    and self.scheduler.job_manager.num_idle == 0
+                )
+                epochs = self.scheduler.result.epochs_trained
+                if (
+                    self.progress_hook is not None
+                    and epochs - last_progress >= self.progress_every_epochs
+                ):
+                    last_progress = epochs
+                    self.progress_hook(self.scheduler)
+            if quiescent:
+                return
+            if self.heartbeat.nodes_up == 0:
+                # The whole fleet is gone; nothing can make progress.
+                logger.error("all cluster nodes are down; aborting run")
+                return
+
+    def _shutdown(self, strict: bool) -> None:
+        self.stop_event.set()
+        for machine_id in self.machine_ids:
+            try:
+                self.transport.send(
+                    f"drive/{machine_id}", _STOP, None, sender="scheduler"
+                )
+            except KeyError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        stuck = [thread.name for thread in self._threads if thread.is_alive()]
+        self.heartbeat.stop()
+        for machine_id in self.machine_ids:
+            agent: RemoteAgent = self.scheduler.agents[machine_id]
+            if not agent.dead and self.transport.has_connection(machine_id):
+                agent.shutdown()
+        self.transport.close()
+        for process in self._processes.values():
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        if stuck and strict:
+            raise RuntimeError(
+                "cluster driver threads failed to stop within 5s: "
+                + ", ".join(stuck)
+                + "; experiment state may be inconsistent"
+            )
+
+
+def run_cluster(
+    workload: Workload,
+    policy: SchedulingPolicy,
+    generator: Optional[HyperparameterGenerator] = None,
+    spec: Optional[ExperimentSpec] = None,
+    predictor: Optional[CurvePredictor] = None,
+    configs: Optional[Sequence[Dict[str, Any]]] = None,
+    time_scale: float = 1e-3,
+    fault_plan: Optional[FaultPlan] = None,
+    recorder=None,
+    heartbeat_interval: float = 0.1,
+    miss_threshold: int = 3,
+    retry_budget: int = 3,
+    rpc_timeout: float = 60.0,
+    startup_timeout: float = 30.0,
+    cancel_event: Optional[threading.Event] = None,
+    progress_hook: Optional[Callable] = None,
+    progress_every_epochs: int = 50,
+) -> ExperimentResult:
+    """Run one experiment on the multi-process cluster runtime.
+
+    Args:
+        workload: the training problem (must be picklable — it ships to
+            worker processes at spawn).
+        policy: the SAP under test (runs unchanged at the head).
+        generator: HG minting configurations (or pass ``configs``).
+        spec: experiment parameters; ``spec.num_machines`` worker
+            processes are spawned.
+        predictor: curve predictor, instantiated *in each worker*
+            (§5.2's distributed prediction, now genuinely distributed).
+        configs: explicit configuration list.
+        time_scale: wall seconds per simulated second.
+        fault_plan: deterministic fault injection schedule.
+        recorder: observability facade; cluster membership, heartbeat
+            RTT, and migration metrics land here.
+        heartbeat_interval: seconds between ping rounds.
+        miss_threshold: consecutive missed pings before a silent node
+            is declared dead.
+        retry_budget: migrations allowed per job before it is
+            terminated instead of rescheduled.
+        rpc_timeout: seconds before one head→worker call fails.
+        startup_timeout: seconds to wait for the fleet to register.
+        cancel_event / progress_hook / progress_every_epochs: as in
+            :func:`repro.runtime.local.run_live`.
+
+    Returns:
+        The finalised :class:`ExperimentResult` on the simulated-seconds
+        axis, comparable to ``run_live`` and ``run_simulation`` output.
+
+    Raises:
+        ClusterStartupError: a worker never said hello.
+        RuntimeError: a driver thread failed to stop during shutdown.
+    """
+    if spec is None:
+        spec = ExperimentSpec()
+    if (generator is None) == (configs is None):
+        raise ValueError("provide exactly one of generator or configs")
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    if retry_budget < 0:
+        raise ValueError("retry_budget must be >= 0")
+    if progress_every_epochs < 1:
+        raise ValueError("progress_every_epochs must be >= 1")
+
+    experiment = _ClusterExperiment(
+        workload=workload,
+        policy=policy,
+        spec=spec,
+        predictor=predictor if predictor is not None else default_predictor(),
+        time_scale=time_scale,
+        fault_plan=fault_plan if fault_plan is not None else FaultPlan(),
+        recorder=recorder,
+        heartbeat_interval=heartbeat_interval,
+        miss_threshold=miss_threshold,
+        retry_budget=retry_budget,
+        rpc_timeout=rpc_timeout,
+        startup_timeout=startup_timeout,
+        cancel_event=cancel_event,
+        progress_hook=progress_hook,
+        progress_every_epochs=progress_every_epochs,
+    )
+    if configs is not None:
+        for index, config in enumerate(configs):
+            experiment.scheduler.add_job(f"job-{index:04d}", config)
+    else:
+        assert generator is not None
+        for _ in range(spec.num_configs):
+            try:
+                job_id, config = generator.create_job()
+            except ExhaustedSpaceError:
+                break
+            experiment.scheduler.add_job(job_id, config)
+    return experiment.run()

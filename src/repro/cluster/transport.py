@@ -1,0 +1,422 @@
+"""Socket transport carrying the MessageBus discipline between processes.
+
+The in-process runtimes wire components through
+:class:`~repro.framework.transport.MessageBus`: typed envelopes,
+per-subscriber FIFO mailboxes, explicit addresses, strict delivery.
+The cluster runtime keeps exactly that discipline but lets topics live
+in other processes:
+
+* :class:`ClusterTransport` (head side) **is a** ``MessageBus``.  Local
+  topics (driver threads, RPC reply mailboxes) behave as before; a
+  topic registered by a connected worker routes over that worker's TCP
+  connection instead.  Scheduler and policy code cannot tell the
+  difference — which is the point.
+* :class:`WorkerEndpoint` (worker side) exposes the same ``send`` /
+  ``Mailbox`` surface inside a node-agent process, plus
+  exponential-backoff reconnect for transient link loss.
+
+Heartbeats ride the same framed protocol (``ping``/``pong`` kinds) but
+are handled in the reader threads, bypassing the mailboxes, so a worker
+busy training still answers pings promptly.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, Optional
+
+from ..framework.transport import Mailbox, Message, MessageBus
+from .faults import FaultPlan
+from .protocol import FrameError, recv_frame, send_frame
+
+__all__ = ["NodeFailure", "ClusterTransport", "WorkerEndpoint"]
+
+logger = logging.getLogger(__name__)
+
+#: Frame kinds with transport-level meaning (never hit mailboxes).
+HELLO = "hello"
+PING = "ping"
+PONG = "pong"
+
+
+class NodeFailure(ConnectionError):
+    """An operation targeted a node that is dead or unreachable."""
+
+    def __init__(self, machine_id: str, reason: str) -> None:
+        super().__init__(f"node {machine_id}: {reason}")
+        self.machine_id = machine_id
+        self.reason = reason
+
+
+class _Connection:
+    """One accepted worker connection on the head."""
+
+    def __init__(self, sock: socket.socket, machine_id: str) -> None:
+        self.sock = sock
+        self.machine_id = machine_id
+        self.send_lock = threading.Lock()
+        self.closed = False
+
+    def send(self, document: Dict[str, Any]) -> None:
+        with self.send_lock:
+            if self.closed:
+                raise NodeFailure(self.machine_id, "connection closed")
+            send_frame(self.sock, document)
+
+    def close(self) -> None:
+        with self.send_lock:
+            if not self.closed:
+                self.closed = True
+                try:
+                    self.sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                self.sock.close()
+
+
+class ClusterTransport(MessageBus):
+    """Head-side message bus whose topics may live in worker processes.
+
+    Callbacks (set before :meth:`start`):
+
+    * ``on_node_connected(machine_id)`` — a worker said hello (first
+      connection or a reconnect).
+    * ``on_node_disconnected(machine_id)`` — a worker's connection
+      dropped (EOF, reset) and no replacement has registered.
+    * ``on_pong(machine_id, seq, rtt_seconds)`` — a heartbeat answer.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        super().__init__()
+        self._listener = socket.create_server((host, port))
+        self._connections: Dict[str, _Connection] = {}
+        self._routes_lock = threading.Lock()
+        self._threads: list = []
+        self._closing = threading.Event()
+        self.on_node_connected: Optional[Callable[[str], None]] = None
+        self.on_node_disconnected: Optional[Callable[[str], None]] = None
+        self.on_pong: Optional[Callable[[str, int, float], None]] = None
+
+    # ------------------------------------------------------------ addresses
+
+    @property
+    def address(self) -> tuple:
+        """(host, port) workers should connect to."""
+        return self._listener.getsockname()[:2]
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        accept = threading.Thread(
+            target=self._accept_loop, name="cluster-accept", daemon=True
+        )
+        accept.start()
+        self._threads.append(accept)
+
+    def close(self) -> None:
+        """Stop accepting, close every worker connection (idempotent)."""
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        # A blocked accept() does not reliably wake when another thread
+        # closes the listener; poke it with a throwaway connection so
+        # the accept thread observes _closing and exits promptly.
+        try:
+            poke = socket.create_connection(self.address, timeout=0.5)
+            poke.close()
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._routes_lock:
+            connections = list(self._connections.values())
+            self._connections.clear()
+        for connection in connections:
+            connection.close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    # ------------------------------------------------------------- delivery
+
+    def send(self, topic: str, kind: str, payload: Any, sender: str) -> None:
+        """Deliver locally, or route to the worker owning ``topic``."""
+        with self._routes_lock:
+            connection = self._connections.get(topic)
+        if connection is None:
+            super().send(topic, kind, payload, sender)
+            return
+        try:
+            connection.send(
+                {"topic": topic, "kind": kind, "payload": payload,
+                 "sender": sender}
+            )
+        except (OSError, FrameError) as exc:
+            raise NodeFailure(topic, f"send failed: {exc}") from exc
+
+    def ping(self, machine_id: str, seq: int) -> bool:
+        """Send one heartbeat ping; False if the link is already gone."""
+        with self._routes_lock:
+            connection = self._connections.get(machine_id)
+        if connection is None:
+            return False
+        try:
+            connection.send(
+                {"topic": machine_id, "kind": PING,
+                 "payload": {"seq": seq, "sent": time.monotonic()},
+                 "sender": "head"}
+            )
+            return True
+        except (OSError, FrameError, NodeFailure):
+            return False
+
+    def has_connection(self, machine_id: str) -> bool:
+        with self._routes_lock:
+            return machine_id in self._connections
+
+    def disconnect(self, machine_id: str) -> None:
+        """Forcibly drop a worker's connection (shutdown path)."""
+        with self._routes_lock:
+            connection = self._connections.pop(machine_id, None)
+        if connection is not None:
+            connection.close()
+
+    # ------------------------------------------------------------- internal
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                sock, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(sock,),
+                name="cluster-conn", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        try:
+            hello = recv_frame(sock)
+        except (FrameError, OSError):
+            sock.close()
+            return
+        if hello is None or hello.get("kind") != HELLO:
+            sock.close()
+            return
+        machine_id = hello["payload"]["machine_id"]
+        connection = _Connection(sock, machine_id)
+        with self._routes_lock:
+            previous = self._connections.get(machine_id)
+            self._connections[machine_id] = connection
+        if previous is not None:
+            previous.close()
+        if self.on_node_connected is not None:
+            self.on_node_connected(machine_id)
+        try:
+            self._reader_loop(connection)
+        finally:
+            connection.close()
+            with self._routes_lock:
+                current = self._connections.get(machine_id)
+                still_routed = current is connection
+                if still_routed:
+                    del self._connections[machine_id]
+            if (
+                still_routed
+                and not self._closing.is_set()
+                and self.on_node_disconnected is not None
+            ):
+                self.on_node_disconnected(machine_id)
+
+    def _reader_loop(self, connection: _Connection) -> None:
+        while True:
+            try:
+                frame = recv_frame(connection.sock)
+            except (FrameError, OSError):
+                return
+            if frame is None:
+                return
+            if frame.get("kind") == PONG:
+                if self.on_pong is not None:
+                    payload = frame.get("payload") or {}
+                    rtt = time.monotonic() - float(payload.get("sent", 0.0))
+                    self.on_pong(
+                        connection.machine_id, int(payload.get("seq", -1)), rtt
+                    )
+                continue
+            try:
+                super().send(
+                    frame["topic"], frame["kind"], frame.get("payload"),
+                    frame.get("sender", connection.machine_id),
+                )
+            except KeyError:
+                # A reply that outlived its waiter (e.g. the head gave
+                # up on a slow RPC).  Dropping is correct; log for
+                # debugging.
+                logger.debug(
+                    "dropping frame for unknown topic %r from %s",
+                    frame.get("topic"), connection.machine_id,
+                )
+
+
+class WorkerEndpoint:
+    """Worker-side connection to the head, same bus discipline.
+
+    The endpoint owns one local mailbox (the worker's own topic);
+    everything sent from the worker routes to the head.  Link loss
+    triggers exponential-backoff reconnection; the worker main loop
+    observes :attr:`connection_generation` to learn that a reconnect
+    happened (its hosted job has been rescheduled by then, so it must
+    drop local state).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        machine_id: str,
+        fault_plan: Optional[FaultPlan] = None,
+        reconnect_base_seconds: float = 0.05,
+        reconnect_max_attempts: int = 6,
+    ) -> None:
+        self.machine_id = machine_id
+        self._address = (host, port)
+        self.mailbox = Mailbox(machine_id)
+        self._sock: Optional[socket.socket] = None
+        self._send_lock = threading.Lock()
+        self._reader: Optional[threading.Thread] = None
+        self._closed = threading.Event()
+        self.connection_generation = 0
+        self._reconnect_base = reconnect_base_seconds
+        self._reconnect_max_attempts = reconnect_max_attempts
+        # Deterministic fault state (counts, not clocks).
+        plan = fault_plan if fault_plan is not None else FaultPlan()
+        self._drops = [
+            {"after": f.after, "count": f.count, "dropped": 0}
+            for f in plan.heartbeat_drops(machine_id)
+        ]
+        self._delays = plan.send_delays(machine_id)
+        self._pings_answered = 0
+        self._frames_sent = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def connect(self) -> None:
+        """Dial the head and say hello (raises on failure)."""
+        sock = socket.create_connection(self._address, timeout=10.0)
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        with self._send_lock:
+            self._sock = sock
+        send_frame(
+            sock,
+            {"topic": "head", "kind": HELLO,
+             "payload": {"machine_id": self.machine_id}, "sender": self.machine_id},
+        )
+        self.connection_generation += 1
+        self._reader = threading.Thread(
+            target=self._reader_loop, args=(sock,),
+            name=f"worker-reader-{self.machine_id}", daemon=True,
+        )
+        self._reader.start()
+
+    def reconnect(self) -> bool:
+        """Exponential-backoff redial; True once reconnected."""
+        delay = self._reconnect_base
+        for _attempt in range(self._reconnect_max_attempts):
+            if self._closed.is_set():
+                return False
+            try:
+                self.connect()
+                return True
+            except OSError:
+                time.sleep(delay)
+                delay *= 2.0
+        return False
+
+    def close(self) -> None:
+        self._closed.set()
+        with self._send_lock:
+            sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    # ------------------------------------------------------------- delivery
+
+    def send(self, topic: str, kind: str, payload: Any, sender: Optional[str] = None) -> None:
+        """Send one message to a head-side topic."""
+        self._frames_sent += 1
+        for fault in self._delays:
+            if self._frames_sent > fault.after:
+                time.sleep(fault.seconds)
+        with self._send_lock:
+            sock = self._sock
+            if sock is None:
+                raise NodeFailure(self.machine_id, "not connected")
+            try:
+                send_frame(
+                    sock,
+                    {"topic": topic, "kind": kind, "payload": payload,
+                     "sender": sender or self.machine_id},
+                )
+            except OSError as exc:
+                raise NodeFailure(self.machine_id, f"send failed: {exc}") from exc
+
+    # ------------------------------------------------------------- internal
+
+    def _reader_loop(self, sock: socket.socket) -> None:
+        while not self._closed.is_set():
+            try:
+                frame = recv_frame(sock)
+            except (FrameError, OSError):
+                frame = None
+            if frame is None:
+                # Link lost: hand a poison pill to the main loop so it
+                # can decide to reconnect or exit.
+                if not self._closed.is_set():
+                    self.mailbox.put(
+                        Message(
+                            topic=self.machine_id, kind="connection_lost",
+                            payload=None, sender="transport",
+                        )
+                    )
+                return
+            if frame.get("kind") == PING:
+                self._handle_ping(frame)
+                continue
+            self.mailbox.put(
+                Message(
+                    topic=frame["topic"], kind=frame["kind"],
+                    payload=frame.get("payload"),
+                    sender=frame.get("sender", "head"),
+                )
+            )
+
+    def _handle_ping(self, frame: Dict[str, Any]) -> None:
+        for fault in self._drops:
+            if (
+                self._pings_answered >= fault["after"]
+                and fault["dropped"] < fault["count"]
+            ):
+                fault["dropped"] += 1
+                return  # swallowed: the head sees a heartbeat miss
+        self._pings_answered += 1
+        try:
+            self.send("head", PONG, frame.get("payload"))
+        except NodeFailure:
+            pass

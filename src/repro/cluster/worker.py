@@ -1,0 +1,219 @@
+"""The worker process: a real Node Agent behind an RPC mailbox.
+
+Each cluster worker is one OS process hosting one
+:class:`~repro.framework.node_agent.NodeAgent` — the paper's
+per-machine execution daemon (§4.2 ➅) — behind a
+:class:`~repro.cluster.transport.WorkerEndpoint`.  The head drives it
+with ``rpc`` frames mirroring the agent's method surface
+(``assign`` / ``train_epoch`` / ``capture_snapshot`` / ``predict`` /
+``release`` / ``shutdown``); the worker processes requests serially
+from its mailbox and replies to the head-local ``reply/<machine-id>``
+topic.
+
+Fault injection hooks live here and in the endpoint:
+
+* ``kill_at_epoch`` — after the agent finishes its N-th epoch *in this
+  process*, the worker SIGKILLs itself before replying, so the epoch's
+  work is genuinely lost (the head must fall back to the last
+  snapshot).
+* ``drop_heartbeats`` / ``delay_send`` — enforced inside
+  :class:`~repro.cluster.transport.WorkerEndpoint`.
+
+Workers are spawned with the ``spawn`` multiprocessing context: a fresh
+interpreter imports this module and calls :func:`worker_main` with
+picklable arguments (workload, predictor, fault sub-plan).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+from typing import Any, Dict, Optional
+
+from ..curves.predictor import CurvePrediction, CurvePredictor
+from ..framework.node_agent import NodeAgent
+from ..framework.snapshot import Snapshot, cost_model_for_domain
+from ..workloads.base import Workload
+from .faults import FaultPlan
+from .transport import NodeFailure, WorkerEndpoint
+
+__all__ = ["worker_main", "snapshot_to_wire", "snapshot_from_wire"]
+
+logger = logging.getLogger(__name__)
+
+RPC = "rpc"
+RPC_REPLY = "rpc_reply"
+
+
+def snapshot_to_wire(snapshot: Optional[Snapshot]) -> Optional[Dict[str, Any]]:
+    """Flatten a Snapshot for the frame codec (ndarrays survive)."""
+    if snapshot is None:
+        return None
+    return {
+        "job_id": snapshot.job_id,
+        "epoch": snapshot.epoch,
+        "state": snapshot.state,
+        "size_bytes": snapshot.size_bytes,
+        "latency": snapshot.latency,
+        "timestamp": snapshot.timestamp,
+    }
+
+
+def snapshot_from_wire(wire: Optional[Dict[str, Any]]) -> Optional[Snapshot]:
+    if wire is None:
+        return None
+    return Snapshot(
+        job_id=wire["job_id"],
+        epoch=int(wire["epoch"]),
+        state=wire["state"],
+        size_bytes=float(wire["size_bytes"]),
+        latency=float(wire["latency"]),
+        timestamp=float(wire.get("timestamp", 0.0)),
+    )
+
+
+def prediction_to_wire(prediction: CurvePrediction) -> Dict[str, Any]:
+    return {
+        "observed": prediction.observed,
+        "horizon": prediction.horizon,
+        "samples": prediction.samples,
+    }
+
+
+class _WorkerHost:
+    """Dispatches RPC frames onto the hosted Node Agent."""
+
+    def __init__(
+        self,
+        machine_id: str,
+        endpoint: WorkerEndpoint,
+        agent: NodeAgent,
+        kill_epoch: Optional[int],
+    ) -> None:
+        self.machine_id = machine_id
+        self.endpoint = endpoint
+        self.agent = agent
+        self._kill_epoch = kill_epoch
+        self._epochs_trained = 0
+        self.running = True
+
+    # ------------------------------------------------------------- dispatch
+
+    def handle(self, payload: Dict[str, Any]) -> None:
+        seq = payload.get("seq")
+        method = payload.get("method")
+        args = payload.get("args") or {}
+        try:
+            value = self._invoke(method, args)
+        except Exception as exc:  # noqa: BLE001 — errors travel to the head
+            logger.exception("worker %s: rpc %s failed", self.machine_id, method)
+            self._reply({"seq": seq, "ok": False,
+                         "error": f"{type(exc).__name__}: {exc}"})
+            return
+        self._reply({"seq": seq, "ok": True, "value": value})
+
+    def _reply(self, payload: Dict[str, Any]) -> None:
+        try:
+            self.endpoint.send(f"reply/{self.machine_id}", RPC_REPLY, payload)
+        except NodeFailure:
+            pass  # link died; the head has already given up on this RPC
+
+    def _invoke(self, method: Optional[str], args: Dict[str, Any]) -> Any:
+        if method == "assign":
+            if self.agent.busy:
+                # The head is authoritative.  A worker declared dead for
+                # silence (dropped heartbeats) keeps hosting its old run
+                # even though the head has migrated that job elsewhere;
+                # when the head trusts this node again its first assign
+                # supersedes the stale state.
+                self.agent.release()
+            self.agent.assign(
+                args["job_id"],
+                args["config"],
+                seed=int(args.get("seed", 0)),
+                snapshot=snapshot_from_wire(args.get("snapshot")),
+            )
+            return None
+        if method == "train_epoch":
+            result = self.agent.train_epoch()
+            self._epochs_trained += 1
+            if (
+                self._kill_epoch is not None
+                and self._epochs_trained >= self._kill_epoch
+            ):
+                # Injected crash: die before the result frame leaves the
+                # process, losing the epoch exactly as a real mid-epoch
+                # failure would.
+                os.kill(os.getpid(), signal.SIGKILL)
+            run = self.agent.run
+            return {
+                "epoch": result.epoch,
+                "duration": result.duration,
+                "metric": result.metric,
+                "done": result.done,
+                "extras": dict(result.extras),
+                "run_finished": bool(run is not None and run.finished),
+            }
+        if method == "capture_snapshot":
+            return snapshot_to_wire(self.agent.capture_snapshot())
+        if method == "predict":
+            prediction = self.agent.predict(int(args["n_future"]))
+            return prediction_to_wire(prediction)
+        if method == "release":
+            self.agent.release()
+            return None
+        if method == "curve_history":
+            return self.agent.curve_history
+        if method == "shutdown":
+            self.running = False
+            return None
+        raise ValueError(f"unknown rpc method {method!r}")
+
+
+def worker_main(
+    host: str,
+    port: int,
+    machine_id: str,
+    workload: Workload,
+    predictor: Optional[CurvePredictor],
+    seed: int,
+    fault_specs: list,
+) -> None:
+    """Entry point of one worker process (multiprocessing spawn target)."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the head owns shutdown
+    plan = FaultPlan.from_dicts(fault_specs)
+    agent = NodeAgent(
+        machine_id=machine_id,
+        workload=workload,
+        snapshot_cost_model=cost_model_for_domain(workload.domain.kind),
+        predictor=predictor,
+        seed=seed,
+    )
+    endpoint = WorkerEndpoint(
+        host, port, machine_id, fault_plan=plan.for_machine(machine_id)
+    )
+    try:
+        endpoint.connect()
+    except OSError:
+        if not endpoint.reconnect():
+            return
+    host_loop = _WorkerHost(
+        machine_id, endpoint, agent, plan.kill_epoch(machine_id)
+    )
+    try:
+        while host_loop.running:
+            message = endpoint.mailbox.get(timeout=1.0)
+            if message is None:
+                continue
+            if message.kind == "connection_lost":
+                # The head will have rescheduled our job elsewhere by
+                # the time we are back, so local run state is stale.
+                agent.release()
+                if not endpoint.reconnect():
+                    return
+                continue
+            if message.kind == RPC:
+                host_loop.handle(message.payload)
+    finally:
+        endpoint.close()

@@ -95,6 +95,7 @@ class HyperDriveScheduler:
         clock: Callable[[], float],
         predictor: Optional[CurvePredictor] = None,
         recorder=None,
+        agent_factory: Optional[Callable[..., NodeAgent]] = None,
     ) -> None:
         self.workload = workload
         self.policy = policy
@@ -130,8 +131,14 @@ class HyperDriveScheduler:
             spec.target if spec.target is not None else workload.domain.target
         )
         cost_model = cost_model_for_domain(workload.domain.kind)
+        # The agent factory is the runtime's substitution point: the
+        # in-process runtimes use real NodeAgents, the cluster runtime
+        # injects socket-backed proxies with the same surface — nothing
+        # below this constructor knows the difference.
+        if agent_factory is None:
+            agent_factory = NodeAgent
         self.agents: Dict[str, NodeAgent] = {
-            machine_id: NodeAgent(
+            machine_id: agent_factory(
                 machine_id=machine_id,
                 workload=workload,
                 snapshot_cost_model=cost_model,

@@ -21,7 +21,20 @@ from typing import Any, Dict
 
 import numpy as np
 
-__all__ = ["Snapshot", "SnapshotCostModel", "SUPERVISED_COST_MODEL", "CRIU_COST_MODEL"]
+__all__ = [
+    "Snapshot",
+    "SnapshotCostModel",
+    "SNAPSHOT_PICKLE_PROTOCOL",
+    "SUPERVISED_COST_MODEL",
+    "CRIU_COST_MODEL",
+]
+
+#: Pickle protocol used to measure snapshot sizes.  Pinned to the
+#: running interpreter's HIGHEST_PROTOCOL and recorded alongside the
+#: measurement so sizes are comparable across Python versions (the
+#: default protocol changed between 3.7 and 3.8, which silently skewed
+#: historical numbers).
+SNAPSHOT_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 
 @dataclass(frozen=True)
@@ -45,11 +58,16 @@ class Snapshot:
     latency: float
     timestamp: float = 0.0
 
+    #: Protocol :attr:`serialized_size_bytes` measures with (recorded
+    #: so archived sizes can be compared across interpreter versions).
+    pickle_protocol = SNAPSHOT_PICKLE_PROTOCOL
+
     @property
     def serialized_size_bytes(self) -> int:
         """Actual pickled size of the captured state (ground truth for
-        the real-training MLP workload)."""
-        return len(pickle.dumps(self.state))
+        the real-training MLP workload), measured at
+        :data:`SNAPSHOT_PICKLE_PROTOCOL`."""
+        return len(pickle.dumps(self.state, protocol=self.pickle_protocol))
 
 
 @dataclass(frozen=True)

@@ -82,19 +82,70 @@ class MessageBus:
                 self._mailboxes[topic] = Mailbox(topic)
             return self._mailboxes[topic]
 
+    def declare_topic(self, topic: str) -> Mailbox:
+        """Pre-register ``topic`` before its consumer starts.
+
+        ``send`` is strict (no mailbox → ``KeyError``), which makes
+        component start order load-bearing: a producer that fires
+        before its consumer subscribes crashes the run.  Declaring
+        every topic up front removes the race — messages queue in the
+        mailbox until the consumer comes up and calls ``subscribe``
+        (which returns the same mailbox).
+        """
+        return self.subscribe(topic)
+
     def send(self, topic: str, kind: str, payload: Any, sender: str) -> None:
         """Deliver a message to ``topic``'s mailbox.
 
         Raises:
-            KeyError: if nothing has subscribed to ``topic`` — silent
-                message loss hides wiring bugs, so delivery is strict.
+            KeyError: if ``topic`` was never declared/subscribed —
+                silent message loss hides wiring bugs, so delivery is
+                strict.  Declare topics with :meth:`declare_topic`
+                before starting any producer component.
         """
         with self._lock:
             mailbox = self._mailboxes.get(topic)
             if mailbox is None:
-                raise KeyError(f"no subscriber for topic {topic!r}")
+                raise KeyError(
+                    f"no subscriber for topic {topic!r} (declare_topic it "
+                    "before starting producers)"
+                )
             self._delivered += 1
         mailbox.put(Message(topic=topic, kind=kind, payload=payload, sender=sender))
+
+    @property
+    def topics(self) -> List[str]:
+        """Every declared topic (for depth gauges and debugging)."""
+        with self._lock:
+            return list(self._mailboxes)
+
+    def pending_by_topic(self) -> Dict[str, int]:
+        """Current queue depth of every mailbox."""
+        with self._lock:
+            return {
+                topic: mailbox.pending
+                for topic, mailbox in self._mailboxes.items()
+            }
+
+    def export_metrics(self, metrics) -> None:
+        """Refresh bus gauges on a metrics registry.
+
+        Surfaces ``Mailbox.pending`` and ``messages_delivered`` (both
+        computed but otherwise invisible) as
+        ``bus_mailbox_pending{topic=...}`` and
+        ``bus_messages_delivered``.  Callers refresh periodically (the
+        runtimes do it from their monitor loops).
+        """
+        delivered = metrics.gauge(
+            "bus_messages_delivered",
+            help="Messages delivered through the bus since start",
+        )
+        delivered.set(self.messages_delivered)
+        pending = metrics.gauge(
+            "bus_mailbox_pending", help="Queued messages per topic mailbox"
+        )
+        for topic, depth in self.pending_by_topic().items():
+            pending.set(depth, topic=topic)
 
     @property
     def messages_delivered(self) -> int:

@@ -122,8 +122,11 @@ class _LiveExperiment:
             recorder=recorder,
         )
         self.bus = MessageBus()
+        # Declared before any producer exists: the scheduler may start
+        # jobs (and send to these topics) before the worker threads
+        # subscribe, and delivery is strict.
         self._mailboxes = {
-            machine_id: self.bus.subscribe(machine_id)
+            machine_id: self.bus.declare_topic(machine_id)
             for machine_id in self.scheduler.resource_manager.machine_ids
         }
         self.stop_event = threading.Event()
@@ -263,6 +266,8 @@ class _LiveExperiment:
             time.sleep(0.02)
             if self.cancel_event is not None and self.cancel_event.is_set():
                 return
+            if self.recorder.enabled:
+                self.bus.export_metrics(self.recorder.metrics)
             with self.lock:
                 quiescent = (
                     self.scheduler.resource_manager.num_busy == 0

@@ -63,9 +63,16 @@ class ExperimentService:
         port: int = 0,
         workers: int = 2,
         resume_interrupted: bool = False,
+        cluster_workers: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if cluster_workers is not None and cluster_workers < 1:
+            raise ValueError("cluster_workers must be >= 1")
+        # When set, experiments execute on the multi-process cluster
+        # runtime with this many worker processes per experiment (see
+        # docs/cluster.md).
+        self.cluster_workers = cluster_workers
         self.store = RunStore(root)
         self.metrics = MetricsRegistry()
         self._m_submitted = self.metrics.counter(
@@ -181,7 +188,7 @@ class ExperimentService:
         self._m_running.inc()
         try:
             run = executor.resume if resuming else executor.execute
-            final = run(self.store, exp_id)
+            final = run(self.store, exp_id, cluster_workers=self.cluster_workers)
         except Exception:
             logger.exception("experiment %s failed", exp_id)
             self._m_finished.inc(status="failed")

@@ -55,6 +55,7 @@ def execute(
     exp_id: str,
     on_checkpoint: Optional[CheckpointHook] = None,
     poll_wall_seconds: float = 0.25,
+    cluster_workers: Optional[int] = None,
 ) -> RunRecord:
     """Run one stored experiment to a terminal status.
 
@@ -69,6 +70,9 @@ def execute(
         on_checkpoint: test/ops hook invoked with each checkpoint state
             after it is persisted.
         poll_wall_seconds: wall-clock throttle on cancellation polls.
+        cluster_workers: when set, live submissions execute on the
+            multi-process cluster runtime with this many worker
+            processes (``repro serve --cluster-workers``).
     """
     record = store.get(exp_id)
     if record is None:
@@ -80,7 +84,7 @@ def execute(
             f"experiment {exp_id} is {record.status}; only queued/running "
             "experiments can be executed"
         )
-    return _run(store, exp_id, on_checkpoint, poll_wall_seconds)
+    return _run(store, exp_id, on_checkpoint, poll_wall_seconds, cluster_workers)
 
 
 def resume(
@@ -88,6 +92,7 @@ def resume(
     exp_id: str,
     on_checkpoint: Optional[CheckpointHook] = None,
     poll_wall_seconds: float = 0.25,
+    cluster_workers: Optional[int] = None,
 ) -> RunRecord:
     """Resume an INTERRUPTED experiment from its journal.
 
@@ -113,7 +118,7 @@ def resume(
         from_clock=checkpoint.get("clock", 0.0),
     )
     store.mark_running(exp_id)
-    return _run(store, exp_id, on_checkpoint, poll_wall_seconds)
+    return _run(store, exp_id, on_checkpoint, poll_wall_seconds, cluster_workers)
 
 
 def _run(
@@ -121,6 +126,7 @@ def _run(
     exp_id: str,
     on_checkpoint: Optional[CheckpointHook],
     poll_wall_seconds: float,
+    cluster_workers: Optional[int] = None,
 ) -> RunRecord:
     record = store.get(exp_id)
     assert record is not None
@@ -151,7 +157,12 @@ def _run(
             on_checkpoint(state)
 
     try:
-        if submission.live:
+        if cluster_workers:
+            result = _run_cluster(
+                store, exp_id, submission, workload, policy, spec, configs,
+                recorder, checkpoint_hook, poll_wall_seconds, cluster_workers,
+            )
+        elif submission.live:
             result = _run_live(
                 store, exp_id, submission, workload, policy, spec, configs,
                 recorder, checkpoint_hook, poll_wall_seconds,
@@ -222,6 +233,54 @@ def _run_live(
     monitor_thread.start()
     try:
         return run_live(
+            workload,
+            policy,
+            configs=configs,
+            spec=spec,
+            time_scale=submission.time_scale,
+            recorder=recorder,
+            cancel_event=cancel_event,
+            progress_hook=checkpoint_hook,
+            progress_every_epochs=submission.checkpoint_every,
+        )
+    finally:
+        done.set()
+        monitor_thread.join(timeout=5.0)
+
+
+def _run_cluster(
+    store, exp_id, submission, workload, policy, spec, configs,
+    recorder, checkpoint_hook, poll_wall_seconds, cluster_workers,
+):
+    """Execute on the multi-process cluster runtime (§4's deployed
+    shape): one worker process per machine, heartbeat failure
+    detection, snapshot migration.  The daemon's ``--cluster-workers``
+    flag fixes the fleet size regardless of the submitted machine
+    count."""
+    from dataclasses import replace as replace_spec
+
+    from ..cluster.runtime import run_cluster
+
+    if cluster_workers < 1:
+        raise ValueError("cluster_workers must be >= 1")
+    spec = replace_spec(spec, num_machines=cluster_workers)
+
+    cancel_event = threading.Event()
+    done = threading.Event()
+
+    def monitor() -> None:
+        while not done.is_set():
+            if store.cancel_requested(exp_id):
+                cancel_event.set()
+                return
+            done.wait(max(poll_wall_seconds, 0.02))
+
+    monitor_thread = threading.Thread(
+        target=monitor, name=f"cancel-monitor-{exp_id}", daemon=True
+    )
+    monitor_thread.start()
+    try:
+        return run_cluster(
             workload,
             policy,
             configs=configs,

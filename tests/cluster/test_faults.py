@@ -1,0 +1,96 @@
+"""Tests for the deterministic fault-injection plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.faults import (
+    DelaySend,
+    DropHeartbeats,
+    FaultPlan,
+    KillAtEpoch,
+)
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError, match="epoch"):
+        KillAtEpoch("machine-00", 0)
+    with pytest.raises(ValueError, match="count"):
+        DropHeartbeats("machine-00", after=0, count=0)
+    with pytest.raises(ValueError, match="after"):
+        DropHeartbeats("machine-00", after=-1, count=1)
+    with pytest.raises(ValueError, match="seconds"):
+        DelaySend("machine-00", seconds=-0.1)
+
+
+def test_plan_filters_by_machine():
+    plan = FaultPlan(
+        (
+            KillAtEpoch("machine-01", 3),
+            KillAtEpoch("machine-01", 7),
+            DropHeartbeats("machine-02", after=5, count=4),
+            DelaySend("machine-00", seconds=0.2, after=10),
+        )
+    )
+    assert plan.kill_epoch("machine-01") == 3  # earliest trigger wins
+    assert plan.kill_epoch("machine-00") is None
+    assert plan.heartbeat_drops("machine-02") == [
+        DropHeartbeats("machine-02", after=5, count=4)
+    ]
+    assert plan.send_delays("machine-00") == [
+        DelaySend("machine-00", seconds=0.2, after=10)
+    ]
+    sub = plan.for_machine("machine-01")
+    assert len(sub.faults) == 2
+    assert all(f.machine_id == "machine-01" for f in sub.faults)
+
+
+def test_empty_plan_is_falsy():
+    assert not FaultPlan()
+    assert FaultPlan((KillAtEpoch("m", 1),))
+
+
+def test_dict_roundtrip():
+    plan = FaultPlan(
+        (
+            KillAtEpoch("machine-01", 3),
+            DropHeartbeats("machine-02", after=5, count=4),
+            DelaySend("machine-00", seconds=0.2, after=10),
+        )
+    )
+    assert FaultPlan.from_dicts(plan.to_dicts()) == plan
+
+
+def test_from_dicts_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultPlan.from_dicts([{"kind": "meteor_strike", "machine_id": "m"}])
+
+
+def test_parse_cli_specs():
+    plan = FaultPlan.parse(
+        kill=["machine-01@epoch:3"],
+        drop_heartbeats=["machine-02@after:5,count:4"],
+        delay_send=["machine-00@seconds:0.2,after:10", "machine-01@seconds:0.5"],
+    )
+    assert plan.kill_epoch("machine-01") == 3
+    assert plan.heartbeat_drops("machine-02")[0].count == 4
+    delays = plan.send_delays("machine-00")
+    assert delays[0].seconds == pytest.approx(0.2)
+    assert delays[0].after == 10
+    assert plan.send_delays("machine-01")[0].after == 0  # default
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["machine-01", "machine-01@", "@epoch:3", "machine-01@epoch", "machine-01@epoch:"],
+)
+def test_parse_rejects_malformed_specs(bad):
+    with pytest.raises(ValueError, match="bad --kill"):
+        FaultPlan.parse(kill=[bad])
+
+
+def test_parse_requires_mandatory_keys():
+    with pytest.raises(ValueError, match="missing required 'epoch'"):
+        FaultPlan.parse(kill=["machine-01@other:3"])
+    with pytest.raises(ValueError, match="missing required"):
+        FaultPlan.parse(drop_heartbeats=["machine-01@after:3"])

@@ -1,0 +1,193 @@
+"""Tests for heartbeat membership (stubbed transport, no sockets)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster.membership import HeartbeatMonitor, NodeState
+from repro.observability import Recorder
+
+
+class StubTransport:
+    """Captures pings; lets tests drive the monitor's callbacks by hand."""
+
+    def __init__(self):
+        self.pings = []
+        self.ping_ok = True
+        # HeartbeatMonitor wires these in its constructor.
+        self.on_node_connected = None
+        self.on_node_disconnected = None
+        self.on_pong = None
+
+    def ping(self, machine_id, seq):
+        self.pings.append((machine_id, seq))
+        return self.ping_ok
+
+
+def make_monitor(machine_ids=("machine-00", "machine-01"), **kwargs):
+    transport = StubTransport()
+    recorder = Recorder()
+    monitor = HeartbeatMonitor(
+        transport,
+        list(machine_ids),
+        interval=kwargs.pop("interval", 0.01),
+        miss_threshold=kwargs.pop("miss_threshold", 3),
+        recorder=recorder,
+    )
+    return transport, recorder, monitor
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return predicate()
+
+
+def test_miss_threshold_validation():
+    with pytest.raises(ValueError, match="miss_threshold"):
+        make_monitor(miss_threshold=0)
+
+
+def test_nodes_start_down_until_hello():
+    _, _, monitor = make_monitor()
+    assert monitor.state("machine-00") == NodeState.DOWN
+    assert monitor.nodes_up == 0
+    assert not monitor.wait_all_up(timeout=0.01)
+
+
+def test_wait_all_up_after_every_hello():
+    transport, recorder, monitor = make_monitor()
+    transport.on_node_connected("machine-00")
+    assert not monitor.wait_all_up(timeout=0.01)
+    transport.on_node_connected("machine-01")
+    assert monitor.wait_all_up(timeout=0.01)
+    assert monitor.nodes_up == 2
+    ups = recorder.audit.query("cluster_node_up")
+    assert [(r.machine_id, r.data["reason"]) for r in ups] == [
+        ("machine-00", "connected"),
+        ("machine-01", "connected"),
+    ]
+
+
+def test_unknown_machine_ignored():
+    transport, _, monitor = make_monitor()
+    transport.on_node_connected("machine-99")
+    transport.on_node_disconnected("machine-99")
+    transport.on_pong("machine-99", 1, 0.001)
+    assert monitor.nodes_up == 0
+
+
+def test_disconnect_is_immediate_death():
+    transport, recorder, monitor = make_monitor()
+    downs = []
+    transport.on_node_connected("machine-00")
+    monitor.on_down = downs.append
+    transport.on_node_disconnected("machine-00")
+    assert monitor.state("machine-00") == NodeState.DOWN
+    assert downs == ["machine-00"]
+    events = recorder.audit.query("cluster_node_down")
+    assert len(events) == 1
+    assert events[0].data["reason"] == "connection_lost"
+    # The gauge tracks the transition.
+    assert recorder.metrics.get("cluster_nodes_up").value() == 0
+
+
+def test_silent_node_dies_after_miss_threshold():
+    transport, recorder, monitor = make_monitor(
+        machine_ids=("machine-00",), interval=0.01, miss_threshold=3
+    )
+    downs = []
+    monitor.on_down = downs.append
+    transport.on_node_connected("machine-00")
+    monitor.start()
+    try:
+        # Never answer: three ping rounds later the node is down.
+        assert wait_for(lambda: downs == ["machine-00"])
+        assert len(transport.pings) >= 3
+        events = recorder.audit.query("cluster_node_down")
+        assert events[0].data["reason"] == "heartbeat_timeout"
+        # Dead connected nodes keep receiving pings (they might wake).
+    finally:
+        monitor.stop()
+
+
+def test_pongs_keep_node_alive():
+    transport, _, monitor = make_monitor(
+        machine_ids=("machine-00",), interval=0.01, miss_threshold=2
+    )
+    downs = []
+    monitor.on_down = downs.append
+    transport.on_node_connected("machine-00")
+    monitor.start()
+    try:
+        deadline = time.monotonic() + 0.2
+        while time.monotonic() < deadline:
+            if transport.pings:
+                _, seq = transport.pings[-1]
+                transport.on_pong("machine-00", seq, 0.001)
+            time.sleep(0.002)
+        assert downs == []
+        assert monitor.is_up("machine-00")
+    finally:
+        monitor.stop()
+
+
+def test_silent_node_recovers_when_pongs_resume():
+    transport, recorder, monitor = make_monitor(machine_ids=("machine-00",))
+    ups, downs = [], []
+    transport.on_node_connected("machine-00")
+    monitor.on_up = ups.append
+    monitor.on_down = downs.append
+    # Simulate the ping loop's verdict without running it.
+    monitor.start()
+    try:
+        assert wait_for(lambda: downs == ["machine-00"])
+        # Socket is still connected; a pong revives the node.
+        transport.on_pong("machine-00", 99, 0.002)
+        assert monitor.is_up("machine-00")
+        assert ups == ["machine-00"]
+        events = recorder.audit.query("cluster_node_up")
+        assert events[-1].data["reason"] == "heartbeats_resumed"
+    finally:
+        monitor.stop()
+
+
+def test_reconnect_revives_dead_node():
+    transport, recorder, monitor = make_monitor(machine_ids=("machine-00",))
+    ups = []
+    transport.on_node_connected("machine-00")
+    transport.on_node_disconnected("machine-00")
+    assert monitor.state("machine-00") == NodeState.DOWN
+    monitor.on_up = ups.append
+    transport.on_node_connected("machine-00")
+    assert monitor.is_up("machine-00")
+    assert ups == ["machine-00"]
+    assert recorder.audit.query("cluster_node_up")[-1].data["reason"] == "connected"
+
+
+def test_pong_records_rtt_histogram():
+    transport, recorder, monitor = make_monitor()
+    transport.on_node_connected("machine-00")
+    transport.on_pong("machine-00", 1, 0.005)
+    histogram = recorder.metrics.get("cluster_heartbeat_rtt_seconds")
+    assert histogram is not None
+    assert histogram.count(machine_id="machine-00") == 1
+
+
+def test_stop_suppresses_shutdown_noise():
+    transport, recorder, monitor = make_monitor()
+    downs = []
+    monitor.on_down = downs.append
+    transport.on_node_connected("machine-00")
+    transport.on_node_connected("machine-01")
+    monitor.stop()
+    # Worker-exit EOFs during tear-down must not pollute the audit trail.
+    transport.on_node_disconnected("machine-00")
+    transport.on_pong("machine-01", 5, 0.001)
+    assert downs == []
+    assert recorder.audit.query("cluster_node_down") == []

@@ -1,0 +1,154 @@
+"""Tests for the length-prefixed wire protocol."""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.cluster.protocol import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_payload,
+    encode_payload,
+    pack_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+def roundtrip(value):
+    return decode_payload(json.loads(json.dumps(encode_payload(value))))
+
+
+def test_codec_roundtrips_ndarray_dtype_and_shape():
+    array = np.arange(12, dtype=np.float32).reshape(3, 4)
+    back = roundtrip(array)
+    assert isinstance(back, np.ndarray)
+    assert back.dtype == np.float32
+    assert back.shape == (3, 4)
+    np.testing.assert_array_equal(back, array)
+
+
+def test_codec_roundtrips_bit_exact_float64():
+    array = np.array([0.1, np.pi, 1e-300, -0.0])
+    np.testing.assert_array_equal(roundtrip(array), array)
+
+
+def test_codec_roundtrips_bytes():
+    assert roundtrip(b"\x00\xff\x01snapshot") == b"\x00\xff\x01snapshot"
+    assert roundtrip(bytearray(b"abc")) == b"abc"
+
+
+def test_codec_converts_numpy_scalars_to_python():
+    assert roundtrip(np.float64(0.5)) == 0.5
+    assert roundtrip(np.int64(7)) == 7
+    assert isinstance(roundtrip(np.int64(7)), int)
+
+
+def test_codec_handles_nested_structures():
+    value = {
+        "snapshot": {"weights": np.ones(3), "epoch": np.int32(4)},
+        "history": [np.float32(0.1), {"blob": b"xyz"}],
+        "plain": [1, "two", None, True],
+    }
+    back = roundtrip(value)
+    np.testing.assert_array_equal(back["snapshot"]["weights"], np.ones(3))
+    assert back["snapshot"]["epoch"] == 4
+    assert back["history"][1]["blob"] == b"xyz"
+    assert back["plain"] == [1, "two", None, True]
+
+
+def test_decoded_ndarray_is_writable():
+    # np.frombuffer yields a read-only view; decode must copy.
+    back = roundtrip(np.zeros(3))
+    back[0] = 1.0
+    assert back[0] == 1.0
+
+
+def test_frames_roundtrip_over_socketpair():
+    left, right = socket.socketpair()
+    try:
+        document = {
+            "topic": "machine-00",
+            "kind": "rpc",
+            "payload": {"weights": np.arange(5.0)},
+            "sender": "head",
+        }
+        send_frame(left, document)
+        send_frame(left, {"topic": "t", "kind": "second", "payload": None})
+        first = recv_frame(right)
+        second = recv_frame(right)
+        assert first["kind"] == "rpc"
+        np.testing.assert_array_equal(first["payload"]["weights"], np.arange(5.0))
+        assert second["kind"] == "second"
+    finally:
+        left.close()
+        right.close()
+
+
+def test_clean_eof_returns_none():
+    left, right = socket.socketpair()
+    left.close()
+    try:
+        assert recv_frame(right) is None
+    finally:
+        right.close()
+
+
+def test_truncated_frame_raises():
+    left, right = socket.socketpair()
+    try:
+        frame = pack_frame({"topic": "t", "kind": "k", "payload": "x" * 100})
+        left.sendall(frame[: len(frame) - 10])
+        left.close()
+        with pytest.raises(FrameError, match="mid-frame"):
+            recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_oversized_length_prefix_raises():
+    left, right = socket.socketpair()
+    try:
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError, match="exceeds"):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_oversized_body_rejected_at_pack_time(monkeypatch):
+    from repro.cluster import protocol
+
+    monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 64)
+    with pytest.raises(FrameError, match="exceeds"):
+        pack_frame({"payload": "x" * 100})
+
+
+def test_malformed_json_body_raises():
+    left, right = socket.socketpair()
+    try:
+        body = b"not json at all"
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(FrameError, match="malformed"):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_non_object_body_raises():
+    left, right = socket.socketpair()
+    try:
+        body = b"[1,2,3]"
+        left.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(FrameError, match="JSON object"):
+            recv_frame(right)
+    finally:
+        left.close()
+        right.close()

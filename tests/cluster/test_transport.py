@@ -1,0 +1,276 @@
+"""Tests for the socket transport (head bus + worker endpoint).
+
+Everything runs in one process: the "worker" endpoints live on test
+threads, which exercises the real TCP path without process spawns.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster.faults import DelaySend, DropHeartbeats, FaultPlan
+from repro.cluster.transport import ClusterTransport, NodeFailure, WorkerEndpoint
+
+
+def wait_for(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture
+def transport():
+    bus = ClusterTransport()
+    yield bus
+    bus.close()
+
+
+def make_endpoint(transport, machine_id, fault_plan=None):
+    host, port = transport.address
+    endpoint = WorkerEndpoint(host, port, machine_id, fault_plan=fault_plan)
+    return endpoint
+
+
+def test_hello_registers_route(transport):
+    connected = []
+    transport.on_node_connected = connected.append
+    transport.start()
+    endpoint = make_endpoint(transport, "machine-00")
+    try:
+        endpoint.connect()
+        assert wait_for(lambda: transport.has_connection("machine-00"))
+        assert connected == ["machine-00"]
+        assert endpoint.connection_generation == 1
+    finally:
+        endpoint.close()
+
+
+def test_send_routes_to_worker_mailbox(transport):
+    transport.start()
+    endpoint = make_endpoint(transport, "machine-00")
+    try:
+        endpoint.connect()
+        assert wait_for(lambda: transport.has_connection("machine-00"))
+        transport.send("machine-00", "rpc", {"method": "noop"}, sender="head")
+        message = endpoint.mailbox.get(timeout=2.0)
+        assert message is not None
+        assert message.kind == "rpc"
+        assert message.payload == {"method": "noop"}
+        assert message.sender == "head"
+    finally:
+        endpoint.close()
+
+
+def test_worker_send_reaches_head_topic(transport):
+    reply_box = transport.declare_topic("reply/machine-00")
+    transport.start()
+    endpoint = make_endpoint(transport, "machine-00")
+    try:
+        endpoint.connect()
+        assert wait_for(lambda: transport.has_connection("machine-00"))
+        endpoint.send("reply/machine-00", "rpc_reply", {"seq": 1, "ok": True})
+        message = reply_box.get(timeout=2.0)
+        assert message is not None
+        assert message.payload == {"seq": 1, "ok": True}
+        assert message.sender == "machine-00"
+    finally:
+        endpoint.close()
+
+
+def test_local_topics_still_work(transport):
+    mailbox = transport.declare_topic("drive/machine-00")
+    transport.send("drive/machine-00", "start", None, sender="scheduler")
+    message = mailbox.get(timeout=1.0)
+    assert message is not None
+    assert message.kind == "start"
+
+
+def test_send_to_undeclared_topic_is_strict(transport):
+    with pytest.raises(KeyError, match="no subscriber"):
+        transport.send("nowhere", "x", None, sender="test")
+
+
+def test_ping_pong_roundtrip(transport):
+    pongs = []
+    transport.on_pong = lambda machine_id, seq, rtt: pongs.append(
+        (machine_id, seq, rtt)
+    )
+    transport.start()
+    endpoint = make_endpoint(transport, "machine-00")
+    try:
+        endpoint.connect()
+        assert wait_for(lambda: transport.has_connection("machine-00"))
+        assert transport.ping("machine-00", seq=7)
+        assert wait_for(lambda: len(pongs) == 1)
+        machine_id, seq, rtt = pongs[0]
+        assert machine_id == "machine-00"
+        assert seq == 7
+        assert 0.0 <= rtt < 5.0
+    finally:
+        endpoint.close()
+
+
+def test_ping_unknown_machine_returns_false(transport):
+    transport.start()
+    assert not transport.ping("machine-99", seq=1)
+
+
+def test_disconnect_fires_callback(transport):
+    disconnected = []
+    transport.on_node_disconnected = disconnected.append
+    transport.start()
+    endpoint = make_endpoint(transport, "machine-00")
+    endpoint.connect()
+    assert wait_for(lambda: transport.has_connection("machine-00"))
+    endpoint.close()
+    assert wait_for(lambda: disconnected == ["machine-00"])
+    assert not transport.has_connection("machine-00")
+
+
+def test_worker_sees_connection_lost_poison_pill(transport):
+    transport.start()
+    endpoint = make_endpoint(transport, "machine-00")
+    try:
+        endpoint.connect()
+        assert wait_for(lambda: transport.has_connection("machine-00"))
+        transport.disconnect("machine-00")
+        message = endpoint.mailbox.get(timeout=2.0)
+        assert message is not None
+        assert message.kind == "connection_lost"
+    finally:
+        endpoint.close()
+
+
+def test_reconnect_restores_route(transport):
+    connected = []
+    transport.on_node_connected = connected.append
+    transport.start()
+    endpoint = make_endpoint(transport, "machine-00")
+    try:
+        endpoint.connect()
+        assert wait_for(lambda: transport.has_connection("machine-00"))
+        transport.disconnect("machine-00")
+        assert endpoint.mailbox.get(timeout=2.0).kind == "connection_lost"
+        assert endpoint.reconnect()
+        assert endpoint.connection_generation == 2
+        assert wait_for(lambda: connected == ["machine-00", "machine-00"])
+        # The new connection carries traffic.
+        transport.send("machine-00", "rpc", {"method": "noop"}, sender="head")
+        message = endpoint.mailbox.get(timeout=2.0)
+        assert message is not None and message.kind == "rpc"
+    finally:
+        endpoint.close()
+
+
+def test_reconnect_gives_up_when_head_is_gone():
+    transport = ClusterTransport()
+    host, port = transport.address
+    transport.close()
+    endpoint = WorkerEndpoint(
+        host, port, "machine-00",
+        reconnect_base_seconds=0.01, reconnect_max_attempts=2,
+    )
+    assert not endpoint.reconnect()
+
+
+def test_send_after_close_raises_node_failure(transport):
+    transport.start()
+    endpoint = make_endpoint(transport, "machine-00")
+    endpoint.connect()
+    endpoint.close()
+    with pytest.raises(NodeFailure):
+        endpoint.send("head", "rpc", None)
+
+
+def test_drop_heartbeats_fault_swallows_pongs(transport):
+    pongs = []
+    transport.on_pong = lambda machine_id, seq, rtt: pongs.append(seq)
+    transport.start()
+    plan = FaultPlan((DropHeartbeats("machine-00", after=0, count=2),))
+    endpoint = make_endpoint(transport, "machine-00", fault_plan=plan)
+    try:
+        endpoint.connect()
+        assert wait_for(lambda: transport.has_connection("machine-00"))
+        for seq in (1, 2, 3):
+            assert transport.ping("machine-00", seq=seq)
+        # The first two pings are swallowed; only seq 3 is answered.
+        assert wait_for(lambda: pongs == [3])
+        time.sleep(0.05)
+        assert pongs == [3]
+    finally:
+        endpoint.close()
+
+
+def test_delay_send_fault_slows_frames(transport):
+    reply_box = transport.declare_topic("reply/machine-00")
+    transport.start()
+    plan = FaultPlan((DelaySend("machine-00", seconds=0.15, after=0),))
+    endpoint = make_endpoint(transport, "machine-00", fault_plan=plan)
+    try:
+        endpoint.connect()
+        assert wait_for(lambda: transport.has_connection("machine-00"))
+        start = time.monotonic()
+        endpoint.send("reply/machine-00", "msg", 1)
+        assert reply_box.get(timeout=2.0) is not None
+        assert time.monotonic() - start >= 0.15
+    finally:
+        endpoint.close()
+
+
+def test_frames_for_vanished_topics_are_dropped(transport):
+    transport.start()
+    endpoint = make_endpoint(transport, "machine-00")
+    try:
+        endpoint.connect()
+        assert wait_for(lambda: transport.has_connection("machine-00"))
+        # No head-side mailbox for this topic: the reader must swallow
+        # the KeyError (a reply outliving its waiter), not die.
+        endpoint.send("reply/gone", "rpc_reply", {"seq": 9})
+        time.sleep(0.05)
+        assert transport.has_connection("machine-00")
+        # The connection still works afterwards.
+        box = transport.declare_topic("reply/machine-00")
+        endpoint.send("reply/machine-00", "rpc_reply", {"seq": 10})
+        assert box.get(timeout=2.0) is not None
+    finally:
+        endpoint.close()
+
+
+def test_concurrent_worker_sends_are_frame_atomic(transport):
+    sink = transport.declare_topic("sink")
+    transport.start()
+    endpoint = make_endpoint(transport, "machine-00")
+    try:
+        endpoint.connect()
+        assert wait_for(lambda: transport.has_connection("machine-00"))
+
+        def blast(tag):
+            for i in range(50):
+                endpoint.send("sink", "msg", {"tag": tag, "i": i})
+
+        threads = [
+            threading.Thread(target=blast, args=(k,)) for k in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert wait_for(lambda: sink.pending == 200)
+        received = sink.drain()
+        for tag in range(4):
+            seq = [m.payload["i"] for m in received if m.payload["tag"] == tag]
+            assert seq == sorted(seq)  # per-sender FIFO survives the wire
+    finally:
+        endpoint.close()
+
+
+def test_close_is_idempotent(transport):
+    transport.start()
+    transport.close()
+    transport.close()

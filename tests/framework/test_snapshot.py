@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.framework.snapshot import (
     CRIU_COST_MODEL,
+    SNAPSHOT_PICKLE_PROTOCOL,
     SUPERVISED_COST_MODEL,
     Snapshot,
     SnapshotCostModel,
@@ -62,3 +65,44 @@ def test_snapshot_serialized_size():
         latency=0.1,
     )
     assert snapshot.serialized_size_bytes > 800  # ~100 float64s
+
+
+def test_serialized_size_measured_at_pinned_protocol():
+    """Sizes must be comparable across interpreter versions: the
+    protocol is pinned to HIGHEST_PROTOCOL and recorded on the snapshot
+    so archived measurements can be interpreted later."""
+    assert SNAPSHOT_PICKLE_PROTOCOL == pickle.HIGHEST_PROTOCOL
+    state = {"weights": np.arange(64.0), "epoch": 7}
+    snapshot = Snapshot(
+        job_id="j1", epoch=7, state=state, size_bytes=0.0, latency=0.0
+    )
+    assert snapshot.pickle_protocol == SNAPSHOT_PICKLE_PROTOCOL
+    expected = len(pickle.dumps(state, protocol=SNAPSHOT_PICKLE_PROTOCOL))
+    assert snapshot.serialized_size_bytes == expected
+
+
+@pytest.mark.parametrize("model", [SUPERVISED_COST_MODEL, CRIU_COST_MODEL])
+def test_lognormal_samples_positive_and_capped(model):
+    rng = np.random.default_rng(42)
+    latencies = np.array([model.sample_latency(rng) for _ in range(2000)])
+    sizes = np.array([model.sample_size(rng) for _ in range(2000)])
+    assert (latencies > 0).all()
+    assert latencies.max() <= model.latency_max
+    assert (sizes > 0).all()
+    assert sizes.max() <= model.size_max
+    # The median parameter really is the distribution's median.
+    assert np.median(latencies) == pytest.approx(model.latency_median, rel=0.15)
+    assert np.median(sizes) == pytest.approx(model.size_median, rel=0.15)
+
+
+def test_quantile_ordering_validation_rejects_each_inversion():
+    # p95 above max
+    with pytest.raises(ValueError, match="latency"):
+        SnapshotCostModel(0.1, 0.5, 0.4, 1.0, 2.0, 3.0)
+    with pytest.raises(ValueError, match="size"):
+        SnapshotCostModel(0.1, 0.2, 0.3, 1.0, 5.0, 4.0)
+    # non-positive median
+    with pytest.raises(ValueError, match="latency"):
+        SnapshotCostModel(0.0, 0.2, 0.3, 1.0, 2.0, 3.0)
+    with pytest.raises(ValueError, match="size"):
+        SnapshotCostModel(0.1, 0.2, 0.3, -1.0, 2.0, 3.0)

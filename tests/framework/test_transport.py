@@ -68,3 +68,85 @@ def test_concurrent_senders():
     for tag in ("t0", "t1", "t2", "t3"):
         seq = [m.payload[1] for m in received if m.payload[0] == tag]
         assert seq == sorted(seq)
+
+
+def test_declare_topic_buffers_sends_before_consumer_subscribes():
+    """Regression for the startup race: a producer that fires before its
+    consumer subscribes must not crash, and nothing may be lost — the
+    consumer's later subscribe() returns the same mailbox with the early
+    messages still queued in order."""
+    bus = MessageBus()
+    declared = bus.declare_topic("scheduler")
+    bus.send("scheduler", "app_stat", {"epoch": 1}, sender="machine-00")
+    bus.send("scheduler", "app_stat", {"epoch": 2}, sender="machine-00")
+
+    mailbox = bus.subscribe("scheduler")  # consumer comes up late
+    assert mailbox is declared
+    assert [m.payload["epoch"] for m in mailbox.drain()] == [1, 2]
+
+
+def test_drain_under_concurrent_producers_conserves_messages():
+    """drain() racing live producers may split the stream across calls
+    but must never drop or duplicate a message."""
+    bus = MessageBus()
+    mailbox = bus.subscribe("sink")
+    n_producers, n_each = 4, 100
+    done = threading.Event()
+
+    def producer(tag):
+        for i in range(n_each):
+            bus.send("sink", "msg", (tag, i), sender=tag)
+
+    threads = [
+        threading.Thread(target=producer, args=(k,)) for k in range(n_producers)
+    ]
+    for t in threads:
+        t.start()
+
+    received = []
+    collector_error = []
+
+    def collector():
+        try:
+            while not done.is_set() or mailbox.pending:
+                received.extend(mailbox.drain())
+        except Exception as exc:  # pragma: no cover - surfaced via assert
+            collector_error.append(exc)
+
+    collecting = threading.Thread(target=collector)
+    collecting.start()
+    for t in threads:
+        t.join()
+    done.set()
+    collecting.join(timeout=5.0)
+
+    assert not collector_error
+    assert len(received) == n_producers * n_each
+    payloads = [m.payload for m in received]
+    assert len(set(payloads)) == len(payloads)  # no duplicates
+    for tag in range(n_producers):
+        seq = [i for (who, i) in payloads if who == tag]
+        assert seq == sorted(seq)  # per-sender FIFO survives draining
+
+
+def test_export_metrics_publishes_delivery_and_depth_gauges():
+    from repro.observability import Recorder
+
+    bus = MessageBus()
+    bus.subscribe("scheduler")
+    bus.subscribe("machine-00")
+    bus.send("scheduler", "app_stat", 1, sender="m")
+    bus.send("scheduler", "app_stat", 2, sender="m")
+    bus.send("machine-00", "start_job", None, sender="s")
+
+    metrics = Recorder().metrics
+    bus.export_metrics(metrics)
+    assert metrics.get("bus_messages_delivered").value() == 3
+    pending = metrics.get("bus_mailbox_pending")
+    assert pending.value(topic="scheduler") == 2
+    assert pending.value(topic="machine-00") == 1
+
+    # Gauges are refreshed, not accumulated.
+    bus.subscribe("scheduler").drain()
+    bus.export_metrics(metrics)
+    assert metrics.get("bus_mailbox_pending").value(topic="scheduler") == 0
