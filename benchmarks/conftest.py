@@ -112,6 +112,38 @@ def minutes(seconds: float) -> float:
     return seconds / 60.0
 
 
+def study_contexts(spec, results_dir: Path):
+    """Run (or resume) a sweep-lab study and return its context tables.
+
+    The study's cell store lives under ``benchmarks/results/studies/``,
+    keyed on the spec digest, so a re-run of the bench suite resumes
+    from the archived cells instead of recomputing them.
+
+    Returns:
+        ``[(context_dict, {level: [values in replicate order]}), ...]``
+        — one entry per analysis context.
+    """
+    import hashlib
+    import json
+
+    from repro.lab import CellStore, StudyRunner, analyze
+
+    digest = hashlib.blake2b(
+        json.dumps(spec.to_dict(), sort_keys=True).encode(), digest_size=6
+    ).hexdigest()
+    study_dir = results_dir / "studies" / f"{spec.name}-{digest}"
+    store = CellStore(study_dir)
+    StudyRunner(spec, store).run()
+    analysis = analyze(spec, store)
+    return [
+        (
+            context.context,
+            {row.level: row.values for row in context.levels},
+        )
+        for context in analysis.contexts
+    ]
+
+
 def once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing.
 

@@ -3,36 +3,40 @@
 Paper: time-to-target improves with more machines for every policy;
 POP always outperforms the others, with a growing edge at larger
 capacities.
+
+The bench drives the built-in ``capacity-sensitivity`` sweep-lab study
+(``repro sweep run --study capacity-sensitivity``): the lab fans the
+policy × machines grid out over a process pool, journals every cell
+under ``benchmarks/results/studies/``, and a rerun resumes from the
+archived cells instead of recomputing them.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .conftest import emit, minutes, once
+from repro.lab import builtin_study
+from .conftest import emit, minutes, once, study_contexts
 
 CAPACITIES = (2, 4, 8, 16)
 POLICIES = ("pop", "bandit", "earlyterm", "default")
 
 
-def test_fig12b_resource_capacity(benchmark, store, results_dir):
+def test_fig12b_resource_capacity(benchmark, results_dir):
+    spec = builtin_study("capacity-sensitivity").with_overrides(seeds=(0,))
+
     def compute():
-        table = {}
-        for policy in POLICIES:
-            row = []
-            for machines in CAPACITIES:
-                results = store.experiments(
-                    "sl", policy, repeats=1, num_machines=machines
-                )
-                result = results[0]
-                value = (
-                    result.time_to_target
-                    if result.reached_target
-                    else result.finished_at
-                )
-                row.append(value)
-            table[policy] = row
-        return table
+        by_machines = {
+            context["machines"]: rows
+            for context, rows in study_contexts(spec, results_dir)
+        }
+        return {
+            policy: [
+                float(np.mean(by_machines[machines][policy]))
+                for machines in CAPACITIES
+            ]
+            for policy in POLICIES
+        }
 
     table = once(benchmark, compute)
     lines = [

@@ -5,62 +5,36 @@ dominates the others and is far more consistent — max-min spread
 4.05 h for POP vs 8.33 h (Bandit), 8.50 h (EarlyTerm), and a
 staggering 25.74 h for Default.
 
-The reproduction replays a recorded trace so every policy sees
-byte-identical learning curves per order (the §7.1 Trace Generator
-role).  15 orders keep the bench affordable; the spread ordering is
-already unambiguous at that count.
+The bench drives the built-in ``config-order`` sweep-lab study: each
+cell shuffles the frozen §6.1 configuration set with one order seed
+and re-runs the full simulation.  Because the synthetic curves depend
+only on (configuration, experiment seed), every policy sees identical
+per-configuration curves per order — the same isolation the §7.1
+trace-generator protocol provides.  10 orders keep the bench
+affordable; the spread ordering is already unambiguous at that count.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.experiments import standard_configs
-from repro.framework.experiment import ExperimentSpec
-from repro.core.pop import POPPolicy
-from repro.policies.bandit import BanditPolicy
-from repro.policies.default import DefaultPolicy
-from repro.policies.earlyterm import EarlyTermPolicy
-from repro.sim.runner import run_simulation
-from repro.sim.trace import TraceWorkload, record_trace
-from .conftest import emit, once
+from repro.lab import builtin_study
+from .conftest import emit, once, study_contexts
 
-N_ORDERS = 15
-POLICIES = {
-    "pop": POPPolicy,
-    "bandit": BanditPolicy,
-    "earlyterm": EarlyTermPolicy,
-    "default": DefaultPolicy,
-}
+POLICIES = ("pop", "bandit", "earlyterm", "default")
 
 
-def test_fig12c_config_order_sensitivity(benchmark, store, results_dir):
-    workload = store.sl_workload
-    base_trace = record_trace(workload, standard_configs(workload, 100), seed=0)
+def test_fig12c_config_order_sensitivity(benchmark, results_dir):
+    spec = builtin_study("config-order")
+    n_orders = len(spec.config_orders)
 
     def compute():
-        table = {name: [] for name in POLICIES}
-        for order in range(N_ORDERS):
-            trace = base_trace.shuffled(order)
-            replay = TraceWorkload(trace)
-            for name, factory in POLICIES.items():
-                result = run_simulation(
-                    replay,
-                    factory(),
-                    configs=trace.configs,
-                    spec=ExperimentSpec(num_machines=5, num_configs=100, seed=0),
-                )
-                value = (
-                    result.time_to_target
-                    if result.reached_target
-                    else result.finished_at
-                )
-                table[name].append(value)
-        return table
+        ((_, rows),) = study_contexts(spec, results_dir)
+        return {policy: rows[policy] for policy in POLICIES}
 
     table = once(benchmark, compute)
     lines = [
-        f"=== Figure 12c: time-to-target over {N_ORDERS} random orders ===",
+        f"=== Figure 12c: time-to-target over {n_orders} random orders ===",
         "policy    |   min   p25   med   p75   max  spread  (minutes)",
     ]
     spreads = {}

@@ -1,78 +1,39 @@
 #!/usr/bin/env python
-"""Compare Hyperparameter Generators behind the §4.2 HG shim.
+"""Compare hyperparameter generators behind the §4.2 HG shim.
 
 The paper treats configuration *generation* as orthogonal, pluggable
-machinery (random/grid built in, Bayesian via a shim).  This example
-runs random search, grid search, GP-EI, and TPE through the identical
-HG API against the real-training MLP workload and reports the best
-validation accuracy each finds with the same evaluation budget.
+machinery.  This example runs the built-in generator-shootout study:
+random, grid, GP-EI, and TPE feed the same simulated MLP cluster under
+the neutral Default policy, and the report compares the best metric
+each reaches (paired per seed, bootstrap CIs vs the random baseline).
 
 Usage::
 
-    python examples/compare_generators.py
+    python examples/compare_generators.py [--out DIR] [--seeds 0,1,2]
 """
 
 from __future__ import annotations
 
+import argparse
+import tempfile
 
-from repro import (
-    BayesianGenerator,
-    GridGenerator,
-    MLPWorkload,
-    RandomGenerator,
-)
-from repro.generators import TPEGenerator
-from repro.workloads.datasets import make_blobs
-
-BUDGET = 30
-TRAIN_EPOCHS = 12
-
-
-def evaluate(workload: MLPWorkload, config: dict) -> float:
-    """Train the configuration briefly; the final accuracy is the HG's
-    reward signal (reportFinalPerformance in §4.2)."""
-    run = workload.create_run(config, seed=0)
-    metric = 0.0
-    for _ in range(TRAIN_EPOCHS):
-        metric = run.step().metric
-    return metric
+from repro.lab import builtin_study, run_study
 
 
 def main() -> None:
-    dataset = make_blobs(
-        n_samples=900, n_features=12, n_classes=8, cluster_std=3.0, seed=11
-    )
-    workload = MLPWorkload(dataset=dataset, max_epochs=TRAIN_EPOCHS)
-    space = workload.space
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None, help="study directory (resumable)")
+    parser.add_argument("--seeds", default=None)
+    args = parser.parse_args()
 
-    generators = {
-        "random": RandomGenerator(space, seed=2),
-        "grid": GridGenerator(space, resolution=2),
-        "gp-ei": BayesianGenerator(space, seed=2, warmup=8),
-        "tpe": TPEGenerator(space, seed=2, warmup=8),
-    }
-
-    print(f"budget: {BUDGET} configurations x {TRAIN_EPOCHS} real SGD epochs")
-    print(f"{'generator':10s} {'best acc':>9s}  best-so-far trajectory")
-    for name, generator in generators.items():
-        best, trajectory = 0.0, []
-        for _ in range(BUDGET):
-            job_id, config = generator.create_job()
-            accuracy = evaluate(workload, config)
-            generator.report_final_performance(job_id, accuracy)
-            best = max(best, accuracy)
-            trajectory.append(best)
-        marks = "".join(
-            "▁▂▃▄▅▆▇█"[min(int(v * 8), 7)] for v in trajectory
+    spec = builtin_study("generator-shootout")
+    if args.seeds:
+        spec = spec.with_overrides(
+            seeds=tuple(int(s) for s in args.seeds.split(","))
         )
-        print(f"{name:10s} {best:9.3f}  {marks}")
-
-    print()
-    print("Adaptive generators (GP-EI, TPE) concentrate their budget in the")
-    print("promising region once warm-up observations arrive; grid search at")
-    print("resolution 2 only probes the corners of an 8-D space.  On easy")
-    print("landscapes random search stays competitive — which is exactly why")
-    print("the paper treats generation and *scheduling* as separate levers.")
+    out = args.out or tempfile.mkdtemp(prefix="compare-generators-")
+    print(run_study(spec, out), end="")
+    print(f"\n(artifacts in {out} — rerun with --out {out} to reuse them)")
 
 
 if __name__ == "__main__":

@@ -1,75 +1,41 @@
 #!/usr/bin/env python
 """Compare all four scheduling policies on the paper's two domains.
 
-A miniature of the paper's Figures 7 and 9: time-to-target for POP,
-Bandit (TuPAQ), EarlyTerm (Domhan et al.), and the Default SAP on the
-supervised (CIFAR-10) and reinforcement-learning (LunarLander)
-workloads, using the standard fixed configuration sets.
+A miniature of the paper's Figures 7 and 9 expressed as a sweep-lab
+study: time-to-target for POP, Bandit (TuPAQ), EarlyTerm (Domhan et
+al.), and the Default SAP on CIFAR-10 and LunarLander, with paired
+bootstrap confidence intervals against the POP baseline.
 
 Usage::
 
-    python examples/compare_policies.py [--repeats N]
+    python examples/compare_policies.py [--out DIR] [--seeds 0,1]
 """
 
 from __future__ import annotations
 
 import argparse
+import tempfile
 
-import numpy as np
-
-from repro import (
-    BanditPolicy,
-    DefaultPolicy,
-    EarlyTermPolicy,
-    POPPolicy,
-)
-from repro.analysis import (
-    run_standard_experiment,
-    standard_rl_workload,
-    standard_sl_workload,
-)
-
-POLICIES = {
-    "pop": POPPolicy,
-    "bandit": BanditPolicy,
-    "earlyterm": EarlyTermPolicy,
-    "default": DefaultPolicy,
-}
-
-
-def compare(workload, label: str, repeats: int) -> None:
-    print(f"--- {label} ---")
-    print(f"{'policy':10s} {'mean t2t (min)':>15s} {'min':>6s} {'max':>6s}")
-    baseline = None
-    for name, factory in POLICIES.items():
-        times = []
-        for seed in range(repeats):
-            result = run_standard_experiment(workload, factory(), seed=seed)
-            times.append(
-                result.time_to_target
-                if result.reached_target
-                else result.finished_at
-            )
-        mean = float(np.mean(times)) / 60.0
-        if name == "pop":
-            baseline = mean
-        extra = "" if name == "pop" else f"   ({mean/baseline:.2f}x vs POP)"
-        print(
-            f"{name:10s} {mean:15.0f} {min(times)/60:6.0f} "
-            f"{max(times)/60:6.0f}{extra}"
-        )
-    print()
+from repro.lab import StudySpec, run_study
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--out", default=None, help="study directory (resumable)")
+    parser.add_argument("--seeds", default="0,1")
     args = parser.parse_args()
 
-    compare(standard_sl_workload(), "CIFAR-10 (supervised, 4 machines)",
-            args.repeats)
-    compare(standard_rl_workload(), "LunarLander (RL, 15 machines)",
-            args.repeats)
+    spec = StudySpec(
+        name="compare-policies",
+        workloads=("cifar10", "lunarlander"),
+        policies=("pop", "bandit", "earlyterm", "default"),
+        seeds=tuple(int(s) for s in args.seeds.split(",")),
+        compare_axis="policy",
+        baseline={"policy": "pop"},
+    )
+    out = args.out or tempfile.mkdtemp(prefix="compare-policies-")
+    print(run_study(spec, out), end="")
+    print(f"\n(artifacts in {out} — rerun with --out {out} to reuse them)")
 
 
 if __name__ == "__main__":

@@ -232,6 +232,86 @@ def _build_parser() -> argparse.ArgumentParser:
         help="archive the full result as JSON",
     )
 
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="declarative study orchestration: grids of experiments with "
+             "parallel fan-out, resumable artifacts, and paired "
+             "statistical reports (see docs/lab.md)",
+    )
+    sweep_sub = sweep_parser.add_subparsers(dest="sweep_command", required=True)
+
+    def _add_sweep_source_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--study", default=None,
+            help="built-in study name (policy-tournament, "
+                 "capacity-sensitivity, config-order, generator-shootout, "
+                 "sweep-smoke)",
+        )
+        parser.add_argument(
+            "--spec", default=None, metavar="FILE",
+            help="JSON StudySpec file (mutually exclusive with --study)",
+        )
+        parser.add_argument(
+            "--seeds", default=None,
+            help="comma-separated experiment-seed override, e.g. 0,1,2,3",
+        )
+        parser.add_argument(
+            "--max-workers", type=int, default=None,
+            help="cell fan-out processes (default: auto; 1 = inline)",
+        )
+
+    def _add_sweep_observability_arguments(
+        parser: argparse.ArgumentParser,
+    ) -> None:
+        parser.add_argument(
+            "--emit-events", metavar="PATH", default=None,
+            help="stream the study audit trail (cells started/completed/"
+                 "skipped) as JSONL",
+        )
+        parser.add_argument(
+            "--metrics-out", metavar="PATH", default=None,
+            help="write the study metrics registry as Prometheus-style text",
+        )
+
+    sweep_run = sweep_sub.add_parser(
+        "run", help="run a study (an existing --out directory resumes it)"
+    )
+    _add_sweep_source_arguments(sweep_run)
+    sweep_run.add_argument("--out", required=True, help="study directory")
+    _add_sweep_observability_arguments(sweep_run)
+
+    sweep_resume = sweep_sub.add_parser(
+        "resume",
+        help="finish an interrupted study from its directory's cell store",
+    )
+    sweep_resume.add_argument("--out", required=True, help="study directory")
+    sweep_resume.add_argument("--max-workers", type=int, default=None)
+    _add_sweep_observability_arguments(sweep_resume)
+
+    sweep_report = sweep_sub.add_parser(
+        "report",
+        help="re-render report.md/report.json from a completed study "
+             "directory and print the markdown",
+    )
+    sweep_report.add_argument("--out", required=True, help="study directory")
+
+    sweep_submit = sweep_sub.add_parser(
+        "submit", help="submit a study to a running daemon (POST /studies)"
+    )
+    _add_sweep_source_arguments(sweep_submit)
+    sweep_submit.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    sweep_submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the study finishes and print its report",
+    )
+    sweep_submit.add_argument("--poll", type=float, default=0.5)
+
+    sweep_status = sweep_sub.add_parser(
+        "status", help="show studies hosted by a daemon"
+    )
+    sweep_status.add_argument("id", nargs="?", default=None)
+    sweep_status.add_argument("--url", default=DEFAULT_SERVICE_URL)
+
     submit_parser = sub.add_parser(
         "submit", help="submit an experiment to a running daemon"
     )
@@ -532,6 +612,164 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+# -------------------------------------------------------------------- sweep
+
+
+def _sweep_spec_from_args(args: argparse.Namespace):
+    """Resolve --study/--spec (+ --seeds override) into a StudySpec."""
+    from .lab import StudySpec, builtin_study
+
+    if (args.study is None) == (args.spec is None):
+        raise ValueError("provide exactly one of --study or --spec")
+    if args.study is not None:
+        spec = builtin_study(args.study)
+    else:
+        spec = StudySpec.from_json_file(args.spec)
+    if args.seeds is not None:
+        try:
+            seeds = tuple(int(part) for part in args.seeds.split(","))
+        except ValueError:
+            raise ValueError(
+                f"--seeds must be comma-separated integers, got {args.seeds!r}"
+            ) from None
+        spec = spec.with_overrides(seeds=seeds)
+    return spec
+
+
+def _sweep_recorder(args: argparse.Namespace):
+    """An observability recorder for sweep commands (None if unused)."""
+    emit_events = getattr(args, "emit_events", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not emit_events and not metrics_out:
+        return None
+    from pathlib import Path
+
+    from .observability import JsonlExporter, Recorder
+
+    for out_path in (emit_events, metrics_out):
+        if out_path and not Path(out_path).parent.is_dir():
+            raise ValueError(f"output directory does not exist: {out_path}")
+    exporter = JsonlExporter(emit_events) if emit_events else None
+    return Recorder(exporter=exporter)
+
+
+def _sweep_execute(args: argparse.Namespace, spec) -> int:
+    """Shared body of ``sweep run`` and ``sweep resume``."""
+    from .lab import CellStore, StudyRunner
+
+    recorder = _sweep_recorder(args)
+    store = CellStore(args.out)
+    runner = StudyRunner(
+        spec, store, recorder=recorder, max_workers=args.max_workers
+    )
+
+    def on_cell(progress) -> None:
+        print(
+            f"cells {progress.done}/{progress.total} "
+            f"(executed {progress.executed}, skipped {progress.skipped})",
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
+
+    try:
+        runner.run(on_cell=on_cell)
+        markdown = runner.write_report()
+    finally:
+        if recorder is not None:
+            if args.metrics_out:
+                with open(args.metrics_out, "w") as handle:
+                    handle.write(recorder.metrics.render_text())
+            recorder.close()
+    print(markdown, end="")
+    print(f"report         -> {store.report_md_path}", file=sys.stderr)
+    print(f"report (json)  -> {store.report_json_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.sweep_command == "run":
+        return _sweep_execute(args, _sweep_spec_from_args(args))
+    if args.sweep_command == "resume":
+        from .lab import CellStore
+
+        return _sweep_execute(args, CellStore(args.out).load_spec())
+    if args.sweep_command == "report":
+        from .lab import CellStore, StudyRunner
+
+        store = CellStore(args.out)
+        runner = StudyRunner(store.load_spec(), store)
+        print(runner.write_report(), end="")
+        return 0
+    if args.sweep_command == "submit":
+        return _cmd_sweep_submit(args)
+    if args.sweep_command == "status":
+        return _cmd_sweep_status(args)
+    raise ValueError(f"unknown sweep command {args.sweep_command!r}")
+
+
+def _study_line(record: dict) -> str:
+    done = f"{record['cells_done']}/{record['cells_total']}"
+    winner = record.get("winner") or "-"
+    return (
+        f"{record['id']}  {record['status']:<10} "
+        f"{record['name']:<22} cells={done:<9} winner={winner}"
+    )
+
+
+def _cmd_sweep_submit(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+
+    if (args.study is None) == (args.spec is None):
+        raise ValueError("provide exactly one of --study or --spec")
+    if args.study is not None and args.seeds is None:
+        payload: dict = {"study": args.study}
+    else:
+        # Spec files and seed-overridden built-ins resolve client-side,
+        # so the daemon runs exactly what was asked for.
+        payload = {"spec": _sweep_spec_from_args(args).to_dict()}
+    if args.max_workers is not None:
+        payload["max_workers"] = args.max_workers
+    client = ServiceClient(args.url)
+    record = client.submit_study(payload)
+    print(record["id"])
+    print(
+        f"submitted study {record['id']} ({record['name']}, "
+        f"{record['cells_total']} cells) to {args.url}",
+        file=sys.stderr,
+    )
+    if not args.wait:
+        return 0
+
+    def on_update(update: dict) -> None:
+        print(_study_line(update), file=sys.stderr)
+        sys.stderr.flush()
+
+    final = client.watch_study(
+        record["id"], poll_seconds=args.poll, on_update=on_update
+    )
+    if final["status"] != "completed":
+        print(f"error: {final.get('error')}", file=sys.stderr)
+        return EXIT_EXPERIMENT_NOT_COMPLETED
+    print(client.study_report(record["id"]), end="")
+    return 0
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.id is not None:
+        print(json.dumps(client.get_study(args.id), indent=2))
+        return 0
+    records = client.list_studies()
+    if not records:
+        print("no studies")
+        return 0
+    for record in records:
+        print(_study_line(record))
+    return 0
+
+
 # ------------------------------------------------------------------ service
 
 
@@ -708,6 +946,7 @@ def main(argv=None) -> int:
         "report": _cmd_report,
         "cluster-demo": _cmd_cluster_demo,
         "serve": _cmd_serve,
+        "sweep": _cmd_sweep,
         "submit": _cmd_submit,
         "status": _cmd_status,
         "watch": _cmd_watch,

@@ -1,0 +1,52 @@
+"""Sweep Lab: declarative study orchestration (see ``docs/lab.md``).
+
+The subsystem behind ``repro sweep``: declare a comparative study as a
+cell grid (:class:`StudySpec`), fan the cells out over processes with
+resumable content-addressed artifacts (:class:`StudyRunner` +
+:class:`CellStore`), and render paired statistical reports
+(:func:`analyze` + :func:`render_markdown`).
+
+Quickstart::
+
+    from repro.lab import builtin_study, run_study
+    print(run_study(builtin_study("policy-tournament"), "out/"))
+"""
+
+from .analysis import (
+    ContextResult,
+    LevelStats,
+    MissingCellsError,
+    StudyAnalysis,
+    analyze,
+    cell_metric_value,
+)
+from .report import render_json, render_markdown
+from .runner import CellError, StudyProgress, StudyRunner, execute_cell, run_study
+from .spec import COMPARE_AXES, FIXED_GENERATOR, REPLICATE_AXES, Cell, StudySpec
+from .store import CellStore, StudyMismatchError
+from .studies import BUILTIN_STUDIES, builtin_study
+
+__all__ = [
+    "COMPARE_AXES",
+    "REPLICATE_AXES",
+    "FIXED_GENERATOR",
+    "Cell",
+    "StudySpec",
+    "CellStore",
+    "StudyMismatchError",
+    "CellError",
+    "StudyProgress",
+    "StudyRunner",
+    "execute_cell",
+    "run_study",
+    "MissingCellsError",
+    "LevelStats",
+    "ContextResult",
+    "StudyAnalysis",
+    "analyze",
+    "cell_metric_value",
+    "render_markdown",
+    "render_json",
+    "BUILTIN_STUDIES",
+    "builtin_study",
+]

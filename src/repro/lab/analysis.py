@@ -1,0 +1,328 @@
+"""Paired statistical analysis of a completed study store.
+
+The unit of comparison is the *replicate*: one ``(seed,
+config_order)`` combination.  Within each *context* (every grid axis
+except the comparison axis), each comparison-axis level produces one
+metric value per replicate, and those vectors are compared pairwise
+against the baseline level's vector — per-seed pairing, exactly how
+the paper reports "POP is 1.6x faster" numbers, but with bootstrap
+uncertainty attached (``1.6x [1.3, 1.9]``) via
+:func:`repro.metrics.stats.paired_bootstrap_speedup_ci`.
+
+All randomness is seeded, so analysing the same store twice yields
+byte-identical reports — the property the kill-and-resume tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics.stats import bootstrap_mean_ci, paired_bootstrap_speedup_ci
+from .spec import StudySpec
+from .store import CellStore
+
+__all__ = [
+    "MissingCellsError",
+    "LevelStats",
+    "ContextResult",
+    "StudyAnalysis",
+    "analyze",
+    "cell_metric_value",
+]
+
+#: Bootstrap seed: fixed so reports are reproducible artifacts.
+_BOOTSTRAP_SEED = 20170417
+_AXES = ("workload", "policy", "generator", "machines")
+
+
+class MissingCellsError(RuntimeError):
+    """The store lacks cells the spec expects (study incomplete)."""
+
+
+def cell_metric_value(metric: str, result: Dict[str, Any]) -> float:
+    """Extract the study metric from one archived experiment result.
+
+    ``time_to_target`` falls back to the experiment's finish time when
+    the target was never reached — the paper's convention, which keeps
+    the metric defined (and pessimal) for failed runs.
+    """
+    if metric == "time_to_target":
+        if result.get("reached_target") and result.get("time_to_target") is not None:
+            return float(result["time_to_target"])
+        return float(result["finished_at"])
+    if metric == "best_metric":
+        value = result.get("best_metric")
+        if value is None:
+            raise ValueError("result has no best_metric (no epoch completed?)")
+        return float(value)
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+@dataclass
+class LevelStats:
+    """One comparison-axis level inside one context."""
+
+    level: str
+    is_baseline: bool
+    n: int
+    mean: float
+    minimum: float
+    maximum: float
+    #: Per-replicate metric values, replicate order (analysis detail).
+    values: List[float]
+    #: ``(point, low, high)`` — how many times *better* the baseline
+    #: is than this level (ratio for lower-is-better metrics); None on
+    #: the baseline row.
+    baseline_speedup: Optional[Tuple[float, float, float]] = None
+    #: ``(point, low, high)`` paired mean difference (level − baseline)
+    #: for higher-is-better metrics; None on the baseline row.
+    baseline_delta: Optional[Tuple[float, float, float]] = None
+    wins: int = 0
+    ties: int = 0
+    losses: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "level": self.level,
+            "is_baseline": self.is_baseline,
+            "n": self.n,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "values": self.values,
+            "baseline_speedup": (
+                None if self.baseline_speedup is None
+                else list(self.baseline_speedup)
+            ),
+            "baseline_delta": (
+                None if self.baseline_delta is None
+                else list(self.baseline_delta)
+            ),
+            "wins": self.wins,
+            "ties": self.ties,
+            "losses": self.losses,
+        }
+
+
+@dataclass
+class ContextResult:
+    """All comparison levels within one fixed-axes context."""
+
+    context: Dict[str, Any]
+    levels: List[LevelStats]
+    #: ``win_matrix[row][col]`` = replicates where ``row`` strictly
+    #: beats ``col`` (direction-aware).
+    win_matrix: Dict[str, Dict[str, int]]
+    winner: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "context": self.context,
+            "levels": [level.to_dict() for level in self.levels],
+            "win_matrix": self.win_matrix,
+            "winner": self.winner,
+        }
+
+
+@dataclass
+class StudyAnalysis:
+    """The full paired analysis of one study."""
+
+    study: str
+    metric: str
+    lower_is_better: bool
+    compare_axis: str
+    baseline_level: str
+    replicates: int
+    cells: int
+    contexts: List[ContextResult] = field(default_factory=list)
+    overall_winner: str = ""
+    spec: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "study": self.study,
+            "metric": self.metric,
+            "lower_is_better": self.lower_is_better,
+            "compare_axis": self.compare_axis,
+            "baseline_level": self.baseline_level,
+            "replicates": self.replicates,
+            "cells": self.cells,
+            "contexts": [context.to_dict() for context in self.contexts],
+            "overall_winner": self.overall_winner,
+            "spec": self.spec,
+        }
+
+
+def _level_key(spec: StudySpec, resolved_cell: Dict[str, Any]) -> Any:
+    return resolved_cell[spec.compare_axis]
+
+
+def _resolve_level(spec: StudySpec, level: Any, workload: str) -> Any:
+    """Map a spec-side axis level onto its resolved per-cell value."""
+    if spec.compare_axis == "machines" and level is None:
+        from .. import registry
+
+        return registry.default_machines(workload)
+    return level
+
+
+def _paired_delta_ci(
+    baseline: Sequence[float],
+    level: Sequence[float],
+    rng: np.random.Generator,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+) -> Tuple[float, float, float]:
+    """Paired bootstrap CI on the mean difference (level − baseline)."""
+    differences = np.asarray(level, dtype=float) - np.asarray(
+        baseline, dtype=float
+    )
+    point, low, high = bootstrap_mean_ci(
+        differences, confidence=confidence, n_resamples=n_resamples, rng=rng
+    )
+    return point, low, high
+
+
+def analyze(spec: StudySpec, store: CellStore) -> StudyAnalysis:
+    """Paired comparison of every level against the study baseline.
+
+    Raises :class:`MissingCellsError` when the store is incomplete —
+    resume the study first (``repro sweep resume``).
+    """
+    cells = spec.cells()
+    missing = [cell for cell in cells if not store.has(cell.key())]
+    if missing:
+        labels = ", ".join(cell.label() for cell in missing[:5])
+        more = "" if len(missing) <= 5 else f" (+{len(missing) - 5} more)"
+        raise MissingCellsError(
+            f"study {spec.name!r} is missing {len(missing)}/{len(cells)} "
+            f"cells ({labels}{more}); resume it before reporting"
+        )
+
+    # Index: (context key, level, replicate) -> metric value.
+    values: Dict[Tuple[Any, ...], Dict[Any, Dict[Tuple[Any, Any], float]]] = {}
+    contexts_seen: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+    for cell in cells:
+        payload = store.load_cell(cell.key())
+        resolved = payload["cell"]
+        context = {
+            axis: resolved[axis] for axis in _AXES if axis != spec.compare_axis
+        }
+        context_key = tuple(context[axis] for axis in sorted(context))
+        contexts_seen.setdefault(context_key, context)
+        level = _level_key(spec, resolved)
+        replicate = (resolved["seed"], resolved["config_order"])
+        metric_value = cell_metric_value(spec.metric, payload["result"])
+        values.setdefault(context_key, {}).setdefault(level, {})[
+            replicate
+        ] = metric_value
+
+    replicates = [
+        (seed, order)
+        for order in spec.config_orders
+        for seed in spec.seeds
+    ]
+    lower = spec.lower_is_better
+    analysis = StudyAnalysis(
+        study=spec.name,
+        metric=spec.metric,
+        lower_is_better=lower,
+        compare_axis=spec.compare_axis,
+        baseline_level=str(spec.baseline_level),
+        replicates=len(replicates),
+        cells=len(cells),
+        spec=spec.to_dict(),
+    )
+
+    context_wins: Dict[str, int] = {}
+    aggregate: Dict[str, List[float]] = {}
+    for context_key in sorted(values, key=lambda key: tuple(map(str, key))):
+        context = contexts_seen[context_key]
+        by_level = values[context_key]
+        workload = context.get("workload", spec.workloads[0])
+        spec_levels = [
+            _resolve_level(spec, level, workload)
+            for level in spec._axis_levels(spec.compare_axis)
+        ]
+        baseline_level = _resolve_level(spec, spec.baseline_level, workload)
+        baseline_values = [
+            by_level[baseline_level][replicate] for replicate in replicates
+        ]
+        rng = np.random.default_rng(_BOOTSTRAP_SEED)
+        level_rows: List[LevelStats] = []
+        for level in spec_levels:
+            level_values = [
+                by_level[level][replicate] for replicate in replicates
+            ]
+            arr = np.asarray(level_values, dtype=float)
+            row = LevelStats(
+                level=str(level),
+                is_baseline=level == baseline_level,
+                n=len(level_values),
+                mean=float(arr.mean()),
+                minimum=float(arr.min()),
+                maximum=float(arr.max()),
+                values=[float(v) for v in level_values],
+            )
+            if not row.is_baseline:
+                if lower:
+                    row.baseline_speedup = paired_bootstrap_speedup_ci(
+                        level_values, baseline_values, rng=rng
+                    )
+                else:
+                    row.baseline_delta = _paired_delta_ci(
+                        baseline_values, level_values, rng=rng
+                    )
+                for mine, base in zip(level_values, baseline_values):
+                    if mine == base:
+                        row.ties += 1
+                    elif (mine < base) == lower:
+                        row.wins += 1
+                    else:
+                        row.losses += 1
+            level_rows.append(row)
+
+        win_matrix: Dict[str, Dict[str, int]] = {}
+        for row in level_rows:
+            win_matrix[row.level] = {}
+            for other in level_rows:
+                wins = sum(
+                    1
+                    for mine, theirs in zip(row.values, other.values)
+                    if mine != theirs and ((mine < theirs) == lower)
+                )
+                win_matrix[row.level][other.level] = wins
+
+        best = min if lower else max
+        winner_row = best(level_rows, key=lambda row: row.mean)
+        context_wins[winner_row.level] = context_wins.get(
+            winner_row.level, 0
+        ) + 1
+        for row in level_rows:
+            aggregate.setdefault(row.level, []).extend(row.values)
+        analysis.contexts.append(
+            ContextResult(
+                context=context,
+                levels=level_rows,
+                win_matrix=win_matrix,
+                winner=winner_row.level,
+            )
+        )
+
+    # Overall winner: most context wins; ties break on the aggregate
+    # mean (direction-aware), then on level name for determinism.
+    def _overall_rank(level: str) -> Tuple[float, float, str]:
+        mean = float(np.mean(aggregate[level]))
+        return (
+            -context_wins.get(level, 0),
+            mean if lower else -mean,
+            level,
+        )
+
+    if aggregate:
+        analysis.overall_winner = min(aggregate, key=_overall_rank)
+    return analysis

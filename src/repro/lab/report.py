@@ -1,0 +1,145 @@
+"""Markdown / JSON rendering of a :class:`StudyAnalysis`.
+
+Reports are deterministic artifacts: no timestamps, fixed bootstrap
+seeds, stable ordering — the same completed store always renders to
+byte-identical ``report.md`` and ``report.json``, which is how the
+kill-and-resume tests prove a resumed study equals an uninterrupted
+one.
+
+Report columns (see ``docs/lab.md``):
+
+* ``n`` — paired replicates behind the row.
+* ``mean/min/max`` — the study metric (minutes for time-to-target).
+* ``baseline adv ×`` — how many times better the baseline level is
+  than this row, as a paired-bootstrap ratio with its 95% CI
+  (``1.60x [1.30, 1.90]``); lower-is-better metrics only.
+* ``Δ vs baseline`` — paired mean difference with 95% CI for
+  higher-is-better metrics.
+* ``W/T/L`` — per-replicate wins/ties/losses against the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .analysis import ContextResult, LevelStats, StudyAnalysis
+
+__all__ = ["render_markdown", "render_json"]
+
+
+def _format_value(analysis: StudyAnalysis, value: float) -> str:
+    if analysis.metric == "time_to_target":
+        return f"{value / 60.0:.1f}"
+    return f"{value:.4f}"
+
+
+def _metric_heading(analysis: StudyAnalysis) -> str:
+    if analysis.metric == "time_to_target":
+        return "time to target (minutes; finish time when unreached)"
+    return "best metric found"
+
+
+def _comparison_cell(analysis: StudyAnalysis, row: LevelStats) -> str:
+    if row.is_baseline:
+        return "baseline"
+    if row.baseline_speedup is not None:
+        point, low, high = row.baseline_speedup
+        return f"{point:.2f}x [{low:.2f}, {high:.2f}]"
+    if row.baseline_delta is not None:
+        point, low, high = row.baseline_delta
+        return f"{point:+.4f} [{low:+.4f}, {high:+.4f}]"
+    return "n/a"
+
+
+def _context_heading(context: Dict[str, Any]) -> str:
+    if not context:
+        return "all cells"
+    return ", ".join(f"{axis}={context[axis]}" for axis in sorted(context))
+
+
+def _render_context(analysis: StudyAnalysis, context: ContextResult) -> List[str]:
+    axis = analysis.compare_axis
+    comparison_header = (
+        "baseline adv ×" if analysis.lower_is_better else "Δ vs baseline"
+    )
+    lines = [
+        f"## {_context_heading(context.context)}",
+        "",
+        f"| {axis} | n | mean | min | max | {comparison_header} (95% CI) "
+        "| W/T/L vs baseline |",
+        "|---|---:|---:|---:|---:|---|---:|",
+    ]
+    for row in context.levels:
+        marker = "**" if row.level == context.winner else ""
+        lines.append(
+            f"| {marker}{row.level}{marker} | {row.n} "
+            f"| {_format_value(analysis, row.mean)} "
+            f"| {_format_value(analysis, row.minimum)} "
+            f"| {_format_value(analysis, row.maximum)} "
+            f"| {_comparison_cell(analysis, row)} "
+            + (
+                "| — |"
+                if row.is_baseline
+                else f"| {row.wins}/{row.ties}/{row.losses} |"
+            )
+        )
+    lines.append("")
+    levels = [row.level for row in context.levels]
+    if len(levels) > 1 and analysis.replicates > 1:
+        lines.append(
+            f"Win matrix (row beats column, out of {analysis.replicates} "
+            "replicates):"
+        )
+        lines.append("")
+        lines.append("| vs | " + " | ".join(levels) + " |")
+        lines.append("|---|" + "---:|" * len(levels))
+        for row_level in levels:
+            cells = [
+                "·" if row_level == col else str(
+                    context.win_matrix[row_level][col]
+                )
+                for col in levels
+            ]
+            lines.append(f"| {row_level} | " + " | ".join(cells) + " |")
+        lines.append("")
+    lines.append(f"Context winner: **{context.winner}**")
+    lines.append("")
+    return lines
+
+
+def render_markdown(analysis: StudyAnalysis) -> str:
+    """The full study report as GitHub-flavoured markdown."""
+    direction = "lower is better" if analysis.lower_is_better else (
+        "higher is better"
+    )
+    lines = [
+        f"# Study report: {analysis.study}",
+        "",
+        f"- metric: `{analysis.metric}` — {_metric_heading(analysis)} "
+        f"({direction})",
+        f"- comparison axis: `{analysis.compare_axis}` "
+        f"(baseline: `{analysis.baseline_level}`)",
+        f"- cells: {analysis.cells} "
+        f"({analysis.replicates} paired replicates per level per context)",
+        "",
+    ]
+    for context in analysis.contexts:
+        lines.extend(_render_context(analysis, context))
+    total = len(analysis.contexts)
+    wins = sum(
+        1 for context in analysis.contexts
+        if context.winner == analysis.overall_winner
+    )
+    lines.append("## Overall")
+    lines.append("")
+    lines.append(
+        f"Winner: **{analysis.overall_winner}** "
+        f"({wins}/{total} context{'s' if total != 1 else ''})"
+    )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_json(analysis: StudyAnalysis) -> Dict[str, Any]:
+    """The machine-readable report payload (``report.json``)."""
+    return analysis.to_dict()

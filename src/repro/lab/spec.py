@@ -1,0 +1,364 @@
+"""Declarative study specifications (the Sweep Lab grid language).
+
+A :class:`StudySpec` describes one comparative study as a cell grid —
+the cross product of ``{workload × policy × generator × seed ×
+machines × config_order}`` plus shared experiment knobs — with one
+axis designated the *comparison* axis and one of its levels the
+*baseline*.  Every cell is an independent simulated experiment
+(:func:`repro.sim.runner.run_simulation`); the paired analysis in
+:mod:`repro.lab.analysis` then compares each comparison-axis level
+against the baseline replicate-by-replicate, which is exactly the
+protocol behind the paper's §6 policy comparisons and §7 sensitivity
+tables.
+
+Specs are plain data: JSON-round-trippable (:meth:`StudySpec.to_dict`
+/ :meth:`StudySpec.from_dict` / :meth:`StudySpec.from_json_file`) and
+fully validated against :mod:`repro.registry` at construction, so a
+bad study fails before any cell runs.
+
+Each expanded :class:`Cell` resolves its defaults (machines, generator
+seed) into a canonical dict whose blake2b digest is the cell's
+content-addressed key — the unit of resumability in
+:mod:`repro.lab.store`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from itertools import product
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .. import registry
+
+__all__ = [
+    "COMPARE_AXES",
+    "REPLICATE_AXES",
+    "FIXED_GENERATOR",
+    "Cell",
+    "StudySpec",
+]
+
+#: Axes whose levels may be compared against a designated baseline.
+COMPARE_AXES = ("policy", "workload", "generator", "machines")
+
+#: Axes that produce paired replicates rather than comparison groups.
+REPLICATE_AXES = ("seed", "config_order")
+
+#: Pseudo-generator name: the standard fixed configuration set
+#: (``repro.analysis.experiments.standard_configs``) instead of a
+#: registry Hyperparameter Generator.  This is the paper's §6.1
+#: protocol — one frozen configuration list reused across policies.
+FIXED_GENERATOR = "fixed"
+
+_METRICS = {
+    # metric name -> True when lower values are better
+    "time_to_target": True,
+    "best_metric": False,
+}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fully-specified experiment in a study grid.
+
+    ``machines`` and ``gen_seed`` may be ``None`` (meaning "the
+    workload's published default"); :meth:`resolved` pins them so the
+    cell key never depends on defaults changing between axes.
+    """
+
+    study: str
+    workload: str
+    policy: str
+    generator: str
+    seed: int
+    machines: Optional[int]
+    config_order: Optional[int]
+    num_configs: int
+    gen_seed: Optional[int]
+    target: Optional[float]
+    tmax_hours: float
+    stop_on_target: bool
+    predict_workers: int
+    predict_cache_size: int
+
+    def resolved(self) -> Dict[str, Any]:
+        """The cell with every default pinned (canonical, hashable)."""
+        out = asdict(self)
+        if out["machines"] is None:
+            out["machines"] = registry.default_machines(self.workload)
+        if out["gen_seed"] is None:
+            out["gen_seed"] = registry.default_gen_seed(self.workload)
+        return out
+
+    def key(self) -> str:
+        """Content address: blake2b of the resolved cell config.
+
+        Stable across processes and sessions — the resolved dict is
+        serialised with sorted keys and no whitespace variance, so the
+        same logical cell always lands on the same store entry.
+        """
+        canonical = json.dumps(
+            self.resolved(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.blake2b(
+            canonical.encode("utf-8"), digest_size=10
+        ).hexdigest()
+
+    def label(self) -> str:
+        """A short human-readable handle for logs and audit events."""
+        parts = [self.workload, self.policy]
+        if self.generator != FIXED_GENERATOR:
+            parts.append(self.generator)
+        if self.machines is not None:
+            parts.append(f"{self.machines}m")
+        parts.append(f"s{self.seed}")
+        if self.config_order is not None:
+            parts.append(f"o{self.config_order}")
+        return "/".join(parts)
+
+
+def _as_tuple(value: Any) -> Tuple[Any, ...]:
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return (value,)
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """A declarative comparative study over a cell grid.
+
+    Attributes:
+        name: study identifier (used in reports and store labels).
+        policies: SAP names (``repro.registry.POLICIES``).
+        workloads: workload names (``repro.registry.WORKLOADS``).
+        generators: per-cell configuration sources — registry
+            generator names, or :data:`FIXED_GENERATOR` for the §6.1
+            frozen configuration set.
+        seeds: experiment seeds; each seed is one paired replicate.
+        machines: slot counts; ``None`` entries use the workload's
+            published default cluster size.
+        config_orders: shuffle seeds applied to the fixed
+            configuration set (§7.2.2 order sensitivity); ``None``
+            keeps the natural order.  Only meaningful with the fixed
+            generator.
+        num_configs: configurations per cell.
+        gen_seed: generator / fixed-set seed; ``None`` uses the
+            published per-workload default.
+        target: raw-scale target metric; ``None`` = domain default.
+        tmax_hours: per-cell experiment horizon.
+        stop_on_target: end each cell at first target hit.
+        predict_workers: prediction process-pool size *inside* each
+            cell (plumbed to ``ExperimentSpec.predict_workers``).
+        predict_cache_size: per-process prefix-fit cache entries.
+        compare_axis: which axis's levels are compared
+            (:data:`COMPARE_AXES`).
+        baseline: ``{compare_axis: level}`` naming the baseline level;
+            the level must appear in the axis.
+        metric: ``"time_to_target"`` (lower is better; unreached
+            targets score the experiment's finish time, the paper's
+            convention) or ``"best_metric"`` (higher is better).
+    """
+
+    name: str
+    policies: Tuple[str, ...]
+    workloads: Tuple[str, ...] = ("cifar10",)
+    generators: Tuple[str, ...] = (FIXED_GENERATOR,)
+    seeds: Tuple[int, ...] = (0,)
+    machines: Tuple[Optional[int], ...] = (None,)
+    config_orders: Tuple[Optional[int], ...] = (None,)
+    num_configs: int = 100
+    gen_seed: Optional[int] = None
+    target: Optional[float] = None
+    tmax_hours: float = 48.0
+    stop_on_target: bool = True
+    predict_workers: int = 1
+    predict_cache_size: int = 2048
+    compare_axis: str = "policy"
+    baseline: Dict[str, Any] = field(default_factory=lambda: {"policy": "pop"})
+    metric: str = "time_to_target"
+
+    def __post_init__(self) -> None:
+        # Coerce JSON-borne lists into tuples so the spec stays
+        # hashable and comparable regardless of how it was built.
+        for axis in (
+            "policies", "workloads", "generators", "seeds", "machines",
+            "config_orders",
+        ):
+            object.__setattr__(self, axis, _as_tuple(getattr(self, axis)))
+        if not self.name:
+            raise ValueError("study name must be non-empty")
+        if not self.policies:
+            raise ValueError("policies must be non-empty")
+        if not self.workloads:
+            raise ValueError("workloads must be non-empty")
+        if not self.generators:
+            raise ValueError("generators must be non-empty")
+        if not self.seeds:
+            raise ValueError("seeds must be non-empty")
+        if not self.machines:
+            raise ValueError("machines must be non-empty")
+        if not self.config_orders:
+            raise ValueError("config_orders must be non-empty")
+        for policy in self.policies:
+            if policy not in registry.POLICIES:
+                choices = ", ".join(sorted(registry.POLICIES))
+                raise ValueError(
+                    f"unknown policy {policy!r} (choices: {choices})"
+                )
+        for workload in self.workloads:
+            if workload not in registry.WORKLOADS:
+                choices = ", ".join(sorted(registry.WORKLOADS))
+                raise ValueError(
+                    f"unknown workload {workload!r} (choices: {choices})"
+                )
+        for generator in self.generators:
+            if generator != FIXED_GENERATOR and generator not in registry.GENERATORS:
+                choices = ", ".join(
+                    sorted((*registry.GENERATORS, FIXED_GENERATOR))
+                )
+                raise ValueError(
+                    f"unknown generator {generator!r} (choices: {choices})"
+                )
+        for axis_name, levels in (
+            ("seeds", self.seeds), ("policies", self.policies),
+            ("workloads", self.workloads), ("generators", self.generators),
+            ("machines", self.machines), ("config_orders", self.config_orders),
+        ):
+            if len(set(levels)) != len(levels):
+                raise ValueError(f"duplicate levels in {axis_name}")
+        for seed in self.seeds:
+            if not isinstance(seed, int):
+                raise ValueError("seeds must be integers")
+        for count in self.machines:
+            if count is not None and count < 1:
+                raise ValueError("machines entries must be >= 1 or null")
+        if self.num_configs < 1:
+            raise ValueError("num_configs must be >= 1")
+        if self.tmax_hours <= 0:
+            raise ValueError("tmax_hours must be positive")
+        if self.predict_workers < 1:
+            raise ValueError("predict_workers must be >= 1")
+        if self.predict_cache_size < 0:
+            raise ValueError("predict_cache_size cannot be negative")
+        if self.compare_axis not in COMPARE_AXES:
+            raise ValueError(
+                f"compare_axis must be one of {COMPARE_AXES}, "
+                f"not {self.compare_axis!r}"
+            )
+        if self.metric not in _METRICS:
+            raise ValueError(
+                f"metric must be one of {tuple(_METRICS)}, not {self.metric!r}"
+            )
+        if set(self.baseline) != {self.compare_axis}:
+            raise ValueError(
+                "baseline must designate exactly the compare axis, e.g. "
+                f"{{{self.compare_axis!r}: <level>}} (got {self.baseline!r})"
+            )
+        if self.baseline[self.compare_axis] not in self._axis_levels(
+            self.compare_axis
+        ):
+            raise ValueError(
+                f"baseline {self.baseline!r} is not in the study grid "
+                f"({self.compare_axis} levels: "
+                f"{self._axis_levels(self.compare_axis)})"
+            )
+        if any(order is not None for order in self.config_orders) and any(
+            generator != FIXED_GENERATOR for generator in self.generators
+        ):
+            raise ValueError(
+                "config_orders shuffle the fixed configuration set; they "
+                "cannot be combined with registry generators"
+            )
+
+    # ------------------------------------------------------------ helpers
+
+    def _axis_levels(self, axis: str) -> Tuple[Any, ...]:
+        return {
+            "policy": self.policies,
+            "workload": self.workloads,
+            "generator": self.generators,
+            "machines": self.machines,
+            "seed": self.seeds,
+            "config_order": self.config_orders,
+        }[axis]
+
+    @property
+    def lower_is_better(self) -> bool:
+        return _METRICS[self.metric]
+
+    @property
+    def baseline_level(self) -> Any:
+        return self.baseline[self.compare_axis]
+
+    def with_overrides(self, **overrides: Any) -> "StudySpec":
+        """A copy with fields replaced (revalidated)."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------ expansion
+
+    def cells(self) -> List[Cell]:
+        """Expand the grid into cells, in deterministic axis order."""
+        out: List[Cell] = []
+        for workload, policy, generator, machine_count, order, seed in product(
+            self.workloads,
+            self.policies,
+            self.generators,
+            self.machines,
+            self.config_orders,
+            self.seeds,
+        ):
+            out.append(
+                Cell(
+                    study=self.name,
+                    workload=workload,
+                    policy=policy,
+                    generator=generator,
+                    seed=seed,
+                    machines=machine_count,
+                    config_order=order,
+                    num_configs=self.num_configs,
+                    gen_seed=self.gen_seed,
+                    target=self.target,
+                    tmax_hours=self.tmax_hours,
+                    stop_on_target=self.stop_on_target,
+                    predict_workers=self.predict_workers,
+                    predict_cache_size=self.predict_cache_size,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------ JSON
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable description (tuples become lists)."""
+        out = asdict(self)
+        for axis in (
+            "policies", "workloads", "generators", "seeds", "machines",
+            "config_orders",
+        ):
+            out[axis] = list(out[axis])
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "StudySpec":
+        """Build (and validate) a spec from a JSON-decoded dict."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown StudySpec fields: {', '.join(unknown)}")
+        return cls(**payload)
+
+    @classmethod
+    def from_json_file(cls, path: Union[str, Path]) -> "StudySpec":
+        """Load a spec from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}: study spec must be a JSON object")
+        return cls.from_dict(payload)
+
+    def replicate_count(self) -> int:
+        return len(self.seeds) * len(self.config_orders)

@@ -1,0 +1,117 @@
+"""Built-in named studies (the paper's comparative evidence, canned).
+
+Each entry maps a CLI-facing name onto a ready-to-run
+:class:`~repro.lab.spec.StudySpec`.  The defaults are laptop-scale:
+they finish in minutes under the parallel fan-out and already show the
+paper's qualitative findings; scale ``seeds`` / ``config_orders`` up
+via ``StudySpec.with_overrides`` (or ``repro sweep run --seeds ...``)
+for tighter confidence intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .spec import StudySpec
+
+__all__ = ["BUILTIN_STUDIES", "builtin_study"]
+
+
+def _policy_tournament() -> StudySpec:
+    # §6 / Figs 6-7 flavour: one frozen configuration set, every SAP,
+    # repeated over training-noise seeds, paired per seed against POP.
+    return StudySpec(
+        name="policy-tournament",
+        policies=("pop", "hyperband", "bandit", "earlyterm"),
+        workloads=("cifar10",),
+        seeds=(0, 1, 2),
+        baseline={"policy": "pop"},
+        metric="time_to_target",
+    )
+
+
+def _capacity_sensitivity() -> StudySpec:
+    # §7.2.1 / Fig 12b: sweep the machine count; the report's per-
+    # context tables show POP's advantage shrinking once capacity is
+    # no longer scarce.
+    return StudySpec(
+        name="capacity-sensitivity",
+        policies=("pop", "bandit", "earlyterm", "default"),
+        workloads=("cifar10",),
+        machines=(2, 4, 8, 16),
+        seeds=(0, 1, 2),
+        baseline={"policy": "pop"},
+        metric="time_to_target",
+    )
+
+
+def _config_order() -> StudySpec:
+    # §7.2.2 / Fig 12c: shuffle the frozen configuration set; every
+    # policy sees identical per-configuration learning curves, so the
+    # spread across orders isolates scheduling robustness.
+    return StudySpec(
+        name="config-order",
+        policies=("pop", "bandit", "earlyterm", "default"),
+        workloads=("cifar10",),
+        machines=(5,),
+        seeds=(0,),
+        config_orders=tuple(range(10)),
+        baseline={"policy": "pop"},
+        metric="time_to_target",
+    )
+
+
+def _generator_shootout() -> StudySpec:
+    # §4.2's orthogonality claim: swap the Hyperparameter Generator
+    # under a fixed SAP and compare best-found quality at equal budget.
+    return StudySpec(
+        name="generator-shootout",
+        policies=("default",),
+        workloads=("mlp",),
+        generators=("random", "grid", "bayesian", "tpe"),
+        seeds=(0, 1, 2),
+        num_configs=24,
+        stop_on_target=False,
+        tmax_hours=2.0,
+        baseline={"generator": "random"},
+        compare_axis="generator",
+        metric="best_metric",
+    )
+
+
+def _sweep_smoke() -> StudySpec:
+    # CI-sized: 2 policies x 2 seeds on a clipped grid.  Small enough
+    # for a smoke job, slow enough that a kill-and-resume test can
+    # interrupt it mid-study.
+    return StudySpec(
+        name="sweep-smoke",
+        policies=("pop", "default"),
+        workloads=("cifar10",),
+        machines=(2,),
+        seeds=(0, 1),
+        num_configs=8,
+        tmax_hours=24.0,
+        baseline={"policy": "pop"},
+        metric="time_to_target",
+    )
+
+
+BUILTIN_STUDIES: Dict[str, Callable[[], StudySpec]] = {
+    "policy-tournament": _policy_tournament,
+    "capacity-sensitivity": _capacity_sensitivity,
+    "config-order": _config_order,
+    "generator-shootout": _generator_shootout,
+    "sweep-smoke": _sweep_smoke,
+}
+
+
+def builtin_study(name: str) -> StudySpec:
+    """The built-in study registered under ``name``."""
+    try:
+        factory = BUILTIN_STUDIES[name]
+    except KeyError:
+        choices = ", ".join(sorted(BUILTIN_STUDIES))
+        raise ValueError(
+            f"unknown study {name!r} (choices: {choices})"
+        ) from None
+    return factory()

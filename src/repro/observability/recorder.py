@@ -45,8 +45,11 @@ class Recorder:
         clock: Optional[Callable[[], float]] = None,
         exporter: Optional[EventExporter] = None,
         trace: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
-        self.metrics = MetricsRegistry()
+        # An injected registry lets a host (e.g. the service daemon)
+        # surface this run's instruments on its own /metrics endpoint.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = SpanTracer(clock=clock, keep_spans=trace)
         self.audit = AuditTrail(clock=clock, exporter=exporter)
         self.exporter = exporter

@@ -17,6 +17,7 @@ from .generators.base import HyperparameterGenerator
 from .generators.bayesian import BayesianGenerator
 from .generators.grid import GridGenerator
 from .generators.random_gen import RandomGenerator
+from .generators.tpe import TPEGenerator
 from .policies.bandit import BanditPolicy
 from .policies.base import SchedulingPolicy
 from .policies.default import DefaultPolicy
@@ -57,6 +58,7 @@ GENERATORS: Dict[str, Callable] = {
     "random": RandomGenerator,
     "grid": GridGenerator,
     "bayesian": BayesianGenerator,
+    "tpe": TPEGenerator,
 }
 
 

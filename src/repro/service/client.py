@@ -110,6 +110,53 @@ class ServiceClient:
     def metrics_text(self) -> str:
         return self._request("GET", "/metrics").decode("utf-8")
 
+    # -------------------------------------------------------------- studies
+
+    def submit_study(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a sweep-lab study (``{"study": name}`` or
+        ``{"spec": {...}}``); returns the created study record."""
+        return self._request_json("POST", "/studies", payload)
+
+    def list_studies(self) -> List[Dict[str, Any]]:
+        return self._request_json("GET", "/studies")["studies"]
+
+    def get_study(self, study_id: str) -> Dict[str, Any]:
+        return self._request_json("GET", f"/studies/{study_id}")
+
+    def study_report(self, study_id: str) -> str:
+        """The finished study's markdown report."""
+        return self._request("GET", f"/studies/{study_id}/report").decode(
+            "utf-8"
+        )
+
+    def watch_study(
+        self,
+        study_id: str,
+        poll_seconds: float = 0.5,
+        timeout: Optional[float] = None,
+        on_update: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Poll a study until it completes or fails."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        last_seen: Optional[str] = None
+        while True:
+            record = self.get_study(study_id)
+            fingerprint = json.dumps(
+                [record["status"], record["cells_done"]], sort_keys=True
+            )
+            if fingerprint != last_seen:
+                last_seen = fingerprint
+                if on_update is not None:
+                    on_update(record)
+            if record["status"] in ("completed", "failed"):
+                return record
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"study {study_id} still {record['status']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)
+
     # ---------------------------------------------------------------- watch
 
     def watch(

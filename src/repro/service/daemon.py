@@ -16,6 +16,12 @@ GET       ``/experiments/{id}/events``    the event journal as NDJSON
                                           (``?offset=N`` skips the first N)
 DELETE    ``/experiments/{id}``           request cancellation
 GET       ``/metrics``                    Prometheus-style service metrics
+POST      ``/studies``                    submit a sweep-lab study
+                                          (``{"study": name}`` or
+                                          ``{"spec": {...}}``; docs/lab.md)
+GET       ``/studies``                    list hosted studies
+GET       ``/studies/{id}``               one study's status/progress
+GET       ``/studies/{id}/report``        the finished report as markdown
 ========  ==============================  =======================================
 
 On startup the service marks experiments a dead daemon left RUNNING as
@@ -45,6 +51,7 @@ __all__ = ["ExperimentService"]
 logger = logging.getLogger(__name__)
 
 _EXPERIMENT_ROUTE = re.compile(r"^/experiments/([A-Za-z0-9_-]+)(/events)?$")
+_STUDY_ROUTE = re.compile(r"^/studies/([A-Za-z0-9_-]+)(/report)?$")
 
 
 class _ServiceHTTPServer(ThreadingHTTPServer):
@@ -95,6 +102,20 @@ class ExperimentService:
             "service_http_requests_total",
             help="HTTP API requests, by method and status code",
         )
+        self._m_studies_submitted = self.metrics.counter(
+            "service_studies_submitted_total",
+            help="Sweep-lab studies accepted by the service",
+        )
+        self._m_studies_finished = self.metrics.counter(
+            "service_studies_finished_total",
+            help="Studies that reached a terminal status, by status",
+        )
+        # Hosted sweep-lab studies (see docs/lab.md).  Status lives in
+        # memory; the cell store under <root>/studies/<id>/ is durable,
+        # so a study a dead daemon left behind finishes offline with
+        # `repro sweep resume --out <root>/studies/<id>`.
+        self._studies: Dict[str, Dict[str, Any]] = {}
+        self._studies_lock = threading.Lock()
         self._workers = workers
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
@@ -207,6 +228,115 @@ class ExperimentService:
         self._m_submitted.inc()
         return record.to_dict()
 
+    # ------------------------------------------------------------- studies
+
+    def submit_study(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Accept a sweep-lab study and run it on a background thread.
+
+        The body names either a built-in study (``{"study": "..."}``)
+        or carries a full spec (``{"spec": {...}}``), plus an optional
+        ``max_workers`` for the cell fan-out.
+        """
+        import uuid
+
+        from ..lab import StudySpec, builtin_study
+
+        if not isinstance(payload, dict):
+            raise ValueError("study submission must be a JSON object")
+        if ("study" in payload) == ("spec" in payload):
+            raise ValueError("provide exactly one of 'study' or 'spec'")
+        if "study" in payload:
+            spec = builtin_study(payload["study"])
+        else:
+            if not isinstance(payload["spec"], dict):
+                raise ValueError("'spec' must be a JSON object")
+            spec = StudySpec.from_dict(payload["spec"])
+        max_workers = payload.get("max_workers")
+        if max_workers is not None and (
+            not isinstance(max_workers, int) or max_workers < 1
+        ):
+            raise ValueError("max_workers must be a positive integer")
+        study_id = f"study-{uuid.uuid4().hex[:8]}"
+        out_dir = self.store.root / "studies" / study_id
+        record = {
+            "id": study_id,
+            "name": spec.name,
+            "status": "queued",
+            "cells_total": len(spec.cells()),
+            "cells_done": 0,
+            "out_dir": str(out_dir),
+            "winner": None,
+            "error": None,
+        }
+        with self._studies_lock:
+            self._studies[study_id] = record
+        self._m_studies_submitted.inc()
+        thread = threading.Thread(
+            target=self._run_study,
+            args=(study_id, spec, out_dir, max_workers),
+            name=study_id,
+            daemon=True,
+        )
+        thread.start()
+        return dict(record)
+
+    def list_studies(self) -> List[Dict[str, Any]]:
+        with self._studies_lock:
+            return [dict(record) for record in self._studies.values()]
+
+    def get_study(self, study_id: str) -> Optional[Dict[str, Any]]:
+        with self._studies_lock:
+            record = self._studies.get(study_id)
+            return None if record is None else dict(record)
+
+    def _set_study(self, study_id: str, **updates: Any) -> None:
+        with self._studies_lock:
+            self._studies[study_id].update(updates)
+
+    def _run_study(
+        self,
+        study_id: str,
+        spec: Any,
+        out_dir: Path,
+        max_workers: Optional[int],
+    ) -> None:
+        from ..lab import CellStore, StudyRunner, analyze, render_json
+        from ..lab import render_markdown as lab_render_markdown
+        from ..observability import Recorder
+
+        # Share the service registry so lab_cells_done / lab_cell_
+        # seconds stream onto GET /metrics while the sweep runs.
+        recorder = Recorder(metrics=self.metrics)
+        try:
+            store = CellStore(out_dir)
+            runner = StudyRunner(
+                spec, store, recorder=recorder, max_workers=max_workers
+            )
+            self._set_study(study_id, status="running")
+
+            def on_cell(progress) -> None:
+                self._set_study(study_id, cells_done=progress.done)
+
+            runner.run(on_cell=on_cell)
+            analysis = analyze(spec, store)
+            store.write_report(
+                lab_render_markdown(analysis), render_json(analysis)
+            )
+            self._set_study(
+                study_id,
+                status="completed",
+                winner=analysis.overall_winner,
+            )
+            self._m_studies_finished.inc(status="completed")
+        except Exception as exc:
+            logger.exception("study %s failed", study_id)
+            self._set_study(
+                study_id,
+                status="failed",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self._m_studies_finished.inc(status="failed")
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Routes HTTP requests onto the owning :class:`ExperimentService`."""
@@ -299,6 +429,35 @@ class _Handler(BaseHTTPRequestHandler):
                     },
                 )
                 return
+        if path == "/studies":
+            if method == "POST":
+                self._post_study()
+                return
+            if method == "GET":
+                self._send_json(200, {"studies": self.service.list_studies()})
+                return
+        match = _STUDY_ROUTE.match(path)
+        if match is not None and method == "GET":
+            study_id, report = match.group(1), match.group(2)
+            record = self.service.get_study(study_id)
+            if record is None:
+                self._send_error_json(404, f"unknown study {study_id!r}")
+                return
+            if not report:
+                self._send_json(200, record)
+                return
+            report_path = Path(record["out_dir"]) / "report.md"
+            if record["status"] != "completed" or not report_path.exists():
+                self._send_error_json(
+                    409,
+                    f"study {study_id!r} has no report yet "
+                    f"(status: {record['status']})",
+                )
+                return
+            self._send(
+                200, report_path.read_bytes(), "text/markdown; charset=utf-8"
+            )
+            return
         match = _EXPERIMENT_ROUTE.match(path)
         if match is not None:
             exp_id, events = match.group(1), match.group(2)
@@ -317,6 +476,15 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = self._read_json_body()
             record = self.service.submit(payload)
+        except (ValueError, TypeError, json.JSONDecodeError) as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(201, record)
+
+    def _post_study(self) -> None:
+        try:
+            payload = self._read_json_body()
+            record = self.service.submit_study(payload)
         except (ValueError, TypeError, json.JSONDecodeError) as exc:
             self._send_error_json(400, str(exc))
             return

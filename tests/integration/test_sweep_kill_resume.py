@@ -1,0 +1,102 @@
+"""Kill-and-resume: a SIGKILLed study resumes to an identical report.
+
+The contract under test (docs/lab.md): cell artifacts are journaled
+atomically as they finish, so a study killed mid-flight loses at most
+the in-flight cells; resuming executes only the missing ones (archived
+cells are not rewritten — pinned via nanosecond mtimes) and the final
+report is byte-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.lab import CellStore, StudySpec
+
+SPEC = {
+    "name": "kill-resume-study",
+    "policies": ["default", "bandit"],
+    "workloads": ["mlp"],
+    "machines": [2],
+    "seeds": [0, 1, 2, 3, 4],
+    "num_configs": 6,
+    "tmax_hours": 1.0,
+    "stop_on_target": False,
+    "baseline": {"policy": "default"},
+    "metric": "best_metric",
+}
+TOTAL_CELLS = 10
+
+
+def test_sigkill_mid_study_then_resume(tmp_path):
+    spec_path = tmp_path / "study.json"
+    spec_path.write_text(json.dumps(SPEC))
+
+    # Reference: the uninterrupted run.
+    reference_dir = tmp_path / "uninterrupted"
+    assert main(
+        [
+            "sweep", "run", "--spec", str(spec_path),
+            "--out", str(reference_dir), "--max-workers", "1",
+        ]
+    ) == 0
+    reference_md = (reference_dir / "report.md").read_bytes()
+    reference_json = (reference_dir / "report.json").read_bytes()
+
+    # Interrupted: same study in a subprocess, SIGKILLed once the
+    # first cells have landed but before the study completes.
+    victim_dir = tmp_path / "interrupted"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "sweep", "run",
+            "--spec", str(spec_path),
+            "--out", str(victim_dir), "--max-workers", "1",
+        ],
+        env=os.environ.copy(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    store = CellStore(victim_dir)
+    deadline = time.monotonic() + 120.0
+    try:
+        while len(store.completed_keys()) < 1:
+            if process.poll() is not None:
+                pytest.fail("study finished before it could be killed")
+            if time.monotonic() > deadline:
+                pytest.fail("no cell completed within the deadline")
+            time.sleep(0.005)
+        process.send_signal(signal.SIGKILL)
+    finally:
+        process.wait(timeout=30)
+
+    survivors = store.completed_keys()
+    assert 1 <= len(survivors) < TOTAL_CELLS, survivors
+    assert not (victim_dir / "report.md").exists()
+    # every surviving artifact is complete, valid JSON
+    for key in survivors:
+        assert store.load_cell(key)["key"] == key
+    stamps = {key: store.mtime_ns(key) for key in survivors}
+    journal_before = [entry["key"] for entry in store.journal()]
+
+    # Resume from the store alone (no spec needed) and compare.
+    assert main(["sweep", "resume", "--out", str(victim_dir)]) == 0
+
+    assert (victim_dir / "report.md").read_bytes() == reference_md
+    assert (victim_dir / "report.json").read_bytes() == reference_json
+    # completed cells were skipped, not re-executed
+    assert {key: store.mtime_ns(key) for key in survivors} == stamps
+    resumed_journal = [entry["key"] for entry in store.journal()]
+    assert resumed_journal[: len(journal_before)] == journal_before
+    assert len(resumed_journal) == TOTAL_CELLS
+    assert set(resumed_journal) == {
+        cell.key() for cell in StudySpec.from_dict(SPEC).cells()
+    }
+    assert len(set(resumed_journal)) == TOTAL_CELLS  # no duplicates

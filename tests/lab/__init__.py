@@ -1,0 +1,1 @@
+"""Sweep-lab tests."""

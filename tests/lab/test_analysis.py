@@ -1,0 +1,162 @@
+"""Paired analysis and report rendering on fabricated cell stores."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lab import (
+    CellStore,
+    MissingCellsError,
+    StudySpec,
+    analyze,
+    render_json,
+    render_markdown,
+)
+from repro.lab.analysis import cell_metric_value
+
+
+def make_spec(**overrides) -> StudySpec:
+    base = dict(
+        name="analysis-study",
+        policies=("pop", "bandit", "default"),
+        workloads=("cifar10",),
+        seeds=(0, 1, 2),
+        baseline={"policy": "pop"},
+    )
+    base.update(overrides)
+    return StudySpec(**base)
+
+
+def populate(store: CellStore, spec: StudySpec, time_for) -> None:
+    """Fill the store with fabricated results; ``time_for(cell) -> s``."""
+    store.save_spec(spec)
+    for cell in spec.cells():
+        seconds = time_for(cell)
+        store.save_cell(
+            cell.key(),
+            {
+                "key": cell.key(),
+                "label": cell.label(),
+                "cell": cell.resolved(),
+                "result": {
+                    "reached_target": True,
+                    "time_to_target": seconds,
+                    "finished_at": seconds,
+                    "best_metric": 1.0 / seconds,
+                },
+                "wall_seconds": 0.01,
+            },
+        )
+
+
+#: pop twice as fast as bandit, 4x default, on every seed.
+BASE_TIMES = {"pop": 600.0, "bandit": 1200.0, "default": 2400.0}
+
+
+def fabricated_time(cell) -> float:
+    return BASE_TIMES[cell.policy] + 10.0 * cell.seed
+
+
+def test_missing_cells_error_names_labels(tmp_path):
+    spec = make_spec()
+    store = CellStore(tmp_path)
+    store.save_spec(spec)
+    with pytest.raises(MissingCellsError, match=r"missing 9/9.*cifar10/pop"):
+        analyze(spec, store)
+
+
+def test_paired_speedups_and_winner(tmp_path):
+    spec = make_spec()
+    store = CellStore(tmp_path)
+    populate(store, spec, fabricated_time)
+    analysis = analyze(spec, store)
+
+    assert analysis.overall_winner == "pop"
+    (context,) = analysis.contexts
+    assert context.winner == "pop"
+    rows = {row.level: row for row in context.levels}
+    assert rows["pop"].is_baseline
+    assert rows["pop"].baseline_speedup is None
+    # pop is ~2x faster than bandit and ~4x faster than default
+    assert rows["bandit"].baseline_speedup[0] == pytest.approx(1.98, abs=0.02)
+    assert rows["default"].baseline_speedup[0] == pytest.approx(3.95, abs=0.05)
+    for level in ("bandit", "default"):
+        point, low, high = rows[level].baseline_speedup
+        assert low <= point <= high
+        assert rows[level].wins == 0 and rows[level].losses == 3
+    # strict-win matrix: pop beats both on all three replicates
+    assert context.win_matrix["pop"] == {"pop": 0, "bandit": 3, "default": 3}
+    assert context.win_matrix["bandit"]["default"] == 3
+
+
+def test_higher_is_better_uses_delta(tmp_path):
+    spec = make_spec(metric="best_metric")
+    store = CellStore(tmp_path)
+    populate(store, spec, fabricated_time)
+    analysis = analyze(spec, store)
+    rows = {row.level: row for row in analysis.contexts[0].levels}
+    assert rows["bandit"].baseline_speedup is None
+    point, low, high = rows["bandit"].baseline_delta
+    assert point < 0  # bandit's best_metric is below pop's
+    assert low <= point <= high
+    assert analysis.overall_winner == "pop"
+
+
+def test_multi_context_overall_winner(tmp_path):
+    spec = make_spec(machines=(2, 4))
+
+    def time_for(cell):
+        # default wins at 2 machines, pop everywhere else
+        if cell.machines == 2 and cell.policy == "default":
+            return 100.0 + cell.seed
+        return fabricated_time(cell)
+
+    store = CellStore(tmp_path)
+    populate(store, spec, time_for)
+    analysis = analyze(spec, store)
+    winners = {
+        context.context["machines"]: context.winner
+        for context in analysis.contexts
+    }
+    assert winners == {2: "default", 4: "pop"}
+    # 1 context each -> tie broken on direction-aware aggregate mean
+    assert analysis.overall_winner == "pop"
+
+
+def test_analysis_is_deterministic(tmp_path):
+    spec = make_spec()
+    store = CellStore(tmp_path)
+    populate(store, spec, fabricated_time)
+    first = render_markdown(analyze(spec, store))
+    second = render_markdown(analyze(spec, store))
+    assert first == second
+    assert json.dumps(render_json(analyze(spec, store)), sort_keys=True) == (
+        json.dumps(render_json(analyze(spec, store)), sort_keys=True)
+    )
+
+
+def test_markdown_report_shape(tmp_path):
+    spec = make_spec()
+    store = CellStore(tmp_path)
+    populate(store, spec, fabricated_time)
+    markdown = render_markdown(analyze(spec, store))
+    assert markdown.startswith("# Study report: analysis-study")
+    assert "baseline adv × (95% CI)" in markdown
+    assert "Win matrix" in markdown
+    assert "Winner: **pop** (1/1 context)" in markdown
+    # speedups render in the 1.6x [1.3, 1.9] shape
+    assert "x [" in markdown
+
+
+def test_cell_metric_value_conventions():
+    reached = {"reached_target": True, "time_to_target": 30.0, "finished_at": 99.0}
+    unreached = {"reached_target": False, "time_to_target": None, "finished_at": 99.0}
+    assert cell_metric_value("time_to_target", reached) == 30.0
+    assert cell_metric_value("time_to_target", unreached) == 99.0
+    assert cell_metric_value("best_metric", {"best_metric": 0.5}) == 0.5
+    with pytest.raises(ValueError, match="best_metric"):
+        cell_metric_value("best_metric", {"best_metric": None})
+    with pytest.raises(ValueError, match="unknown metric"):
+        cell_metric_value("wall", reached)

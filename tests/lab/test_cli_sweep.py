@@ -1,0 +1,161 @@
+"""The ``repro sweep`` CLI verb (run / resume / report, local paths)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+FAST_SPEC = {
+    "name": "cli-study",
+    "policies": ["default", "bandit"],
+    "workloads": ["mlp"],
+    "machines": [2],
+    "seeds": [0],
+    "num_configs": 3,
+    "tmax_hours": 1.0,
+    "stop_on_target": False,
+    "baseline": {"policy": "default"},
+    "metric": "best_metric",
+}
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "study.json"
+    path.write_text(json.dumps(FAST_SPEC))
+    return path
+
+
+def test_sweep_run_from_spec_file(tmp_path, spec_file, capsys):
+    out_dir = tmp_path / "out"
+    code = main(
+        [
+            "sweep", "run",
+            "--spec", str(spec_file),
+            "--out", str(out_dir),
+            "--max-workers", "1",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "# Study report: cli-study" in captured.out
+    assert "Winner: **" in captured.out
+    assert "cells 2/2" in captured.err
+    assert (out_dir / "report.md").exists()
+    assert (out_dir / "report.json").exists()
+    report = json.loads((out_dir / "report.json").read_text())
+    assert report["study"] == "cli-study"
+    assert report["overall_winner"]
+
+
+def test_sweep_run_resume_and_report_are_identical(tmp_path, spec_file, capsys):
+    out_dir = tmp_path / "out"
+    argv = [
+        "sweep", "run", "--spec", str(spec_file),
+        "--out", str(out_dir), "--max-workers", "1",
+    ]
+    assert main(argv) == 0
+    first = (out_dir / "report.md").read_bytes()
+    capsys.readouterr()
+
+    # rerunning the same directory skips every cell
+    assert main(argv) == 0
+    assert "skipped 2" in capsys.readouterr().err
+    assert (out_dir / "report.md").read_bytes() == first
+
+    # `resume` needs no spec at all; `report` just re-renders
+    assert main(["sweep", "resume", "--out", str(out_dir)]) == 0
+    assert main(["sweep", "report", "--out", str(out_dir)]) == 0
+    assert "# Study report: cli-study" in capsys.readouterr().out
+    assert (out_dir / "report.md").read_bytes() == first
+
+
+def test_sweep_seeds_override(tmp_path, spec_file, capsys):
+    out_dir = tmp_path / "out"
+    code = main(
+        [
+            "sweep", "run",
+            "--spec", str(spec_file),
+            "--out", str(out_dir),
+            "--seeds", "0,1",
+            "--max-workers", "1",
+        ]
+    )
+    assert code == 0
+    assert "cells 4/4" in capsys.readouterr().err
+
+
+def test_sweep_run_emits_observability(tmp_path, spec_file, capsys):
+    out_dir = tmp_path / "out"
+    events = tmp_path / "events.jsonl"
+    metrics = tmp_path / "metrics.txt"
+    code = main(
+        [
+            "sweep", "run",
+            "--spec", str(spec_file),
+            "--out", str(out_dir),
+            "--max-workers", "1",
+            "--emit-events", str(events),
+            "--metrics-out", str(metrics),
+        ]
+    )
+    assert code == 0
+    kinds = [json.loads(line)["kind"] for line in events.read_text().splitlines()]
+    assert kinds[0] == "lab_study_started"
+    assert kinds.count("lab_cell_completed") == 2
+    assert "lab_cells_done 2" in metrics.read_text()
+
+
+def test_sweep_requires_exactly_one_source(tmp_path, spec_file, capsys):
+    code = main(["sweep", "run", "--out", str(tmp_path / "x")])
+    assert code == 3
+    assert "exactly one of --study or --spec" in capsys.readouterr().err
+    code = main(
+        [
+            "sweep", "run",
+            "--study", "sweep-smoke",
+            "--spec", str(spec_file),
+            "--out", str(tmp_path / "x"),
+        ]
+    )
+    assert code == 3
+
+
+def test_sweep_unknown_study_errors(tmp_path, capsys):
+    code = main(
+        ["sweep", "run", "--study", "nope", "--out", str(tmp_path / "x")]
+    )
+    assert code == 3
+    assert "unknown study" in capsys.readouterr().err
+
+
+def test_sweep_bad_seeds_errors(tmp_path, spec_file, capsys):
+    code = main(
+        [
+            "sweep", "run",
+            "--spec", str(spec_file),
+            "--out", str(tmp_path / "x"),
+            "--seeds", "0,two",
+        ]
+    )
+    assert code == 3
+    assert "comma-separated integers" in capsys.readouterr().err
+
+
+def test_sweep_report_on_incomplete_store_errors(tmp_path, spec_file, capsys):
+    from repro.lab import CellStore, StudySpec
+
+    out_dir = tmp_path / "out"
+    CellStore(out_dir).save_spec(StudySpec.from_dict(FAST_SPEC))
+    code = main(["sweep", "report", "--out", str(out_dir)])
+    assert code == 3
+    assert "missing" in capsys.readouterr().err
+
+
+def test_sweep_resume_on_non_study_dir_errors(tmp_path, capsys):
+    code = main(["sweep", "resume", "--out", str(tmp_path / "empty")])
+    assert code == 3
+    assert "not a study directory" in capsys.readouterr().err

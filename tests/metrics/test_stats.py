@@ -13,6 +13,7 @@ from repro.metrics.stats import (
     ecdf,
     minmax_denormalize,
     minmax_normalize,
+    paired_bootstrap_speedup_ci,
     speedup,
 )
 
@@ -82,6 +83,57 @@ def test_speedup():
     assert speedup([100.0, 110.0], [50.0, 55.0]) == pytest.approx(2.0)
     with pytest.raises(ValueError):
         speedup([10.0], [0.0])
+
+
+def test_paired_speedup_ci_point_and_coverage():
+    rng = np.random.default_rng(3)
+    improved = rng.uniform(90.0, 110.0, size=60)
+    baseline = 1.6 * improved + rng.normal(0.0, 4.0, size=60)
+    point, low, high = paired_bootstrap_speedup_ci(
+        baseline, improved, rng=np.random.default_rng(0)
+    )
+    assert point == pytest.approx(
+        float(np.mean(baseline)) / float(np.mean(improved))
+    )
+    assert low <= point <= high
+    assert 1.5 < low and high < 1.7
+
+
+def test_paired_speedup_ci_deterministic_for_fixed_rng():
+    baseline, improved = [100.0, 120.0, 90.0], [50.0, 61.0, 47.0]
+    first = paired_bootstrap_speedup_ci(
+        baseline, improved, rng=np.random.default_rng(7)
+    )
+    second = paired_bootstrap_speedup_ci(
+        baseline, improved, rng=np.random.default_rng(7)
+    )
+    assert first == second
+
+
+def test_paired_speedup_ci_preserves_pairing():
+    # Common-mode noise: each pair shares a large per-replicate offset.
+    # A paired bootstrap stays tight around 2.0x regardless.
+    rng = np.random.default_rng(11)
+    offsets = rng.uniform(50.0, 500.0, size=40)
+    improved = offsets
+    baseline = 2.0 * offsets
+    point, low, high = paired_bootstrap_speedup_ci(
+        baseline, improved, rng=np.random.default_rng(1)
+    )
+    assert (point, low, high) == pytest.approx((2.0, 2.0, 2.0))
+
+
+def test_paired_speedup_ci_validation():
+    with pytest.raises(ValueError, match="equally long"):
+        paired_bootstrap_speedup_ci([1.0, 2.0], [1.0])
+    with pytest.raises(ValueError, match="equally long"):
+        paired_bootstrap_speedup_ci([[1.0]], [[1.0]])
+    with pytest.raises(ValueError):
+        paired_bootstrap_speedup_ci([], [])
+    with pytest.raises(ValueError):
+        paired_bootstrap_speedup_ci([1.0], [0.0])
+    with pytest.raises(ValueError):
+        paired_bootstrap_speedup_ci([1.0], [1.0], confidence=0.0)
 
 
 @given(

@@ -1,0 +1,100 @@
+"""Daemon /studies endpoints: submit, watch, report, failure modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import ExperimentService
+
+FAST_STUDY = {
+    "name": "api-study",
+    "policies": ["default", "bandit"],
+    "workloads": ["mlp"],
+    "machines": [2],
+    "seeds": [0],
+    "num_configs": 3,
+    "tmax_hours": 1.0,
+    "stop_on_target": False,
+    "baseline": {"policy": "default"},
+    "metric": "best_metric",
+}
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = ExperimentService(tmp_path / "runs", port=0, workers=1)
+    svc.start()
+    try:
+        yield svc
+    finally:
+        svc.stop()
+
+
+@pytest.fixture()
+def client(service) -> ServiceClient:
+    return ServiceClient(service.url)
+
+
+def test_submit_spec_watch_and_report(service, client):
+    record = client.submit_study({"spec": FAST_STUDY, "max_workers": 1})
+    assert record["id"].startswith("study-")
+    assert record["name"] == "api-study"
+    assert record["cells_total"] == 2
+
+    final = client.watch_study(record["id"], poll_seconds=0.05, timeout=120)
+    assert final["status"] == "completed"
+    assert final["cells_done"] == 2
+    assert final["winner"]
+
+    report = client.study_report(record["id"])
+    assert report.startswith("# Study report: api-study")
+    assert f"Winner: **{final['winner']}**" in report
+
+    listed = client.list_studies()
+    assert [entry["id"] for entry in listed] == [record["id"]]
+
+    # the study's cells landed under the service root
+    out_dir = service.store.root / "studies" / record["id"]
+    assert (out_dir / "report.md").exists()
+    assert len(list((out_dir / "cells").glob("*.json"))) == 2
+
+    # lab metrics surface on the daemon's /metrics endpoint
+    assert "lab_cells_done 2" in client.metrics_text()
+    assert (
+        'service_studies_finished_total{status="completed"} 1'
+        in client.metrics_text()
+    )
+
+
+def test_submit_builtin_study_by_name(client):
+    record = client.submit_study({"study": "sweep-smoke"})
+    assert record["name"] == "sweep-smoke"
+    assert record["cells_total"] == 4
+    assert record["status"] in ("queued", "running")
+
+
+def test_report_before_completion_is_409(client):
+    record = client.submit_study({"study": "sweep-smoke"})
+    with pytest.raises(ServiceError) as excinfo:
+        client.study_report(record["id"])
+    assert excinfo.value.status == 409
+
+
+def test_invalid_study_submissions_are_400(client):
+    for payload in (
+        {},  # neither study nor spec
+        {"study": "sweep-smoke", "spec": FAST_STUDY},  # both
+        {"study": "not-a-study"},
+        {"spec": {**FAST_STUDY, "policies": ["nope"]}},
+        {"spec": FAST_STUDY, "max_workers": 0},
+    ):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_study(payload)
+        assert excinfo.value.status == 400, payload
+
+
+def test_unknown_study_id_is_404(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.get_study("study-deadbeef")
+    assert excinfo.value.status == 404
