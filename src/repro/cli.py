@@ -231,6 +231,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-result", metavar="PATH", default=None,
         help="archive the full result as JSON",
     )
+    cluster_parser.add_argument(
+        "--trace", action="store_true",
+        help="keep spans and propagate trace ids head->worker->head; "
+             "with --emit-events the journal carries every span "
+             "(including worker-shipped ones) for repro diagnose",
+    )
+    cluster_parser.add_argument(
+        "--telemetry-out", metavar="PATH", default=None,
+        help="write the merged node-labelled telemetry export "
+             "(head + every worker registry) as Prometheus-style text",
+    )
 
     sweep_parser = sub.add_parser(
         "sweep",
@@ -353,6 +364,37 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     resume_parser.add_argument("id")
     resume_parser.add_argument("--root", required=True)
+
+    top_parser = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a daemon's GET /telemetry "
+             "(nodes, heartbeat health, per-experiment progress)",
+    )
+    top_parser.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    top_parser.add_argument(
+        "--poll", type=float, default=1.0,
+        help="seconds between refreshes",
+    )
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="render one frame and exit (scripting/tests)",
+    )
+
+    diagnose_parser = sub.add_parser(
+        "diagnose",
+        help="merge observability journals (JSONL) into per-experiment "
+             "timelines with a predict/train/migrate/idle phase "
+             "breakdown and a critical-path summary",
+    )
+    diagnose_parser.add_argument(
+        "journals", nargs="+", metavar="JOURNAL.jsonl",
+        help="journal files (--emit-events output or store journals); "
+             "each file is reported as one experiment",
+    )
+    diagnose_parser.add_argument(
+        "--json", action="store_true",
+        help="print the report dict as JSON instead of markdown",
+    )
     return parser
 
 
@@ -504,7 +546,7 @@ def _cmd_cluster_demo(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
-    for out_path in (args.emit_events, args.metrics_out):
+    for out_path in (args.emit_events, args.metrics_out, args.telemetry_out):
         if out_path and not Path(out_path).parent.is_dir():
             print(f"error: output directory does not exist: {out_path}",
                   file=sys.stderr)
@@ -532,7 +574,12 @@ def _cmd_cluster_demo(args: argparse.Namespace) -> int:
         checkpoint_interval=args.checkpoint_every,
     )
     exporter = JsonlExporter(args.emit_events) if args.emit_events else None
-    recorder = Recorder(exporter=exporter)
+    recorder = Recorder(exporter=exporter, trace=args.trace)
+    aggregator = None
+    if args.telemetry_out:
+        from .observability import TelemetryAggregator
+
+        aggregator = TelemetryAggregator()
     try:
         result = run_cluster(
             workload, policy, generator=generator, spec=spec,
@@ -541,16 +588,24 @@ def _cmd_cluster_demo(args: argparse.Namespace) -> int:
             heartbeat_interval=args.heartbeat_interval,
             miss_threshold=args.miss_threshold,
             retry_budget=args.retry_budget,
+            aggregator=aggregator,
         )
     finally:
         recorder.close()
     _print_result(result, file=info)
     print(f"machine failures: {result.machine_failures}", file=info)
     print(f"epochs lost     : {result.epochs_lost_to_failures}", file=info)
+    if args.trace:
+        _print_span_summary(recorder, file=info)
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
             handle.write(recorder.metrics.render_text())
         print(f"metrics written -> {args.metrics_out}", file=info)
+    if args.telemetry_out:
+        with open(args.telemetry_out, "w") as handle:
+            handle.write(aggregator.render_text())
+        print(f"telemetry       -> {args.telemetry_out} "
+              f"({len(aggregator.node_ids)} nodes)", file=info)
     if args.emit_events:
         print(
             f"audit trail     -> {args.emit_events} "
@@ -935,6 +990,37 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return 0 if final.status == COMPLETED else EXIT_EXPERIMENT_NOT_COMPLETED
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .observability.top import render_top
+    from .service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    while True:
+        frame = render_top(client.telemetry(), url=args.url)
+        if args.once:
+            print(frame, end="")
+            return 0
+        # Clear + home, then the frame: a flicker-free poor-man's top.
+        sys.stdout.write("\x1b[2J\x1b[H" + frame)
+        sys.stdout.flush()
+        _time.sleep(args.poll)
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from .observability.diagnose import diagnose, load_journals, render_markdown
+
+    report = diagnose(load_journals(args.journals))
+    if args.json:
+        from .observability.exporters import encode_event
+
+        print(encode_event(report))
+    else:
+        print(render_markdown(report), end="")
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.verbose:
@@ -951,6 +1037,8 @@ def main(argv=None) -> int:
         "status": _cmd_status,
         "watch": _cmd_watch,
         "resume": _cmd_resume,
+        "top": _cmd_top,
+        "diagnose": _cmd_diagnose,
     }
     try:
         return handlers[args.command](args)

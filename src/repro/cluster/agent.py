@@ -19,10 +19,11 @@ the cluster runtime's driver threads catch outside the scheduler lock.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..curves.predictor import CurvePrediction
 from ..framework.snapshot import Snapshot
+from ..observability.tracing import current_trace
 from ..workloads.base import EpochResult
 from .transport import ClusterTransport, NodeFailure
 from .worker import RPC, RPC_REPLY, snapshot_from_wire, snapshot_to_wire
@@ -49,10 +50,14 @@ class RemoteAgent:
         machine_id: str,
         transport: ClusterTransport,
         rpc_timeout: float = 60.0,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.machine_id = machine_id
         self._transport = transport
         self._timeout = rpc_timeout
+        # Experiment clock shipped on every RPC so the worker can stamp
+        # its spans on the head's time axis.
+        self._clock = clock
         self._reply_topic = f"reply/{machine_id}"
         self._replies = transport.declare_topic(self._reply_topic)
         self._rpc_lock = threading.Lock()
@@ -170,6 +175,12 @@ class RemoteAgent:
 
     def _call(self, method: str, timeout: Optional[float] = None, **args: Any) -> Any:
         deadline = timeout if timeout is not None else self._timeout
+        context = current_trace()
+        trace: Optional[Dict[str, Any]] = None
+        if context is not None or self._clock is not None:
+            trace = {} if context is None else dict(context.to_dict())
+            if self._clock is not None:
+                trace["clock"] = self._clock()
         with self._rpc_lock:
             if self._dead.is_set():
                 raise NodeFailure(self.machine_id, "node is down")
@@ -180,6 +191,7 @@ class RemoteAgent:
                 RPC,
                 {"seq": seq, "method": method, "args": args},
                 sender="head",
+                trace=trace,
             )
             return self._await_reply(seq, method, deadline)
 

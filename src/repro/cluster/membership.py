@@ -134,6 +134,21 @@ class HeartbeatMonitor:
                 1 for node in self._nodes.values() if node.state == NodeState.UP
             )
 
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-node health for dashboards: shipped through the
+        telemetry aggregator's ``meta`` channel so ``repro top`` can
+        show membership without scraping the audit trail."""
+        with self._lock:
+            return {
+                machine_id: {
+                    "state": node.state,
+                    "connected": node.connected,
+                    "misses": node.misses,
+                    "last_seq": node.last_seq,
+                }
+                for machine_id, node in sorted(self._nodes.items())
+            }
+
     # ---------------------------------------------------- transport callbacks
 
     def note_connected(self, machine_id: str) -> None:

@@ -4,7 +4,11 @@ Frames are length-prefixed JSON documents over a TCP stream: a 4-byte
 big-endian unsigned length followed by that many bytes of UTF-8 JSON.
 Every frame carries the :class:`~repro.framework.transport.Message`
 envelope fields (``topic``, ``kind``, ``payload``, ``sender``) so the
-socket hop preserves the in-process bus discipline exactly.
+socket hop preserves the in-process bus discipline exactly.  Frames
+may additionally carry a ``trace`` field — the sender's trace context
+(``{"trace_id", "span_id"}``, plus the head's experiment clock on
+RPCs) — so spans recorded on either side of the socket join one
+distributed trace (see ``docs/observability.md``).
 
 Payloads may contain numpy arrays and scalars (model weights inside
 suspend snapshots, curve-prediction sample matrices); those are encoded

@@ -39,13 +39,14 @@ from ..framework.experiment import ExperimentResult, ExperimentSpec
 from ..framework.scheduler import FollowUpAction, HyperDriveScheduler
 from ..generators.base import ExhaustedSpaceError, HyperparameterGenerator
 from ..observability import NULL_RECORDER
+from ..observability.aggregator import TelemetryAggregator
 from ..policies.base import SchedulingPolicy
 from ..sim.runner import default_predictor
 from ..workloads.base import EpochResult, Workload
 from .agent import RemoteAgent
 from .faults import FaultPlan
 from .membership import HeartbeatMonitor
-from .transport import ClusterTransport, NodeFailure
+from .transport import TELEMETRY, ClusterTransport, NodeFailure
 from .worker import worker_main
 
 __all__ = ["run_cluster", "ClusterStartupError"]
@@ -80,6 +81,8 @@ class _ClusterExperiment:
         cancel_event: Optional[threading.Event] = None,
         progress_hook: Optional[Callable] = None,
         progress_every_epochs: int = 50,
+        aggregator: Optional[TelemetryAggregator] = None,
+        telemetry_interval: float = 0.25,
     ) -> None:
         self.spec = spec
         self.time_scale = time_scale
@@ -114,7 +117,8 @@ class _ClusterExperiment:
             predictor=None,
             recorder=recorder,
             agent_factory=lambda machine_id, **_ignored: RemoteAgent(
-                machine_id, self.transport, rpc_timeout=rpc_timeout
+                machine_id, self.transport, rpc_timeout=rpc_timeout,
+                clock=self._clock,
             ),
         )
         self.machine_ids = self.scheduler.resource_manager.machine_ids
@@ -126,6 +130,16 @@ class _ClusterExperiment:
             for machine_id in self.machine_ids
         }
         self._membership_box = self.transport.declare_topic("membership")
+        # Workers ship telemetry unconditionally; the mailbox is always
+        # declared so the frames never trip strict delivery.  They are
+        # only *used* when an aggregator exists.
+        self._telemetry_box = self.transport.declare_topic(TELEMETRY)
+        self.telemetry_interval = telemetry_interval
+        if aggregator is None and self.recorder.enabled:
+            aggregator = TelemetryAggregator()
+        self.aggregator = aggregator
+        if self.aggregator is not None:
+            self.aggregator.on_event = self._on_shipped_event
         self.heartbeat = HeartbeatMonitor(
             self.transport,
             self.machine_ids,
@@ -166,6 +180,33 @@ class _ClusterExperiment:
         finally:
             self.lock.release()
 
+    # ------------------------------------------------------------ telemetry
+
+    def _on_shipped_event(self, node: str, event: Dict[str, Any]) -> None:
+        """Re-export a worker's shipped span/audit event, tagged with
+        its node, into the head's journal (if one is attached)."""
+        exporter = getattr(self.recorder, "exporter", None)
+        if exporter is not None:
+            exporter.export({**event, "node": node})
+
+    def _drain_telemetry(self) -> None:
+        messages = self._telemetry_box.drain()
+        if self.aggregator is None:
+            return
+        for message in messages:
+            self.aggregator.ingest(message.sender, message.payload)
+
+    def _ingest_head(self) -> None:
+        """Fold the head's own registry (scheduler, membership, bus
+        gauges — including the node-labelled heartbeat RTT histogram)
+        into the aggregator under ``node="head"``."""
+        if self.aggregator is None or not self.recorder.enabled:
+            return
+        self.aggregator.ingest_registry(
+            "head", self.recorder.metrics,
+            meta={"heartbeat": self.heartbeat.snapshot()},
+        )
+
     # ------------------------------------------------------------- start-up
 
     def spawn_workers(self) -> None:
@@ -184,6 +225,8 @@ class _ClusterExperiment:
                     self._predictor,
                     self.spec.seed + index,
                     self.fault_plan.for_machine(machine_id).to_dicts(),
+                    self.time_scale,
+                    self.telemetry_interval,
                 ),
                 name=f"cluster-worker-{machine_id}",
                 daemon=True,
@@ -341,33 +384,44 @@ class _ClusterExperiment:
         """Drive the hosted job epoch by epoch (the live runtime's loop,
         with every agent call crossing the wire)."""
         agent: RemoteAgent = self.scheduler.agents[machine_id]
+        tracer = self.recorder.tracer
         with self._locked():
             extra_delay = self._resume_charges.pop(machine_id, 0.0)
         scale = 1.0
         while not self.stop_event.is_set():
             if agent.run is None:
                 return
-            raw = agent.train_epoch()
-            result = EpochResult(
-                epoch=raw.epoch,
-                duration=raw.duration
-                * scale
-                / self.scheduler.machine_speed(machine_id),
-                metric=raw.metric,
-                done=raw.done,
-                extras=raw.extras,
-            )
-            self._sleep(extra_delay + result.duration)
-            if self.stop_event.is_set():
-                return
-            with self._locked():
-                if agent.dead or agent.job_id is None:
-                    # Declared dead while we slept out the epoch; the
-                    # result belongs to a failed machine and must not
-                    # be recorded.
+            # One root span per epoch: the train RPC it issues carries
+            # this trace id to the worker, and the settlement's
+            # ``scheduler.process_epoch`` span nests inside it — head
+            # scheduler → worker epoch → head settlement, one trace.
+            with tracer.span(
+                "cluster.epoch",
+                machine_id=machine_id,
+                job_id=agent.job_id or "",
+            ) as epoch_span:
+                raw = agent.train_epoch()
+                epoch_span.set(epoch=raw.epoch)
+                result = EpochResult(
+                    epoch=raw.epoch,
+                    duration=raw.duration
+                    * scale
+                    / self.scheduler.machine_speed(machine_id),
+                    metric=raw.metric,
+                    done=raw.done,
+                    extras=raw.extras,
+                )
+                self._sleep(extra_delay + result.duration)
+                if self.stop_event.is_set():
                     return
-                followup = self.scheduler.process_epoch(machine_id, result)
-                started = self._take_started()
+                with self._locked():
+                    if agent.dead or agent.job_id is None:
+                        # Declared dead while we slept out the epoch;
+                        # the result belongs to a failed machine and
+                        # must not be recorded.
+                        return
+                    followup = self.scheduler.process_epoch(machine_id, result)
+                    started = self._take_started()
             self._notify_started(started)
 
             if followup.action is FollowUpAction.NEXT_EPOCH:
@@ -422,12 +476,18 @@ class _ClusterExperiment:
     def _monitor(self) -> None:
         deadline = time.monotonic() + self.spec.tmax * self.time_scale + 30.0
         last_progress = 0
+        next_head_ingest = 0.0
         while not self.stop_event.is_set() and time.monotonic() < deadline:
             time.sleep(0.02)
             if self.cancel_event is not None and self.cancel_event.is_set():
                 return
             if self.recorder.enabled:
                 self.transport.export_metrics(self.recorder.metrics)
+            self._drain_telemetry()
+            now = time.monotonic()
+            if now >= next_head_ingest:
+                next_head_ingest = now + self.telemetry_interval
+                self._ingest_head()
             with self.lock:
                 quiescent = (
                     self.scheduler.resource_manager.num_busy == 0
@@ -470,6 +530,11 @@ class _ClusterExperiment:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=2.0)
+        # Frames that arrived between the monitor's last drain and the
+        # transport teardown (notably the workers' shutdown flushes) are
+        # still queued; fold them in so the final export is complete.
+        self._drain_telemetry()
+        self._ingest_head()
         if stuck and strict:
             raise RuntimeError(
                 "cluster driver threads failed to stop within 5s: "
@@ -496,6 +561,8 @@ def run_cluster(
     cancel_event: Optional[threading.Event] = None,
     progress_hook: Optional[Callable] = None,
     progress_every_epochs: int = 50,
+    aggregator: Optional[TelemetryAggregator] = None,
+    telemetry_interval: float = 0.25,
 ) -> ExperimentResult:
     """Run one experiment on the multi-process cluster runtime.
 
@@ -522,6 +589,12 @@ def run_cluster(
         startup_timeout: seconds to wait for the fleet to register.
         cancel_event / progress_hook / progress_every_epochs: as in
             :func:`repro.runtime.local.run_live`.
+        aggregator: telemetry sink merging per-node registries shipped
+            by the workers; auto-created whenever a real recorder is
+            attached (pass your own to share one across runs, as the
+            service daemon does).
+        telemetry_interval: wall seconds between worker telemetry
+            batches (and head self-ingests).
 
     Returns:
         The finalised :class:`ExperimentResult` on the simulated-seconds
@@ -558,6 +631,8 @@ def run_cluster(
         cancel_event=cancel_event,
         progress_hook=progress_hook,
         progress_every_epochs=progress_every_epochs,
+        aggregator=aggregator,
+        telemetry_interval=telemetry_interval,
     )
     if configs is not None:
         for index, config in enumerate(configs):

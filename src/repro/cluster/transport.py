@@ -41,6 +41,10 @@ HELLO = "hello"
 PING = "ping"
 PONG = "pong"
 
+#: Topic/kind workers ship telemetry batches on (metric snapshots plus
+#: span/audit deltas; see ``repro.cluster.worker.TelemetryShipper``).
+TELEMETRY = "telemetry"
+
 
 class NodeFailure(ConnectionError):
     """An operation targeted a node that is dead or unreachable."""
@@ -143,18 +147,26 @@ class ClusterTransport(MessageBus):
 
     # ------------------------------------------------------------- delivery
 
-    def send(self, topic: str, kind: str, payload: Any, sender: str) -> None:
+    def send(
+        self,
+        topic: str,
+        kind: str,
+        payload: Any,
+        sender: str,
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> None:
         """Deliver locally, or route to the worker owning ``topic``."""
         with self._routes_lock:
             connection = self._connections.get(topic)
         if connection is None:
-            super().send(topic, kind, payload, sender)
+            super().send(topic, kind, payload, sender, trace=trace)
             return
+        document = {"topic": topic, "kind": kind, "payload": payload,
+                    "sender": sender}
+        if trace is not None:
+            document["trace"] = trace
         try:
-            connection.send(
-                {"topic": topic, "kind": kind, "payload": payload,
-                 "sender": sender}
-            )
+            connection.send(document)
         except (OSError, FrameError) as exc:
             raise NodeFailure(topic, f"send failed: {exc}") from exc
 
@@ -255,6 +267,7 @@ class ClusterTransport(MessageBus):
                 super().send(
                     frame["topic"], frame["kind"], frame.get("payload"),
                     frame.get("sender", connection.machine_id),
+                    trace=frame.get("trace"),
                 )
             except KeyError:
                 # A reply that outlived its waiter (e.g. the head gave
@@ -358,22 +371,29 @@ class WorkerEndpoint:
 
     # ------------------------------------------------------------- delivery
 
-    def send(self, topic: str, kind: str, payload: Any, sender: Optional[str] = None) -> None:
+    def send(
+        self,
+        topic: str,
+        kind: str,
+        payload: Any,
+        sender: Optional[str] = None,
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> None:
         """Send one message to a head-side topic."""
         self._frames_sent += 1
         for fault in self._delays:
             if self._frames_sent > fault.after:
                 time.sleep(fault.seconds)
+        document = {"topic": topic, "kind": kind, "payload": payload,
+                    "sender": sender or self.machine_id}
+        if trace is not None:
+            document["trace"] = trace
         with self._send_lock:
             sock = self._sock
             if sock is None:
                 raise NodeFailure(self.machine_id, "not connected")
             try:
-                send_frame(
-                    sock,
-                    {"topic": topic, "kind": kind, "payload": payload,
-                     "sender": sender or self.machine_id},
-                )
+                send_frame(sock, document)
             except OSError as exc:
                 raise NodeFailure(self.machine_id, f"send failed: {exc}") from exc
 
@@ -404,6 +424,7 @@ class WorkerEndpoint:
                     topic=frame["topic"], kind=frame["kind"],
                     payload=frame.get("payload"),
                     sender=frame.get("sender", "head"),
+                    trace=frame.get("trace"),
                 )
             )
 

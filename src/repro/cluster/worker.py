@@ -10,6 +10,15 @@ with ``rpc`` frames mirroring the agent's method surface
 from its mailbox and replies to the head-local ``reply/<machine-id>``
 topic.
 
+Observability: each worker owns a full
+:class:`~repro.observability.recorder.Recorder` — metrics registry,
+span tracer on a head-synchronised experiment clock, audit trail — and
+a :class:`TelemetryShipper` thread that periodically ships metric
+snapshots plus span/audit deltas to the head as TELEMETRY frames.  RPC
+frames carry the head's trace context (and experiment clock); the
+worker re-activates it around dispatch so ``worker.train_epoch`` and
+the agent's snapshot/predict spans join the head-minted trace.
+
 Fault injection hooks live here and in the endpoint:
 
 * ``kill_at_epoch`` — after the agent finishes its N-th epoch *in this
@@ -29,21 +38,129 @@ from __future__ import annotations
 import logging
 import os
 import signal
+import threading
+import time
 from typing import Any, Dict, Optional
 
 from ..curves.predictor import CurvePrediction, CurvePredictor
 from ..framework.node_agent import NodeAgent
 from ..framework.snapshot import Snapshot, cost_model_for_domain
+from ..observability import Recorder
+from ..observability.tracing import TraceContext, trace_context
 from ..workloads.base import Workload
 from .faults import FaultPlan
-from .transport import NodeFailure, WorkerEndpoint
+from .transport import TELEMETRY, NodeFailure, WorkerEndpoint
 
-__all__ = ["worker_main", "snapshot_to_wire", "snapshot_from_wire"]
+__all__ = [
+    "worker_main",
+    "snapshot_to_wire",
+    "snapshot_from_wire",
+    "TelemetryShipper",
+]
 
 logger = logging.getLogger(__name__)
 
 RPC = "rpc"
 RPC_REPLY = "rpc_reply"
+
+
+class _WorkerClock:
+    """The head's experiment clock, reconstructed worker-side.
+
+    Every RPC envelope carries the head's clock reading; the worker
+    anchors there and extrapolates between RPCs by scaled wall time, so
+    worker spans land on the same time axis as head spans (modulo one
+    network hop of skew — fine for timelines, not for ordering proofs).
+    """
+
+    __slots__ = ("_time_scale", "_base", "_anchored_at")
+
+    def __init__(self, time_scale: float) -> None:
+        self._time_scale = time_scale
+        self._base = 0.0
+        self._anchored_at = time.monotonic()
+
+    def sync(self, head_clock: float) -> None:
+        self._base = float(head_clock)
+        self._anchored_at = time.monotonic()
+
+    def __call__(self) -> float:
+        elapsed = time.monotonic() - self._anchored_at
+        return self._base + elapsed / self._time_scale
+
+
+class TelemetryShipper:
+    """Ships a node's telemetry to the head on a fixed wall interval.
+
+    Metrics go as full snapshots (latest wins at the aggregator, so a
+    lost frame costs staleness, not correctness); finished spans and
+    audit records go as deltas tracked by list cursors.  A failed send
+    leaves the cursors untouched — the next tick retries the same
+    delta.  Shipping must never hurt the worker: every failure is
+    swallowed (logged at debug level).
+    """
+
+    def __init__(
+        self,
+        endpoint: WorkerEndpoint,
+        recorder: Recorder,
+        interval: float = 0.25,
+    ) -> None:
+        self._endpoint = endpoint
+        self._recorder = recorder
+        self.interval = interval
+        self._seq = 0
+        self._spans_sent = 0
+        self._audit_sent = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._loop,
+            name=f"telemetry-{self._endpoint.machine_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, flush: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        if flush:
+            self.ship()
+
+    def _loop(self) -> None:
+        # First batch immediately: the node announces itself to the
+        # aggregator as soon as it is up, so even a worker that dies
+        # young (kill_at_epoch faults, real crashes) leaves a record.
+        self.ship()
+        while not self._stop.wait(self.interval):
+            self.ship()
+
+    def ship(self) -> bool:
+        """Send one batch; True on success (cursors advanced)."""
+        try:
+            spans = self._recorder.tracer.spans
+            audit = self._recorder.audit.records
+            new_spans = [s.to_dict() for s in spans[self._spans_sent:]]
+            new_audit = [r.to_dict() for r in audit[self._audit_sent:]]
+            batch = {
+                "seq": self._seq,
+                "metrics": self._recorder.metrics.to_dict(),
+                "spans": new_spans,
+                "audit": new_audit,
+            }
+            self._endpoint.send(TELEMETRY, TELEMETRY, batch)
+        except NodeFailure:
+            return False  # link down; retry the same delta next tick
+        except Exception:  # noqa: BLE001 — telemetry must not kill training
+            logger.debug("telemetry batch failed", exc_info=True)
+            return False
+        self._seq += 1
+        self._spans_sent += len(new_spans)
+        self._audit_sent += len(new_audit)
+        return True
 
 
 def snapshot_to_wire(snapshot: Optional[Snapshot]) -> Optional[Dict[str, Any]]:
@@ -90,22 +207,34 @@ class _WorkerHost:
         endpoint: WorkerEndpoint,
         agent: NodeAgent,
         kill_epoch: Optional[int],
+        recorder: Optional[Recorder] = None,
+        clock: Optional[_WorkerClock] = None,
+        shipper: Optional[TelemetryShipper] = None,
     ) -> None:
         self.machine_id = machine_id
         self.endpoint = endpoint
         self.agent = agent
         self._kill_epoch = kill_epoch
+        self._recorder = recorder if recorder is not None else Recorder()
+        self._clock = clock
+        self._shipper = shipper
         self._epochs_trained = 0
         self.running = True
 
     # ------------------------------------------------------------- dispatch
 
-    def handle(self, payload: Dict[str, Any]) -> None:
+    def handle(self, payload: Dict[str, Any],
+               trace: Optional[Dict[str, Any]] = None) -> None:
         seq = payload.get("seq")
         method = payload.get("method")
         args = payload.get("args") or {}
+        # The head's clock rides on every RPC; re-anchor before any span
+        # opens so worker timestamps stay on the head's time axis.
+        if self._clock is not None and trace and "clock" in trace:
+            self._clock.sync(trace["clock"])
         try:
-            value = self._invoke(method, args)
+            with trace_context(TraceContext.from_dict(trace)):
+                value = self._invoke(method, args)
         except Exception as exc:  # noqa: BLE001 — errors travel to the head
             logger.exception("worker %s: rpc %s failed", self.machine_id, method)
             self._reply({"seq": seq, "ok": False,
@@ -136,7 +265,13 @@ class _WorkerHost:
             )
             return None
         if method == "train_epoch":
-            result = self.agent.train_epoch()
+            with self._recorder.tracer.span(
+                "worker.train_epoch",
+                machine_id=self.machine_id,
+                job_id=self.agent.job_id or "",
+            ) as span:
+                result = self.agent.train_epoch()
+                span.set(epoch=result.epoch, duration=result.duration)
             self._epochs_trained += 1
             if (
                 self._kill_epoch is not None
@@ -166,6 +301,11 @@ class _WorkerHost:
         if method == "curve_history":
             return self.agent.curve_history
         if method == "shutdown":
+            # Final telemetry flush *before* the reply: the head tears
+            # the link down right after it hears back, and the last
+            # spans/audit records should not die with the process.
+            if self._shipper is not None:
+                self._shipper.ship()
             self.running = False
             return None
         raise ValueError(f"unknown rpc method {method!r}")
@@ -179,16 +319,26 @@ def worker_main(
     predictor: Optional[CurvePredictor],
     seed: int,
     fault_specs: list,
+    time_scale: float = 1e-3,
+    telemetry_interval: float = 0.25,
 ) -> None:
     """Entry point of one worker process (multiprocessing spawn target)."""
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # the head owns shutdown
     plan = FaultPlan.from_dicts(fault_specs)
+    clock = _WorkerClock(time_scale)
+    recorder = Recorder(clock=clock, trace=True)
+    # Guaranteed non-empty registry: every node renders at least one
+    # node-labelled sample on the merged export from its first batch.
+    recorder.metrics.gauge(
+        "worker_up", help="1 while this worker process is alive"
+    ).set(1.0)
     agent = NodeAgent(
         machine_id=machine_id,
         workload=workload,
         snapshot_cost_model=cost_model_for_domain(workload.domain.kind),
         predictor=predictor,
         seed=seed,
+        recorder=recorder,
     )
     endpoint = WorkerEndpoint(
         host, port, machine_id, fault_plan=plan.for_machine(machine_id)
@@ -198,8 +348,11 @@ def worker_main(
     except OSError:
         if not endpoint.reconnect():
             return
+    shipper = TelemetryShipper(endpoint, recorder, interval=telemetry_interval)
+    shipper.start()
     host_loop = _WorkerHost(
-        machine_id, endpoint, agent, plan.kill_epoch(machine_id)
+        machine_id, endpoint, agent, plan.kill_epoch(machine_id),
+        recorder=recorder, clock=clock, shipper=shipper,
     )
     try:
         while host_loop.running:
@@ -214,6 +367,7 @@ def worker_main(
                     return
                 continue
             if message.kind == RPC:
-                host_loop.handle(message.payload)
+                host_loop.handle(message.payload, trace=message.trace)
     finally:
+        shipper.stop(flush=True)
         endpoint.close()

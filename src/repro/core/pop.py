@@ -91,6 +91,7 @@ class POPPolicy(SchedulingPolicy):
         self._m_reclassifications = NULL_RECORDER.metrics.counter(
             "pop_reclassifications_total"
         )
+        self._m_best_ert = NULL_RECORDER.metrics.gauge("pop_best_ert_seconds")
 
     def bind(self, context: PolicyContext) -> None:
         super().bind(context)
@@ -101,6 +102,10 @@ class POPPolicy(SchedulingPolicy):
         self._m_reclassifications = metrics.counter(
             "pop_reclassifications_total",
             help="POP reclassification rounds at evaluation boundaries",
+        )
+        self._m_best_ert = metrics.gauge(
+            "pop_best_ert_seconds",
+            help="Lowest expected remaining time across active jobs",
         )
 
     # --------------------------------------------------------------- knobs
@@ -286,6 +291,13 @@ class POPPolicy(SchedulingPolicy):
         self.promising_slots = allocation.promising_slots
         self._m_threshold.set(self.threshold)
         self._m_reclassifications.inc()
+        erts = [
+            job.expected_remaining_time
+            for job in active
+            if job.expected_remaining_time
+        ]
+        if erts:
+            self._m_best_ert.set(min(erts))
         categories: Optional[Dict[str, str]] = (
             {} if ctx.recorder.enabled else None
         )

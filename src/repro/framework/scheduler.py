@@ -175,6 +175,10 @@ class HyperDriveScheduler:
         self._m_jobs_active = metrics.gauge(
             "jobs_active", help="Jobs still in play (pending/running/suspended)"
         )
+        self._m_best_metric = metrics.gauge(
+            "experiment_best_metric",
+            help="Best evaluation metric observed so far",
+        )
 
     # -------------------------------------------------------------- set-up
 
@@ -256,6 +260,7 @@ class HyperDriveScheduler:
         if self.result.best_metric is None or result.metric > self.result.best_metric:
             self.result.best_metric = result.metric
             self.result.best_job_id = job_id
+            self._m_best_metric.set(float(result.metric))
         self.policy.application_stat(stat)
 
         if result.metric >= self.target and (

@@ -28,12 +28,16 @@ class Message:
         kind: message type, e.g. ``"app_stat"``, ``"start_job"``.
         payload: arbitrary message body.
         sender: originating component name.
+        trace: optional trace context (``trace_id``/``span_id`` wire
+            dict from :func:`repro.observability.tracing.current_trace`)
+            so spans opened by the receiver join the sender's trace.
     """
 
     topic: str
     kind: str
     payload: Any
     sender: str
+    trace: Optional[Dict[str, Any]] = None
 
 
 class Mailbox:
@@ -94,7 +98,14 @@ class MessageBus:
         """
         return self.subscribe(topic)
 
-    def send(self, topic: str, kind: str, payload: Any, sender: str) -> None:
+    def send(
+        self,
+        topic: str,
+        kind: str,
+        payload: Any,
+        sender: str,
+        trace: Optional[Dict[str, Any]] = None,
+    ) -> None:
         """Deliver a message to ``topic``'s mailbox.
 
         Raises:
@@ -111,7 +122,12 @@ class MessageBus:
                     "before starting producers)"
                 )
             self._delivered += 1
-        mailbox.put(Message(topic=topic, kind=kind, payload=payload, sender=sender))
+        mailbox.put(
+            Message(
+                topic=topic, kind=kind, payload=payload, sender=sender,
+                trace=trace,
+            )
+        )
 
     @property
     def topics(self) -> List[str]:

@@ -14,6 +14,14 @@ the observability registry (``lab_cells_done``, ``lab_cells_skipped``,
 Cell execution reuses :func:`repro.sim.runner.run_simulation` verbatim
 — a study is exactly N independent experiments, with the spec's
 ``predict_workers`` plumbed through to each cell's prediction engine.
+
+Each cell also runs under its own private
+:class:`~repro.observability.metrics.MetricsRegistry` and returns a
+compact **telemetry digest** (wall/CPU seconds, predictor fit counts,
+prefix-fit cache hit rate, epochs) that crosses the process-pool
+boundary inside the cell payload, is persisted in the cell record and
+the completion journal, and feeds the study registry's
+``lab_cell_cpu_seconds`` on the parent side.
 """
 
 from __future__ import annotations
@@ -33,7 +41,40 @@ from .report import render_json, render_markdown
 from .spec import FIXED_GENERATOR, Cell, StudySpec
 from .store import CellStore
 
-__all__ = ["CellError", "StudyProgress", "StudyRunner", "run_study"]
+__all__ = [
+    "CellError",
+    "StudyProgress",
+    "StudyRunner",
+    "run_study",
+    "telemetry_digest",
+]
+
+
+def telemetry_digest(
+    registry, wall_seconds: float, cpu_seconds: float
+) -> Dict[str, Any]:
+    """Roll one cell's registry up to the scalars worth persisting."""
+
+    def total(name: str) -> float:
+        family = registry.get(name)
+        if family is None:
+            return 0.0
+        return float(sum(value for _, value in family.samples()))
+
+    hits = total("prediction_cache_hits_total")
+    misses = total("prediction_cache_misses_total")
+    lookups = hits + misses
+    return {
+        "wall_seconds": wall_seconds,
+        "cpu_seconds": cpu_seconds,
+        "epochs": total("scheduler_epochs_total"),
+        "predictor_fits": total("predictor_fits_total"),
+        "prediction_cache_hits": hits,
+        "prediction_cache_misses": misses,
+        "prediction_cache_hit_rate": (
+            hits / lookups if lookups else None
+        ),
+    }
 
 
 class CellError(RuntimeError):
@@ -61,11 +102,16 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
 
     Returns:
         The store payload: resolved cell config, label, the full
-        ``ExperimentResult.to_dict()``, and the wall seconds spent.
+        ``ExperimentResult.to_dict()``, the wall seconds spent, and a
+        ``telemetry`` digest from the cell's private registry.
     """
+    from ..observability.recorder import Recorder
+
     cell = Cell(**payload)
     resolved = cell.resolved()
     started = time.monotonic()
+    cpu_started = time.process_time()
+    recorder = Recorder()
     workload = registry.build_workload(cell.workload)
     policy = registry.build_policy(cell.policy)
     spec = ExperimentSpec(
@@ -93,7 +139,9 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
                 cell.config_order
             ).permutation(len(configs))
             configs = [configs[index] for index in permutation]
-        result = run_simulation(workload, policy, configs=configs, spec=spec)
+        result = run_simulation(
+            workload, policy, configs=configs, spec=spec, recorder=recorder
+        )
     else:
         generator = registry.build_generator(
             cell.generator,
@@ -101,13 +149,22 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
             max_configs=cell.num_configs,
             gen_seed=resolved["gen_seed"],
         )
-        result = run_simulation(workload, policy, generator=generator, spec=spec)
+        result = run_simulation(
+            workload, policy, generator=generator, spec=spec,
+            recorder=recorder,
+        )
+    wall_seconds = time.monotonic() - started
     return {
         "key": cell.key(),
         "label": cell.label(),
         "cell": resolved,
         "result": result.to_dict(),
-        "wall_seconds": time.monotonic() - started,
+        "wall_seconds": wall_seconds,
+        "telemetry": telemetry_digest(
+            recorder.metrics,
+            wall_seconds,
+            time.process_time() - cpu_started,
+        ),
     }
 
 
@@ -141,6 +198,10 @@ class StudyRunner:
         )
         self._m_running = metrics.gauge(
             "lab_cells_in_flight", help="Study cells currently executing"
+        )
+        self._m_cpu_seconds = metrics.histogram(
+            "lab_cell_cpu_seconds",
+            help="CPU seconds per executed study cell (child process)",
         )
 
     # ------------------------------------------------------------ running
@@ -207,11 +268,16 @@ class StudyRunner:
         progress.executed += 1
         self._m_done.inc()
         self._m_seconds.observe(payload["wall_seconds"])
+        telemetry = payload.get("telemetry") or {}
+        if "cpu_seconds" in telemetry:
+            self._m_cpu_seconds.observe(telemetry["cpu_seconds"])
         self.recorder.audit.record(
             "lab_cell_completed",
             key=payload["key"],
             label=payload["label"],
             wall_seconds=round(payload["wall_seconds"], 3),
+            cpu_seconds=round(telemetry.get("cpu_seconds", 0.0), 3),
+            cache_hit_rate=telemetry.get("prediction_cache_hit_rate"),
         )
         if on_cell is not None:
             on_cell(progress)

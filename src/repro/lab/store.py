@@ -97,11 +97,14 @@ class CellStore:
         self._atomic_write(
             self.cell_path(key), json.dumps(payload, sort_keys=True)
         )
+        telemetry = payload.get("telemetry") or {}
         journal_line = json.dumps(
             {
                 "key": key,
                 "label": payload.get("label"),
                 "wall_seconds": payload.get("wall_seconds"),
+                "cpu_seconds": telemetry.get("cpu_seconds"),
+                "cache_hit_rate": telemetry.get("prediction_cache_hit_rate"),
             },
             sort_keys=True,
         )

@@ -28,9 +28,19 @@ from .exporters import (
     JsonlExporter,
     iter_jsonl,
 )
+from .aggregator import TelemetryAggregator
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .recorder import NULL_RECORDER, NullRecorder, Recorder
-from .tracing import NULL_TRACER, NullTracer, Span, SpanTracer
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanTracer,
+    TraceContext,
+    current_trace,
+    new_trace_id,
+    trace_context,
+)
 
 __all__ = [
     "AuditRecord",
@@ -51,5 +61,10 @@ __all__ = [
     "Recorder",
     "Span",
     "SpanTracer",
+    "TelemetryAggregator",
+    "TraceContext",
+    "current_trace",
     "iter_jsonl",
+    "new_trace_id",
+    "trace_context",
 ]

@@ -1,0 +1,279 @@
+"""Head-side telemetry aggregation across processes.
+
+The cluster runtime is multi-process: workers, daemon executors, and
+lab cells each own a private :class:`~repro.observability.metrics.MetricsRegistry`
+that used to die with its process.  The aggregator is the head-side
+sink those registries ship into:
+
+* :meth:`TelemetryAggregator.ingest` accepts one TELEMETRY batch from a
+  node — a full metrics snapshot (``MetricsRegistry.to_dict`` form,
+  latest-wins and therefore idempotent) plus *deltas* of finished spans
+  and audit records since the node's previous batch.
+* Every ingest appends one bounded ring-buffer sample per node — a flat
+  ``name -> value`` roll-up (counter totals, gauge sums, summary
+  ``_count``/``_sum``) — giving ``GET /telemetry`` a short time-series
+  history without a real TSDB.
+* :meth:`TelemetryAggregator.render_text` renders every node's snapshot
+  as one merged Prometheus text exposition, each sample tagged with a
+  ``node`` label, deduplicating family headers and counting (not
+  crashing on) cross-node kind collisions.
+* Shipped spans/audit events are re-emitted through the optional
+  :attr:`on_event` callback (the cluster runtime forwards them, tagged
+  with their node, into the head's JSONL journal so post-hoc tools like
+  ``repro diagnose`` see the whole cluster).
+
+Everything is guarded by one lock; ingest happens on monitor threads
+while HTTP handlers render concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional
+
+from .metrics import format_value, render_label_set
+
+__all__ = ["TelemetryAggregator"]
+
+#: Ring-buffer samples kept per node.
+DEFAULT_HISTORY_SAMPLES = 512
+
+
+class _NodeTelemetry:
+    """Latest shipped state of one node."""
+
+    __slots__ = ("node", "seq", "last_ingest", "metrics", "meta",
+                 "spans_received", "audit_received")
+
+    def __init__(self, node: str) -> None:
+        self.node = node
+        self.seq = -1
+        self.last_ingest = 0.0
+        self.metrics: Dict[str, Any] = {}
+        self.meta: Dict[str, Any] = {}
+        self.spans_received = 0
+        self.audit_received = 0
+
+
+def _flatten(metrics: Mapping[str, Any]) -> Dict[str, float]:
+    """Roll one metrics snapshot up to flat scalars for history samples."""
+    flat: Dict[str, float] = {}
+    for name, family in metrics.items():
+        kind = family.get("kind")
+        samples = family.get("samples", [])
+        if kind in ("counter", "gauge"):
+            flat[name] = float(sum(s.get("value", 0.0) for s in samples))
+        elif kind == "summary":
+            flat[name + "_count"] = float(
+                sum(s.get("count", 0) for s in samples)
+            )
+            flat[name + "_sum"] = float(
+                sum(s.get("sum", 0.0) for s in samples)
+            )
+    return flat
+
+
+class TelemetryAggregator:
+    """Merges per-node telemetry under a ``node`` label with history.
+
+    Args:
+        history_samples: ring-buffer length (total across nodes).
+        clock: wall-clock source for ingest timestamps (injectable for
+            tests).
+    """
+
+    def __init__(
+        self,
+        history_samples: int = DEFAULT_HISTORY_SAMPLES,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._nodes: Dict[str, _NodeTelemetry] = {}
+        self._history: Deque[Dict[str, Any]] = deque(maxlen=history_samples)
+        self._kind_conflicts: Dict[str, int] = {}
+        #: Called outside the lock as ``on_event(node, event_dict)`` for
+        #: every shipped span/audit event (wire-dict form).
+        self.on_event: Optional[Callable[[str, Dict[str, Any]], None]] = None
+
+    # --------------------------------------------------------------- ingest
+
+    def ingest(self, node: str, batch: Optional[Mapping[str, Any]]) -> None:
+        """Absorb one TELEMETRY batch from ``node``.
+
+        The batch is the wire payload shipped by
+        :class:`~repro.cluster.worker.TelemetryShipper`::
+
+            {"seq": 3, "metrics": {...to_dict...},
+             "spans": [span dicts...], "audit": [audit dicts...],
+             "meta": {...}}
+
+        ``metrics`` replaces the node's previous snapshot (latest
+        wins); ``spans``/``audit`` are deltas and are forwarded to
+        :attr:`on_event`.  Unknown keys are ignored, missing ones are
+        fine — a bare ``{"metrics": ...}`` is a valid batch.
+        """
+        if not batch:
+            return
+        spans = list(batch.get("spans") or ())
+        audit = list(batch.get("audit") or ())
+        metrics = batch.get("metrics")
+        with self._lock:
+            record = self._nodes.get(node)
+            if record is None:
+                record = self._nodes[node] = _NodeTelemetry(node)
+            record.last_ingest = self._clock()
+            record.seq = int(batch.get("seq", record.seq + 1))
+            if metrics is not None:
+                record.metrics = dict(metrics)
+                self._history.append(
+                    {
+                        "t": record.last_ingest,
+                        "node": node,
+                        "values": _flatten(record.metrics),
+                    }
+                )
+            if batch.get("meta"):
+                record.meta.update(batch["meta"])
+            record.spans_received += len(spans)
+            record.audit_received += len(audit)
+            callback = self.on_event
+        if callback is not None:
+            for event in spans:
+                callback(node, event)
+            for event in audit:
+                callback(node, event)
+
+    def ingest_registry(self, node: str, registry: Any,
+                        meta: Optional[Dict[str, Any]] = None) -> None:
+        """Shortcut for in-process registries (the head's own recorder,
+        a daemon executor's run registry)."""
+        batch: Dict[str, Any] = {"metrics": registry.to_dict()}
+        if meta:
+            batch["meta"] = meta
+        self.ingest(node, batch)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def node_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._nodes)
+
+    def node(self, node: str) -> Optional[Dict[str, Any]]:
+        """One node's latest state (dict form), or None."""
+        with self._lock:
+            record = self._nodes.get(node)
+            if record is None:
+                return None
+            return self._node_dict(record)
+
+    def _node_dict(self, record: _NodeTelemetry) -> Dict[str, Any]:
+        return {
+            "seq": record.seq,
+            "last_ingest": record.last_ingest,
+            "age_seconds": max(0.0, self._clock() - record.last_ingest),
+            "spans_received": record.spans_received,
+            "audit_received": record.audit_received,
+            "meta": dict(record.meta),
+            "metrics": record.metrics,
+        }
+
+    def history(self) -> List[Dict[str, Any]]:
+        """Ring-buffer samples, oldest first."""
+        with self._lock:
+            return list(self._history)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``GET /telemetry`` document."""
+        with self._lock:
+            return {
+                "nodes": {
+                    node: self._node_dict(record)
+                    for node, record in sorted(self._nodes.items())
+                },
+                "history": list(self._history),
+                "kind_conflicts": dict(self._kind_conflicts),
+            }
+
+    # ------------------------------------------------------------ rendering
+
+    def render_text(self, base: Any = None) -> str:
+        """One merged Prometheus text exposition.
+
+        Every per-node sample gets a ``node="<id>"`` label; ``base`` (a
+        registry, e.g. the daemon's own service metrics) renders first,
+        unlabelled.  A family shipped with conflicting kinds keeps the
+        first kind seen (base, then sorted node order); mismatched
+        shippers are skipped and counted in
+        ``telemetry_kind_conflicts_total``.
+        """
+        sources: List[tuple] = []
+        if base is not None:
+            sources.append((None, base.to_dict()))
+        with self._lock:
+            for node in sorted(self._nodes):
+                sources.append((node, self._nodes[node].metrics))
+            conflicts = dict(self._kind_conflicts)
+
+        families: Dict[str, Dict[str, Any]] = {}
+        for node, metrics in sources:
+            for name, family in metrics.items():
+                kind = family.get("kind", "untyped")
+                merged = families.get(name)
+                if merged is None:
+                    merged = families[name] = {
+                        "kind": kind, "help": family.get("help", ""),
+                        "sources": [],
+                    }
+                elif merged["kind"] != kind:
+                    conflicts[name] = conflicts.get(name, 0) + 1
+                    continue
+                merged["sources"].append((node, family))
+        with self._lock:
+            self._kind_conflicts = dict(conflicts)
+
+        lines: List[str] = []
+        for name in sorted(families):
+            family = families[name]
+            if family["help"]:
+                lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# TYPE {name} {family['kind']}")
+            for node, source in family["sources"]:
+                extra = () if node is None else (("node", node),)
+                for sample in source.get("samples", []):
+                    labels = tuple(sorted(sample.get("labels", {}).items()))
+                    if family["kind"] == "summary":
+                        for q, value in sample.get("quantiles", {}).items():
+                            qlabels = render_label_set(
+                                labels + (("quantile", str(q)),) + extra
+                            )
+                            lines.append(
+                                f"{name}{qlabels} "
+                                f"{format_value(float(value))}"
+                            )
+                        plain = render_label_set(labels + extra)
+                        lines.append(
+                            f"{name}_count{plain} {int(sample.get('count', 0))}"
+                        )
+                        lines.append(
+                            f"{name}_sum{plain} "
+                            f"{format_value(float(sample.get('sum', 0.0)))}"
+                        )
+                    else:
+                        plain = render_label_set(labels + extra)
+                        lines.append(
+                            f"{name}{plain} "
+                            f"{format_value(float(sample.get('value', 0.0)))}"
+                        )
+        if conflicts:
+            lines.append("# TYPE telemetry_kind_conflicts_total counter")
+            for name in sorted(conflicts):
+                labels = render_label_set((("metric", name),))
+                lines.append(
+                    f"telemetry_kind_conflicts_total{labels} "
+                    f"{conflicts[name]}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 import json
+import threading
 from pathlib import Path
 from typing import Any, Dict, IO, Iterator, List, Mapping, Optional, Union
 
@@ -60,25 +61,31 @@ class JsonlExporter(EventExporter):
 
     The file is opened lazily on the first event so constructing the
     exporter (e.g. from CLI flags) has no side effects when a run emits
-    nothing.
+    nothing.  Writes are serialised by a lock: one journal is fed by
+    many threads at once (driver threads finishing spans, the audit
+    trail, the cluster monitor re-exporting worker-shipped telemetry),
+    and interleaved buffered writes would corrupt lines.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self._file: Optional[IO[str]] = None
+        self._lock = threading.Lock()
         self.events_written = 0
 
     def export(self, event: Mapping[str, Any]) -> None:
-        if self._file is None:
-            self._file = self.path.open("w", encoding="utf-8")
-        self._file.write(encode_event(event))
-        self._file.write("\n")
-        self.events_written += 1
+        line = encode_event(event)
+        with self._lock:
+            if self._file is None:
+                self._file = self.path.open("w", encoding="utf-8")
+            self._file.write(line + "\n")
+            self.events_written += 1
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
 
 
 class InMemoryExporter(EventExporter):

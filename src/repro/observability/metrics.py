@@ -26,7 +26,15 @@ import math
 import re
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "escape_label_value",
+    "render_label_set",
+    "format_value",
+]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
@@ -48,18 +56,33 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
-def _render_labels(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
-    items = key + extra
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and newline must be backslash-escaped."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def render_label_set(items: Tuple[Tuple[str, str], ...]) -> str:
+    """Render ``{k="v",...}`` with values escaped ('' for no labels)."""
     if not items:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in items)
+    body = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in items)
     return "{" + body + "}"
 
 
-def _format_value(value: float) -> str:
+def _render_labels(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    return render_label_set(key + extra)
+
+
+def format_value(value: float) -> str:
     if math.isinf(value):
         return "+Inf" if value > 0 else "-Inf"
     return f"{value:.10g}"
+
+
+_format_value = format_value
 
 
 class _Instrument:
@@ -198,7 +221,9 @@ class Histogram(_Instrument):
         for q in quantiles:
             if not 0.0 <= q <= 1.0:
                 raise ValueError(f"quantile {q} outside [0, 1]")
-        self.quantiles = tuple(quantiles)
+        # Exposition order must be ascending regardless of caller order
+        # (scrapers treat the quantile series like histogram buckets).
+        self.quantiles = tuple(sorted(dict.fromkeys(quantiles)))
         self._observations: Dict[LabelKey, List[float]] = {}
         self._sorted: Dict[LabelKey, bool] = {}
 

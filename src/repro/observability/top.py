@@ -1,0 +1,188 @@
+"""``repro top``: a live terminal dashboard over ``GET /telemetry``.
+
+The daemon's :class:`~repro.observability.aggregator.TelemetryAggregator`
+exposes one JSON document — per-node latest metric snapshots plus meta
+(heartbeat membership, run status) and a short ring-buffer history.
+This module turns that document into a fixed-width text dashboard:
+
+* a **nodes** table — every node the aggregator has heard from (the
+  cluster head, each ``machine-NN`` worker, each daemon-executed
+  experiment), with batch seq, staleness, and shipped span/audit
+  counts;
+* **cluster health** — ``cluster_nodes_up``, per-machine heartbeat
+  state and mean RTT (from the head's
+  ``cluster_heartbeat_rtt_seconds`` summary and the heartbeat snapshot
+  shipped in the head's meta);
+* **experiments** — per-experiment best metric
+  (``experiment_best_metric``), lowest ERT (``pop_best_ert_seconds``),
+  epochs trained, and predictor cache hit rate.
+
+Everything here is a pure function of the telemetry dict so tests (and
+``repro diagnose``-style tooling) can render without a daemon; the CLI
+loop in :mod:`repro.cli` does the polling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["render_top", "node_row", "cache_hit_rate"]
+
+
+def _metric_total(metrics: Mapping[str, Any], name: str) -> Optional[float]:
+    """Sum of a counter/gauge family's samples, or None if absent."""
+    family = metrics.get(name)
+    if not family:
+        return None
+    return float(
+        sum(s.get("value", 0.0) for s in family.get("samples", []))
+    )
+
+
+def _summary_mean(
+    metrics: Mapping[str, Any], name: str
+) -> Dict[Tuple[Tuple[str, str], ...], float]:
+    """Per-label-set mean of a summary family (sum / count)."""
+    family = metrics.get(name)
+    out: Dict[Tuple[Tuple[str, str], ...], float] = {}
+    if not family:
+        return out
+    for sample in family.get("samples", []):
+        count = sample.get("count", 0)
+        if count:
+            key = tuple(sorted(sample.get("labels", {}).items()))
+            out[key] = float(sample.get("sum", 0.0)) / float(count)
+    return out
+
+
+def cache_hit_rate(metrics: Mapping[str, Any]) -> Optional[float]:
+    """Predictor prefix-fit cache hit rate from one node's snapshot."""
+    hits = _metric_total(metrics, "prediction_cache_hits_total")
+    misses = _metric_total(metrics, "prediction_cache_misses_total")
+    if hits is None and misses is None:
+        return None
+    total = (hits or 0.0) + (misses or 0.0)
+    if total == 0:
+        return 0.0
+    return (hits or 0.0) / total
+
+
+def _fmt(value: Optional[float], spec: str = ".3f", na: str = "-") -> str:
+    return na if value is None else format(value, spec)
+
+
+def node_row(node: str, record: Mapping[str, Any]) -> Dict[str, Any]:
+    """One node's dashboard line as structured data."""
+    metrics = record.get("metrics", {})
+    return {
+        "node": node,
+        "seq": record.get("seq", -1),
+        "age_seconds": record.get("age_seconds", 0.0),
+        "spans": record.get("spans_received", 0),
+        "audit": record.get("audit_received", 0),
+        "epochs": _metric_total(metrics, "scheduler_epochs_total"),
+        "best_metric": _metric_total(metrics, "experiment_best_metric"),
+        "best_ert": _metric_total(metrics, "pop_best_ert_seconds"),
+        "cache_hit_rate": cache_hit_rate(metrics),
+    }
+
+
+def _nodes_table(nodes: Mapping[str, Mapping[str, Any]]) -> List[str]:
+    lines = [
+        f"{'NODE':<14} {'SEQ':>5} {'AGE':>7} {'SPANS':>7} {'AUDIT':>7}"
+    ]
+    for node in sorted(nodes):
+        row = node_row(node, nodes[node])
+        lines.append(
+            f"{row['node']:<14} {row['seq']:>5} "
+            f"{row['age_seconds']:>6.1f}s {row['spans']:>7} "
+            f"{row['audit']:>7}"
+        )
+    return lines
+
+
+def _cluster_section(nodes: Mapping[str, Mapping[str, Any]]) -> List[str]:
+    head = nodes.get("head")
+    if head is None:
+        return []
+    metrics = head.get("metrics", {})
+    lines: List[str] = []
+    nodes_up = _metric_total(metrics, "cluster_nodes_up")
+    migrations = _metric_total(metrics, "cluster_migrations_total")
+    lines.append(
+        f"cluster: nodes_up={_fmt(nodes_up, '.0f')} "
+        f"migrations={_fmt(migrations, '.0f')}"
+    )
+    rtt = _summary_mean(metrics, "cluster_heartbeat_rtt_seconds")
+    membership = head.get("meta", {}).get("heartbeat", {})
+    machine_ids = sorted(
+        set(membership)
+        | {dict(key).get("machine_id", "?") for key in rtt}
+    )
+    for machine_id in machine_ids:
+        health = membership.get(machine_id, {})
+        mean_rtt = None
+        for key, value in rtt.items():
+            if dict(key).get("machine_id") == machine_id:
+                mean_rtt = value
+        state = health.get("state", "?")
+        misses = health.get("misses", "-")
+        rtt_text = "-" if mean_rtt is None else f"{mean_rtt * 1e3:.1f}ms"
+        lines.append(
+            f"  {machine_id:<14} {state:<5} misses={misses:<3} "
+            f"rtt={rtt_text}"
+        )
+    return lines
+
+
+def _experiment_section(
+    nodes: Mapping[str, Mapping[str, Any]]
+) -> List[str]:
+    rows = []
+    for node in sorted(nodes):
+        row = node_row(node, nodes[node])
+        if row["epochs"] is None and row["best_metric"] is None:
+            continue  # a shipper with no scheduler (bare worker)
+        rows.append(row)
+    if not rows:
+        return []
+    lines = [
+        f"{'EXPERIMENT':<14} {'EPOCHS':>7} {'BEST':>8} {'ERT':>9} "
+        f"{'CACHE':>6}"
+    ]
+    for row in rows:
+        ert = row["best_ert"]
+        ert_text = "-" if not ert else f"{ert / 60:.1f}min"
+        rate = row["cache_hit_rate"]
+        rate_text = "-" if rate is None else f"{rate * 100:.0f}%"
+        lines.append(
+            f"{row['node']:<14} {_fmt(row['epochs'], '.0f'):>7} "
+            f"{_fmt(row['best_metric'], '.4f'):>8} {ert_text:>9} "
+            f"{rate_text:>6}"
+        )
+    return lines
+
+
+def render_top(telemetry: Mapping[str, Any], url: str = "") -> str:
+    """The whole dashboard as one text block."""
+    nodes = telemetry.get("nodes", {})
+    header = "repro top"
+    if url:
+        header += f" — {url}"
+    header += f" — {len(nodes)} node(s)"
+    sections: List[List[str]] = [[header]]
+    if nodes:
+        sections.append(_nodes_table(nodes))
+        cluster = _cluster_section(nodes)
+        if cluster:
+            sections.append(cluster)
+        experiments = _experiment_section(nodes)
+        if experiments:
+            sections.append(experiments)
+    else:
+        sections.append(["no telemetry yet"])
+    conflicts = telemetry.get("kind_conflicts") or {}
+    if conflicts:
+        names = ", ".join(sorted(conflicts))
+        sections.append([f"warning: metric kind conflicts: {names}"])
+    return "\n\n".join("\n".join(section) for section in sections) + "\n"

@@ -16,15 +16,91 @@ The tracer keeps a bounded in-memory list of finished spans and offers
 a per-name :meth:`SpanTracer.summary`.  An optional ``on_span`` hook
 fires for every finished span (the :class:`~repro.observability.recorder.Recorder`
 uses it to stream spans to the event exporter).
+
+Trace propagation
+-----------------
+
+Every span belongs to a **trace**: opening a span while another is
+active (same thread) inherits the parent's ``trace_id`` and records the
+parent's ``span_id`` as ``parent_id``; opening one with no active
+parent mints a fresh trace id.  The active context is thread-local, so
+concurrent driver threads each carry their own trace.
+
+Crossing a process boundary is explicit: the sender captures
+:func:`current_trace` and ships its ``to_dict()`` inside the message
+envelope; the receiver re-activates it with :func:`trace_context`
+around the handler, and every span opened inside joins the sender's
+trace.  The cluster runtime uses exactly this to stitch
+head-scheduler → worker-epoch → head-settlement spans into one trace
+per epoch (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
 
+import threading
 import time
+import uuid
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
-__all__ = ["Span", "SpanTracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceContext",
+    "current_trace",
+    "trace_context",
+    "new_trace_id",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char id (half a uuid4 — plenty for one run)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The active trace position: which trace, which enclosing span."""
+
+    trace_id: str
+    span_id: str
+
+    def to_dict(self) -> Dict[str, str]:
+        """Wire form for message envelopes."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_dict(cls, wire: Optional[Dict[str, Any]]) -> Optional["TraceContext"]:
+        """Rebuild from an envelope field; None if absent/empty."""
+        if not wire or not wire.get("trace_id"):
+            return None
+        return cls(
+            trace_id=str(wire["trace_id"]),
+            span_id=str(wire.get("span_id") or ""),
+        )
+
+
+_ACTIVE = threading.local()
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The calling thread's active trace context (None outside spans)."""
+    return getattr(_ACTIVE, "context", None)
+
+
+@contextmanager
+def trace_context(context: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Activate ``context`` for the calling thread (message receivers
+    wrap their handler in this so local spans join the sender's trace)."""
+    previous = current_trace()
+    _ACTIVE.context = context
+    try:
+        yield context
+    finally:
+        _ACTIVE.context = previous
 
 
 @dataclass
@@ -36,6 +112,9 @@ class Span:
     attributes: Dict[str, Any] = field(default_factory=dict)
     end: Optional[float] = None
     wall_seconds: float = 0.0
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
 
     def set(self, **attributes: Any) -> None:
         """Attach attributes mid-span (e.g. a result size)."""
@@ -55,6 +134,9 @@ class Span:
             "start": self.start,
             "end": self.end,
             "wall_seconds": self.wall_seconds,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
             "attributes": dict(self.attributes),
         }
 
@@ -62,18 +144,30 @@ class Span:
 class _ActiveSpan:
     """Context manager driving one span's lifetime."""
 
-    __slots__ = ("_tracer", "span", "_wall_start")
+    __slots__ = ("_tracer", "span", "_wall_start", "_previous")
 
     def __init__(self, tracer: "SpanTracer", span: Span) -> None:
         self._tracer = tracer
         self.span = span
         self._wall_start = 0.0
+        self._previous: Optional[TraceContext] = None
 
     def set(self, **attributes: Any) -> None:
         self.span.set(**attributes)
 
     def __enter__(self) -> "_ActiveSpan":
         self._wall_start = time.perf_counter()
+        span = self.span
+        parent = current_trace()
+        self._previous = parent
+        if span.trace_id is None:
+            if parent is not None:
+                span.trace_id = parent.trace_id
+                span.parent_id = parent.span_id or None
+            else:
+                span.trace_id = new_trace_id()
+        span.span_id = new_trace_id()
+        _ACTIVE.context = TraceContext(span.trace_id, span.span_id)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -82,6 +176,7 @@ class _ActiveSpan:
         span.end = self._tracer._now()
         if exc_type is not None:
             span.attributes["error"] = exc_type.__name__
+        _ACTIVE.context = self._previous
         self._tracer._finish(span)
         return False
 

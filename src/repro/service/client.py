@@ -110,6 +110,11 @@ class ServiceClient:
     def metrics_text(self) -> str:
         return self._request("GET", "/metrics").decode("utf-8")
 
+    def telemetry(self) -> Dict[str, Any]:
+        """JSON telemetry aggregate: per-node latest metrics, meta,
+        ring-buffer history (what ``repro top`` polls)."""
+        return self._request_json("GET", "/telemetry")
+
     # -------------------------------------------------------------- studies
 
     def submit_study(self, payload: Dict[str, Any]) -> Dict[str, Any]:

@@ -15,7 +15,13 @@ GET       ``/experiments/{id}``           one experiment incl. checkpoint/result
 GET       ``/experiments/{id}/events``    the event journal as NDJSON
                                           (``?offset=N`` skips the first N)
 DELETE    ``/experiments/{id}``           request cancellation
-GET       ``/metrics``                    Prometheus-style service metrics
+GET       ``/metrics``                    Prometheus-style exposition: the
+                                          service's own metrics merged with
+                                          every aggregated node's registry,
+                                          node-labelled
+GET       ``/telemetry``                  JSON telemetry aggregate: per-node
+                                          latest metrics + meta, ring-buffer
+                                          history (``repro top`` reads this)
 POST      ``/studies``                    submit a sweep-lab study
                                           (``{"study": name}`` or
                                           ``{"spec": {...}}``; docs/lab.md)
@@ -40,6 +46,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 from urllib.parse import parse_qs, urlparse
 
+from ..observability.aggregator import TelemetryAggregator
 from ..observability.exporters import encode_event
 from ..observability.metrics import MetricsRegistry
 from . import executor
@@ -82,6 +89,11 @@ class ExperimentService:
         self.cluster_workers = cluster_workers
         self.store = RunStore(root)
         self.metrics = MetricsRegistry()
+        # Telemetry plane: executors ingest each run's registry here
+        # (node = experiment id) and cluster runs additionally ship
+        # per-worker registries into it; /telemetry and the merged
+        # /metrics render from it.
+        self.aggregator = TelemetryAggregator()
         self._m_submitted = self.metrics.counter(
             "service_experiments_submitted_total",
             help="Experiments accepted by the service",
@@ -209,7 +221,10 @@ class ExperimentService:
         self._m_running.inc()
         try:
             run = executor.resume if resuming else executor.execute
-            final = run(self.store, exp_id, cluster_workers=self.cluster_workers)
+            final = run(
+                self.store, exp_id, cluster_workers=self.cluster_workers,
+                aggregator=self.aggregator,
+            )
         except Exception:
             logger.exception("experiment %s failed", exp_id)
             self._m_finished.inc(status="failed")
@@ -410,8 +425,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, {"status": "ok", "version": __version__})
             return
         if method == "GET" and path == "/metrics":
-            body = self.service.metrics.render_text().encode("utf-8")
+            body = self.service.aggregator.render_text(
+                base=self.service.metrics
+            ).encode("utf-8")
             self._send(200, body, "text/plain; version=0.0.4")
+            return
+        if method == "GET" and path == "/telemetry":
+            self._send_json(200, self.service.aggregator.to_dict())
             return
         if path == "/experiments":
             if method == "POST":

@@ -14,6 +14,12 @@ runtime, wiring three service concerns into the run:
   flag (sim: inside the event loop's stop-check; live: a monitor
   thread that sets the runtime's cancel event) and records a partial
   result under the CANCELLED status.
+* **Telemetry**: when the caller owns a
+  :class:`~repro.observability.aggregator.TelemetryAggregator` (the
+  daemon does), the run's registry is ingested under the experiment id
+  at every checkpoint and at completion, and cluster runs ship their
+  per-worker registries into the same aggregator — that is what the
+  daemon's ``/telemetry`` and merged ``/metrics`` render.
 
 ``resume`` is the paper's suspend/resume story (§5.1) at experiment
 granularity: an experiment whose process died is reconstructed from its
@@ -56,6 +62,7 @@ def execute(
     on_checkpoint: Optional[CheckpointHook] = None,
     poll_wall_seconds: float = 0.25,
     cluster_workers: Optional[int] = None,
+    aggregator=None,
 ) -> RunRecord:
     """Run one stored experiment to a terminal status.
 
@@ -73,6 +80,10 @@ def execute(
         cluster_workers: when set, live submissions execute on the
             multi-process cluster runtime with this many worker
             processes (``repro serve --cluster-workers``).
+        aggregator: optional
+            :class:`~repro.observability.aggregator.TelemetryAggregator`
+            receiving the run's registry (node = experiment id) and,
+            on cluster runs, every worker's shipped telemetry.
     """
     record = store.get(exp_id)
     if record is None:
@@ -84,7 +95,10 @@ def execute(
             f"experiment {exp_id} is {record.status}; only queued/running "
             "experiments can be executed"
         )
-    return _run(store, exp_id, on_checkpoint, poll_wall_seconds, cluster_workers)
+    return _run(
+        store, exp_id, on_checkpoint, poll_wall_seconds, cluster_workers,
+        aggregator,
+    )
 
 
 def resume(
@@ -93,6 +107,7 @@ def resume(
     on_checkpoint: Optional[CheckpointHook] = None,
     poll_wall_seconds: float = 0.25,
     cluster_workers: Optional[int] = None,
+    aggregator=None,
 ) -> RunRecord:
     """Resume an INTERRUPTED experiment from its journal.
 
@@ -118,7 +133,10 @@ def resume(
         from_clock=checkpoint.get("clock", 0.0),
     )
     store.mark_running(exp_id)
-    return _run(store, exp_id, on_checkpoint, poll_wall_seconds, cluster_workers)
+    return _run(
+        store, exp_id, on_checkpoint, poll_wall_seconds, cluster_workers,
+        aggregator,
+    )
 
 
 def _run(
@@ -127,6 +145,7 @@ def _run(
     on_checkpoint: Optional[CheckpointHook],
     poll_wall_seconds: float,
     cluster_workers: Optional[int] = None,
+    aggregator=None,
 ) -> RunRecord:
     record = store.get(exp_id)
     assert record is not None
@@ -150,9 +169,16 @@ def _run(
 
     recorder = Recorder(exporter=store.journal_exporter(exp_id))
 
+    def publish_telemetry() -> None:
+        if aggregator is not None:
+            aggregator.ingest_registry(
+                exp_id, recorder.metrics, meta={"status": RUNNING}
+            )
+
     def checkpoint_hook(scheduler) -> None:
         state = scheduler.checkpoint_state()
         store.save_checkpoint(exp_id, state)
+        publish_telemetry()
         if on_checkpoint is not None:
             on_checkpoint(state)
 
@@ -161,6 +187,7 @@ def _run(
             result = _run_cluster(
                 store, exp_id, submission, workload, policy, spec, configs,
                 recorder, checkpoint_hook, poll_wall_seconds, cluster_workers,
+                aggregator,
             )
         elif submission.live:
             result = _run_live(
@@ -177,6 +204,8 @@ def _run(
             exp_id, FAILED, error=f"{type(exc).__name__}: {exc}"
         )
         raise
+    finally:
+        publish_telemetry()
     status = CANCELLED if store.cancel_requested(exp_id) else COMPLETED
     store.mark_finished(exp_id, status, result=result.to_dict())
     final = store.get(exp_id)
@@ -251,6 +280,7 @@ def _run_live(
 def _run_cluster(
     store, exp_id, submission, workload, policy, spec, configs,
     recorder, checkpoint_hook, poll_wall_seconds, cluster_workers,
+    aggregator=None,
 ):
     """Execute on the multi-process cluster runtime (§4's deployed
     shape): one worker process per machine, heartbeat failure
@@ -290,6 +320,7 @@ def _run_cluster(
             cancel_event=cancel_event,
             progress_hook=checkpoint_hook,
             progress_every_epochs=submission.checkpoint_every,
+            aggregator=aggregator,
         )
     finally:
         done.set()

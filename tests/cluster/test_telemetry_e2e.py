@@ -1,0 +1,149 @@
+"""End-to-end telemetry-plane test (the issue's acceptance scenario).
+
+One cluster run, three real worker processes, one SIGKILLed mid-run.
+From that single run the test asserts the whole telemetry plane:
+
+(a) the head's merged ``/metrics``-style export contains node-labelled
+    worker metrics from **every** node — including the one that died
+    seconds into the run;
+(b) at least one trace stitches head scheduler → worker epoch → head
+    settlement under a shared trace id;
+(c) ``repro diagnose`` over the produced journal reports a migration
+    phase whose duration matches the audit trail's ``resume_latency``
+    within tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import standard_configs
+from repro.cluster import FaultPlan, KillAtEpoch, run_cluster
+from repro.framework.experiment import ExperimentSpec
+from repro.observability import (
+    InMemoryExporter,
+    Recorder,
+    TelemetryAggregator,
+)
+from repro.observability.diagnose import diagnose, render_markdown
+from repro.registry import build_policy
+
+N_CONFIGS = 6
+KILL_EPOCH = 7
+MACHINES = ("machine-00", "machine-01", "machine-02")
+
+
+@pytest.fixture(scope="module")
+def telemetry_run(request):
+    """One faulted cluster run shared by every assertion below."""
+    cifar10_workload = request.getfixturevalue("cifar10_workload")
+    fast_predictor = request.getfixturevalue("fast_predictor")
+    exporter = InMemoryExporter()
+    recorder = Recorder(exporter=exporter, trace=True)
+    aggregator = TelemetryAggregator()
+    result = run_cluster(
+        cifar10_workload,
+        build_policy("pop"),
+        configs=standard_configs(cifar10_workload, N_CONFIGS),
+        spec=ExperimentSpec(
+            num_machines=3,
+            num_configs=N_CONFIGS,
+            seed=0,
+            stop_on_target=False,
+            checkpoint_interval=3,
+        ),
+        predictor=fast_predictor,
+        time_scale=2e-5,
+        fault_plan=FaultPlan((KillAtEpoch("machine-01", KILL_EPOCH),)),
+        recorder=recorder,
+        aggregator=aggregator,
+        heartbeat_interval=0.05,
+        telemetry_interval=0.05,
+    )
+    return result, recorder, aggregator, exporter
+
+
+def test_merged_export_covers_every_node(telemetry_run):
+    result, _, aggregator, _ = telemetry_run
+    assert result.machine_failures == 1
+    assert set(aggregator.node_ids) == {"head", *MACHINES}
+    text = aggregator.render_text()
+    for machine in MACHINES:
+        # Even machine-01 (killed at epoch 7, well inside the first
+        # second) shipped at least its worker_up gauge.
+        assert f'node="{machine}"' in text
+    # Head metrics carry the node label too, so one scrape separates
+    # scheduler-side and worker-side series.
+    assert 'scheduler_epochs_total{node="head"}' in text
+    assert 'cluster_heartbeat_rtt_seconds' in text
+    # The head's meta channel carries the membership snapshot.
+    membership = aggregator.node("head")["meta"]["heartbeat"]
+    assert membership["machine-01"]["state"] == "down"
+    history = aggregator.history()
+    assert history and any(s["node"] != "head" for s in history)
+
+
+def test_trace_spans_head_worker_and_settlement(telemetry_run):
+    _, _, _, exporter = telemetry_run
+    spans = [e for e in exporter.events if e.get("kind") == "span"]
+    by_trace = {}
+    for span in spans:
+        by_trace.setdefault(span["trace_id"], []).append(span)
+
+    stitched = 0
+    for trace in by_trace.values():
+        names = {span["name"] for span in trace}
+        if {
+            "cluster.epoch", "worker.train_epoch", "scheduler.process_epoch"
+        } <= names:
+            epoch = next(
+                s for s in trace if s["name"] == "cluster.epoch"
+            )
+            train = next(
+                s for s in trace if s["name"] == "worker.train_epoch"
+            )
+            settle = next(
+                s for s in trace if s["name"] == "scheduler.process_epoch"
+            )
+            # Worker spans were shipped (re-exported with their node)
+            # and parent onto the head's epoch span.
+            assert train["node"] in MACHINES
+            assert train["parent_id"] == epoch["span_id"]
+            assert settle["parent_id"] == epoch["span_id"]
+            stitched += 1
+    assert stitched > 0
+
+
+def test_diagnose_reconciles_migration_with_audit(telemetry_run, tmp_path):
+    _, recorder, _, exporter = telemetry_run
+    journal = tmp_path / "events.jsonl"
+    journal.write_text(
+        "\n".join(json.dumps(event) for event in exporter.events) + "\n"
+    )
+
+    from repro.observability.diagnose import load_journals
+
+    report = diagnose(load_journals([journal]))
+    exp = report["experiments"]["events"]
+
+    migrations = recorder.audit.query("cluster_migration")
+    assert len(migrations) >= 1
+    audited = sum(r.data["resume_latency"] for r in migrations)
+    assert exp["phases"]["seconds"]["migrate"] == pytest.approx(
+        audited, rel=1e-6
+    )
+    assert exp["phases"]["counts"]["migrate"] == len(migrations)
+
+    # Train dominates predict+migrate on this workload, and the killed
+    # worker's epochs are in the breakdown via shipped spans.
+    assert exp["phases"]["seconds"]["train"] > 0
+    assert set(exp["phases"]["machines"]) >= set(MACHINES)
+
+    # The critical-path summary sees cross-process chains.
+    assert exp["critical_path"]["multi_span_traces"] > 0
+
+    markdown = render_markdown(report)
+    assert "cluster_migration" in markdown
+    assert "| migrate |" in markdown

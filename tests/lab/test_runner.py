@@ -140,3 +140,59 @@ def test_run_study_end_to_end_pooled(tmp_path):
     assert "Winner: **" in markdown
     # rerun: everything skipped, identical report
     assert run_study(spec, out, max_workers=2) == markdown
+
+
+class TestCellTelemetry:
+    def test_execute_cell_returns_digest(self):
+        spec = fast_spec()
+        cell = spec.cells()[0]
+        from dataclasses import asdict
+
+        payload = execute_cell(asdict(cell))
+        telemetry = payload["telemetry"]
+        assert telemetry["wall_seconds"] == payload["wall_seconds"]
+        assert telemetry["cpu_seconds"] > 0.0
+        assert telemetry["epochs"] > 0
+        # The sim path with predict_workers=1 runs the inline
+        # predictor: no cache, so the rate is None, not 0/0 noise.
+        assert telemetry["prediction_cache_hit_rate"] is None or (
+            0.0 <= telemetry["prediction_cache_hit_rate"] <= 1.0
+        )
+
+    def test_digest_persisted_in_cell_record_and_journal(self, tmp_path):
+        spec = fast_spec(policies=("default",))
+        store = CellStore(tmp_path)
+        runner = StudyRunner(spec, store, recorder=Recorder(), max_workers=1)
+        runner.run()
+        (key,) = store.completed_keys()
+        record = store.load_cell(key)
+        assert "telemetry" in record
+        assert record["telemetry"]["cpu_seconds"] > 0.0
+        (entry,) = store.journal()
+        assert entry["cpu_seconds"] == record["telemetry"]["cpu_seconds"]
+        assert "cache_hit_rate" in entry
+        # Parent-side metering saw the child's CPU time.
+        histogram = runner.recorder.metrics.get("lab_cell_cpu_seconds")
+        assert histogram.count() == 1
+
+    def test_completed_audit_carries_digest(self, tmp_path):
+        spec = fast_spec(policies=("default",))
+        recorder = Recorder()
+        run_study(spec, tmp_path, recorder=recorder, max_workers=1)
+        (record,) = [
+            r for r in recorder.audit.records
+            if r.kind == "lab_cell_completed"
+        ]
+        assert record.data["cpu_seconds"] > 0.0
+        assert "cache_hit_rate" in record.data
+
+    def test_fake_payload_without_telemetry_tolerated(
+        self, tmp_path, patched_execute
+    ):
+        # Old payload shape (pre-digest): runner must not crash.
+        spec = fast_spec(policies=("default",))
+        store = CellStore(tmp_path)
+        runner = StudyRunner(spec, store, recorder=Recorder(), max_workers=1)
+        runner.run()
+        (entry,) = store.journal()
+        assert entry["cpu_seconds"] is None

@@ -1,0 +1,126 @@
+"""TelemetryAggregator: ingest semantics, history, event forwarding."""
+
+from repro.observability.aggregator import TelemetryAggregator
+from repro.observability.metrics import MetricsRegistry
+
+
+def make_batch(seq=0, value=1.0, spans=(), audit=(), meta=None):
+    registry = MetricsRegistry()
+    registry.counter("epochs_total").inc(value)
+    batch = {
+        "seq": seq,
+        "metrics": registry.to_dict(),
+        "spans": list(spans),
+        "audit": list(audit),
+    }
+    if meta is not None:
+        batch["meta"] = meta
+    return batch
+
+
+class TestIngest:
+    def test_latest_snapshot_wins(self):
+        aggregator = TelemetryAggregator()
+        aggregator.ingest("n0", make_batch(seq=0, value=1.0))
+        aggregator.ingest("n0", make_batch(seq=1, value=5.0))
+        node = aggregator.node("n0")
+        assert node["seq"] == 1
+        samples = node["metrics"]["epochs_total"]["samples"]
+        assert samples[0]["value"] == 5.0
+
+    def test_empty_batch_ignored(self):
+        aggregator = TelemetryAggregator()
+        aggregator.ingest("n0", None)
+        aggregator.ingest("n0", {})
+        assert aggregator.node_ids == []
+
+    def test_bare_metrics_batch_valid(self):
+        aggregator = TelemetryAggregator()
+        registry = MetricsRegistry()
+        registry.gauge("up").set(1)
+        aggregator.ingest("n0", {"metrics": registry.to_dict()})
+        assert aggregator.node_ids == ["n0"]
+
+    def test_meta_accumulates(self):
+        aggregator = TelemetryAggregator()
+        aggregator.ingest("n0", make_batch(meta={"a": 1}))
+        aggregator.ingest("n0", make_batch(seq=1, meta={"b": 2}))
+        assert aggregator.node("n0")["meta"] == {"a": 1, "b": 2}
+
+    def test_span_and_audit_counts(self):
+        aggregator = TelemetryAggregator()
+        aggregator.ingest(
+            "n0", make_batch(spans=[{"kind": "span"}], audit=[{}, {}])
+        )
+        node = aggregator.node("n0")
+        assert node["spans_received"] == 1
+        assert node["audit_received"] == 2
+
+    def test_age_uses_injected_clock(self):
+        now = [100.0]
+        aggregator = TelemetryAggregator(clock=lambda: now[0])
+        aggregator.ingest("n0", make_batch())
+        now[0] = 103.5
+        assert aggregator.node("n0")["age_seconds"] == 3.5
+
+
+class TestHistory:
+    def test_samples_flattened(self):
+        aggregator = TelemetryAggregator(clock=lambda: 1.0)
+        aggregator.ingest("n0", make_batch(value=4.0))
+        (sample,) = aggregator.history()
+        assert sample["node"] == "n0"
+        assert sample["values"]["epochs_total"] == 4.0
+
+    def test_ring_buffer_bounded(self):
+        aggregator = TelemetryAggregator(history_samples=3)
+        for i in range(10):
+            aggregator.ingest("n0", make_batch(seq=i, value=float(i)))
+        history = aggregator.history()
+        assert len(history) == 3
+        assert [s["values"]["epochs_total"] for s in history] == [
+            7.0, 8.0, 9.0,
+        ]
+
+    def test_summary_flattens_to_count_and_sum(self):
+        registry = MetricsRegistry()
+        registry.histogram("rtt").observe(0.5)
+        registry.histogram("rtt").observe(1.5)
+        aggregator = TelemetryAggregator()
+        aggregator.ingest_registry("n0", registry)
+        (sample,) = aggregator.history()
+        assert sample["values"]["rtt_count"] == 2.0
+        assert sample["values"]["rtt_sum"] == 2.0
+
+
+class TestEventForwarding:
+    def test_on_event_sees_spans_then_audit(self):
+        seen = []
+        aggregator = TelemetryAggregator()
+        aggregator.on_event = lambda node, event: seen.append((node, event))
+        aggregator.ingest(
+            "n0",
+            make_batch(
+                spans=[{"kind": "span", "name": "s"}],
+                audit=[{"kind": "lifecycle"}],
+            ),
+        )
+        assert seen == [
+            ("n0", {"kind": "span", "name": "s"}),
+            ("n0", {"kind": "lifecycle"}),
+        ]
+
+    def test_no_callback_is_fine(self):
+        aggregator = TelemetryAggregator()
+        aggregator.ingest("n0", make_batch(spans=[{"kind": "span"}]))
+
+
+class TestToDict:
+    def test_document_shape(self):
+        aggregator = TelemetryAggregator(clock=lambda: 2.0)
+        aggregator.ingest("n1", make_batch())
+        aggregator.ingest("n0", make_batch())
+        document = aggregator.to_dict()
+        assert list(document["nodes"]) == ["n0", "n1"]
+        assert document["kind_conflicts"] == {}
+        assert len(document["history"]) == 2

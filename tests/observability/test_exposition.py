@@ -1,0 +1,147 @@
+"""Prometheus text exposition edge cases.
+
+Label values are user-controlled strings (job ids, reasons, file
+paths) and must survive the exposition format's escaping rules;
+summary quantile series must expose in ascending order like histogram
+buckets; and merging registries from many nodes must tolerate the same
+metric name arriving with different kinds.
+"""
+
+import pytest
+
+from repro.observability.aggregator import TelemetryAggregator
+from repro.observability.metrics import (
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    format_value,
+    render_label_set,
+)
+
+
+class TestLabelEscaping:
+    def test_plain_value_untouched(self):
+        assert escape_label_value("machine-01") == "machine-01"
+
+    def test_double_quotes_escaped(self):
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+
+    def test_backslashes_escaped(self):
+        assert escape_label_value("C:\\runs\\x") == "C:\\\\runs\\\\x"
+
+    def test_newlines_escaped(self):
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_backslash_before_quote_order(self):
+        # Escaping backslashes first must not double-escape the
+        # backslash introduced for the quote.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_render_label_set_empty(self):
+        assert render_label_set(()) == ""
+
+    def test_render_label_set_escapes_values(self):
+        rendered = render_label_set((("reason", 'kill\n"budget"'),))
+        assert rendered == '{reason="kill\\n\\"budget\\""}'
+
+    def test_counter_line_with_hostile_label(self):
+        registry = MetricsRegistry()
+        registry.counter("kills_total").inc(reason='oom "hard"\nnode')
+        text = registry.render_text()
+        assert 'reason="oom \\"hard\\"\\nnode"' in text
+        # The raw newline must never reach the exposition.
+        for line in text.splitlines():
+            assert "\n" not in line
+
+    def test_aggregator_escapes_node_label(self):
+        registry = MetricsRegistry()
+        registry.gauge("worker_up").set(1.0)
+        aggregator = TelemetryAggregator()
+        aggregator.ingest_registry('node"1"', registry)
+        text = aggregator.render_text()
+        assert 'node="node\\"1\\""' in text
+
+
+class TestQuantileOrdering:
+    def test_exposition_order_ascending(self):
+        histogram = Histogram("rtt", quantiles=(0.99, 0.5, 0.9))
+        assert histogram.quantiles == (0.5, 0.9, 0.99)
+
+    def test_duplicate_quantiles_deduped(self):
+        histogram = Histogram("rtt", quantiles=(0.9, 0.5, 0.9))
+        assert histogram.quantiles == (0.5, 0.9)
+
+    def test_rendered_series_ascend(self):
+        histogram = Histogram("rtt", quantiles=(0.99, 0.5, 0.9))
+        for value in (5.0, 1.0, 3.0, 2.0, 4.0):
+            histogram.observe(value)
+        quantile_lines = [
+            line for line in histogram.render() if "quantile=" in line
+        ]
+        order = [
+            float(line.split('quantile="')[1].split('"')[0])
+            for line in quantile_lines
+        ]
+        assert order == sorted(order)
+        # And the values are monotone with the quantiles.
+        values = [float(line.rsplit(" ", 1)[1]) for line in quantile_lines]
+        assert values == sorted(values)
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("rtt", quantiles=(1.5,))
+
+    def test_infinity_formatting(self):
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+
+
+class TestMergedRegistryCollisions:
+    def _aggregate(self, *node_registries):
+        aggregator = TelemetryAggregator()
+        for node, registry in node_registries:
+            aggregator.ingest_registry(node, registry)
+        return aggregator
+
+    def test_same_kind_merges_under_node_labels(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("epochs_total").inc(3)
+        b.counter("epochs_total").inc(5)
+        text = self._aggregate(("n0", a), ("n1", b)).render_text()
+        assert text.count("# TYPE epochs_total counter") == 1
+        assert 'epochs_total{node="n0"} 3' in text
+        assert 'epochs_total{node="n1"} 5' in text
+
+    def test_kind_conflict_keeps_first_and_counts(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("busy").inc(2)
+        b.gauge("busy").set(7)
+        aggregator = self._aggregate(("n0", a), ("n1", b))
+        text = aggregator.render_text()
+        # First kind (sorted node order) wins; the other is dropped.
+        assert "# TYPE busy counter" in text
+        assert 'busy{node="n0"} 2' in text
+        assert 'busy{node="n1"}' not in text
+        assert (
+            'telemetry_kind_conflicts_total{metric="busy"} 1' in text
+        )
+        assert aggregator.to_dict()["kind_conflicts"] == {"busy": 1}
+
+    def test_conflict_with_base_registry(self):
+        base = MetricsRegistry()
+        base.gauge("busy").set(1)
+        other = MetricsRegistry()
+        other.counter("busy").inc()
+        aggregator = self._aggregate(("n0", other))
+        text = aggregator.render_text(base=base)
+        # The base (unlabelled) registry renders first and wins.
+        assert "# TYPE busy gauge" in text
+        assert "busy 1" in text.splitlines()
+
+    def test_summary_merges_with_node_label(self):
+        a = MetricsRegistry()
+        a.histogram("rtt_seconds").observe(0.25)
+        text = self._aggregate(("n0", a)).render_text()
+        assert 'rtt_seconds_count{node="n0"} 1' in text
+        assert 'rtt_seconds_sum{node="n0"} 0.25' in text
+        assert 'quantile="0.5",node="n0"' in text.replace("'", '"')

@@ -1,0 +1,96 @@
+"""repro top: pure rendering of the /telemetry document."""
+
+from repro.observability.aggregator import TelemetryAggregator
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.top import cache_hit_rate, node_row, render_top
+
+
+def head_registry():
+    registry = MetricsRegistry()
+    registry.gauge("cluster_nodes_up").set(3)
+    registry.counter("cluster_migrations_total").inc()
+    registry.counter("scheduler_epochs_total").inc(42)
+    registry.gauge("experiment_best_metric").set(0.91)
+    registry.gauge("pop_best_ert_seconds").set(600.0)
+    registry.histogram("cluster_heartbeat_rtt_seconds").observe(
+        0.002, machine_id="machine-00"
+    )
+    return registry
+
+
+def telemetry_doc():
+    aggregator = TelemetryAggregator(clock=lambda: 1.0)
+    aggregator.ingest_registry(
+        "head",
+        head_registry(),
+        meta={
+            "heartbeat": {
+                "machine-00": {
+                    "state": "up", "connected": True,
+                    "misses": 0, "last_seq": 9,
+                }
+            }
+        },
+    )
+    worker = MetricsRegistry()
+    worker.gauge("worker_up").set(1)
+    worker.counter("prediction_cache_hits_total").inc(3)
+    worker.counter("prediction_cache_misses_total").inc(1)
+    aggregator.ingest_registry("machine-00", worker)
+    return aggregator.to_dict()
+
+
+class TestCacheHitRate:
+    def test_rate(self):
+        registry = MetricsRegistry()
+        registry.counter("prediction_cache_hits_total").inc(3)
+        registry.counter("prediction_cache_misses_total").inc(1)
+        assert cache_hit_rate(registry.to_dict()) == 0.75
+
+    def test_absent_counters(self):
+        assert cache_hit_rate({}) is None
+
+    def test_zero_lookups(self):
+        registry = MetricsRegistry()
+        registry.counter("prediction_cache_hits_total")
+        assert cache_hit_rate(registry.to_dict()) == 0.0
+
+
+class TestNodeRow:
+    def test_extracts_dashboard_fields(self):
+        doc = telemetry_doc()
+        row = node_row("head", doc["nodes"]["head"])
+        assert row["epochs"] == 42.0
+        assert row["best_metric"] == 0.91
+        assert row["best_ert"] == 600.0
+
+    def test_worker_without_scheduler(self):
+        doc = telemetry_doc()
+        row = node_row("machine-00", doc["nodes"]["machine-00"])
+        assert row["epochs"] is None
+        assert row["cache_hit_rate"] == 0.75
+
+
+class TestRenderTop:
+    def test_sections_present(self):
+        frame = render_top(telemetry_doc(), url="http://x:1")
+        assert "repro top" in frame
+        assert "http://x:1" in frame
+        assert "2 node(s)" in frame
+        assert "machine-00" in frame
+        assert "nodes_up=3" in frame
+        assert "rtt=2.0ms" in frame
+        assert "0.9100" in frame       # best metric
+        assert "10.0min" in frame      # ERT
+        assert frame.endswith("\n")
+
+    def test_empty_telemetry(self):
+        frame = render_top({"nodes": {}, "history": []})
+        assert "no telemetry yet" in frame
+
+    def test_kind_conflict_warning(self):
+        frame = render_top(
+            {"nodes": {}, "history": [], "kind_conflicts": {"busy": 2}}
+        )
+        assert "kind conflicts" in frame
+        assert "busy" in frame

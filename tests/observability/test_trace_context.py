@@ -1,0 +1,119 @@
+"""Trace-context propagation: inheritance, wire round-trip, restore."""
+
+import threading
+
+from repro.observability.tracing import (
+    SpanTracer,
+    TraceContext,
+    current_trace,
+    new_trace_id,
+    trace_context,
+)
+
+
+class TestTraceIds:
+    def test_root_span_mints_trace(self):
+        tracer = SpanTracer(keep_spans=True)
+        with tracer.span("root"):
+            pass
+        (span,) = tracer.spans
+        assert span.trace_id and span.span_id
+        assert span.parent_id is None
+
+    def test_child_inherits_trace(self):
+        tracer = SpanTracer(keep_spans=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner, outer_span = tracer.spans  # finish order: inner first
+        assert inner.trace_id == outer_span.trace_id
+        assert inner.parent_id == outer_span.span_id
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer = SpanTracer(keep_spans=True)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.spans
+        assert a.trace_id != b.trace_id
+
+    def test_new_trace_id_shape(self):
+        first, second = new_trace_id(), new_trace_id()
+        assert len(first) == 16 and first != second
+
+
+class TestContextStack:
+    def test_context_restored_after_span(self):
+        tracer = SpanTracer(keep_spans=True)
+        assert current_trace() is None
+        with tracer.span("root"):
+            assert current_trace() is not None
+        assert current_trace() is None
+
+    def test_context_restored_after_exception(self):
+        tracer = SpanTracer(keep_spans=True)
+        try:
+            with tracer.span("root"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_trace() is None
+
+    def test_contexts_are_thread_local(self):
+        tracer = SpanTracer(keep_spans=True)
+        seen = {}
+
+        def worker():
+            seen["other_thread"] = current_trace()
+
+        with tracer.span("root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["other_thread"] is None
+
+
+class TestWireRoundTrip:
+    def test_to_from_dict(self):
+        context = TraceContext(trace_id="t" * 16, span_id="s" * 16)
+        wire = context.to_dict()
+        assert TraceContext.from_dict(wire) == context
+
+    def test_from_dict_rejects_empty(self):
+        assert TraceContext.from_dict(None) is None
+        assert TraceContext.from_dict({}) is None
+        assert TraceContext.from_dict({"trace_id": ""}) is None
+
+    def test_remote_span_joins_shipped_trace(self):
+        # Sender side: capture the active context under a root span.
+        sender = SpanTracer(keep_spans=True)
+        with sender.span("head.epoch"):
+            wire = current_trace().to_dict()
+        # Receiver side (another "process"): reactivate and open a span.
+        receiver = SpanTracer(keep_spans=True)
+        with trace_context(TraceContext.from_dict(wire)):
+            with receiver.span("worker.train"):
+                pass
+        (head_span,) = sender.spans
+        (worker_span,) = receiver.spans
+        assert worker_span.trace_id == head_span.trace_id
+        assert worker_span.parent_id == head_span.span_id
+
+    def test_trace_context_nests_and_restores(self):
+        outer = TraceContext(trace_id="a" * 16, span_id="1" * 16)
+        inner = TraceContext(trace_id="b" * 16, span_id="2" * 16)
+        with trace_context(outer):
+            with trace_context(inner):
+                assert current_trace() == inner
+            assert current_trace() == outer
+        assert current_trace() is None
+
+    def test_span_dict_carries_ids(self):
+        tracer = SpanTracer(keep_spans=True)
+        with tracer.span("root"):
+            pass
+        document = tracer.spans[0].to_dict()
+        assert document["trace_id"] == tracer.spans[0].trace_id
+        assert document["span_id"] == tracer.spans[0].span_id
+        assert document["parent_id"] is None

@@ -111,3 +111,32 @@ def test_unreachable_daemon_raises_service_error():
     with pytest.raises(ServiceError) as excinfo:
         client.health()
     assert excinfo.value.status == 0
+
+
+def test_telemetry_endpoint_tracks_runs(service, client, small_submission):
+    # Before any run: a valid, empty aggregate.
+    empty = client.telemetry()
+    assert empty["nodes"] == {}
+    assert empty["history"] == []
+
+    record = client.submit(small_submission.to_dict())
+    client.watch(record["id"], poll_seconds=0.1, timeout=300)
+
+    telemetry = client.telemetry()
+    # The executor ingests the run's registry under its experiment id.
+    node = telemetry["nodes"][record["id"]]
+    families = node["metrics"]
+    epochs = sum(
+        s["value"] for s in families["scheduler_epochs_total"]["samples"]
+    )
+    assert epochs > 0
+    assert node["meta"]["status"] == "running"
+    assert any(
+        sample["node"] == record["id"] for sample in telemetry["history"]
+    )
+
+    # /metrics is the merged export: service-level families unlabelled,
+    # the run's families tagged with its experiment id.
+    metrics = client.metrics_text()
+    assert "service_experiments_submitted_total 1" in metrics
+    assert f'scheduler_epochs_total{{node="{record["id"]}"}}' in metrics
