@@ -1,0 +1,43 @@
+"""Multi-tenant resource broker: one slot pool shared by every
+admitted experiment.
+
+The broker inverts machine ownership — pre-broker, each run owned a
+fixed :class:`~repro.framework.resource_manager.ResourceManager` pool;
+now the daemon owns a single :class:`~repro.broker.pool.SlotPool` and
+runs hold revocable :class:`~repro.broker.pool.SlotLease` grants that
+the broker rebalances with the paper's POP allocation computed
+*across* experiments.  See ``docs/service.md`` ("Multi-tenant
+broker").
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionError,
+    QueueEntry,
+    QueueFull,
+    QuotaExceeded,
+    RateLimited,
+    TenantQuota,
+    parse_quota_spec,
+)
+from .broker import BrokerDecision, RegisteredExperiment, ResourceBroker
+from .pool import SlotLease, SlotPool
+from .ratelimit import RateLimiter, TokenBucket
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "BrokerDecision",
+    "QueueEntry",
+    "QueueFull",
+    "QuotaExceeded",
+    "RateLimited",
+    "RateLimiter",
+    "RegisteredExperiment",
+    "ResourceBroker",
+    "SlotLease",
+    "SlotPool",
+    "TenantQuota",
+    "TokenBucket",
+    "parse_quota_spec",
+]

@@ -1,0 +1,233 @@
+"""Admission control: who may enter the queue, and in what order.
+
+Three gates, applied in order when a submission arrives:
+
+1. **rate limit** — the tenant's token bucket
+   (:class:`~repro.broker.ratelimit.RateLimiter`); a dry bucket raises
+   :class:`RateLimited` with ``retry_after`` (→ 429 + Retry-After).
+2. **queue depth** — a global bound on queued-but-not-running
+   experiments; a full queue raises :class:`QueueFull` (→ 503 +
+   Retry-After).
+3. **tenant quotas** — per-tenant caps on queued and running
+   experiments; violating ``max_queued`` raises :class:`QuotaExceeded`
+   at submit time, while ``max_running`` is enforced at *claim* time
+   (excess work waits in the queue rather than being rejected).
+
+Dispatch order is **priority DESC, then created_at FIFO** — strict
+priority with FIFO fairness inside each band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from .ratelimit import RateLimiter
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "QueueFull",
+    "QuotaExceeded",
+    "RateLimited",
+    "TenantQuota",
+]
+
+
+class AdmissionError(Exception):
+    """Base class: a submission the broker will not take right now."""
+
+    http_status = 400
+    retry_after: Optional[float] = None
+
+
+class RateLimited(AdmissionError):
+    """Token bucket dry → 429 with Retry-After."""
+
+    http_status = 429
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        self.tenant = tenant
+        self.retry_after = max(1.0, retry_after)
+        super().__init__(
+            f"tenant {tenant!r} is rate limited; "
+            f"retry after {self.retry_after:.0f}s"
+        )
+
+
+class QueueFull(AdmissionError):
+    """Global queue-depth backpressure → 503 with Retry-After."""
+
+    http_status = 503
+
+    def __init__(self, depth: int, limit: int) -> None:
+        self.retry_after = 5.0
+        super().__init__(
+            f"queue depth {depth} at limit {limit}; retry later"
+        )
+
+
+class QuotaExceeded(AdmissionError):
+    """Per-tenant queued quota exhausted → 429."""
+
+    http_status = 429
+
+    def __init__(self, tenant: str, queued: int, limit: int) -> None:
+        self.retry_after = 10.0
+        super().__init__(
+            f"tenant {tenant!r} has {queued} queued experiments "
+            f"(quota {limit})"
+        )
+
+
+@dataclass
+class TenantQuota:
+    """Caps for one tenant; ``None`` means unlimited."""
+
+    max_running: Optional[int] = None
+    max_queued: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Optional[int]]:
+        return {"max_running": self.max_running,
+                "max_queued": self.max_queued}
+
+
+@dataclass
+class QueueEntry:
+    """What the controller needs to know about one queued/running
+    experiment (a projection of the store row)."""
+
+    exp_id: str
+    tenant: str
+    priority: int
+    created_at: float
+    status: str  # "queued" | "running"
+
+
+class AdmissionController:
+    """Stateless-ish admission policy over a queue snapshot.
+
+    The controller holds configuration (quotas, limits, rate buckets)
+    but not queue state — callers pass the current queue/running
+    snapshot so the store stays the single source of truth.
+    """
+
+    def __init__(
+        self,
+        quotas: Optional[Dict[str, TenantQuota]] = None,
+        default_quota: Optional[TenantQuota] = None,
+        max_queue_depth: Optional[int] = None,
+        rate_limiter: Optional[RateLimiter] = None,
+    ) -> None:
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota or TenantQuota()
+        self.max_queue_depth = max_queue_depth
+        self.rate_limiter = rate_limiter or RateLimiter()
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    # ------------------------------------------------------------- submit
+
+    def admit(self, tenant: str, queued: Iterable[QueueEntry]) -> None:
+        """Gate one submission; raises an :class:`AdmissionError`
+        subclass when it must be rejected, returns silently when it may
+        be queued."""
+        granted, retry_after = self.rate_limiter.check(tenant)
+        if not granted:
+            raise RateLimited(tenant, retry_after)
+
+        entries = list(queued)
+        depth = sum(1 for e in entries if e.status == "queued")
+        if self.max_queue_depth is not None and depth >= self.max_queue_depth:
+            raise QueueFull(depth, self.max_queue_depth)
+
+        quota = self.quota_for(tenant)
+        if quota.max_queued is not None:
+            tenant_queued = sum(
+                1 for e in entries
+                if e.tenant == tenant and e.status == "queued"
+            )
+            if tenant_queued >= quota.max_queued:
+                raise QuotaExceeded(tenant, tenant_queued, quota.max_queued)
+
+    # -------------------------------------------------------------- claim
+
+    def next_runnable(self, entries: Iterable[QueueEntry]) -> Optional[str]:
+        """The experiment id a worker should claim next, or ``None``.
+
+        Queued entries are considered in priority-DESC,
+        created-at-FIFO order; an entry is skipped (not cancelled)
+        while its tenant is at ``max_running``.
+        """
+        entries = list(entries)
+        running_by_tenant: Dict[str, int] = {}
+        for e in entries:
+            if e.status == "running":
+                running_by_tenant[e.tenant] = \
+                    running_by_tenant.get(e.tenant, 0) + 1
+        candidates = sorted(
+            (e for e in entries if e.status == "queued"),
+            key=lambda e: (-e.priority, e.created_at, e.exp_id),
+        )
+        for entry in candidates:
+            quota = self.quota_for(entry.tenant)
+            if quota.max_running is not None:
+                if running_by_tenant.get(entry.tenant, 0) >= quota.max_running:
+                    continue
+            return entry.exp_id
+        return None
+
+    # ------------------------------------------------------------ exports
+
+    def tenant_counts(
+        self, entries: Iterable[QueueEntry]
+    ) -> Dict[str, Dict[str, int]]:
+        out: Dict[str, Dict[str, int]] = {}
+        for e in entries:
+            bucket = out.setdefault(e.tenant, {"queued": 0, "running": 0})
+            if e.status in bucket:
+                bucket[e.status] += 1
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "max_queue_depth": self.max_queue_depth,
+            "default_quota": self.default_quota.to_dict(),
+            "quotas": {
+                tenant: quota.to_dict()
+                for tenant, quota in sorted(self.quotas.items())
+            },
+            "rate_per_minute": self.rate_limiter.rate_per_minute,
+        }
+
+
+def parse_quota_spec(spec: str) -> Dict[str, TenantQuota]:
+    """Parse ``tenant=running[:queued]`` comma-lists from the CLI.
+
+    ``"alice=2,bob=1:4"`` → alice may run 2 (unlimited queued), bob may
+    run 1 and queue 4.  ``"*=2"`` sets the default quota (returned
+    under the ``"*"`` key).
+    """
+    quotas: Dict[str, TenantQuota] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"bad quota {part!r}: expected tenant=running[:queued]"
+            )
+        tenant, _, limits = part.partition("=")
+        running_s, _, queued_s = limits.partition(":")
+        try:
+            max_running = int(running_s)
+            max_queued = int(queued_s) if queued_s else None
+        except ValueError:
+            raise ValueError(
+                f"bad quota {part!r}: limits must be integers"
+            ) from None
+        quotas[tenant.strip()] = TenantQuota(
+            max_running=max_running, max_queued=max_queued
+        )
+    return quotas

@@ -1,0 +1,512 @@
+"""The resource broker: one slot pool, many experiments, POP across
+all of them.
+
+Within one experiment the paper's POP policy splits machines between a
+promising pool (configs whose predicted final accuracy clears the
+dynamic threshold ``p*``) and an opportunistic pool.  The broker lifts
+that same computation one level up: the confidences of **every**
+admitted experiment compete in a single global
+:func:`~repro.core.allocation.compute_slot_allocation` call, so an
+experiment rich in promising configurations is *desired* more of the
+shared pool, and an experiment still exploring gets squeezed toward
+its one-slot guarantee.
+
+Grant/reclaim protocol (driven from each executor's checkpoint hook):
+
+1. ``plan(exp_id)`` — charge the budget, rebalance the pool, return
+   the experiment's current slot **target** (0 = fully preempted).
+2. the executor resizes its runtime *down* to the target (draining
+   machines, suspending their jobs back onto survivors);
+3. ``commit(exp_id)`` — release the revoked leases (only now do the
+   slots return to the pool — never before the machines are actually
+   drained), acquire up to the target if the pool has free slots, and
+   return the new holding; the executor resizes *up* to match.
+
+Reclaim picks victims by **value** — expected best accuracy per
+slot-second, ``best_confidence / max(best_ERT, 1)``, scaled by
+deadline pressure — so slots flow from low-value to high-value
+experiments.  Full preemption (target 0, run interrupted and requeued)
+is only ever inflicted by a strictly-higher-priority experiment; the
+PR-2 replay-resume machinery makes it lossless.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..core.allocation import compute_slot_allocation
+from ..observability import NULL_RECORDER
+from .admission import AdmissionController, QueueEntry
+from .pool import SlotPool
+
+__all__ = ["BrokerDecision", "RegisteredExperiment", "ResourceBroker"]
+
+
+@dataclass
+class RegisteredExperiment:
+    """Broker-side state for one admitted, running experiment."""
+
+    exp_id: str
+    tenant: str
+    priority: int
+    want: int
+    registered_at: float
+    deadline_hours: Optional[float] = None
+    budget_slot_hours: Optional[float] = None
+    target: int = 0
+    confidences: List[float] = field(default_factory=list)
+    best_confidence: float = 0.0
+    best_ert_seconds: float = 0.0
+    spent_slot_hours: float = 0.0
+    budget_exhausted: bool = False
+    preempted: bool = False
+    last_charge_at: Optional[float] = None
+
+    def deadline_remaining(self, now: float) -> Optional[float]:
+        if self.deadline_hours is None:
+            return None
+        return self.registered_at + self.deadline_hours * 3600.0 - now
+
+    def to_dict(self, now: float, held: int) -> Dict[str, object]:
+        return {
+            "exp_id": self.exp_id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "want": self.want,
+            "target": self.target,
+            "held": held,
+            "best_confidence": round(self.best_confidence, 4),
+            "best_ert_seconds": round(self.best_ert_seconds, 2),
+            "spent_slot_hours": round(self.spent_slot_hours, 4),
+            "budget_slot_hours": self.budget_slot_hours,
+            "budget_exhausted": self.budget_exhausted,
+            "deadline_remaining_seconds": (
+                None if self.deadline_hours is None
+                else round(self.deadline_remaining(now) or 0.0, 1)
+            ),
+            "preempted": self.preempted,
+        }
+
+
+@dataclass(frozen=True)
+class BrokerDecision:
+    """What ``plan``/``commit`` tell the executor."""
+
+    target: int
+    held: int
+    preempted: bool = False
+
+
+class ResourceBroker:
+    """Admission + slot pool + cross-experiment POP, thread-safe.
+
+    With ``pool.total_slots is None`` (the default daemon
+    configuration) every experiment is granted exactly what it asks
+    for and nothing is ever reclaimed — pre-broker behaviour, at
+    pre-broker cost.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[SlotPool] = None,
+        admission: Optional[AdmissionController] = None,
+        recorder=None,
+        clock=None,
+    ) -> None:
+        import time as _time
+
+        self.pool = pool if pool is not None else SlotPool()
+        self.admission = admission if admission is not None \
+            else AdmissionController()
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        self._clock = clock if clock is not None else _time.time
+        self._lock = threading.RLock()
+        self._experiments: Dict[str, RegisteredExperiment] = {}
+        metrics = self.recorder.metrics
+        self._m_active = metrics.gauge(
+            "broker_experiments_active", help="Experiments holding leases"
+        )
+        self._m_tenant_queued = metrics.gauge(
+            "broker_tenant_queued", help="Queued experiments, by tenant"
+        )
+        self._m_tenant_running = metrics.gauge(
+            "broker_tenant_running", help="Running experiments, by tenant"
+        )
+        self._m_tenant_spent = metrics.gauge(
+            "broker_tenant_budget_spent_slot_hours",
+            help="Slot-hours consumed, by tenant",
+        )
+        self._m_tenant_remaining = metrics.gauge(
+            "broker_tenant_budget_remaining_slot_hours",
+            help="Budget left across a tenant's budgeted experiments",
+        )
+        self._m_tenant_deadline = metrics.gauge(
+            "broker_tenant_deadline_seconds",
+            help="Tightest deadline countdown among a tenant's runs",
+        )
+        self._m_reclaims = metrics.counter(
+            "broker_reclaims_total", help="Slot-reclaim decisions"
+        )
+        self._m_preempts = metrics.counter(
+            "broker_preemptions_total", help="Full preemptions"
+        )
+        self._m_rejected = metrics.counter(
+            "broker_rejections_total", help="Rejected submissions, by reason"
+        )
+        self._known_tenants: set = set()
+
+    # --------------------------------------------------------- admission
+
+    def claim_next(self, entries: Iterable[QueueEntry]) -> Optional[str]:
+        """Which queued experiment a daemon worker should claim, or
+        ``None`` when nothing is runnable right now.
+
+        Beyond quota order (priority DESC, FIFO within), a bounded
+        pool refuses to start an experiment the pool cannot guarantee
+        one slot — unless that experiment's priority is strictly
+        greater than some current holder's, in which case it is
+        admitted and the rebalance will preempt the victim.
+        """
+        entries = list(entries)
+        with self._lock:
+            candidate = self.admission.next_runnable(entries)
+            if candidate is None or self.pool.total_slots is None:
+                return candidate
+            active = [
+                st for st in self._experiments.values() if not st.preempted
+            ]
+            if len(active) < self.pool.total_slots:
+                return candidate
+            entry = next(e for e in entries if e.exp_id == candidate)
+            if any(entry.priority > st.priority for st in active):
+                return candidate
+            return None
+
+    # ---------------------------------------------------------- lifecycle
+
+    def register(
+        self,
+        exp_id: str,
+        tenant: str,
+        priority: int = 0,
+        want: int = 1,
+        deadline_hours: Optional[float] = None,
+        budget_slot_hours: Optional[float] = None,
+    ) -> RegisteredExperiment:
+        """Admit a claimed experiment to the pool (idempotent: a resume
+        re-registers under the same id, keeping nothing from before —
+        budget charging restarts, which is deliberate: the replay *is*
+        new slot consumption)."""
+        if want < 1:
+            raise ValueError("want must be >= 1")
+        now = self._clock()
+        with self._lock:
+            state = RegisteredExperiment(
+                exp_id=exp_id, tenant=tenant, priority=priority,
+                want=want, registered_at=now,
+                deadline_hours=deadline_hours,
+                budget_slot_hours=budget_slot_hours,
+                last_charge_at=now,
+            )
+            self._experiments[exp_id] = state
+            self._rebalance(now)
+            self._m_active.set(float(len(self._experiments)))
+        self.recorder.audit.record(
+            "broker_admit", exp_id=exp_id, tenant=tenant,
+            priority=priority, want=want,
+            deadline_hours=deadline_hours,
+            budget_slot_hours=budget_slot_hours,
+        )
+        return state
+
+    def report(
+        self,
+        exp_id: str,
+        confidences: Optional[List[float]] = None,
+        best_confidence: Optional[float] = None,
+        best_ert_seconds: Optional[float] = None,
+    ) -> None:
+        """Update an experiment's POP state (called from the executor's
+        checkpoint hook before ``plan``)."""
+        with self._lock:
+            state = self._experiments.get(exp_id)
+            if state is None:
+                return
+            if confidences is not None:
+                state.confidences = [
+                    float(c) for c in confidences if c is not None
+                ]
+            if best_confidence is not None:
+                state.best_confidence = float(best_confidence)
+            if best_ert_seconds is not None:
+                state.best_ert_seconds = float(best_ert_seconds)
+
+    def plan(self, exp_id: str) -> BrokerDecision:
+        """Phase 1 of a sync: rebalance and return the slot target."""
+        now = self._clock()
+        with self._lock:
+            state = self._experiments.get(exp_id)
+            if state is None:
+                return BrokerDecision(target=0, held=0, preempted=False)
+            self._rebalance(now)
+            return BrokerDecision(
+                target=state.target,
+                held=self.pool.held(exp_id, include_revoked=False),
+                preempted=state.preempted,
+            )
+
+    def commit(self, exp_id: str) -> BrokerDecision:
+        """Phase 2: the executor has drained down to the target —
+        release revoked leases and top back up to the target."""
+        with self._lock:
+            state = self._experiments.get(exp_id)
+            if state is None:
+                return BrokerDecision(target=0, held=0)
+            revoked = self.pool.revoked_leases(exp_id)
+            if revoked:
+                self.pool.release(lease.lease_id for lease in revoked)
+            held = self.pool.held(exp_id)
+            grant = state.target - held
+            if grant > 0:
+                granted = self.pool.acquire(exp_id, state.tenant, grant)
+                if granted:
+                    self.recorder.audit.record(
+                        "broker_grant", exp_id=exp_id, tenant=state.tenant,
+                        slots=len(granted), target=state.target,
+                    )
+                held += len(granted)
+            return BrokerDecision(
+                target=state.target, held=held, preempted=state.preempted
+            )
+
+    def release(self, exp_id: str, reason: str = "finished") -> int:
+        """Tear down an experiment: return all its slots, unregister."""
+        with self._lock:
+            released = self.pool.release_experiment(exp_id)
+            state = self._experiments.pop(exp_id, None)
+            if state is not None:
+                self._rebalance(self._clock())
+            self._m_active.set(float(len(self._experiments)))
+        if state is not None:
+            self.recorder.audit.record(
+                "broker_release", exp_id=exp_id, tenant=state.tenant,
+                slots=released, reason=reason,
+                spent_slot_hours=round(state.spent_slot_hours, 4),
+            )
+        return released
+
+    # ---------------------------------------------------------- rebalance
+
+    def _value(self, state: RegisteredExperiment, now: float) -> float:
+        """Expected best-accuracy gain per slot-second, with deadline
+        pressure.  Floors keep never-reported experiments above zero so
+        a brand-new run is not instantly the reclaim victim."""
+        base = max(state.best_confidence, 0.01) / \
+            max(state.best_ert_seconds, 1.0)
+        remaining = state.deadline_remaining(now)
+        if remaining is None:
+            pressure = 1.0
+        elif remaining <= 0:
+            pressure = 10.0
+        else:
+            total = (state.deadline_hours or 0.0) * 3600.0
+            pressure = min(10.0, max(1.0, total / max(remaining, 1.0)))
+        return base * pressure
+
+    def _charge(self, state: RegisteredExperiment, now: float) -> None:
+        last = state.last_charge_at if state.last_charge_at is not None \
+            else now
+        held = self.pool.held(state.exp_id, include_revoked=False)
+        state.spent_slot_hours += held * max(0.0, now - last) / 3600.0
+        state.last_charge_at = now
+        if (
+            state.budget_slot_hours is not None
+            and not state.budget_exhausted
+            and state.spent_slot_hours >= state.budget_slot_hours
+        ):
+            state.budget_exhausted = True
+            self.recorder.audit.record(
+                "broker_budget_exhausted", exp_id=state.exp_id,
+                tenant=state.tenant,
+                spent_slot_hours=round(state.spent_slot_hours, 4),
+                budget_slot_hours=state.budget_slot_hours,
+            )
+
+    def _rebalance(self, now: float) -> None:
+        """Recompute every experiment's slot target (caller holds the
+        lock).  No-op in unlimited mode beyond granting everyone their
+        ask."""
+        experiments = list(self._experiments.values())
+        if not experiments:
+            return
+        total = self.pool.total_slots
+        if total is None:
+            for state in experiments:
+                state.target = state.want
+            return
+
+        for state in experiments:
+            self._charge(state, now)
+
+        # Victim order: lowest priority last, then lowest value last —
+        # the tail of this sort is who loses slots first.
+        ranked = sorted(
+            experiments,
+            key=lambda s: (-s.priority, -self._value(s, now),
+                           s.registered_at, s.exp_id),
+        )
+
+        # Full preemption when there are more experiments than slots:
+        # only a strictly-higher-priority survivor justifies it.
+        survivors = ranked[:total]
+        for state in ranked[total:]:
+            if not state.preempted:
+                state.preempted = True
+                justified = any(
+                    keeper.priority > state.priority for keeper in survivors
+                )
+                self.recorder.audit.record(
+                    "broker_preempt", exp_id=state.exp_id,
+                    tenant=state.tenant, priority=state.priority,
+                    value=round(self._value(state, now), 6),
+                    reason="priority" if justified else "capacity",
+                )
+                self._m_preempts.inc()
+            state.target = 0
+            self.pool.revoke(
+                state.exp_id,
+                self.pool.held(state.exp_id, include_revoked=False),
+            )
+        for state in survivors:
+            state.preempted = False
+
+        # Cross-experiment POP: all survivors' confidences compete for
+        # one global promising set.
+        all_confidences = [
+            c for state in survivors for c in state.confidences
+        ]
+        allocation = None
+        if all_confidences:
+            allocation = compute_slot_allocation(
+                all_confidences, total_slots=total
+            )
+
+        desired: Dict[str, int] = {}
+        for state in survivors:
+            if state.budget_exhausted:
+                desired[state.exp_id] = 1
+            elif allocation is not None and allocation.num_promising > 0:
+                promising_here = sum(
+                    1 for c in state.confidences
+                    if c >= allocation.threshold
+                )
+                desired[state.exp_id] = min(
+                    state.want, max(1, promising_here)
+                )
+            else:
+                desired[state.exp_id] = state.want
+
+        # Water-fill: one guaranteed slot each, then up to desired in
+        # rank order, then (work-conserving) up to want.  A spent
+        # budget caps at the one-slot guarantee even when slots are
+        # free — idling them is what the tenant paid (not) for.
+        targets = {state.exp_id: 1 for state in survivors}
+        remaining = total - len(survivors)
+        want_of = {
+            s.exp_id: (1 if s.budget_exhausted else s.want)
+            for s in survivors
+        }
+        for cap_of in (desired, want_of):
+            for state in survivors:
+                if remaining <= 0:
+                    break
+                extra = min(
+                    cap_of[state.exp_id] - targets[state.exp_id], remaining
+                )
+                if extra > 0:
+                    targets[state.exp_id] += extra
+                    remaining -= extra
+
+        for state in survivors:
+            state.target = targets[state.exp_id]
+            held = self.pool.held(state.exp_id, include_revoked=False)
+            if held > state.target:
+                marked = self.pool.revoke(state.exp_id, held - state.target)
+                if marked:
+                    self.recorder.audit.record(
+                        "broker_reclaim", exp_id=state.exp_id,
+                        tenant=state.tenant, slots=len(marked),
+                        target=state.target,
+                        value=round(self._value(state, now), 6),
+                        reason="rebalance",
+                    )
+                    self._m_reclaims.inc()
+
+    # ------------------------------------------------------------ exports
+
+    def record_rejection(self, reason: str) -> None:
+        self._m_rejected.inc(reason=reason)
+
+    def export_tenant_gauges(self, entries: Iterable[QueueEntry]) -> None:
+        """Refresh the per-tenant gauges `repro top` renders, from the
+        store's queue snapshot plus broker-internal budget state."""
+        now = self._clock()
+        counts = self.admission.tenant_counts(entries)
+        with self._lock:
+            tenants = set(counts) | {
+                s.tenant for s in self._experiments.values()
+            } | self._known_tenants
+            self._known_tenants = set(tenants)
+            for tenant in tenants:
+                count = counts.get(tenant, {"queued": 0, "running": 0})
+                self._m_tenant_queued.set(
+                    float(count["queued"]), tenant=tenant
+                )
+                self._m_tenant_running.set(
+                    float(count["running"]), tenant=tenant
+                )
+                states = [
+                    s for s in self._experiments.values()
+                    if s.tenant == tenant
+                ]
+                self._m_tenant_spent.set(
+                    sum(s.spent_slot_hours for s in states), tenant=tenant
+                )
+                budgeted = [
+                    s for s in states if s.budget_slot_hours is not None
+                ]
+                if budgeted:
+                    self._m_tenant_remaining.set(
+                        sum(
+                            max(0.0, s.budget_slot_hours - s.spent_slot_hours)
+                            for s in budgeted
+                        ),
+                        tenant=tenant,
+                    )
+                deadlines = [
+                    s.deadline_remaining(now) for s in states
+                    if s.deadline_hours is not None
+                ]
+                if deadlines:
+                    self._m_tenant_deadline.set(
+                        min(deadlines), tenant=tenant
+                    )
+
+    def status(self) -> Dict[str, object]:
+        """The ``GET /broker`` / ``repro broker-status`` document."""
+        now = self._clock()
+        with self._lock:
+            experiments = [
+                state.to_dict(now, self.pool.held(state.exp_id))
+                for state in sorted(
+                    self._experiments.values(),
+                    key=lambda s: (-s.priority, s.registered_at, s.exp_id),
+                )
+            ]
+        return {
+            "pool": self.pool.to_dict(),
+            "experiments": experiments,
+            "admission": self.admission.to_dict(),
+        }

@@ -1,0 +1,102 @@
+"""Token-bucket rate limiting for the broker's HTTP surface.
+
+One bucket per key (tenant, or a shared key for anonymous traffic):
+``capacity`` tokens, refilled continuously at ``refill_per_second``.
+A request costs one token; when the bucket is dry the caller gets the
+seconds-until-next-token back so the daemon can answer
+``429 Too Many Requests`` with an honest ``Retry-After``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """A single continuously-refilled token bucket (thread-safe)."""
+
+    def __init__(self, capacity: float, refill_per_second: float,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        if refill_per_second <= 0:
+            raise ValueError("refill_per_second must be > 0")
+        import time as _time
+
+        self.capacity = float(capacity)
+        self.refill_per_second = float(refill_per_second)
+        self._clock = clock if clock is not None else _time.monotonic
+        self._tokens = self.capacity
+        self._stamp = self._clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(
+            self.capacity, self._tokens + elapsed * self.refill_per_second
+        )
+
+    def try_acquire(self, cost: float = 1.0) -> Tuple[bool, float]:
+        """Spend ``cost`` tokens if available.
+
+        Returns ``(granted, retry_after_seconds)``; ``retry_after``
+        is 0 on success, else the wait until ``cost`` tokens exist.
+        """
+        with self._lock:
+            self._refill()
+            if self._tokens >= cost:
+                self._tokens -= cost
+                return True, 0.0
+            deficit = cost - self._tokens
+            return False, deficit / self.refill_per_second
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill()
+            return self._tokens
+
+
+class RateLimiter:
+    """Per-key token buckets with shared parameters.
+
+    ``rate_per_minute=None`` disables limiting entirely (the daemon's
+    default, preserving pre-broker behaviour).
+    """
+
+    def __init__(self, rate_per_minute: Optional[float] = None,
+                 burst: Optional[int] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.rate_per_minute = rate_per_minute
+        self._clock = clock
+        self._burst = burst
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate_per_minute is not None
+
+    def check(self, key: str, cost: float = 1.0) -> Tuple[bool, float]:
+        """``(granted, retry_after_seconds)`` for one request by ``key``."""
+        if self.rate_per_minute is None:
+            return True, 0.0
+        with self._lock:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                # Burst defaults to one minute's worth of tokens so a
+                # fresh tenant can submit a batch before throttling.
+                capacity = self._burst if self._burst is not None \
+                    else max(1.0, self.rate_per_minute)
+                bucket = TokenBucket(
+                    capacity=capacity,
+                    refill_per_second=self.rate_per_minute / 60.0,
+                    clock=self._clock,
+                )
+                self._buckets[key] = bucket
+        return bucket.try_acquire(cost)

@@ -1,0 +1,237 @@
+"""Broker-vs-FIFO lab study: is sharing one slot pool worth it?
+
+The broker's pitch is *aggregate* time-to-target: on a P-slot pool, K
+tenants submitting together should collectively reach their targets
+sooner under cross-experiment POP brokering than under the classic
+alternative — a strict FIFO daemon that runs one experiment at a time
+with the whole pool.  This module measures exactly that claim with the
+repo's own machinery end to end:
+
+* each **scenario** boots a real in-process
+  :class:`~repro.service.daemon.ExperimentService`, submits the same K
+  experiments (distinct tenants, shared seed offset), and records each
+  experiment's **flow time** — wall seconds from scenario start to its
+  terminal record's ``finished_at``;
+* the **pop-broker** condition runs K workers over a P-slot pool
+  (concurrent experiments leasing and rebalancing slots);
+* the **sequential FIFO** condition runs 1 worker with an unlimited
+  pool (each experiment owns its full machine ask, strictly one at a
+  time — FIFO order);
+* scenarios are **paired by seed** and the aggregate — the batch
+  **makespan**, wall seconds until every experiment in the batch is
+  done — is reported as a speedup ratio with a paired bootstrap CI
+  (:func:`~repro.metrics.stats.paired_bootstrap_speedup_ci`), the same
+  statistical treatment as the sweep lab's reports.
+
+This is deliberately wall-clock: the simulated runtimes burn real CPU
+proportional to simulated work, so concurrency effects (what the
+broker exists for) show up only on the wall axis.  Pairing by seed
+and bootstrap CIs absorb machine noise.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+__all__ = ["ScenarioResult", "broker_vs_fifo", "render_report", "run_scenario"]
+
+MODES = ("fifo", "broker")
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario (one mode, one seed) of the comparison."""
+
+    mode: str
+    seed: int
+    flow_seconds: Dict[str, float] = field(default_factory=dict)
+    statuses: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def aggregate_seconds(self) -> float:
+        """Batch makespan — wall seconds until every experiment in the
+        scenario is done.  This is the 'aggregate time-to-target'
+        headline: the FIFO baseline pays the full staircase (each
+        experiment waits for all earlier ones) while the broker
+        overlaps them on the shared pool."""
+        flows = list(self.flow_seconds.values())
+        return max(flows) if flows else 0.0
+
+    @property
+    def mean_flow_seconds(self) -> float:
+        """Mean per-experiment flow time (secondary, latency-flavored
+        view — concurrency can trade this off against makespan)."""
+        flows = list(self.flow_seconds.values())
+        return sum(flows) / len(flows) if flows else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "seed": self.seed,
+            "flow_seconds": dict(self.flow_seconds),
+            "aggregate_seconds": self.aggregate_seconds,
+            "mean_flow_seconds": self.mean_flow_seconds,
+            "statuses": dict(self.statuses),
+        }
+
+
+def run_scenario(
+    mode: str,
+    seed: int,
+    root: Optional[Union[str, Path]] = None,
+    slots: int = 4,
+    experiments: int = 3,
+    workload: str = "cifar10",
+    configs: int = 8,
+    tmax_hours: float = 0.5,
+    checkpoint_every: int = 5,
+    timeout: float = 600.0,
+) -> ScenarioResult:
+    """Run one K-experiment scenario under one scheduling discipline.
+
+    Args:
+        mode: ``"broker"`` (K workers, P-slot shared pool) or
+            ``"fifo"`` (1 worker, unlimited pool — strict sequential).
+        seed: scenario seed; experiment *i* runs with ``seed*100 + i``
+            so paired scenarios see identical workloads.
+        root: run-store directory (a temp dir when None).
+        slots: pool size P; also each submission's machine ask, so the
+            FIFO baseline gives every run the full pool.
+        experiments: K concurrent submissions (tenant-0 … tenant-K-1).
+        workload / configs / tmax_hours / checkpoint_every: forwarded
+            to each :class:`~repro.service.submission.Submission`.
+        timeout: wall bound on the whole scenario.
+
+    Returns:
+        The scenario's per-experiment flow times and final statuses.
+    """
+    from ..service.daemon import ExperimentService
+
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, not {mode!r}")
+    if experiments < 1:
+        raise ValueError("experiments must be >= 1")
+    if root is None:
+        root = tempfile.mkdtemp(prefix=f"broker-study-{mode}-")
+    service = ExperimentService(
+        root,
+        workers=experiments if mode == "broker" else 1,
+        slots=slots if mode == "broker" else None,
+    )
+    service.start()
+    result = ScenarioResult(mode=mode, seed=seed)
+    try:
+        start = time.time()
+        ids: List[str] = []
+        for index in range(experiments):
+            record = service.submit(
+                {
+                    "workload": workload,
+                    "policy": "pop",
+                    "configs": configs,
+                    "machines": slots,
+                    "seed": seed * 100 + index,
+                    "tmax_hours": tmax_hours,
+                    "checkpoint_every": checkpoint_every,
+                    "tenant": f"tenant-{index}",
+                }
+            )
+            ids.append(record["id"])
+        deadline = time.monotonic() + timeout
+        pending = set(ids)
+        while pending:
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{mode} scenario (seed {seed}) still has "
+                    f"{len(pending)} unfinished experiment(s) after "
+                    f"{timeout:.0f}s"
+                )
+            for exp_id in sorted(pending):
+                record = service.store.get(exp_id)
+                assert record is not None
+                if record.status in ("completed", "failed", "cancelled"):
+                    pending.discard(exp_id)
+                    result.statuses[exp_id] = record.status
+                    finished = record.finished_at or time.time()
+                    result.flow_seconds[exp_id] = max(
+                        0.0, finished - start
+                    )
+            time.sleep(0.05)
+    finally:
+        service.stop()
+    return result
+
+
+def broker_vs_fifo(
+    seeds: Sequence[int] = (0, 1, 2),
+    confidence: float = 0.95,
+    **scenario_kwargs: Any,
+) -> Dict[str, Any]:
+    """The full paired study: FIFO baseline vs pop-broker, per seed.
+
+    Returns a report dict with per-seed aggregates and the paired
+    bootstrap speedup CI (baseline FIFO over improved broker — above
+    1.0 means the broker wins).  Keyword args are forwarded to
+    :func:`run_scenario`.
+    """
+    from ..metrics.stats import paired_bootstrap_speedup_ci
+
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    pairs: List[Dict[str, Any]] = []
+    fifo_aggregates: List[float] = []
+    broker_aggregates: List[float] = []
+    for seed in seeds:
+        fifo = run_scenario("fifo", seed, **scenario_kwargs)
+        broker = run_scenario("broker", seed, **scenario_kwargs)
+        fifo_aggregates.append(fifo.aggregate_seconds)
+        broker_aggregates.append(broker.aggregate_seconds)
+        pairs.append({"fifo": fifo.to_dict(), "broker": broker.to_dict()})
+    point, low, high = paired_bootstrap_speedup_ci(
+        fifo_aggregates, broker_aggregates, confidence=confidence
+    )
+    return {
+        "metric": "batch_makespan_seconds",
+        "seeds": list(seeds),
+        "pairs": pairs,
+        "fifo_mean_seconds": sum(fifo_aggregates) / len(fifo_aggregates),
+        "broker_mean_seconds":
+            sum(broker_aggregates) / len(broker_aggregates),
+        "speedup": point,
+        "speedup_ci": [low, high],
+        "confidence": confidence,
+    }
+
+
+def render_report(report: Dict[str, Any]) -> str:
+    """The study dict as a small markdown report."""
+    lines = [
+        "# Broker vs sequential FIFO",
+        "",
+        "Aggregate time-to-target (batch makespan: wall seconds until",
+        "every experiment in the batch is done), paired by seed.",
+        "Speedup above 1.0x means the shared-pool broker beats running",
+        "the same submissions strictly one at a time.",
+        "",
+        f"| seed | FIFO (s) | broker (s) |",
+        f"|-----:|---------:|-----------:|",
+    ]
+    for pair in report["pairs"]:
+        lines.append(
+            f"| {pair['fifo']['seed']} "
+            f"| {pair['fifo']['aggregate_seconds']:.2f} "
+            f"| {pair['broker']['aggregate_seconds']:.2f} |"
+        )
+    low, high = report["speedup_ci"]
+    lines += [
+        "",
+        f"**speedup: {report['speedup']:.2f}x "
+        f"[{low:.2f}, {high:.2f}] "
+        f"({report['confidence']:.0%} paired bootstrap)**",
+        "",
+    ]
+    return "\n".join(lines)

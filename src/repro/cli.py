@@ -156,8 +156,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--cluster-workers", type=int, default=None,
-        help="execute experiments on the multi-process cluster runtime "
-             "with this many local worker processes (see docs/cluster.md)",
+        help="execute live submissions on the multi-process cluster "
+             "runtime with this many local worker processes per run "
+             "(see docs/cluster.md); simulator submissions always run "
+             "in-process on the daemon's worker pool",
+    )
+    serve_parser.add_argument(
+        "--slots", type=int, default=None,
+        help="bound the broker's shared slot pool: concurrent "
+             "experiments lease machines from these N slots and may be "
+             "shrunk/preempted as others arrive (default: unlimited)",
+    )
+    serve_parser.add_argument(
+        "--tenant-quotas", default=None, metavar="SPEC",
+        help="per-tenant admission quotas, e.g. 'alice=2,bob=1:4' "
+             "(tenant=max_running[:max_queued]; '*' sets the default)",
+    )
+    serve_parser.add_argument(
+        "--max-queue-depth", type=int, default=None,
+        help="global queued-experiment bound; a full queue answers "
+             "503 + Retry-After",
+    )
+    serve_parser.add_argument(
+        "--rate-limit", type=float, default=None, metavar="PER_MINUTE",
+        help="per-tenant submission rate limit (token bucket); a dry "
+             "bucket answers 429 + Retry-After",
+    )
+    serve_parser.add_argument(
+        "--rate-burst", type=int, default=None,
+        help="token-bucket burst size (default: one minute's rate)",
     )
 
     cluster_parser = sub.add_parser(
@@ -337,6 +364,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="block until the experiment finishes and print its summary",
     )
     submit_parser.add_argument("--poll", type=float, default=0.5)
+    submit_parser.add_argument(
+        "--tenant", default="default",
+        help="broker tenant this submission bills to (quotas, rate "
+             "limits, budget accounting)",
+    )
+    submit_parser.add_argument(
+        "--priority", type=int, default=0,
+        help="admission priority: higher claims first and may preempt "
+             "running lower-priority work on a bounded pool",
+    )
+    submit_parser.add_argument(
+        "--deadline-hours", type=float, default=None,
+        help="soft deadline; approaching it raises the experiment's "
+             "claim on shared slots (deadline pressure)",
+    )
+    submit_parser.add_argument(
+        "--budget-slot-hours", type=float, default=None,
+        help="slot-hour budget; once spent the broker shrinks the "
+             "experiment to its one-slot guarantee",
+    )
 
     status_parser = sub.add_parser(
         "status", help="show experiments known to a daemon or a store"
@@ -364,6 +411,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     resume_parser.add_argument("id")
     resume_parser.add_argument("--root", required=True)
+
+    broker_parser = sub.add_parser(
+        "broker-status",
+        help="show a daemon's resource broker: slot pool, per-"
+             "experiment leases/targets, tenants, admission config",
+    )
+    broker_parser.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    broker_parser.add_argument(
+        "--json", action="store_true",
+        help="print the raw GET /broker document",
+    )
 
     top_parser = sub.add_parser(
         "top",
@@ -846,6 +904,10 @@ def _submission_from_args(args: argparse.Namespace):
         time_scale=args.time_scale,
         checkpoint_every=getattr(args, "checkpoint_every", 25),
         predict_workers=args.predict_workers,
+        tenant=getattr(args, "tenant", "default"),
+        priority=getattr(args, "priority", 0),
+        deadline_hours=getattr(args, "deadline_hours", None),
+        budget_slot_hours=getattr(args, "budget_slot_hours", None),
     )
 
 
@@ -875,6 +937,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.cluster_workers is not None and args.cluster_workers < 1:
         print("error: --cluster-workers must be >= 1", file=sys.stderr)
         return 2
+    if args.slots is not None and args.slots < 1:
+        print("error: --slots must be >= 1", file=sys.stderr)
+        return 2
     service = ExperimentService(
         root=args.root,
         host=args.host,
@@ -882,15 +947,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         resume_interrupted=args.resume_interrupted,
         cluster_workers=args.cluster_workers,
+        slots=args.slots,
+        tenant_quotas=args.tenant_quotas,
+        max_queue_depth=args.max_queue_depth,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
     )
     service.start()
     print(f"experiment service listening on {service.url}")
     print(f"run store       : {args.root}")
     print(f"workers         : {args.workers}")
     if args.cluster_workers:
-        print(f"cluster workers : {args.cluster_workers} processes per run")
+        print(f"cluster workers : {args.cluster_workers} processes per "
+              "live run")
+    slots_text = "unlimited" if args.slots is None else str(args.slots)
+    print(f"broker slots    : {slots_text}")
+    if args.tenant_quotas:
+        print(f"tenant quotas   : {args.tenant_quotas}")
+    if args.rate_limit:
+        print(f"rate limit      : {args.rate_limit:g}/min per tenant")
     print("endpoints       : POST /experiments · GET /experiments[/{id}"
-          "[/events]] · DELETE /experiments/{id} · GET /metrics")
+          "[/events]] · DELETE /experiments/{id} · GET /broker "
+          "· GET /metrics")
     sys.stdout.flush()
     service.serve_until_interrupted()
     return 0
@@ -990,6 +1068,40 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return 0 if final.status == COMPLETED else EXIT_EXPERIMENT_NOT_COMPLETED
 
 
+def _cmd_broker_status(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient
+
+    doc = ServiceClient(args.url).broker_status()
+    if args.json:
+        print(json.dumps(doc, indent=2))
+        return 0
+    pool = doc["pool"]
+    total = pool["total_slots"]
+    total_text = "unlimited" if total in (None, 0) else str(total)
+    print(f"slot pool  : {pool['allocated']} allocated / {total_text}")
+    tenants = doc.get("tenants") or {}
+    for tenant in sorted(tenants):
+        counts = tenants[tenant]
+        print(f"tenant {tenant:<12} queued={counts['queued']} "
+              f"running={counts['running']}")
+    experiments = doc.get("experiments") or []
+    if not experiments:
+        print("no experiments hold leases")
+        return 0
+    for exp in experiments:
+        deadline = exp.get("deadline_remaining_seconds")
+        deadline_text = "-" if deadline is None else f"{deadline:.0f}s"
+        print(
+            f"{exp['exp_id']}  tenant={exp['tenant']:<10} "
+            f"prio={exp['priority']:<3} held={exp['held']}/{exp['want']} "
+            f"target={exp['target']} "
+            f"spent={exp['spent_slot_hours']:.3f}sh "
+            f"deadline={deadline_text}"
+            + ("  PREEMPTED" if exp.get("preempted") else "")
+        )
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     import time as _time
 
@@ -1037,6 +1149,7 @@ def main(argv=None) -> int:
         "status": _cmd_status,
         "watch": _cmd_watch,
         "resume": _cmd_resume,
+        "broker-status": _cmd_broker_status,
         "top": _cmd_top,
         "diagnose": _cmd_diagnose,
     }

@@ -81,6 +81,7 @@ class _ClusterExperiment:
         cancel_event: Optional[threading.Event] = None,
         progress_hook: Optional[Callable] = None,
         progress_every_epochs: int = 50,
+        setup_hook: Optional[Callable] = None,
         aggregator: Optional[TelemetryAggregator] = None,
         telemetry_interval: float = 0.25,
     ) -> None:
@@ -92,6 +93,7 @@ class _ClusterExperiment:
         self.cancel_event = cancel_event
         self.progress_hook = progress_hook
         self.progress_every_epochs = progress_every_epochs
+        self.setup_hook = setup_hook
         self._workload = workload
         self._predictor = predictor
         self._t0 = time.monotonic()
@@ -452,6 +454,8 @@ class _ClusterExperiment:
         membership.start()
         self._threads.append(membership)
         with self.lock:
+            if self.setup_hook is not None:
+                self.setup_hook(self.scheduler)
             self.scheduler.begin()
             started = self._take_started()
         for machine_id in self.machine_ids:
@@ -494,12 +498,17 @@ class _ClusterExperiment:
                     and self.scheduler.job_manager.num_idle == 0
                 )
                 epochs = self.scheduler.result.epochs_trained
+                started: Sequence[str] = ()
                 if (
                     self.progress_hook is not None
                     and epochs - last_progress >= self.progress_every_epochs
                 ):
                     last_progress = epochs
                     self.progress_hook(self.scheduler)
+                    # A hook may resize the pool (broker sync): jobs
+                    # started on regrown machines need their wake-up.
+                    started = self._take_started()
+            self._notify_started(started)
             if quiescent:
                 return
             if self.heartbeat.nodes_up == 0:
@@ -561,6 +570,7 @@ def run_cluster(
     cancel_event: Optional[threading.Event] = None,
     progress_hook: Optional[Callable] = None,
     progress_every_epochs: int = 50,
+    setup_hook: Optional[Callable] = None,
     aggregator: Optional[TelemetryAggregator] = None,
     telemetry_interval: float = 0.25,
 ) -> ExperimentResult:
@@ -587,8 +597,8 @@ def run_cluster(
             terminated instead of rescheduled.
         rpc_timeout: seconds before one head→worker call fails.
         startup_timeout: seconds to wait for the fleet to register.
-        cancel_event / progress_hook / progress_every_epochs: as in
-            :func:`repro.runtime.local.run_live`.
+        cancel_event / progress_hook / progress_every_epochs /
+            setup_hook: as in :func:`repro.runtime.local.run_live`.
         aggregator: telemetry sink merging per-node registries shipped
             by the workers; auto-created whenever a real recorder is
             attached (pass your own to share one across runs, as the
@@ -631,6 +641,7 @@ def run_cluster(
         cancel_event=cancel_event,
         progress_hook=progress_hook,
         progress_every_epochs=progress_every_epochs,
+        setup_hook=setup_hook,
         aggregator=aggregator,
         telemetry_interval=telemetry_interval,
     )

@@ -282,9 +282,14 @@ class POPPolicy(SchedulingPolicy):
         confidences = [
             job.confidence for job in active if job.confidence is not None
         ]
+        # In-service, not nominal: under a broker lease reclaim the
+        # drained machines must stop counting as allocatable slots.
+        total_slots = getattr(
+            ctx.resource_manager, "num_in_service", None
+        ) or ctx.resource_manager.num_machines
         allocation = compute_slot_allocation(
             confidences,
-            total_slots=ctx.resource_manager.num_machines,
+            total_slots=total_slots,
             slots_per_config=self.slots_per_config,
         )
         self.threshold = allocation.threshold

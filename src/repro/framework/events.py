@@ -70,6 +70,8 @@ class LifecycleKind(enum.Enum):
     COMPLETED = "completed"
     MACHINE_FAILED = "machine_failed"
     MACHINE_RECOVERED = "machine_recovered"
+    MACHINE_DRAINED = "machine_drained"
+    MACHINE_RETURNED = "machine_returned"
 
 
 @dataclass(frozen=True)

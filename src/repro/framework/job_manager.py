@@ -175,3 +175,33 @@ class JobManager:
     def label_job(self, job_id: str, priority: float) -> None:
         """Attach a scheduling priority to a job (§4.2 ``label_Job``)."""
         self.get(job_id).priority = float(priority)
+
+    # ------------------------------------------------------------- digest
+
+    def confidence_digest(self) -> Dict[str, object]:
+        """POP-state digest of the active jobs, for cross-experiment
+        brokering: every active confidence, plus the best job's
+        confidence and its expected remaining time.  The broker pools
+        the ``confidences`` of all admitted experiments into one global
+        promising-set computation and prices reclaim victims by
+        ``best_confidence / best_ert``.
+        """
+        active = self.active_jobs()
+        confidences = [
+            float(job.confidence) for job in active
+            if job.confidence is not None
+        ]
+        best_confidence = max(confidences, default=0.0)
+        best_ert = min(
+            (
+                float(job.expected_remaining_time) for job in active
+                if job.confidence is not None
+                and job.expected_remaining_time
+            ),
+            default=0.0,
+        )
+        return {
+            "confidences": confidences,
+            "best_confidence": best_confidence,
+            "best_ert_seconds": best_ert,
+        }

@@ -29,6 +29,8 @@ class ResourceManager:
         self._idle: List[str] = list(self._all)
         self._busy: Set[str] = set()
         self._failed: Set[str] = set()
+        self._drained: Set[str] = set()
+        self._target_capacity: int = num_machines
 
     @property
     def machine_ids(self) -> List[str]:
@@ -55,11 +57,64 @@ class ResourceManager:
         return machine_id
 
     def release_machine(self, machine_id: str) -> None:
-        """Return a reserved machine to the idle pool."""
+        """Return a reserved machine to the idle pool — or park it in
+        the drained set when the pool is over its target capacity (a
+        broker reclaimed the slot)."""
         if machine_id not in self._busy:
             raise ValueError(f"{machine_id!r} is not reserved")
         self._busy.remove(machine_id)
-        self._idle.append(machine_id)
+        if self.num_in_service > self._target_capacity:
+            self._drained.add(machine_id)
+        else:
+            self._idle.append(machine_id)
+
+    # ------------------------------------------------------- elasticity
+
+    @property
+    def target_capacity(self) -> int:
+        return self._target_capacity
+
+    @property
+    def num_in_service(self) -> int:
+        """Machines participating in scheduling: not failed, not
+        drained.  This — not :attr:`num_machines` — is the slot count
+        allocation decisions should divide."""
+        return len(self._all) - len(self._failed) - len(self._drained)
+
+    @property
+    def num_drained(self) -> int:
+        return len(self._drained)
+
+    def is_drained(self, machine_id: str) -> bool:
+        if machine_id not in self._all:
+            raise ValueError(f"unknown machine {machine_id!r}")
+        return machine_id in self._drained
+
+    def set_target_capacity(self, target: int) -> List[str]:
+        """Resize the in-service pool toward ``target`` machines.
+
+        Shrinking drains idle machines immediately (they are returned)
+        and leaves busy ones to drain as they release.  Growing
+        un-drains parked machines back into the idle pool.  The pool
+        never exceeds :attr:`num_machines` — machines are named at
+        construction and the broker grants within that bound.
+        """
+        if target < 0:
+            raise ValueError("target must be >= 0")
+        self._target_capacity = min(target, len(self._all))
+        drained_now: List[str] = []
+        # Grow: resurrect drained machines, oldest-named first for
+        # deterministic ordering.
+        while self._drained and self.num_in_service < self._target_capacity:
+            machine_id = sorted(self._drained)[0]
+            self._drained.remove(machine_id)
+            self._idle.append(machine_id)
+        # Shrink: drain idle machines first; busy ones drain on release.
+        while self._idle and self.num_in_service > self._target_capacity:
+            machine_id = self._idle.pop()
+            self._drained.add(machine_id)
+            drained_now.append(machine_id)
+        return drained_now
 
     def is_busy(self, machine_id: str) -> bool:
         if machine_id not in self._all:
@@ -89,13 +144,19 @@ class ResourceManager:
             raise ValueError(f"{machine_id!r} has already failed")
         if machine_id in self._busy:
             self._busy.remove(machine_id)
+        elif machine_id in self._drained:
+            self._drained.remove(machine_id)
         else:
             self._idle.remove(machine_id)
         self._failed.add(machine_id)
 
     def recover_machine(self, machine_id: str) -> None:
-        """Return a failed machine to the idle pool."""
+        """Return a failed machine to the idle pool (or the drained set
+        when the pool is already at its target capacity)."""
         if machine_id not in self._failed:
             raise ValueError(f"{machine_id!r} is not failed")
         self._failed.remove(machine_id)
-        self._idle.append(machine_id)
+        if self.num_in_service > self._target_capacity:
+            self._drained.add(machine_id)
+        else:
+            self._idle.append(machine_id)

@@ -23,7 +23,7 @@ from __future__ import annotations
 import enum
 import logging
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..curves.engine import ParallelPredictionService, unwrap_service
 from ..curves.predictor import (
@@ -151,6 +151,9 @@ class HyperDriveScheduler:
         self.result = ExperimentResult(policy_name=policy.name, spec=spec)
         self._started_machines: List[str] = []
         self._charges: Dict[str, Tuple[float, float]] = {}
+        #: Busy machines a resize() shrink is waiting to drain; evicted
+        #: (suspend + release) at their next epoch boundary.
+        self._evict_pending: Set[str] = set()
         self._done = False
         self._context: Optional[PolicyContext] = None
         metrics = self.recorder.metrics
@@ -302,11 +305,33 @@ class HyperDriveScheduler:
         )
 
         if job_finished:
+            self._evict_pending.discard(machine_id)
             self.job_manager.complete_job(job_id)
             agent.release()
             self._log(LifecycleKind.COMPLETED, job_id, machine_id)
             self._record_pool_snapshot(now)
             return FollowUp(FollowUpAction.RELEASE_MACHINE)
+
+        if machine_id in self._evict_pending:
+            # A resize() shrink claimed this machine: suspend the job
+            # at this boundary (lossless — snapshot + idle queue) and
+            # surrender the slot without consulting the policy.
+            self._evict_pending.discard(machine_id)
+            snapshot = replace(agent.capture_snapshot(), timestamp=now)
+            self.appstat_db.save_snapshot(snapshot)
+            self.result.snapshots.append(snapshot)
+            self.job_manager.suspend_job(job_id)
+            agent.release()
+            self._charges.pop(machine_id, None)
+            self._m_suspends.inc()
+            self._log(
+                LifecycleKind.SUSPENDED, job_id, machine_id,
+                {"latency": snapshot.latency, "reason": "drain"},
+            )
+            self._record_pool_snapshot(now)
+            return FollowUp(
+                FollowUpAction.RELEASE_MACHINE, delay=snapshot.latency
+            )
 
         with self.recorder.tracer.span(
             "scheduler.process_epoch",
@@ -389,6 +414,7 @@ class HyperDriveScheduler:
         that loss — and re-enters the idle queue to be resumed on
         another machine, the recovery path §5.1's snapshots enable.
         """
+        self._evict_pending.discard(machine_id)
         agent = self.agents[machine_id]
         if agent.busy:
             job_id = agent.job_id
@@ -419,6 +445,60 @@ class HyperDriveScheduler:
         if self._done:
             return
         self.policy.allocate_jobs()
+
+    def resize(self, target: int) -> int:
+        """Elastically resize the in-service machine pool to ``target``
+        slots (a broker granted or reclaimed leases).
+
+        Shrinking drains idle machines immediately; busy machines over
+        the target are *marked for eviction* and drain at their next
+        epoch boundary — their job is snapshotted and suspended through
+        the normal SAP suspend path, so the work resumes losslessly on
+        a surviving machine.  Growing returns drained machines to
+        service and triggers an allocation round.  Returns the
+        in-service count (shrinks show up fully once busy machines hit
+        their next boundary).
+        """
+        rm = self.resource_manager
+        target = max(0, min(target, rm.num_machines))
+        before = rm.num_in_service
+        drained_before = {m for m in rm.machine_ids if rm.is_drained(m)}
+        for machine_id in rm.set_target_capacity(target):
+            self._log(LifecycleKind.MACHINE_DRAINED, "-", machine_id)
+        for machine_id in sorted(drained_before):
+            if not rm.is_drained(machine_id):
+                self._evict_pending.discard(machine_id)
+                self._log(LifecycleKind.MACHINE_RETURNED, "-", machine_id)
+        # Mark the newest busy machines for boundary eviction until the
+        # (eventual) in-service count meets the target.
+        busy = sorted(
+            (m for m in rm.machine_ids
+             if rm.is_busy(m) and not rm.is_drained(m)),
+            reverse=True,
+        )
+        pending_after = rm.num_in_service - len(
+            self._evict_pending & set(busy)
+        )
+        for machine_id in busy:
+            if pending_after <= target:
+                break
+            if machine_id not in self._evict_pending:
+                self._evict_pending.add(machine_id)
+                pending_after -= 1
+        # Over-marked from an earlier, deeper shrink? Unmark survivors.
+        while pending_after < target and self._evict_pending:
+            self._evict_pending.discard(sorted(self._evict_pending)[0])
+            pending_after += 1
+        # Pre-begin resize (a broker setup hook trimming the pool to
+        # its granted leases) must not allocate: the policy is unbound
+        # until begin() runs its initial allocation.
+        if (
+            self._context is not None
+            and not self._done
+            and rm.num_in_service != before
+        ):
+            self.policy.allocate_jobs()
+        return rm.num_in_service
 
     def checkpoint_state(self) -> Dict[str, object]:
         """A JSON-serialisable progress checkpoint of the experiment.

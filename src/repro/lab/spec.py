@@ -160,6 +160,11 @@ class StudySpec:
         metric: ``"time_to_target"`` (lower is better; unreached
             targets score the experiment's finish time, the paper's
             convention) or ``"best_metric"`` (higher is better).
+        tenant: broker tenant a daemon-hosted study bills to (rate
+            limits and the tenants panel; docs/service.md).
+        priority: admission priority for daemon-hosted studies.
+        deadline_hours: soft deadline carried to the broker.
+        budget_slot_hours: slot-hour budget carried to the broker.
     """
 
     name: str
@@ -179,6 +184,10 @@ class StudySpec:
     compare_axis: str = "policy"
     baseline: Dict[str, Any] = field(default_factory=lambda: {"policy": "pop"})
     metric: str = "time_to_target"
+    tenant: str = "default"
+    priority: int = 0
+    deadline_hours: Optional[float] = None
+    budget_slot_hours: Optional[float] = None
 
     def __post_init__(self) -> None:
         # Coerce JSON-borne lists into tuples so the spec stays
@@ -272,6 +281,16 @@ class StudySpec:
                 "config_orders shuffle the fixed configuration set; they "
                 "cannot be combined with registry generators"
             )
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ValueError("tenant must be a non-empty string")
+        if not isinstance(self.priority, int) or isinstance(
+            self.priority, bool
+        ):
+            raise ValueError("priority must be an integer")
+        if self.deadline_hours is not None and self.deadline_hours <= 0:
+            raise ValueError("deadline_hours must be positive when given")
+        if self.budget_slot_hours is not None and self.budget_slot_hours <= 0:
+            raise ValueError("budget_slot_hours must be positive when given")
 
     # ------------------------------------------------------------ helpers
 

@@ -15,7 +15,11 @@ This module turns that document into a fixed-width text dashboard:
   shipped in the head's meta);
 * **experiments** — per-experiment best metric
   (``experiment_best_metric``), lowest ERT (``pop_best_ert_seconds``),
-  epochs trained, and predictor cache hit rate.
+  epochs trained, and predictor cache hit rate;
+* **tenants** — the resource broker's per-tenant view from the daemon's
+  self-ingested ``service`` node: queued/running experiments, slots
+  held, budget spent/remaining, tightest deadline countdown (the
+  ``broker_tenant_*`` gauges), headed by pool occupancy.
 
 Everything here is a pure function of the telemetry dict so tests (and
 ``repro diagnose``-style tooling) can render without a daemon; the CLI
@@ -52,6 +56,21 @@ def _summary_mean(
         if count:
             key = tuple(sorted(sample.get("labels", {}).items()))
             out[key] = float(sample.get("sum", 0.0)) / float(count)
+    return out
+
+
+def _labelled_values(
+    metrics: Mapping[str, Any], name: str, label: str
+) -> Dict[str, float]:
+    """A gauge family's samples keyed by one label's value."""
+    family = metrics.get(name)
+    out: Dict[str, float] = {}
+    if not family:
+        return out
+    for sample in family.get("samples", []):
+        key = sample.get("labels", {}).get(label)
+        if key is not None:
+            out[str(key)] = float(sample.get("value", 0.0))
     return out
 
 
@@ -163,6 +182,55 @@ def _experiment_section(
     return lines
 
 
+def _tenant_section(nodes: Mapping[str, Mapping[str, Any]]) -> List[str]:
+    service = nodes.get("service")
+    if service is None:
+        return []
+    metrics = service.get("metrics", {})
+    queued = _labelled_values(metrics, "broker_tenant_queued", "tenant")
+    running = _labelled_values(metrics, "broker_tenant_running", "tenant")
+    held = _labelled_values(metrics, "broker_tenant_slots_held", "tenant")
+    spent = _labelled_values(
+        metrics, "broker_tenant_budget_spent_slot_hours", "tenant"
+    )
+    left = _labelled_values(
+        metrics, "broker_tenant_budget_remaining_slot_hours", "tenant"
+    )
+    deadline = _labelled_values(
+        metrics, "broker_tenant_deadline_seconds", "tenant"
+    )
+    tenants = sorted(
+        set(queued) | set(running) | set(held) | set(spent)
+    )
+    if not tenants:
+        return []
+    total = _metric_total(metrics, "broker_slots_total")
+    allocated = _metric_total(metrics, "broker_slots_allocated")
+    total_text = (
+        "unlimited" if not total else f"{_fmt(allocated, '.0f')}/{total:.0f}"
+    )
+    lines = [f"broker: slots {total_text}"]
+    lines.append(
+        f"{'TENANT':<14} {'QUEUED':>6} {'RUN':>4} {'SLOTS':>5} "
+        f"{'SPENT':>8} {'BUDGET':>8} {'DEADLINE':>9}"
+    )
+    for tenant in tenants:
+        left_text = (
+            "-" if tenant not in left else f"{left[tenant]:.2f}sh"
+        )
+        deadline_text = (
+            "-" if tenant not in deadline
+            else f"{deadline[tenant]:.0f}s"
+        )
+        lines.append(
+            f"{tenant:<14} {queued.get(tenant, 0):>6.0f} "
+            f"{running.get(tenant, 0):>4.0f} {held.get(tenant, 0):>5.0f} "
+            f"{spent.get(tenant, 0.0):>6.2f}sh {left_text:>8} "
+            f"{deadline_text:>9}"
+        )
+    return lines
+
+
 def render_top(telemetry: Mapping[str, Any], url: str = "") -> str:
     """The whole dashboard as one text block."""
     nodes = telemetry.get("nodes", {})
@@ -179,6 +247,9 @@ def render_top(telemetry: Mapping[str, Any], url: str = "") -> str:
         experiments = _experiment_section(nodes)
         if experiments:
             sections.append(experiments)
+        tenants = _tenant_section(nodes)
+        if tenants:
+            sections.append(tenants)
     else:
         sections.append(["no telemetry yet"])
     conflicts = telemetry.get("kind_conflicts") or {}

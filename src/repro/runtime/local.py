@@ -83,12 +83,14 @@ class _LiveExperiment:
         cancel_event: Optional[threading.Event] = None,
         progress_hook: Optional[Callable] = None,
         progress_every_epochs: int = 50,
+        setup_hook: Optional[Callable] = None,
     ) -> None:
         self.spec = spec
         self.time_scale = time_scale
         self.cancel_event = cancel_event
         self.progress_hook = progress_hook
         self.progress_every_epochs = progress_every_epochs
+        self.setup_hook = setup_hook
         self._t0 = time.monotonic()
         self.lock = threading.Lock()
         self.recorder = recorder if recorder is not None else NULL_RECORDER
@@ -223,6 +225,8 @@ class _LiveExperiment:
 
     def run(self) -> ExperimentResult:
         with self.lock:
+            if self.setup_hook is not None:
+                self.setup_hook(self.scheduler)
             self.scheduler.begin()
             started = self.scheduler.take_started_machines()
         for machine_id in self.scheduler.resource_manager.machine_ids:
@@ -274,12 +278,17 @@ class _LiveExperiment:
                     and self.scheduler.job_manager.num_idle == 0
                 )
                 epochs = self.scheduler.result.epochs_trained
+                started: Sequence[str] = ()
                 if (
                     self.progress_hook is not None
                     and epochs - last_progress >= self.progress_every_epochs
                 ):
                     last_progress = epochs
                     self.progress_hook(self.scheduler)
+                    # A hook may resize the pool (broker sync): jobs
+                    # started on regrown machines need their wake-up.
+                    started = self.scheduler.take_started_machines()
+            self._notify_started(started)
             if quiescent:
                 return
 
@@ -317,6 +326,7 @@ def run_live(
     cancel_event: Optional[threading.Event] = None,
     progress_hook: Optional[Callable] = None,
     progress_every_epochs: int = 50,
+    setup_hook: Optional[Callable] = None,
 ) -> ExperimentResult:
     """Run one experiment on the live threaded runtime.
 
@@ -337,6 +347,9 @@ def run_live(
         progress_hook: called with the scheduler (under the lock)
             roughly every ``progress_every_epochs`` trained epochs.
         progress_every_epochs: epoch granularity of ``progress_hook``.
+        setup_hook: called once with the scheduler (under the lock)
+            before ``begin`` — the broker shrinks the machine pool to
+            its granted slot leases here, before any job starts.
 
     Returns:
         The finalised :class:`ExperimentResult`, with timestamps on the
@@ -364,6 +377,7 @@ def run_live(
         cancel_event=cancel_event,
         progress_hook=progress_hook,
         progress_every_epochs=progress_every_epochs,
+        setup_hook=setup_hook,
     )
     if configs is not None:
         for index, config in enumerate(configs):

@@ -24,23 +24,58 @@ class ServiceError(RuntimeError):
 
     Attributes:
         status: HTTP status code (0 when the daemon was unreachable).
+        retry_after: seconds the server asked us to wait (from a
+            ``Retry-After`` header on 429/503), else None.
     """
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[float] = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
+
+
+#: Statuses the broker uses for backpressure; the client retries these.
+_RETRYABLE_STATUSES = (429, 503)
 
 
 class ServiceClient:
-    """Talks to one ``repro serve`` daemon."""
+    """Talks to one ``repro serve`` daemon.
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    Broker backpressure (429 rate-limit/quota, 503 queue-full) is
+    retried transparently with bounded exponential backoff, honouring
+    the server's ``Retry-After`` header; other errors surface as
+    :class:`ServiceError` immediately.  ``max_retries=0`` disables
+    retrying.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        max_retries: int = 4,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+        #: Total backpressure retries performed (observability/tests).
+        self.retries = 0
 
     # ------------------------------------------------------------- plumbing
 
-    def _request(
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -64,11 +99,43 @@ class ServiceClient:
                 message = json.loads(body).get("error", message)
             except (ValueError, AttributeError):
                 pass
-            raise ServiceError(err.code, message) from None
+            retry_after = None
+            raw = err.headers.get("Retry-After") if err.headers else None
+            if raw is not None:
+                try:
+                    retry_after = float(raw)
+                except ValueError:
+                    pass
+            raise ServiceError(err.code, message, retry_after) from None
         except urllib.error.URLError as err:
             raise ServiceError(
                 0, f"cannot reach service at {self.base_url}: {err.reason}"
             ) from None
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> bytes:
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as err:
+                if (
+                    err.status not in _RETRYABLE_STATUSES
+                    or attempt >= self.max_retries
+                ):
+                    raise
+                # Exponential backoff, floored at the server's ask and
+                # capped so a misbehaving Retry-After cannot park us.
+                delay = self.backoff_base * (2.0 ** attempt)
+                if err.retry_after is not None:
+                    delay = max(delay, err.retry_after)
+                self._sleep(min(delay, self.backoff_cap))
+                self.retries += 1
+                attempt += 1
 
     def _request_json(
         self,
@@ -114,6 +181,11 @@ class ServiceClient:
         """JSON telemetry aggregate: per-node latest metrics, meta,
         ring-buffer history (what ``repro top`` polls)."""
         return self._request_json("GET", "/telemetry")
+
+    def broker_status(self) -> Dict[str, Any]:
+        """Resource-broker status: slot pool, per-experiment leases and
+        targets, admission config, per-tenant counts."""
+        return self._request_json("GET", "/broker")
 
     # -------------------------------------------------------------- studies
 

@@ -10,6 +10,9 @@ method    path                            purpose
 ========  ==============================  =======================================
 GET       ``/healthz``                    liveness + version
 POST      ``/experiments``                submit a :class:`Submission` JSON body
+                                          (broker admission gates apply: 429
+                                          rate-limit/quota, 503 queue-full,
+                                          both with ``Retry-After``)
 GET       ``/experiments``                list all experiments (no result bodies)
 GET       ``/experiments/{id}``           one experiment incl. checkpoint/result
 GET       ``/experiments/{id}/events``    the event journal as NDJSON
@@ -22,6 +25,9 @@ GET       ``/metrics``                    Prometheus-style exposition: the
 GET       ``/telemetry``                  JSON telemetry aggregate: per-node
                                           latest metrics + meta, ring-buffer
                                           history (``repro top`` reads this)
+GET       ``/broker``                     resource-broker status: slot pool,
+                                          per-experiment leases/targets,
+                                          admission config, tenant counts
 POST      ``/studies``                    submit a sweep-lab study
                                           (``{"study": name}`` or
                                           ``{"spec": {...}}``; docs/lab.md)
@@ -46,11 +52,23 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 from urllib.parse import parse_qs, urlparse
 
+from ..broker import (
+    AdmissionController,
+    AdmissionError,
+    QueueEntry,
+    RateLimited,
+    RateLimiter,
+    ResourceBroker,
+    SlotPool,
+    TenantQuota,
+    parse_quota_spec,
+)
+from ..observability import Recorder
 from ..observability.aggregator import TelemetryAggregator
-from ..observability.exporters import encode_event
+from ..observability.exporters import JsonlExporter, encode_event
 from ..observability.metrics import MetricsRegistry
 from . import executor
-from .store import RunStore
+from .store import INTERRUPTED, QUEUED, RunStore
 from .submission import Submission
 
 __all__ = ["ExperimentService"]
@@ -78,17 +96,63 @@ class ExperimentService:
         workers: int = 2,
         resume_interrupted: bool = False,
         cluster_workers: Optional[int] = None,
+        slots: Optional[int] = None,
+        tenant_quotas: Optional[
+            Union[str, Dict[str, TenantQuota]]
+        ] = None,
+        max_queue_depth: Optional[int] = None,
+        rate_limit: Optional[float] = None,
+        rate_burst: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if cluster_workers is not None and cluster_workers < 1:
             raise ValueError("cluster_workers must be >= 1")
-        # When set, experiments execute on the multi-process cluster
-        # runtime with this many worker processes per experiment (see
-        # docs/cluster.md).
+        if slots is not None and slots < 1:
+            raise ValueError("slots must be >= 1 when given")
+        # When set, *live* submissions execute on the multi-process
+        # cluster runtime with this many worker processes per
+        # experiment (see docs/cluster.md).  Simulator submissions
+        # always run in-process, so `workers` — not this — bounds how
+        # many simulated experiments run concurrently.
         self.cluster_workers = cluster_workers
         self.store = RunStore(root)
         self.metrics = MetricsRegistry()
+        # The multi-tenant resource broker (docs/service.md): one slot
+        # pool shared by every concurrent experiment.  `slots=None`
+        # keeps the pool unlimited — every run gets the machines it
+        # asked for, pre-broker behaviour.  Admission/lease decisions
+        # are audit-journaled to <root>/broker.jsonl and counted into
+        # the service registry as broker_* series.
+        quotas = tenant_quotas
+        if isinstance(quotas, str):
+            quotas = parse_quota_spec(quotas)
+        quotas = dict(quotas or {})
+        default_quota = quotas.pop("*", None)
+        self._broker_recorder = Recorder(
+            metrics=self.metrics,
+            exporter=JsonlExporter(self.store.root / "broker.jsonl"),
+        )
+        self.broker = ResourceBroker(
+            pool=SlotPool(
+                total_slots=slots, recorder=self._broker_recorder
+            ),
+            admission=AdmissionController(
+                quotas=quotas,
+                default_quota=default_quota,
+                max_queue_depth=max_queue_depth,
+                rate_limiter=RateLimiter(
+                    rate_per_minute=rate_limit, burst=rate_burst
+                ),
+            ),
+            recorder=self._broker_recorder,
+        )
+        # Experiment ids the broker fully preempted: their rows sit at
+        # INTERRUPTED, and only ids in this set are re-claimed by the
+        # worker loop (other interrupted rows need `repro resume` or
+        # --resume-interrupted, as before).
+        self._requeue: set = set()
+        self._requeue_lock = threading.Lock()
         # Telemetry plane: executors ingest each run's registry here
         # (node = experiment id) and cluster runs additionally ship
         # per-worker registries into it; /telemetry and the merged
@@ -187,6 +251,7 @@ class ExperimentService:
         for thread in self._threads:
             thread.join(timeout=timeout)
         self._threads = []
+        self._broker_recorder.close()
         self.store.close()
 
     def serve_until_interrupted(self) -> None:
@@ -205,17 +270,61 @@ class ExperimentService:
         with self._resume_lock:
             return self._resume_queue.pop(0) if self._resume_queue else None
 
+    def queue_entries(self) -> List[QueueEntry]:
+        """The store's queue snapshot as admission entries.
+
+        Broker-preempted experiments (rows parked at INTERRUPTED whose
+        ids sit in the requeue set) re-enter as *queued* so the broker
+        can re-dispatch them; other interrupted rows are invisible here.
+        """
+        with self._requeue_lock:
+            requeue = set(self._requeue)
+        entries: List[QueueEntry] = []
+        for row in self.store.queue_entries():
+            status = row["status"]
+            if status == INTERRUPTED:
+                if row["exp_id"] not in requeue:
+                    continue
+                status = QUEUED
+            entries.append(
+                QueueEntry(
+                    exp_id=row["exp_id"],
+                    tenant=row["tenant"],
+                    priority=int(row["priority"]),
+                    created_at=float(row["created_at"]),
+                    status=status,
+                )
+            )
+        return entries
+
+    def _claim_next(self) -> Optional[tuple]:
+        """One worker's claim attempt: the broker picks the id
+        (priority, quota, and pool-capacity aware), the store's
+        compare-and-set decides which worker wins it.  Returns
+        ``(exp_id, resuming)`` or None."""
+        exp_id = self.broker.claim_next(self.queue_entries())
+        if exp_id is None:
+            return None
+        record = self.store.claim_specific(exp_id)
+        if record is None:
+            return None  # another worker won the CAS; retry next tick
+        with self._requeue_lock:
+            resuming = exp_id in self._requeue
+            self._requeue.discard(exp_id)
+        return exp_id, resuming
+
     def _worker_loop(self) -> None:
         while not self._stop.is_set():
             resume_id = self._next_resume()
             if resume_id is not None:
                 self._execute(resume_id, resuming=True)
                 continue
-            record = self.store.claim_next_queued()
-            if record is None:
+            claimed = self._claim_next()
+            if claimed is None:
                 self._stop.wait(0.05)
                 continue
-            self._execute(record.id, resuming=False)
+            exp_id, resuming = claimed
+            self._execute(exp_id, resuming=resuming)
 
     def _execute(self, exp_id: str, resuming: bool) -> None:
         self._m_running.inc()
@@ -223,15 +332,21 @@ class ExperimentService:
             run = executor.resume if resuming else executor.execute
             final = run(
                 self.store, exp_id, cluster_workers=self.cluster_workers,
-                aggregator=self.aggregator,
+                aggregator=self.aggregator, broker=self.broker,
             )
         except Exception:
             logger.exception("experiment %s failed", exp_id)
             self._m_finished.inc(status="failed")
         else:
-            self._m_finished.inc(status=final.status)
-            if final.result is not None:
-                self._m_epochs.inc(final.result.get("epochs_trained", 0))
+            if final.status == INTERRUPTED:
+                # Broker preemption: park the id for automatic
+                # re-dispatch once admission lets it back in.
+                with self._requeue_lock:
+                    self._requeue.add(exp_id)
+            else:
+                self._m_finished.inc(status=final.status)
+                if final.result is not None:
+                    self._m_epochs.inc(final.result.get("epochs_trained", 0))
         finally:
             self._m_running.dec()
 
@@ -239,9 +354,35 @@ class ExperimentService:
 
     def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         submission = Submission.from_dict(payload)
+        try:
+            self.broker.admission.admit(
+                submission.tenant, self.queue_entries()
+            )
+        except AdmissionError as exc:
+            self.broker.record_rejection(type(exc).__name__)
+            raise
         record = self.store.submit(submission)
         self._m_submitted.inc()
         return record.to_dict()
+
+    def broker_status(self) -> Dict[str, Any]:
+        """The ``GET /broker`` document: pool, per-experiment lease
+        state, admission config, and per-tenant counts."""
+        status = self.broker.status()
+        status["tenants"] = self.broker.admission.tenant_counts(
+            self.queue_entries()
+        )
+        return status
+
+    def refresh_service_telemetry(self) -> None:
+        """Refresh per-tenant broker gauges and mirror the service's
+        own registry into the telemetry plane as node ``service`` so
+        ``repro top`` (which reads ``/telemetry``) sees broker_* series
+        alongside per-experiment nodes."""
+        self.broker.export_tenant_gauges(self.queue_entries())
+        self.aggregator.ingest_registry(
+            "service", self.metrics, meta={"role": "service"}
+        )
 
     # ------------------------------------------------------------- studies
 
@@ -271,11 +412,20 @@ class ExperimentService:
             not isinstance(max_workers, int) or max_workers < 1
         ):
             raise ValueError("max_workers must be a positive integer")
+        # Studies run in-process (not on the slot pool), but their
+        # submissions still pass the tenant's rate-limit gate.
+        tenant = getattr(spec, "tenant", "default")
+        granted, retry_after = \
+            self.broker.admission.rate_limiter.check(tenant)
+        if not granted:
+            self.broker.record_rejection("RateLimited")
+            raise RateLimited(tenant, retry_after)
         study_id = f"study-{uuid.uuid4().hex[:8]}"
         out_dir = self.store.root / "studies" / study_id
         record = {
             "id": study_id,
             "name": spec.name,
+            "tenant": tenant,
             "status": "queued",
             "cells_total": len(spec.cells()),
             "cells_done": 0,
@@ -368,23 +518,42 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:
         logger.debug("%s - %s", self.address_string(), format % args)
 
-    def _send(self, code: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
         self.service._m_http.inc(method=self.command, code=str(code))
 
-    def _send_json(self, code: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        code: int,
+        payload: Dict[str, Any],
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self._send(
             code,
             (encode_event(payload) + "\n").encode("utf-8"),
             "application/json",
+            headers=headers,
         )
 
-    def _send_error_json(self, code: int, message: str) -> None:
-        self._send_json(code, {"error": message})
+    def _send_error_json(
+        self,
+        code: int,
+        message: str,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._send_json(code, {"error": message}, headers=headers)
 
     def _read_json_body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -425,13 +594,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, {"status": "ok", "version": __version__})
             return
         if method == "GET" and path == "/metrics":
+            self.service.refresh_service_telemetry()
             body = self.service.aggregator.render_text(
                 base=self.service.metrics
             ).encode("utf-8")
             self._send(200, body, "text/plain; version=0.0.4")
             return
         if method == "GET" and path == "/telemetry":
+            self.service.refresh_service_telemetry()
             self._send_json(200, self.service.aggregator.to_dict())
+            return
+        if method == "GET" and path == "/broker":
+            self._send_json(200, self.service.broker_status())
             return
         if path == "/experiments":
             if method == "POST":
@@ -496,6 +670,12 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = self._read_json_body()
             record = self.service.submit(payload)
+        except AdmissionError as exc:
+            headers = {}
+            if exc.retry_after is not None:
+                headers["Retry-After"] = str(int(round(exc.retry_after)))
+            self._send_error_json(exc.http_status, str(exc), headers=headers)
+            return
         except (ValueError, TypeError, json.JSONDecodeError) as exc:
             self._send_error_json(400, str(exc))
             return
@@ -505,6 +685,12 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = self._read_json_body()
             record = self.service.submit_study(payload)
+        except AdmissionError as exc:
+            headers = {}
+            if exc.retry_after is not None:
+                headers["Retry-After"] = str(int(round(exc.retry_after)))
+            self._send_error_json(exc.http_status, str(exc), headers=headers)
+            return
         except (ValueError, TypeError, json.JSONDecodeError) as exc:
             self._send_error_json(400, str(exc))
             return

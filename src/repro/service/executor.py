@@ -56,6 +56,92 @@ __all__ = ["execute", "resume"]
 CheckpointHook = Callable[[Dict[str, Any]], None]
 
 
+class _BrokerControl:
+    """The executor's side of the broker lease protocol.
+
+    One instance per run: registers the experiment, blocks admission
+    until at least one slot is granted, shrinks the fresh scheduler to
+    the granted slots before the first job starts, and at every
+    checkpoint reports POP state and follows the plan → resize →
+    commit handshake.  A plan of 0 slots means the broker fully
+    preempted the run: the control sets :attr:`preempted` and the
+    executor stops the run and marks it INTERRUPTED — resumable by
+    deterministic replay, like any other interruption.
+    """
+
+    def __init__(self, broker, store, exp_id, submission, want,
+                 poll_wall_seconds) -> None:
+        self.broker = broker
+        self.store = store
+        self.exp_id = exp_id
+        self.submission = submission
+        self.want = max(1, int(want))
+        self.poll = max(0.01, min(poll_wall_seconds, 0.05))
+        self.preempted = threading.Event()
+        self.registered = False
+        self.initial = self.want
+
+    def admit(self) -> bool:
+        """Register and wait until the broker grants ≥1 slot.  Returns
+        False when the experiment was cancelled while waiting."""
+        self.broker.register(
+            self.exp_id,
+            tenant=self.submission.tenant,
+            priority=self.submission.priority,
+            want=self.want,
+            deadline_hours=self.submission.deadline_hours,
+            budget_slot_hours=self.submission.budget_slot_hours,
+        )
+        self.registered = True
+        while True:
+            decision = self.broker.plan(self.exp_id)
+            if decision.target >= 1:
+                granted = self.broker.commit(self.exp_id)
+                if granted.held >= 1:
+                    self.initial = granted.held
+                    return True
+            if self.store.cancel_requested(self.exp_id):
+                return False
+            time.sleep(self.poll)
+
+    def setup(self, scheduler) -> None:
+        """Pre-``begin`` hook: shrink to the granted slot count so the
+        run never trains on machines it holds no lease for."""
+        if self.initial < scheduler.resource_manager.num_machines:
+            scheduler.resize(self.initial)
+
+    def sync(self, scheduler) -> None:
+        """Checkpoint-time handshake: report POP state, then follow the
+        broker's target — resize down *before* leases are surrendered,
+        resize up only *after* new leases are granted."""
+        self.broker.report(
+            self.exp_id, **scheduler.job_manager.confidence_digest()
+        )
+        decision = self.broker.plan(self.exp_id)
+        if decision.target < 1:
+            self.preempted.set()
+            return
+        rm = scheduler.resource_manager
+        current = rm.num_in_service
+        if decision.target < current:
+            scheduler.resize(decision.target)
+            if rm.num_in_service <= decision.target:
+                # Drain completed synchronously (idle machines): the
+                # revoked leases can return to the pool right away.
+                self.broker.commit(self.exp_id)
+            # else: busy machines still draining toward the target;
+            # their leases are surrendered at a later sync.
+        else:
+            granted = self.broker.commit(self.exp_id)
+            if granted.held != current:
+                scheduler.resize(granted.held)
+
+    def release(self, reason: str) -> None:
+        if self.registered:
+            self.broker.release(self.exp_id, reason=reason)
+            self.registered = False
+
+
 def execute(
     store: RunStore,
     exp_id: str,
@@ -63,6 +149,7 @@ def execute(
     poll_wall_seconds: float = 0.25,
     cluster_workers: Optional[int] = None,
     aggregator=None,
+    broker=None,
 ) -> RunRecord:
     """Run one stored experiment to a terminal status.
 
@@ -84,6 +171,11 @@ def execute(
             :class:`~repro.observability.aggregator.TelemetryAggregator`
             receiving the run's registry (node = experiment id) and,
             on cluster runs, every worker's shipped telemetry.
+        broker: optional
+            :class:`~repro.broker.ResourceBroker`; when given, the run
+            leases its slots from the shared pool (see
+            :class:`_BrokerControl`) and may be shrunk, grown, or
+            preempted mid-flight.
     """
     record = store.get(exp_id)
     if record is None:
@@ -97,7 +189,7 @@ def execute(
         )
     return _run(
         store, exp_id, on_checkpoint, poll_wall_seconds, cluster_workers,
-        aggregator,
+        aggregator, broker,
     )
 
 
@@ -108,6 +200,7 @@ def resume(
     poll_wall_seconds: float = 0.25,
     cluster_workers: Optional[int] = None,
     aggregator=None,
+    broker=None,
 ) -> RunRecord:
     """Resume an INTERRUPTED experiment from its journal.
 
@@ -116,11 +209,15 @@ def resume(
     retraces the interrupted run and continues it to completion.  The
     last checkpoint is journaled alongside the ``resumed`` marker so
     the recovery point is auditable.
+
+    Accepts RUNNING as well as INTERRUPTED: a daemon worker re-running
+    a broker-preempted experiment claims it (INTERRUPTED → RUNNING via
+    the store's compare-and-set) *before* calling here.
     """
     record = store.get(exp_id)
     if record is None:
         raise KeyError(f"unknown experiment {exp_id!r}")
-    if record.status != INTERRUPTED:
+    if record.status not in (INTERRUPTED, RUNNING):
         raise ValueError(
             f"experiment {exp_id} is {record.status}; only interrupted "
             "experiments can be resumed (run recover_interrupted first)"
@@ -132,10 +229,11 @@ def resume(
         from_epoch=checkpoint.get("epochs_trained", 0),
         from_clock=checkpoint.get("clock", 0.0),
     )
-    store.mark_running(exp_id)
+    if record.status == INTERRUPTED:
+        store.mark_running(exp_id)
     return _run(
         store, exp_id, on_checkpoint, poll_wall_seconds, cluster_workers,
-        aggregator,
+        aggregator, broker,
     )
 
 
@@ -146,6 +244,7 @@ def _run(
     poll_wall_seconds: float,
     cluster_workers: Optional[int] = None,
     aggregator=None,
+    broker=None,
 ) -> RunRecord:
     record = store.get(exp_id)
     assert record is not None
@@ -153,6 +252,12 @@ def _run(
     workload = submission.build_workload()
     policy = submission.build_policy()
     spec = submission.build_spec()
+
+    # Live submissions may be offloaded to the multi-process cluster
+    # runtime; simulator submissions always run in-process, so the
+    # daemon's worker-pool size — not --cluster-workers — bounds
+    # concurrent simulated experiments.
+    use_cluster = bool(cluster_workers) and submission.live
 
     # Replay anchor: mint once, journal, and always run from the
     # journaled list — a resumed run sees the identical stream.
@@ -169,6 +274,20 @@ def _run(
 
     recorder = Recorder(exporter=store.journal_exporter(exp_id))
 
+    control: Optional[_BrokerControl] = None
+    if broker is not None:
+        want = cluster_workers if use_cluster else spec.num_machines
+        control = _BrokerControl(
+            broker, store, exp_id, submission, want, poll_wall_seconds
+        )
+        if not control.admit():
+            # Cancelled while queued for slots: no partial result exists.
+            control.release(CANCELLED)
+            store.mark_finished(exp_id, CANCELLED)
+            final = store.get(exp_id)
+            assert final is not None
+            return final
+
     def publish_telemetry() -> None:
         if aggregator is not None:
             aggregator.ingest_registry(
@@ -179,34 +298,57 @@ def _run(
         state = scheduler.checkpoint_state()
         store.save_checkpoint(exp_id, state)
         publish_telemetry()
+        if control is not None:
+            control.sync(scheduler)
         if on_checkpoint is not None:
             on_checkpoint(state)
 
+    setup_hook = control.setup if control is not None else None
+
     try:
-        if cluster_workers:
+        if use_cluster:
             result = _run_cluster(
                 store, exp_id, submission, workload, policy, spec, configs,
                 recorder, checkpoint_hook, poll_wall_seconds, cluster_workers,
-                aggregator,
+                aggregator, control, setup_hook,
             )
         elif submission.live:
             result = _run_live(
                 store, exp_id, submission, workload, policy, spec, configs,
-                recorder, checkpoint_hook, poll_wall_seconds,
+                recorder, checkpoint_hook, poll_wall_seconds, control,
+                setup_hook,
             )
         else:
             result = _run_sim(
                 store, exp_id, submission, workload, policy, spec, configs,
-                recorder, checkpoint_hook, poll_wall_seconds,
+                recorder, checkpoint_hook, poll_wall_seconds, control,
+                setup_hook,
             )
     except Exception as exc:
+        if control is not None:
+            control.release(FAILED)
         store.mark_finished(
             exp_id, FAILED, error=f"{type(exc).__name__}: {exc}"
         )
         raise
     finally:
         publish_telemetry()
+    if (
+        control is not None
+        and control.preempted.is_set()
+        and not store.cancel_requested(exp_id)
+    ):
+        # Broker reclaimed every slot: park the run as INTERRUPTED.  No
+        # result is recorded — deterministic replay resumes it later
+        # and finishes exactly as an uninterrupted run would.
+        control.release("preempted")
+        store.mark_interrupted(exp_id)
+        final = store.get(exp_id)
+        assert final is not None
+        return final
     status = CANCELLED if store.cancel_requested(exp_id) else COMPLETED
+    if control is not None:
+        control.release(status)
     store.mark_finished(exp_id, status, result=result.to_dict())
     final = store.get(exp_id)
     assert final is not None
@@ -215,13 +357,16 @@ def _run(
 
 def _run_sim(
     store, exp_id, submission, workload, policy, spec, configs,
-    recorder, checkpoint_hook, poll_wall_seconds,
+    recorder, checkpoint_hook, poll_wall_seconds, control=None,
+    setup_hook=None,
 ):
     from ..sim.runner import run_simulation
 
     state = {"next_poll": 0.0, "cancelled": False}
 
     def stop_check() -> bool:
+        if control is not None and control.preempted.is_set():
+            return True
         now = time.monotonic()
         if now >= state["next_poll"]:
             state["next_poll"] = now + poll_wall_seconds
@@ -237,12 +382,14 @@ def _run_sim(
         stop_check=stop_check,
         progress_hook=checkpoint_hook,
         progress_every_epochs=submission.checkpoint_every,
+        setup_hook=setup_hook,
     )
 
 
 def _run_live(
     store, exp_id, submission, workload, policy, spec, configs,
-    recorder, checkpoint_hook, poll_wall_seconds,
+    recorder, checkpoint_hook, poll_wall_seconds, control=None,
+    setup_hook=None,
 ):
     from ..runtime.local import run_live
 
@@ -251,7 +398,9 @@ def _run_live(
 
     def monitor() -> None:
         while not done.is_set():
-            if store.cancel_requested(exp_id):
+            if store.cancel_requested(exp_id) or (
+                control is not None and control.preempted.is_set()
+            ):
                 cancel_event.set()
                 return
             done.wait(max(poll_wall_seconds, 0.02))
@@ -271,6 +420,7 @@ def _run_live(
             cancel_event=cancel_event,
             progress_hook=checkpoint_hook,
             progress_every_epochs=submission.checkpoint_every,
+            setup_hook=setup_hook,
         )
     finally:
         done.set()
@@ -280,7 +430,7 @@ def _run_live(
 def _run_cluster(
     store, exp_id, submission, workload, policy, spec, configs,
     recorder, checkpoint_hook, poll_wall_seconds, cluster_workers,
-    aggregator=None,
+    aggregator=None, control=None, setup_hook=None,
 ):
     """Execute on the multi-process cluster runtime (§4's deployed
     shape): one worker process per machine, heartbeat failure
@@ -300,7 +450,9 @@ def _run_cluster(
 
     def monitor() -> None:
         while not done.is_set():
-            if store.cancel_requested(exp_id):
+            if store.cancel_requested(exp_id) or (
+                control is not None and control.preempted.is_set()
+            ):
                 cancel_event.set()
                 return
             done.wait(max(poll_wall_seconds, 0.02))
@@ -321,6 +473,7 @@ def _run_cluster(
             progress_hook=checkpoint_hook,
             progress_every_epochs=submission.checkpoint_every,
             aggregator=aggregator,
+            setup_hook=setup_hook,
         )
     finally:
         done.set()

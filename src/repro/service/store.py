@@ -69,11 +69,22 @@ CREATE TABLE IF NOT EXISTS experiments (
     cancel_requested INTEGER NOT NULL DEFAULT 0,
     checkpoint       TEXT,
     result           TEXT,
-    error            TEXT
+    error            TEXT,
+    tenant           TEXT NOT NULL DEFAULT 'default',
+    priority         INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS idx_experiments_status
     ON experiments (status, created_at);
 """
+
+# Columns added after the v1.1 schema; applied by ALTER TABLE when an
+# older store.db is opened (CREATE IF NOT EXISTS won't grow a table).
+_MIGRATIONS = {
+    "tenant": "ALTER TABLE experiments"
+              " ADD COLUMN tenant TEXT NOT NULL DEFAULT 'default'",
+    "priority": "ALTER TABLE experiments"
+                " ADD COLUMN priority INTEGER NOT NULL DEFAULT 0",
+}
 
 
 @dataclass
@@ -127,6 +138,13 @@ class RunStore:
         self._handles: Dict[str, IO[str]] = {}
         with self._connect() as conn:
             conn.executescript(_SCHEMA)
+            columns = {
+                row["name"]
+                for row in conn.execute("PRAGMA table_info(experiments)")
+            }
+            for column, statement in _MIGRATIONS.items():
+                if column not in columns:
+                    conn.execute(statement)
 
     # ------------------------------------------------------------- plumbing
 
@@ -227,9 +245,17 @@ class RunStore:
         self.append_event(exp_id, "submitted", submission=payload)
         with self._connect() as conn:
             conn.execute(
-                "INSERT INTO experiments (id, submission, status, created_at)"
-                " VALUES (?, ?, ?, ?)",
-                (exp_id, json.dumps(payload), QUEUED, now),
+                "INSERT INTO experiments"
+                " (id, submission, status, created_at, tenant, priority)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    exp_id,
+                    json.dumps(payload),
+                    QUEUED,
+                    now,
+                    payload.get("tenant", "default"),
+                    int(payload.get("priority", 0)),
+                ),
             )
         return RunRecord(
             id=exp_id, submission=payload, status=QUEUED, created_at=now
@@ -250,16 +276,18 @@ class RunStore:
         return [self._decode(row) for row in rows]
 
     def claim_next_queued(self) -> Optional[RunRecord]:
-        """Atomically move the oldest queued experiment to RUNNING.
+        """Atomically move the best queued experiment to RUNNING.
 
-        Safe against concurrent workers: the compare-and-set UPDATE
-        only wins for one claimant; losers retry on the next row.
+        "Best" is priority DESC, then created-at FIFO — the broker's
+        dispatch order.  Safe against concurrent workers: the
+        compare-and-set UPDATE only wins for one claimant; losers retry
+        on the next row.
         """
         with self._connect() as conn:
             while True:
                 row = conn.execute(
                     "SELECT id FROM experiments WHERE status = ?"
-                    " ORDER BY created_at, id LIMIT 1",
+                    " ORDER BY priority DESC, created_at, id LIMIT 1",
                     (QUEUED,),
                 ).fetchone()
                 if row is None:
@@ -273,6 +301,61 @@ class RunStore:
                 if cursor.rowcount:
                     self.append_event(row["id"], "status", status=RUNNING)
                     return self.get(row["id"])
+
+    def claim_specific(self, exp_id: str) -> Optional[RunRecord]:
+        """Atomically claim one specific queued (or interrupted)
+        experiment — the broker's admission layer picks *which* id,
+        this CAS makes exactly one worker win it.  Returns None when
+        someone else won or the experiment left the claimable states.
+        """
+        with self._connect() as conn:
+            for from_status in (QUEUED, INTERRUPTED):
+                cursor = conn.execute(
+                    "UPDATE experiments SET status = ?, started_at = ?"
+                    " WHERE id = ? AND status = ?",
+                    (RUNNING, time.time(), exp_id, from_status),
+                )
+                conn.commit()
+                if cursor.rowcount:
+                    self.append_event(exp_id, "status", status=RUNNING)
+                    return self.get(exp_id)
+        return None
+
+    def mark_interrupted(self, exp_id: str) -> None:
+        """RUNNING -> INTERRUPTED: the run was preempted (broker
+        reclaim) or otherwise stopped resumable-but-unfinished.  Not a
+        terminal status — a later claim resumes it by deterministic
+        replay, to the same result."""
+        self.append_event(exp_id, "status", status=INTERRUPTED)
+        with self._connect() as conn:
+            self._require(conn, exp_id)
+            conn.execute(
+                "UPDATE experiments SET status = ? WHERE id = ?"
+                " AND status = ?",
+                (INTERRUPTED, exp_id, RUNNING),
+            )
+        self._close_journal(exp_id)
+
+    def queue_entries(self) -> List[Dict[str, Any]]:
+        """Queued + running rows as lightweight admission entries
+        (id, tenant, priority, created_at, status) in creation order."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT id, tenant, priority, created_at, status"
+                " FROM experiments WHERE status IN (?, ?, ?)"
+                " ORDER BY created_at, id",
+                (QUEUED, RUNNING, INTERRUPTED),
+            ).fetchall()
+        return [
+            {
+                "exp_id": row["id"],
+                "tenant": row["tenant"],
+                "priority": row["priority"],
+                "created_at": row["created_at"],
+                "status": row["status"],
+            }
+            for row in rows
+        ]
 
     def mark_running(self, exp_id: str) -> None:
         """Move a queued (or resuming interrupted) experiment to RUNNING."""

@@ -45,6 +45,15 @@ class Submission:
         predict_workers: prediction process-pool size (§5.2 overlap);
             1 keeps the legacy inline predictor, which is the
             deterministic default.
+        tenant: broker tenant this submission bills to (quotas, rate
+            limits, budget accounting).
+        priority: admission priority — higher claims first; a strictly
+            higher priority may preempt running lower-priority work
+            when the slot pool is bounded.
+        deadline_hours: soft deadline from admission; approaching it
+            raises the experiment's reclaim value (deadline pressure).
+        budget_slot_hours: slot-hour budget; once spent, the broker
+            shrinks the experiment to its one-slot guarantee.
     """
 
     workload: str = "cifar10"
@@ -61,6 +70,10 @@ class Submission:
     time_scale: float = 1e-3
     checkpoint_every: int = 25
     predict_workers: int = 1
+    tenant: str = "default"
+    priority: int = 0
+    deadline_hours: Optional[float] = None
+    budget_slot_hours: Optional[float] = None
 
     def __post_init__(self) -> None:
         for kind, reg, name in (
@@ -85,6 +98,14 @@ class Submission:
             raise ValueError("checkpoint_every must be >= 1")
         if self.predict_workers < 1:
             raise ValueError("predict_workers must be >= 1")
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ValueError("tenant must be a non-empty string")
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise ValueError("priority must be an integer")
+        if self.deadline_hours is not None and self.deadline_hours <= 0:
+            raise ValueError("deadline_hours must be positive when given")
+        if self.budget_slot_hours is not None and self.budget_slot_hours <= 0:
+            raise ValueError("budget_slot_hours must be positive when given")
 
     # -------------------------------------------------------- serialisation
 

@@ -53,6 +53,7 @@ def run_simulation(
     stop_check: Optional[Callable[[], bool]] = None,
     progress_hook: Optional[Callable[[HyperDriveScheduler], None]] = None,
     progress_every_epochs: int = 50,
+    setup_hook: Optional[Callable[[HyperDriveScheduler], None]] = None,
 ) -> ExperimentResult:
     """Simulate one hyperparameter-exploration experiment.
 
@@ -75,6 +76,9 @@ def run_simulation(
             ``progress_every_epochs`` trained epochs (service
             checkpointing); None disables the bookkeeping.
         progress_every_epochs: epoch granularity of ``progress_hook``.
+        setup_hook: called once with the fully built scheduler before
+            ``begin`` — the broker shrinks the machine pool to its
+            granted slot leases here, before any job starts.
 
     Returns:
         The finalised :class:`ExperimentResult`.
@@ -128,11 +132,16 @@ def run_simulation(
         ):
             last_progress = scheduler.result.epochs_trained
             progress_hook(scheduler)
+            # A hook may resize the pool (broker sync): jobs started on
+            # regrown machines need their first epoch scheduled.
+            _schedule_started_machines(scheduler, engine, generations)
         if scheduler.done or not scheduler.job_manager.active_jobs():
             return True
         return stop_check is not None and stop_check()
 
     try:
+        if setup_hook is not None:
+            setup_hook(scheduler)
         scheduler.begin()
         _schedule_started_machines(scheduler, engine, generations)
         engine.run(until=spec.tmax, stop_when=_stop_when)

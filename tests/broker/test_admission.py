@@ -1,0 +1,139 @@
+"""Admission control: rate gate, queue depth, quotas, claim order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import (
+    AdmissionController,
+    AdmissionError,
+    QueueEntry,
+    QueueFull,
+    QuotaExceeded,
+    RateLimited,
+    RateLimiter,
+    TenantQuota,
+    parse_quota_spec,
+)
+
+
+def entry(exp_id, tenant, priority=0, created_at=0.0, status="queued"):
+    return QueueEntry(
+        exp_id=exp_id, tenant=tenant, priority=priority,
+        created_at=created_at, status=status,
+    )
+
+
+def test_admit_open_by_default():
+    controller = AdmissionController()
+    controller.admit("anyone", [])  # no exception
+
+
+def test_rate_limited_maps_to_429_with_retry_after():
+    clock_now = [0.0]
+    limiter = RateLimiter(
+        rate_per_minute=60.0, burst=1, clock=lambda: clock_now[0]
+    )
+    controller = AdmissionController(rate_limiter=limiter)
+    controller.admit("alice", [])
+    with pytest.raises(RateLimited) as info:
+        controller.admit("alice", [])
+    assert info.value.http_status == 429
+    assert info.value.retry_after >= 1.0
+    assert isinstance(info.value, AdmissionError)
+
+
+def test_queue_full_maps_to_503():
+    controller = AdmissionController(max_queue_depth=2)
+    queue = [entry("e1", "alice"), entry("e2", "bob")]
+    with pytest.raises(QueueFull) as info:
+        controller.admit("carol", queue)
+    assert info.value.http_status == 503
+    assert info.value.retry_after == 5.0
+    # Running entries do not count toward queue depth.
+    queue[0] = entry("e1", "alice", status="running")
+    controller.admit("carol", queue)
+
+
+def test_quota_exceeded_on_queued_cap():
+    controller = AdmissionController(
+        quotas={"alice": TenantQuota(max_running=1, max_queued=1)}
+    )
+    with pytest.raises(QuotaExceeded) as info:
+        controller.admit("alice", [entry("e1", "alice")])
+    assert info.value.http_status == 429
+    # Other tenants are unaffected.
+    controller.admit("bob", [entry("e1", "alice")])
+
+
+def test_next_runnable_priority_then_fifo():
+    controller = AdmissionController()
+    queue = [
+        entry("low-old", "alice", priority=0, created_at=1.0),
+        entry("low-new", "alice", priority=0, created_at=2.0),
+        entry("high-late", "bob", priority=5, created_at=9.0),
+    ]
+    assert controller.next_runnable(queue) == "high-late"
+    queue = [e for e in queue if e.exp_id != "high-late"]
+    # FIFO within the same priority band.
+    assert controller.next_runnable(queue) == "low-old"
+
+
+def test_next_runnable_skips_tenant_at_max_running():
+    controller = AdmissionController(
+        quotas={"alice": TenantQuota(max_running=1)}
+    )
+    queue = [
+        entry("running", "alice", priority=9, status="running"),
+        entry("blocked", "alice", priority=9, created_at=1.0),
+        entry("other", "bob", priority=0, created_at=2.0),
+    ]
+    # Alice is at quota, so her high-priority entry waits (not
+    # cancelled) and bob's lower-priority entry dispatches.
+    assert controller.next_runnable(queue) == "other"
+    queue[0] = entry("running", "alice", priority=9, status="completed")
+    assert controller.next_runnable(queue) == "blocked"
+
+
+def test_next_runnable_empty_queue():
+    assert AdmissionController().next_runnable([]) is None
+
+
+def test_tenant_counts():
+    controller = AdmissionController()
+    counts = controller.tenant_counts([
+        entry("e1", "alice"),
+        entry("e2", "alice", status="running"),
+        entry("e3", "bob"),
+    ])
+    assert counts == {
+        "alice": {"queued": 1, "running": 1},
+        "bob": {"queued": 1, "running": 0},
+    }
+
+
+def test_parse_quota_spec():
+    quotas = parse_quota_spec("alice=2,bob=1:4, *=3")
+    assert quotas["alice"] == TenantQuota(max_running=2, max_queued=None)
+    assert quotas["bob"] == TenantQuota(max_running=1, max_queued=4)
+    assert quotas["*"] == TenantQuota(max_running=3, max_queued=None)
+
+
+@pytest.mark.parametrize("bad", ["alice", "alice=x", "alice=1:y"])
+def test_parse_quota_spec_rejects_garbage(bad):
+    with pytest.raises(ValueError):
+        parse_quota_spec(bad)
+
+
+def test_to_dict_round_trips_config():
+    controller = AdmissionController(
+        quotas={"alice": TenantQuota(max_running=2)},
+        default_quota=TenantQuota(max_running=4, max_queued=8),
+        max_queue_depth=16,
+        rate_limiter=RateLimiter(rate_per_minute=30.0),
+    )
+    doc = controller.to_dict()
+    assert doc["max_queue_depth"] == 16
+    assert doc["default_quota"] == {"max_running": 4, "max_queued": 8}
+    assert doc["quotas"]["alice"]["max_running"] == 2
+    assert doc["rate_per_minute"] == 30.0

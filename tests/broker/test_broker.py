@@ -1,0 +1,228 @@
+"""ResourceBroker: register/plan/commit/release, cross-experiment POP
+rebalancing, value-ranked reclaim, deadline pressure, budgets, audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import (
+    AdmissionController,
+    QueueEntry,
+    ResourceBroker,
+    SlotPool,
+    TenantQuota,
+)
+from repro.observability import Recorder
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_broker(slots=4, quotas=None, recorder=None, clock=None):
+    clock = clock or FakeClock()
+    recorder = recorder or Recorder()
+    pool = SlotPool(total_slots=slots, clock=clock, recorder=recorder)
+    return ResourceBroker(
+        pool=pool,
+        admission=AdmissionController(quotas=quotas),
+        recorder=recorder,
+        clock=clock,
+    ), clock, recorder
+
+
+def sync(broker, exp_id):
+    """One full plan/commit cycle as the executor would drive it
+    (immediate drain — unit tests have no real machines to drain)."""
+    broker.plan(exp_id)
+    return broker.commit(exp_id)
+
+
+def audit_kinds(recorder):
+    return [record.kind for record in recorder.audit.records]
+
+
+def test_register_grant_release_cycle():
+    broker, _, recorder = make_broker(slots=4)
+    broker.register("exp-a", "alice", want=3)
+    decision = sync(broker, "exp-a")
+    assert decision.target == 3
+    assert decision.held == 3
+    assert not decision.preempted
+    assert broker.release("exp-a", "finished") == 3
+    assert broker.pool.allocated == 0
+    kinds = audit_kinds(recorder)
+    assert "broker_admit" in kinds
+    assert "broker_grant" in kinds
+    assert "broker_release" in kinds
+
+
+def test_unlimited_pool_grants_want_and_never_reclaims():
+    broker, _, _ = make_broker(slots=None)
+    broker.register("exp-a", "alice", want=8)
+    broker.register("exp-b", "bob", want=8)
+    assert sync(broker, "exp-a").held == 8
+    assert sync(broker, "exp-b").held == 8
+    # Nothing is scarce, so nothing is ever revoked.
+    assert broker.pool.revoked_leases("exp-a") == []
+    assert broker.pool.revoked_leases("exp-b") == []
+
+
+def test_two_experiments_share_bounded_pool():
+    broker, _, _ = make_broker(slots=4)
+    broker.register("exp-a", "alice", want=4)
+    assert sync(broker, "exp-a").held == 4
+    broker.register("exp-b", "bob", want=4)
+    # Registering B revokes slots from A; A's next sync drains and
+    # releases them, then B's sync picks them up.
+    a = sync(broker, "exp-a")
+    assert a.target < 4
+    b = sync(broker, "exp-b")
+    assert b.held >= 1
+    assert broker.pool.allocated <= 4
+
+
+def test_reclaim_prefers_low_value_victim():
+    broker, _, recorder = make_broker(slots=4)
+    broker.register("exp-strong", "alice", want=4)
+    sync(broker, "exp-strong")
+    broker.report(
+        "exp-strong",
+        confidences=[0.9, 0.9, 0.8],
+        best_confidence=0.9,
+        best_ert_seconds=100.0,
+    )
+    broker.register("exp-weak", "bob", want=4)
+    broker.report(
+        "exp-weak",
+        confidences=[0.05],
+        best_confidence=0.05,
+        best_ert_seconds=10000.0,
+    )
+    strong = sync(broker, "exp-strong")
+    weak = sync(broker, "exp-weak")
+    # The strong experiment keeps the larger share of the pool.
+    assert strong.held > weak.held
+    assert weak.held >= 1  # one-slot guarantee
+    reclaims = [
+        record for record in recorder.audit.records
+        if record.kind == "broker_reclaim"
+    ]
+    assert reclaims, "rebalance must audit its reclaim decisions"
+    assert all("value" in record.data for record in reclaims)
+
+
+def test_deadline_pressure_boosts_value():
+    broker, clock, _ = make_broker(slots=4)
+    broker.register("exp-chill", "alice", want=4)
+    broker.report("exp-chill", confidences=[0.5] * 4,
+                  best_confidence=0.5, best_ert_seconds=100.0)
+    broker.register("exp-rushed", "bob", want=4, deadline_hours=1.0)
+    broker.report("exp-rushed", confidences=[0.5] * 4,
+                  best_confidence=0.5, best_ert_seconds=100.0)
+    clock.advance(3500.0)  # 58 minutes: deadline nearly due
+    sync(broker, "exp-chill")
+    rushed = sync(broker, "exp-rushed")
+    chill = sync(broker, "exp-chill")
+    # Same POP state, but deadline pressure tips the pool to bob.
+    assert rushed.held > chill.held
+
+
+def test_budget_exhaustion_squeezes_to_one_slot():
+    broker, clock, recorder = make_broker(slots=4)
+    broker.register("exp-a", "alice", want=4, budget_slot_hours=1.0)
+    assert sync(broker, "exp-a").held == 4
+    clock.advance(3600.0)  # 4 slots x 1h = 4 slot-hours >> 1 budgeted
+    decision = sync(broker, "exp-a")
+    assert decision.target == 1
+    assert "broker_budget_exhausted" in audit_kinds(recorder)
+    status = broker.status()
+    assert status["experiments"][0]["budget_exhausted"] is True
+
+
+def test_full_preemption_only_for_higher_priority():
+    broker, _, recorder = make_broker(slots=2)
+    broker.register("exp-a", "alice", want=2, priority=0)
+    broker.register("exp-b", "bob", want=2, priority=0)
+    sync(broker, "exp-a")
+    sync(broker, "exp-b")
+    # Two experiments fit two slots: nobody is preempted.
+    assert not broker.plan("exp-a").preempted
+    assert not broker.plan("exp-b").preempted
+    broker.register("exp-vip", "carol", want=2, priority=10)
+    plans = {
+        exp_id: broker.plan(exp_id) for exp_id in ("exp-a", "exp-b")
+    }
+    assert sum(1 for p in plans.values() if p.preempted) == 1
+    preempts = [
+        record for record in recorder.audit.records
+        if record.kind == "broker_preempt"
+    ]
+    assert len(preempts) == 1
+    assert preempts[0].data["reason"] == "priority"
+
+
+def test_claim_next_defers_to_quota_and_capacity():
+    broker, _, _ = make_broker(
+        slots=2, quotas={"alice": TenantQuota(max_running=1)}
+    )
+
+    def entries(extra_queued):
+        rows = [
+            QueueEntry("exp-run", "alice", 0, 0.0, "running"),
+        ]
+        rows += [
+            QueueEntry(exp_id, tenant, priority, 1.0, "queued")
+            for exp_id, tenant, priority in extra_queued
+        ]
+        return rows
+
+    # Alice at max_running: her queued work waits, bob's dispatches.
+    assert broker.claim_next(
+        entries([("exp-a2", "alice", 5), ("exp-b1", "bob", 0)])
+    ) == "exp-b1"
+
+    # Saturated pool (2 active registrations, 2 slots): equal-priority
+    # work is deferred, strictly-higher-priority work is admitted.
+    broker.register("exp-x", "carol", want=1, priority=0)
+    broker.register("exp-y", "dave", want=1, priority=0)
+    assert broker.claim_next(
+        entries([("exp-b1", "bob", 0)])
+    ) is None
+    assert broker.claim_next(
+        entries([("exp-b1", "bob", 3)])
+    ) == "exp-b1"
+
+
+def test_release_is_idempotent_and_report_ignores_unknown():
+    broker, _, _ = make_broker(slots=2)
+    broker.report("ghost", confidences=[0.5])  # no-op, no raise
+    assert broker.release("ghost") == 0
+    decision = broker.plan("ghost")
+    assert decision.target == 0 and decision.held == 0
+
+
+def test_status_document_shape():
+    broker, _, _ = make_broker(slots=2)
+    broker.register("exp-a", "alice", want=2, priority=1)
+    sync(broker, "exp-a")
+    status = broker.status()
+    assert status["pool"]["total_slots"] == 2
+    exp = status["experiments"][0]
+    assert exp["exp_id"] == "exp-a"
+    assert exp["held"] == 2
+    assert exp["tenant"] == "alice"
+    assert "admission" in status
+
+
+def test_register_validates_want():
+    broker, _, _ = make_broker()
+    with pytest.raises(ValueError):
+        broker.register("exp-a", "alice", want=0)

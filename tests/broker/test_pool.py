@@ -1,0 +1,110 @@
+"""Slot-pool lease discipline: grant, release, revoke, gauges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import SlotPool
+from repro.observability import Recorder
+
+
+def test_bounded_pool_never_oversubscribes():
+    pool = SlotPool(total_slots=3)
+    a = pool.acquire("exp-a", "alice", 2)
+    b = pool.acquire("exp-b", "bob", 5)
+    assert len(a) == 2
+    assert len(b) == 1  # only one slot left
+    assert pool.allocated == 3
+    assert pool.free == 0
+    assert pool.acquire("exp-c", "carol", 1) == []
+
+
+def test_unlimited_pool_grants_everything():
+    pool = SlotPool()
+    leases = pool.acquire("exp-a", "alice", 50)
+    assert len(leases) == 50
+    assert pool.free is None
+    assert pool.total_slots is None
+
+
+def test_release_returns_slots():
+    pool = SlotPool(total_slots=2)
+    leases = pool.acquire("exp-a", "alice", 2)
+    assert pool.release([leases[0].lease_id]) == 1
+    assert pool.allocated == 1
+    # Unknown ids are ignored (release can race a revoke ack).
+    assert pool.release(["lease-nope", leases[0].lease_id]) == 0
+    assert pool.release_experiment("exp-a") == 1
+    assert pool.allocated == 0
+
+
+def test_revoked_slots_stay_allocated_until_released():
+    pool = SlotPool(total_slots=2)
+    pool.acquire("exp-a", "alice", 2)
+    marked = pool.revoke("exp-a", 1)
+    assert len(marked) == 1
+    assert marked[0].revoked
+    # The revoked-not-yet-released slot still counts as allocated:
+    # nobody else can steal it mid-reclaim.
+    assert pool.allocated == 2
+    assert pool.acquire("exp-b", "bob", 1) == []
+    assert pool.held("exp-a") == 2
+    assert pool.held("exp-a", include_revoked=False) == 1
+    pool.release(lease.lease_id for lease in pool.revoked_leases("exp-a"))
+    assert pool.allocated == 1
+    assert len(pool.acquire("exp-b", "bob", 1)) == 1
+
+
+def test_revoke_newest_first():
+    clock = iter(range(100))
+    pool = SlotPool(total_slots=3, clock=lambda: float(next(clock)))
+    leases = pool.acquire("exp-a", "alice", 3)
+    marked = pool.revoke("exp-a", 2)
+    marked_ids = {lease.lease_id for lease in marked}
+    # The oldest lease survives.
+    assert leases[0].lease_id not in marked_ids
+    assert marked_ids == {leases[1].lease_id, leases[2].lease_id}
+
+
+def test_holdings_excludes_revoked():
+    pool = SlotPool(total_slots=4)
+    pool.acquire("exp-a", "alice", 3)
+    pool.acquire("exp-b", "bob", 1)
+    pool.revoke("exp-a", 2)
+    assert pool.holdings() == {"exp-a": 1, "exp-b": 1}
+
+
+def test_gauges_track_allocation():
+    recorder = Recorder()
+    pool = SlotPool(total_slots=4, recorder=recorder)
+    registry = recorder.metrics
+    assert registry.gauge("broker_slots_total").value() == 4.0
+    leases = pool.acquire("exp-a", "alice", 3)
+    assert registry.gauge("broker_slots_allocated").value() == 3.0
+    held = registry.gauge("broker_tenant_slots_held")
+    assert held.value(tenant="alice") == 3.0
+    pool.release([lease.lease_id for lease in leases])
+    assert registry.gauge("broker_slots_allocated").value() == 0.0
+    # Tenant gauge zeroes instead of freezing at its last value.
+    assert held.value(tenant="alice") == 0.0
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        SlotPool(total_slots=0)
+    pool = SlotPool(total_slots=1)
+    with pytest.raises(ValueError):
+        pool.acquire("exp-a", "alice", -1)
+    with pytest.raises(ValueError):
+        pool.revoke("exp-a", -1)
+
+
+def test_to_dict_snapshot():
+    pool = SlotPool(total_slots=2)
+    pool.acquire("exp-a", "alice", 1)
+    doc = pool.to_dict()
+    assert doc["total_slots"] == 2
+    assert doc["allocated"] == 1
+    assert doc["free"] == 1
+    assert doc["leases"][0]["exp_id"] == "exp-a"
+    assert doc["leases"][0]["tenant"] == "alice"

@@ -1,0 +1,73 @@
+"""Token-bucket rate limiting: refill math, per-key isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.broker import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_bucket_spends_and_refills():
+    clock = FakeClock()
+    bucket = TokenBucket(capacity=2, refill_per_second=1.0, clock=clock)
+    assert bucket.try_acquire() == (True, 0.0)
+    assert bucket.try_acquire() == (True, 0.0)
+    granted, retry_after = bucket.try_acquire()
+    assert not granted
+    assert retry_after == pytest.approx(1.0)
+    clock.advance(0.5)
+    granted, retry_after = bucket.try_acquire()
+    assert not granted
+    assert retry_after == pytest.approx(0.5)
+    clock.advance(0.5)
+    assert bucket.try_acquire() == (True, 0.0)
+
+
+def test_bucket_caps_at_capacity():
+    clock = FakeClock()
+    bucket = TokenBucket(capacity=3, refill_per_second=10.0, clock=clock)
+    clock.advance(1000.0)
+    assert bucket.tokens == pytest.approx(3.0)
+
+
+def test_bucket_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=0, refill_per_second=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(capacity=1, refill_per_second=0.0)
+
+
+def test_limiter_disabled_by_default():
+    limiter = RateLimiter()
+    assert not limiter.enabled
+    for _ in range(1000):
+        assert limiter.check("anyone") == (True, 0.0)
+
+
+def test_limiter_isolates_keys():
+    clock = FakeClock()
+    limiter = RateLimiter(rate_per_minute=60.0, burst=1, clock=clock)
+    assert limiter.check("alice")[0]
+    granted, retry_after = limiter.check("alice")
+    assert not granted
+    assert retry_after > 0
+    # Bob has his own bucket — alice draining hers costs him nothing.
+    assert limiter.check("bob")[0]
+
+
+def test_limiter_default_burst_is_one_minute():
+    clock = FakeClock()
+    limiter = RateLimiter(rate_per_minute=5.0, clock=clock)
+    grants = sum(1 for _ in range(10) if limiter.check("alice")[0])
+    assert grants == 5

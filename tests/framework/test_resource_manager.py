@@ -44,3 +44,77 @@ def test_needs_at_least_one_machine():
 def test_machine_ids_stable():
     rm = ResourceManager(3)
     assert rm.machine_ids == ["machine-00", "machine-01", "machine-02"]
+
+
+# ----------------------------------------------------------- elasticity
+
+
+def test_shrink_drains_idle_machines_immediately():
+    rm = ResourceManager(4)
+    drained = rm.set_target_capacity(2)
+    assert len(drained) == 2
+    assert rm.target_capacity == 2
+    assert rm.num_in_service == 2
+    assert rm.num_drained == 2
+    assert rm.num_idle == 2
+    for machine_id in drained:
+        assert rm.is_drained(machine_id)
+    # Drained machines are not reservable.
+    assert rm.reserve_idle_machine() is not None
+    assert rm.reserve_idle_machine() is not None
+    assert rm.reserve_idle_machine() is None
+
+
+def test_busy_machine_drains_on_release_when_over_target():
+    rm = ResourceManager(2)
+    first = rm.reserve_idle_machine()
+    second = rm.reserve_idle_machine()
+    assert rm.set_target_capacity(1) == []  # nothing idle to drain now
+    assert rm.num_in_service == 2  # busy machines keep serving...
+    rm.release_machine(second)
+    # ...and park in the drained set instead of going idle.
+    assert rm.is_drained(second)
+    assert rm.num_in_service == 1
+    rm.release_machine(first)
+    assert not rm.is_drained(first)
+    assert rm.num_idle == 1
+
+
+def test_grow_restores_drained_machines():
+    rm = ResourceManager(3)
+    rm.set_target_capacity(1)
+    assert rm.num_in_service == 1
+    rm.set_target_capacity(3)
+    assert rm.num_in_service == 3
+    assert rm.num_drained == 0
+    assert rm.num_idle == 3
+
+
+def test_target_capacity_clamps_to_pool_size():
+    rm = ResourceManager(2)
+    rm.set_target_capacity(10)
+    assert rm.target_capacity == 2
+    with pytest.raises(ValueError, match=">= 0"):
+        rm.set_target_capacity(-1)
+
+
+def test_in_service_excludes_failed_and_drained():
+    rm = ResourceManager(4)
+    rm.set_target_capacity(3)
+    rm.fail_machine("machine-00")
+    assert rm.num_in_service == 2
+    rm.recover_machine("machine-00")
+    assert rm.num_in_service == 3
+
+
+def test_recover_parks_in_drained_when_at_target():
+    rm = ResourceManager(2)
+    rm.fail_machine("machine-01")
+    rm.set_target_capacity(1)
+    # Already at target: the recovered machine waits in the drained
+    # set rather than re-entering service.
+    rm.recover_machine("machine-01")
+    assert rm.num_in_service == 1
+    assert rm.is_drained("machine-01")
+    rm.set_target_capacity(2)
+    assert rm.num_in_service == 2

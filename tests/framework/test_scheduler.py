@@ -258,3 +258,84 @@ def test_pool_timeline_recorded():
     snapshot = scheduler.result.pool_timeline[0]
     assert snapshot.active == 1
     assert snapshot.running == 1
+
+
+# --------------------------------------------------------------- resize
+
+
+def test_resize_before_begin_trims_pool_without_allocating():
+    """A broker setup hook shrinks a fresh scheduler to its granted
+    leases; the policy is unbound until begin(), so resize() must not
+    trigger an allocation round."""
+    scheduler, _ = build({"a": [0.2] * 4, "b": [0.2] * 4}, machines=4)
+    assert scheduler.resize(2) == 2
+    scheduler.begin()
+    assert len(scheduler.take_started_machines()) == 2
+
+
+def test_resize_shrink_drains_idle_machine_and_logs():
+    scheduler, _ = build({"a": [0.2] * 4}, machines=2)
+    scheduler.begin()  # one job -> one busy, one idle machine
+    assert scheduler.resize(1) == 1
+    kinds = [e.kind for e in scheduler.result.lifecycle]
+    assert LifecycleKind.MACHINE_DRAINED in kinds
+    rm = scheduler.resource_manager
+    assert rm.num_in_service == 1
+    assert rm.num_drained == 1
+
+
+def test_resize_shrink_evicts_busy_machine_at_epoch_boundary():
+    scheduler, _ = build({"a": [0.2] * 4, "b": [0.2] * 4}, machines=2)
+    scheduler.begin()
+    machines = scheduler.take_started_machines()
+    assert len(machines) == 2
+    # Both machines busy: the shrink cannot drain anything yet.
+    assert scheduler.resize(1) == 2
+    victim = sorted(machines)[-1]  # newest-named busy machine
+    followup = drive_epoch(scheduler, victim)
+    # The boundary eviction suspends the job (lossless) and frees the
+    # slot without consulting the policy.
+    assert followup.action is FollowUpAction.RELEASE_MACHINE
+    evicted_job = "b" if victim == machines[1] else "a"
+    assert scheduler.job_manager.get(evicted_job).state is JobState.SUSPENDED
+    scheduler.machine_released(victim)
+    rm = scheduler.resource_manager
+    assert rm.is_drained(victim)
+    assert rm.num_in_service == 1
+    kinds = [e.kind for e in scheduler.result.lifecycle]
+    assert LifecycleKind.SUSPENDED in kinds
+    # The survivor keeps training.
+    survivor = next(m for m in machines if m != victim)
+    assert drive_epoch(scheduler, survivor).action is FollowUpAction.NEXT_EPOCH
+
+
+def test_resize_grow_returns_machines_and_allocates():
+    scheduler, _ = build({"a": [0.2] * 4, "b": [0.2] * 4}, machines=2)
+    scheduler.resize(1)
+    scheduler.begin()
+    assert len(scheduler.take_started_machines()) == 1
+    assert scheduler.resize(2) == 2
+    kinds = [e.kind for e in scheduler.result.lifecycle]
+    assert LifecycleKind.MACHINE_RETURNED in kinds
+    # The grow's allocation round starts the queued job immediately.
+    assert len(scheduler.take_started_machines()) == 1
+    assert scheduler.job_manager.get("b").state is JobState.RUNNING
+
+
+def test_resize_unmarks_eviction_on_regrow():
+    scheduler, _ = build({"a": [0.2] * 4, "b": [0.2] * 4}, machines=2)
+    scheduler.begin()
+    machines = scheduler.take_started_machines()
+    scheduler.resize(1)  # both busy -> one marked for eviction
+    scheduler.resize(2)  # regrow before any boundary: unmark
+    for machine_id in machines:
+        followup = drive_epoch(scheduler, machine_id)
+        assert followup.action is FollowUpAction.NEXT_EPOCH
+    assert scheduler.job_manager.get("a").state is JobState.RUNNING
+    assert scheduler.job_manager.get("b").state is JobState.RUNNING
+
+
+def test_resize_clamps_to_pool_bounds():
+    scheduler, _ = build({"a": [0.2] * 4}, machines=2)
+    scheduler.begin()
+    assert scheduler.resize(99) == 2  # cannot exceed construction size

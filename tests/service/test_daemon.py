@@ -114,10 +114,11 @@ def test_unreachable_daemon_raises_service_error():
 
 
 def test_telemetry_endpoint_tracks_runs(service, client, small_submission):
-    # Before any run: a valid, empty aggregate.
+    # Before any run: no experiment nodes — only the daemon's own
+    # registry, self-ingested as node "service" (broker gauges for
+    # `repro top`).
     empty = client.telemetry()
-    assert empty["nodes"] == {}
-    assert empty["history"] == []
+    assert set(empty["nodes"]) <= {"service"}
 
     record = client.submit(small_submission.to_dict())
     client.watch(record["id"], poll_seconds=0.1, timeout=300)
