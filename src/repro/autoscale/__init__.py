@@ -1,0 +1,42 @@
+"""Elastic, cost-aware capacity for the cluster and the daemon.
+
+The paper's scheduler assumes a fixed machine set; a production
+training stack rents one.  This package closes that gap in three
+pieces, each usable on its own:
+
+* :mod:`~repro.autoscale.autoscaler` — the sizing brain: a pure
+  hysteresis-plus-cooldown controller (:class:`Autoscaler`) that maps
+  demand (busy slots, admission-queue depth) and marginal
+  expected-best-accuracy-per-slot value onto a bounded fleet target,
+  and :class:`PoolAutoscaler`, the daemon-side loop that applies those
+  decisions to the broker's :class:`~repro.broker.pool.SlotPool`.
+* :mod:`~repro.autoscale.costs` — machine-second metering
+  (:class:`CostMeter`) with distinct on-demand vs spot rates
+  (:class:`CostModel`), exported as ``cost_*`` gauges and a
+  ``cost.jsonl`` audit trail, and reconciled against the submission's
+  ``budget_slot_hours``.
+* :mod:`~repro.autoscale.fleet` — the cluster-runtime surface:
+  :class:`FleetOptions` (bounds, spot fraction, grace window, cost
+  model) and :class:`FleetControl`, the thread-safe handle the daemon
+  uses to revoke a spot worker of a live run and to read fleet status.
+
+The budget-aware POP variant that spends these meters wisely lives in
+:mod:`repro.core.pop_budget` (registered as ``pop-budget``).
+"""
+
+from .autoscaler import Autoscaler, AutoscaleDecision, PoolAutoscaler
+from .costs import ON_DEMAND, SPOT, CostMeter, CostModel, machine_classes
+from .fleet import FleetControl, FleetOptions
+
+__all__ = [
+    "Autoscaler",
+    "AutoscaleDecision",
+    "PoolAutoscaler",
+    "CostMeter",
+    "CostModel",
+    "FleetControl",
+    "FleetOptions",
+    "ON_DEMAND",
+    "SPOT",
+    "machine_classes",
+]

@@ -1,0 +1,233 @@
+"""The autoscaler: hysteresis + cooldown capacity control.
+
+:class:`Autoscaler` is the decision core — a pure function of observed
+demand, deliberately free of threads and I/O so the control law is
+unit-testable.  It scales **up** when the fleet is saturated *and*
+there is queued work whose marginal value clears the bar, scales
+**down** when sustained pressure falls below the low-water mark, and
+refuses to move at all inside the cooldown window so a noisy queue
+cannot make the fleet flap.
+
+:class:`PoolAutoscaler` is the daemon-side actuator: a small loop that
+feeds the core from the broker's slot pool and admission queue and
+applies decisions through :meth:`SlotPool.resize` — which never
+strands a lease, so a shrink decision is a *target* the broker drains
+toward, not an eviction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..observability import NULL_RECORDER
+
+__all__ = ["AutoscaleDecision", "Autoscaler", "PoolAutoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """One sizing decision and the inputs that justified it."""
+
+    target: int
+    direction: str  # "up" | "down"
+    reason: str
+    pressure: float
+
+
+class Autoscaler:
+    """Pure sizing controller with hysteresis, cooldown, and bounds.
+
+    Args:
+        min_size: the fleet never shrinks below this (>= 1).
+        max_size: the fleet never grows beyond this.
+        up_pressure: scale up only when ``demand / size`` is at or
+            above this high-water mark (with queued work waiting).
+        down_pressure: scale down only when ``demand / size`` is at or
+            below this low-water mark.  Keeping the two marks apart is
+            the hysteresis band.
+        cooldown_seconds: minimum spacing between consecutive resizes.
+        min_marginal_value: a scale-up additionally requires the
+            marginal expected-best-accuracy-per-slot of the queued
+            work to clear this bar — renting a machine for worthless
+            configurations is exactly what the budget meter punishes.
+        clock: monotonic-seconds source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        min_size: int,
+        max_size: int,
+        up_pressure: float = 0.9,
+        down_pressure: float = 0.5,
+        cooldown_seconds: float = 5.0,
+        min_marginal_value: float = 0.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if min_size < 1:
+            raise ValueError("min_size must be >= 1")
+        if max_size < min_size:
+            raise ValueError("max_size must be >= min_size")
+        if not 0.0 <= down_pressure < up_pressure:
+            raise ValueError("need 0 <= down_pressure < up_pressure")
+        if cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be >= 0")
+        self.min_size = min_size
+        self.max_size = max_size
+        self.up_pressure = up_pressure
+        self.down_pressure = down_pressure
+        self.cooldown_seconds = cooldown_seconds
+        self.min_marginal_value = min_marginal_value
+        self._clock = clock
+        self._last_change: Optional[float] = None
+
+    def clamp(self, size: int) -> int:
+        return max(self.min_size, min(self.max_size, size))
+
+    def evaluate(
+        self,
+        size: int,
+        busy: int,
+        queue_depth: int,
+        marginal_value: float = 0.0,
+    ) -> Optional[AutoscaleDecision]:
+        """Decide a new fleet target, or ``None`` to hold.
+
+        Args:
+            size: machines/slots currently provisioned.
+            busy: machines/slots currently doing work.
+            queue_depth: admitted-but-waiting work items.
+            marginal_value: expected-best-accuracy-per-slot of the
+                best queued/starved work (0 when unknown — which
+                passes the default bar, so value-gating is opt-in).
+        """
+        now = self._clock()
+        demand = busy + queue_depth
+        pressure = demand / size if size > 0 else float("inf")
+
+        # Bounds violations correct immediately, cooldown or not:
+        # they are configuration changes, not control-loop jitter.
+        if size < self.min_size:
+            return self._decide(self.min_size, "up", "below_min", pressure, now)
+        if size > self.max_size:
+            return self._decide(self.max_size, "down", "above_max", pressure, now)
+
+        if (
+            self._last_change is not None
+            and now - self._last_change < self.cooldown_seconds
+        ):
+            return None
+
+        if (
+            pressure >= self.up_pressure
+            and queue_depth > 0
+            and size < self.max_size
+            and marginal_value >= self.min_marginal_value
+        ):
+            target = self.clamp(demand)
+            if target > size:
+                return self._decide(target, "up", "pressure_high", pressure, now)
+        if pressure <= self.down_pressure and size > self.min_size:
+            target = self.clamp(max(demand, self.min_size))
+            if target < size:
+                return self._decide(target, "down", "pressure_low", pressure, now)
+        return None
+
+    def _decide(
+        self, target: int, direction: str, reason: str,
+        pressure: float, now: float,
+    ) -> AutoscaleDecision:
+        self._last_change = now
+        return AutoscaleDecision(
+            target=target, direction=direction,
+            reason=reason, pressure=pressure,
+        )
+
+
+class PoolAutoscaler:
+    """Grows and shrinks the broker's slot-pool ledger.
+
+    One daemon thread: every ``interval`` seconds it reads pool
+    occupancy plus the caller-supplied demand probes, asks the
+    :class:`Autoscaler` core for a decision, and applies it with
+    :meth:`SlotPool.resize`.  Every resize is an ``autoscale`` audit
+    record and moves the ``autoscale_target_slots`` gauge, so ``repro
+    top`` and the broker journal both show why the pool moved.
+    """
+
+    def __init__(
+        self,
+        pool,
+        autoscaler: Autoscaler,
+        queue_depth: Callable[[], int],
+        marginal_value: Callable[[], float] = lambda: 0.0,
+        interval: float = 0.5,
+        recorder=NULL_RECORDER,
+        on_resize: Optional[Callable[[AutoscaleDecision], None]] = None,
+    ) -> None:
+        self.pool = pool
+        self.core = autoscaler
+        self._queue_depth = queue_depth
+        self._marginal_value = marginal_value
+        self._interval = interval
+        self._recorder = recorder
+        self._on_resize = on_resize
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._m_target = recorder.metrics.gauge(
+            "autoscale_target_slots", help="Autoscaler's current pool target"
+        )
+        self._m_resizes = recorder.metrics.counter(
+            "autoscale_resizes_total", help="Pool resizes, by direction"
+        )
+        self._m_target.set(float(pool.target_slots or 0))
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._loop, name="pool-autoscaler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def poke(self) -> Optional[AutoscaleDecision]:
+        """One synchronous control step (the loop body; used in tests)."""
+        size = self.pool.target_slots
+        if size is None:
+            return None  # unlimited pool: nothing to scale
+        decision = self.core.evaluate(
+            size=size,
+            busy=self.pool.allocated,
+            queue_depth=self._queue_depth(),
+            marginal_value=self._marginal_value(),
+        )
+        if decision is None:
+            return None
+        self.pool.resize(decision.target)
+        self._m_target.set(float(decision.target))
+        self._m_resizes.inc(direction=decision.direction)
+        self._recorder.audit.record(
+            "autoscale",
+            target=decision.target,
+            direction=decision.direction,
+            reason=decision.reason,
+            pressure=round(decision.pressure, 4),
+            allocated=self.pool.allocated,
+        )
+        if self._on_resize is not None:
+            self._on_resize(decision)
+        return decision
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self.poke()
+            except Exception:  # pragma: no cover - keep the daemon alive
+                import logging
+
+                logging.getLogger(__name__).exception("autoscaler step failed")

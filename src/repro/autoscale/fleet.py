@@ -1,0 +1,109 @@
+"""Fleet surface between the daemon and one cluster run.
+
+:class:`FleetOptions` packages everything the cluster runtime needs to
+run an elastic, metered fleet: worker-count bounds for its autoscale
+loop, the fraction of the fleet provisioned as revocable spot
+capacity, the revocation grace window, and the cost model/budget the
+:class:`~repro.autoscale.costs.CostMeter` charges against.
+
+:class:`FleetControl` is the live handle.  The daemon keeps one per
+running cluster experiment; ``POST /fleet/revoke`` turns into
+:meth:`request_revocation`, the runtime drains the queue from its
+monitor loop, and :meth:`publish` flows fleet/cost status back for
+``/broker`` and ``repro top``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .costs import CostModel
+
+__all__ = ["FleetOptions", "FleetControl", "RevocationRequest"]
+
+
+@dataclass(frozen=True)
+class RevocationRequest:
+    """One head-initiated spot revocation (None machine = pick one)."""
+
+    machine_id: Optional[str] = None
+    grace: Optional[float] = None
+
+
+@dataclass
+class FleetOptions:
+    """Elasticity + economics knobs for one cluster run.
+
+    Attributes:
+        experiment_id: who the meter charges the spend to.
+        autoscale: ``(min, max)`` worker-process bounds; ``None``
+            keeps the fixed-size fleet (pre-elastic behaviour).
+        spot_fraction: fraction of the fleet provisioned as spot
+            machines (newest machines first; metered at the spot rate
+            and eligible for revocation).
+        grace_seconds: default grace window, in experiment seconds,
+            between a revocation notice and the kill.
+        cost_model: dollar rates by machine class.
+        budget_slot_hours: the submission's budget the meter charges.
+        cost_path: ``cost.jsonl`` destination (exclusive with
+            ``cost_exporter``).
+        cost_exporter: shared, already-open exporter (daemon mode).
+    """
+
+    experiment_id: str = "experiment"
+    autoscale: Optional[Tuple[int, int]] = None
+    spot_fraction: float = 0.0
+    grace_seconds: float = 30.0
+    cost_model: CostModel = field(default_factory=CostModel)
+    budget_slot_hours: Optional[float] = None
+    cost_path: Optional[object] = None
+    cost_exporter: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.autoscale is not None:
+            lo, hi = self.autoscale
+            if lo < 1 or hi < lo:
+                raise ValueError("autoscale bounds must satisfy 1 <= min <= max")
+        if not 0.0 <= self.spot_fraction <= 1.0:
+            raise ValueError("spot_fraction must be in [0, 1]")
+        if self.grace_seconds < 0:
+            raise ValueError("grace_seconds must be >= 0")
+
+
+class FleetControl:
+    """Thread-safe command/status channel for one live fleet."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._revocations: List[RevocationRequest] = []
+        self._status: Dict[str, object] = {}
+
+    # ------------------------------------------------------------- commands
+
+    def request_revocation(
+        self, machine_id: Optional[str] = None, grace: Optional[float] = None
+    ) -> None:
+        """Queue a spot revocation for the runtime to deliver."""
+        with self._lock:
+            self._revocations.append(
+                RevocationRequest(machine_id=machine_id, grace=grace)
+            )
+
+    def drain_revocations(self) -> List[RevocationRequest]:
+        """Take every queued revocation (runtime monitor loop)."""
+        with self._lock:
+            drained, self._revocations = self._revocations, []
+        return drained
+
+    # -------------------------------------------------------------- status
+
+    def publish(self, status: Dict[str, object]) -> None:
+        """Runtime-side: replace the visible fleet/cost status."""
+        with self._lock:
+            self._status = dict(status)
+
+    def status(self) -> Dict[str, object]:
+        with self._lock:
+            return dict(self._status)

@@ -102,6 +102,7 @@ class QueueEntry:
     priority: int
     created_at: float
     status: str  # "queued" | "running"
+    machines: int = 1  # slots the experiment wants from the pool
 
 
 class AdmissionController:

@@ -172,12 +172,13 @@ class ResourceBroker:
         entries = list(entries)
         with self._lock:
             candidate = self.admission.next_runnable(entries)
-            if candidate is None or self.pool.total_slots is None:
+            total = self.pool.target_slots
+            if candidate is None or total is None:
                 return candidate
             active = [
                 st for st in self._experiments.values() if not st.preempted
             ]
-            if len(active) < self.pool.total_slots:
+            if len(active) < total:
                 return candidate
             entry = next(e for e in entries if e.exp_id == candidate)
             if any(entry.priority > st.priority for st in active):
@@ -341,7 +342,9 @@ class ResourceBroker:
         experiments = list(self._experiments.values())
         if not experiments:
             return
-        total = self.pool.total_slots
+        # Plan against the shrink target (not the still-draining live
+        # capacity) so an autoscaler shrink keeps revoking until met.
+        total = self.pool.target_slots
         if total is None:
             for state in experiments:
                 state.target = state.want

@@ -82,6 +82,7 @@ class SlotPool:
         import time as _time
 
         self.total_slots = total_slots
+        self._shrink_target: Optional[int] = None
         self._clock = clock if clock is not None else _time.time
         self._lock = threading.Lock()
         self._leases: Dict[str, SlotLease] = {}
@@ -117,6 +118,20 @@ class SlotPool:
         with self._lock:
             return self.total_slots - len(self._leases)
 
+    @property
+    def target_slots(self) -> Optional[int]:
+        """Capacity planners should aim at: the pending shrink target
+        while one is outstanding, the live capacity otherwise."""
+        with self._lock:
+            if self._shrink_target is not None:
+                return self._shrink_target
+            return self.total_slots
+
+    @property
+    def shrink_pending(self) -> bool:
+        with self._lock:
+            return self._shrink_target is not None
+
     def leases_of(self, exp_id: str) -> List[SlotLease]:
         with self._lock:
             return [
@@ -142,6 +157,37 @@ class SlotPool:
         return out
 
     # ------------------------------------------------------------ commands
+
+    def resize(self, total: Optional[int]) -> Optional[int]:
+        """Retarget pool capacity without ever stranding a lease.
+
+        Growing (and lifting the cap with ``None``) takes effect
+        immediately.  Shrinking below the allocated count records a
+        *pending* shrink instead: ``total_slots`` floors at the live
+        allocation — the ``allocated <= total`` invariant never breaks —
+        and steps down as holders release, reaching ``total`` once
+        enough leases are back.  Planners (the broker's rebalance, the
+        autoscaler) read :attr:`target_slots` so they keep revoking
+        toward the goal while the ledger drains.
+
+        Returns the capacity now in effect.
+        """
+        if total is not None and total < 1:
+            raise ValueError("total must be >= 1 when given")
+        with self._lock:
+            if total is None:
+                self.total_slots = None
+                self._shrink_target = None
+            else:
+                allocated = len(self._leases)
+                if total >= allocated:
+                    self.total_slots = total
+                    self._shrink_target = None
+                else:
+                    self.total_slots = allocated
+                    self._shrink_target = total
+            self._m_total.set(float(self.total_slots or 0))
+            return self.total_slots
 
     def acquire(self, exp_id: str, tenant: str, count: int) -> List[SlotLease]:
         """Grant up to ``count`` leases to ``exp_id`` (possibly fewer,
@@ -177,6 +223,7 @@ class SlotPool:
             for lease_id in list(lease_ids):
                 if self._leases.pop(lease_id, None) is not None:
                     released += 1
+            self._settle_shrink()
             self._update_gauges()
         return released
 
@@ -190,6 +237,7 @@ class SlotPool:
             ]
             for lease_id in doomed:
                 del self._leases[lease_id]
+            self._settle_shrink()
             self._update_gauges()
         return len(doomed)
 
@@ -223,6 +271,17 @@ class SlotPool:
 
     # ------------------------------------------------------------ internal
 
+    def _settle_shrink(self) -> None:
+        # Caller holds the lock.  Step capacity down toward a pending
+        # shrink target as leases come back; clear the target once met.
+        if self._shrink_target is None:
+            return
+        allocated = len(self._leases)
+        self.total_slots = max(self._shrink_target, allocated)
+        if allocated <= self._shrink_target:
+            self._shrink_target = None
+        self._m_total.set(float(self.total_slots or 0))
+
     def _update_gauges(self) -> None:
         # Caller holds the lock.
         self._m_allocated.set(float(len(self._leases)))
@@ -239,6 +298,10 @@ class SlotPool:
         with self._lock:
             return {
                 "total_slots": self.total_slots,
+                "target_slots": (
+                    self._shrink_target if self._shrink_target is not None
+                    else self.total_slots
+                ),
                 "allocated": len(self._leases),
                 "free": (
                     None if self.total_slots is None

@@ -168,6 +168,24 @@ def _build_parser() -> argparse.ArgumentParser:
              "shrunk/preempted as others arrive (default: unlimited)",
     )
     serve_parser.add_argument(
+        "--autoscale", default=None, metavar="MIN:MAX",
+        help="elastic cluster fleets: each live run starts MIN worker "
+             "processes and grows/shrinks between MIN and MAX from "
+             "queue pressure and marginal value (requires "
+             "--cluster-workers == MAX, which is the default); also "
+             "autosizes the broker slot pool from admission-queue depth",
+    )
+    serve_parser.add_argument(
+        "--spot-fraction", type=float, default=0.0, metavar="F",
+        help="fraction of each fleet provisioned as revocable spot "
+             "machines, metered at the spot rate (default 0)",
+    )
+    serve_parser.add_argument(
+        "--spot-rate", type=float, default=0.3, metavar="DOLLARS",
+        help="spot $/machine-hour (on-demand is 1.0, so "
+             "budget_slot_hours and dollars share a unit)",
+    )
+    serve_parser.add_argument(
         "--tenant-quotas", default=None, metavar="SPEC",
         help="per-tenant admission quotas, e.g. 'alice=2,bob=1:4' "
              "(tenant=max_running[:max_queued]; '*' sets the default)",
@@ -230,6 +248,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "--kill", action="append", default=[], metavar="MACHINE@epoch:N",
         help="SIGKILL a worker after it trains its N-th epoch "
              "(e.g. machine-01@epoch:3); repeatable",
+    )
+    cluster_parser.add_argument(
+        "--revoke", action="append", default=[],
+        metavar="MACHINE@epoch:N[,grace:S]",
+        help="spot-revoke a worker after its N-th epoch: it announces "
+             "the revocation, the head drains its job off within the "
+             "grace window, then the process dies; repeatable",
+    )
+    cluster_parser.add_argument(
+        "--grace", type=float, default=30.0,
+        help="default revocation grace window in experiment seconds",
+    )
+    cluster_parser.add_argument(
+        "--spot-fraction", type=float, default=0.0, metavar="F",
+        help="fraction of the fleet provisioned (and metered) as spot "
+             "machines, newest first",
+    )
+    cluster_parser.add_argument(
+        "--autoscale", default=None, metavar="MIN:MAX",
+        help="elastic fleet: boot MIN worker processes and let the "
+             "autoscaler grow/shrink between MIN and MAX "
+             "(MAX must equal --workers)",
+    )
+    cluster_parser.add_argument(
+        "--budget-slot-hours", type=float, default=None,
+        help="machine-hour budget the cost meter charges against "
+             "(and pop-budget optimises for)",
+    )
+    cluster_parser.add_argument(
+        "--cost-out", metavar="PATH", default=None,
+        help="write the per-experiment cost audit trail (cost.jsonl)",
     )
     cluster_parser.add_argument(
         "--drop-heartbeats", action="append", default=[],
@@ -588,6 +637,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_autoscale(value):
+    """Parse ``"MIN:MAX"`` into an ``(int, int)`` bounds tuple."""
+    if value is None:
+        return None
+    try:
+        lo_text, hi_text = value.split(":", 1)
+        lo, hi = int(lo_text), int(hi_text)
+    except ValueError:
+        raise ValueError(
+            f"--autoscale expects MIN:MAX (got {value!r})"
+        ) from None
+    if lo < 1 or hi < lo:
+        raise ValueError("--autoscale bounds must satisfy 1 <= MIN <= MAX")
+    return lo, hi
+
+
 def _cmd_cluster_demo(args: argparse.Namespace) -> int:
     """One experiment on the multi-process cluster runtime.
 
@@ -613,9 +678,34 @@ def _cmd_cluster_demo(args: argparse.Namespace) -> int:
         kill=args.kill,
         drop_heartbeats=args.drop_heartbeats,
         delay_send=args.delay_send,
+        revoke=args.revoke,
     )
+    try:
+        autoscale = _parse_autoscale(args.autoscale)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if autoscale is not None and autoscale[1] != args.workers:
+        print("error: --autoscale MAX must equal --workers "
+              f"({autoscale[1]} != {args.workers})", file=sys.stderr)
+        return 2
+    fleet = None
+    if (autoscale is not None or args.spot_fraction > 0.0
+            or args.revoke or args.budget_slot_hours is not None
+            or args.cost_out):
+        from .autoscale import FleetOptions
+
+        fleet = FleetOptions(
+            autoscale=autoscale,
+            spot_fraction=args.spot_fraction,
+            grace_seconds=args.grace,
+            budget_slot_hours=args.budget_slot_hours,
+            cost_path=args.cost_out,
+        )
     workload = registry.build_workload(args.workload)
     policy = registry.build_policy(args.policy)
+    if hasattr(policy, "configure_budget"):
+        policy.configure_budget(args.budget_slot_hours)
     gen_seed = args.gen_seed
     if gen_seed is None:
         gen_seed = registry.default_gen_seed(args.workload)
@@ -647,6 +737,7 @@ def _cmd_cluster_demo(args: argparse.Namespace) -> int:
             miss_threshold=args.miss_threshold,
             retry_budget=args.retry_budget,
             aggregator=aggregator,
+            fleet=fleet,
         )
     finally:
         recorder.close()
@@ -670,6 +761,8 @@ def _cmd_cluster_demo(args: argparse.Namespace) -> int:
             f"({recorder.exporter.events_written} events)",
             file=info,
         )
+    if args.cost_out:
+        print(f"cost audit      -> {args.cost_out}", file=info)
     if args.save_result:
         result.save_json(args.save_result)
         print(f"result archived -> {args.save_result}", file=info)
@@ -940,6 +1033,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.slots is not None and args.slots < 1:
         print("error: --slots must be >= 1", file=sys.stderr)
         return 2
+    try:
+        autoscale = _parse_autoscale(args.autoscale)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.spot_fraction <= 1.0:
+        print("error: --spot-fraction must be in [0, 1]", file=sys.stderr)
+        return 2
     service = ExperimentService(
         root=args.root,
         host=args.host,
@@ -952,8 +1053,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.max_queue_depth,
         rate_limit=args.rate_limit,
         rate_burst=args.rate_burst,
+        autoscale=autoscale,
+        spot_fraction=args.spot_fraction,
+        spot_rate=args.spot_rate,
     )
     service.start()
+    service.install_signal_handlers()
     print(f"experiment service listening on {service.url}")
     print(f"run store       : {args.root}")
     print(f"workers         : {args.workers}")
@@ -962,13 +1067,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               "live run")
     slots_text = "unlimited" if args.slots is None else str(args.slots)
     print(f"broker slots    : {slots_text}")
+    if autoscale is not None:
+        print(f"autoscale       : {autoscale[0]}:{autoscale[1]} workers "
+              "per fleet (broker pool elastic)")
+    if args.spot_fraction:
+        print(f"spot fraction   : {args.spot_fraction:g} "
+              f"(rate {args.spot_rate:g} $/h)")
     if args.tenant_quotas:
         print(f"tenant quotas   : {args.tenant_quotas}")
     if args.rate_limit:
         print(f"rate limit      : {args.rate_limit:g}/min per tenant")
     print("endpoints       : POST /experiments · GET /experiments[/{id}"
           "[/events]] · DELETE /experiments/{id} · GET /broker "
-          "· GET /metrics")
+          "· GET /fleet · POST /fleet/revoke · GET /metrics")
     sys.stdout.flush()
     service.serve_until_interrupted()
     return 0

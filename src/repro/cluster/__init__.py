@@ -8,7 +8,13 @@ snapshot-based job migration off dead nodes.
 """
 
 from .agent import RemoteAgent
-from .faults import DelaySend, DropHeartbeats, FaultPlan, KillAtEpoch
+from .faults import (
+    DelaySend,
+    DropHeartbeats,
+    FaultPlan,
+    KillAtEpoch,
+    SpotRevocation,
+)
 from .membership import HeartbeatMonitor, NodeState
 from .protocol import (
     FrameError,
@@ -34,6 +40,7 @@ __all__ = [
     "KillAtEpoch",
     "DropHeartbeats",
     "DelaySend",
+    "SpotRevocation",
     "FrameError",
     "encode_payload",
     "decode_payload",

@@ -171,6 +171,11 @@ class RemoteAgent:
         except NodeFailure:
             pass
 
+    def revoke(self, grace: float) -> None:
+        """Arm a head-initiated spot kill ``grace`` experiment-seconds
+        out (the worker dies silently; the head already knows)."""
+        self._call("revoke", grace=grace)
+
     # ------------------------------------------------------------- internal
 
     def _call(self, method: str, timeout: Optional[float] = None, **args: Any) -> Any:

@@ -24,6 +24,14 @@ Fault kinds:
     ``after``-th send has happened.  Models a degraded link; used to
     exercise RPC timeouts without killing anything.
 
+``spot_revocation``
+    After training its ``epoch``-th epoch the worker sends a
+    revocation notice to the head, keeps serving for a ``grace``
+    window (scaled seconds), then SIGKILLs itself — the spot-instance
+    two-minute warning in miniature.  The head must migrate the hosted
+    job off the doomed node before the kill lands; membership
+    classifies the eventual disconnect as an expected revocation.
+
 Plans parse from compact CLI strings (``repro cluster-demo --kill
 machine-01@epoch:3``) and serialise to/from JSON dicts.
 """
@@ -37,6 +45,7 @@ __all__ = [
     "KillAtEpoch",
     "DropHeartbeats",
     "DelaySend",
+    "SpotRevocation",
     "FaultPlan",
 ]
 
@@ -95,10 +104,35 @@ class DelaySend:
                 "seconds": self.seconds, "after": self.after}
 
 
+@dataclass(frozen=True)
+class SpotRevocation:
+    """Announce revocation after ``epoch`` epochs, die ``grace`` later.
+
+    ``grace`` is in experiment seconds (workers scale it by their
+    ``time_scale``), so the window tracks the simulated clock the
+    scheduler plans against.
+    """
+
+    machine_id: str
+    epoch: int
+    grace: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.epoch < 1:
+            raise ValueError("revocation epoch must be >= 1")
+        if self.grace < 0:
+            raise ValueError("grace must be >= 0")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "spot_revocation", "machine_id": self.machine_id,
+                "epoch": self.epoch, "grace": self.grace}
+
+
 _FAULT_KINDS = {
     "kill_at_epoch": KillAtEpoch,
     "drop_heartbeats": DropHeartbeats,
     "delay_send": DelaySend,
+    "spot_revocation": SpotRevocation,
 }
 
 
@@ -146,6 +180,17 @@ class FaultPlan:
             if isinstance(f, DelaySend) and f.machine_id == machine_id
         ]
 
+    def spot_revocation(self, machine_id: str) -> Optional[SpotRevocation]:
+        """Earliest-epoch spot revocation planned for ``machine_id``."""
+        revocations = [
+            f
+            for f in self.faults
+            if isinstance(f, SpotRevocation) and f.machine_id == machine_id
+        ]
+        if not revocations:
+            return None
+        return min(revocations, key=lambda f: f.epoch)
+
     # -------------------------------------------------------- serialisation
 
     def to_dicts(self) -> List[Dict[str, Any]]:
@@ -164,7 +209,7 @@ class FaultPlan:
 
     @classmethod
     def parse(cls, kill: List[str] = (), drop_heartbeats: List[str] = (),
-              delay_send: List[str] = ()) -> "FaultPlan":
+              delay_send: List[str] = (), revoke: List[str] = ()) -> "FaultPlan":
         """Build a plan from CLI-style fault strings.
 
         Formats::
@@ -172,6 +217,7 @@ class FaultPlan:
             --kill            machine-01@epoch:3
             --drop-heartbeats machine-02@after:5,count:4
             --delay-send      machine-00@seconds:0.2[,after:10]
+            --revoke          machine-03@epoch:4[,grace:30]
         """
         faults: List[Any] = []
         for text in kill:
@@ -190,6 +236,13 @@ class FaultPlan:
                 machine_id,
                 seconds=float(_require(params, "seconds", "delay-send")),
                 after=int(params.get("after", 0)),
+            ))
+        for text in revoke:
+            machine_id, params = _split_spec(text, "revoke")
+            faults.append(SpotRevocation(
+                machine_id,
+                epoch=int(_require(params, "epoch", "revoke")),
+                grace=float(params.get("grace", 30.0)),
             ))
         return cls(tuple(faults))
 

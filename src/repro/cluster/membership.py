@@ -29,6 +29,7 @@ All transitions are recorded on the audit trail and reflected in the
 from __future__ import annotations
 
 import threading
+import time as _time
 from typing import Callable, Dict, List, Optional
 
 from ..observability import NULL_RECORDER
@@ -42,7 +43,10 @@ class NodeState:
 
 
 class _NodeHealth:
-    __slots__ = ("machine_id", "state", "connected", "misses", "last_seq")
+    __slots__ = (
+        "machine_id", "state", "connected", "misses", "last_seq",
+        "expected_reason",
+    )
 
     def __init__(self, machine_id: str) -> None:
         self.machine_id = machine_id
@@ -50,6 +54,9 @@ class _NodeHealth:
         self.connected = False
         self.misses = 0
         self.last_seq = -1
+        #: When set, the next down transition is an announced departure
+        #: (drain, spot revocation), not a failure.
+        self.expected_reason: Optional[str] = None
 
 
 class HeartbeatMonitor:
@@ -90,6 +97,11 @@ class HeartbeatMonitor:
         self._all_up = threading.Event()
         self.on_down: Optional[Callable[[str], None]] = None
         self.on_up: Optional[Callable[[str], None]] = None
+        #: Invoked instead of ``on_down`` for expected departures
+        #: (``expect_departure`` was called first): ``(machine_id,
+        #: reason)``.  Keeps drains and spot revocations out of the
+        #: failure/migration-retry path.
+        self.on_departed: Optional[Callable[[str, str], None]] = None
         self._nodes_up_gauge = recorder.metrics.gauge(
             "cluster_nodes_up", help="Cluster nodes currently alive"
         )
@@ -118,6 +130,46 @@ class HeartbeatMonitor:
         """Block until every expected node has said hello (startup barrier)."""
         return self._all_up.wait(timeout)
 
+    # ----------------------------------------------------------- membership
+
+    def add_node(self, machine_id: str) -> None:
+        """Start tracking a machine that joined after boot (scale-up)."""
+        with self._lock:
+            if machine_id not in self._nodes:
+                self._nodes[machine_id] = _NodeHealth(machine_id)
+
+    def remove_node(self, machine_id: str) -> None:
+        """Forget a departed machine entirely (post-drain cleanup)."""
+        with self._lock:
+            self._nodes.pop(machine_id, None)
+        self._nodes_up_gauge.set(self.nodes_up)
+
+    def wait_node_up(self, machine_id: str, timeout: float) -> bool:
+        """Block until one specific node says hello (scale-up barrier)."""
+        deadline = _time.monotonic() + timeout
+        while _time.monotonic() < deadline:
+            with self._lock:
+                node = self._nodes.get(machine_id)
+                if node is not None and node.state == NodeState.UP:
+                    return True
+            if self._stop.wait(min(0.01, self._interval)):
+                return False
+        return False
+
+    def expect_departure(self, machine_id: str, reason: str) -> None:
+        """Announce that ``machine_id`` is about to leave on purpose.
+
+        Its next down transition is recorded as a
+        ``cluster_node_departed`` audit event carrying ``reason`` and
+        routed to :attr:`on_departed` — it does **not** count as a
+        ``cluster_node_down`` failure and never enters the migration
+        retry-budget path.
+        """
+        with self._lock:
+            node = self._nodes.get(machine_id)
+            if node is not None:
+                node.expected_reason = reason
+
     # -------------------------------------------------------------- queries
 
     def state(self, machine_id: str) -> str:
@@ -125,7 +177,12 @@ class HeartbeatMonitor:
             return self._nodes[machine_id].state
 
     def is_up(self, machine_id: str) -> bool:
-        return self.state(machine_id) == NodeState.UP
+        """Whether the node is currently tracked and UP.  A forgotten
+        node (removed after a drain or expected departure) is simply
+        not up — callers probe candidates without tracking removal."""
+        with self._lock:
+            node = self._nodes.get(machine_id)
+            return node is not None and node.state == NodeState.UP
 
     @property
     def nodes_up(self) -> int:
@@ -145,6 +202,7 @@ class HeartbeatMonitor:
                     "connected": node.connected,
                     "misses": node.misses,
                     "last_seq": node.last_seq,
+                    "expected_departure": node.expected_reason,
                 }
                 for machine_id, node in sorted(self._nodes.items())
             }
@@ -162,6 +220,7 @@ class HeartbeatMonitor:
                 return  # a stranger; transport accepted it, we ignore it
             node.connected = True
             node.misses = 0
+            node.expected_reason = None  # a comeback cancels the goodbye
             if node.state != NodeState.UP:
                 node.state = NodeState.UP
                 came_up = True
@@ -178,6 +237,7 @@ class HeartbeatMonitor:
         if self._stop.is_set():
             return  # expected EOFs while the head shuts workers down
         went_down = False
+        expected: Optional[str] = None
         with self._lock:
             node = self._nodes.get(machine_id)
             if node is None:
@@ -186,8 +246,13 @@ class HeartbeatMonitor:
             if node.state == NodeState.UP:
                 node.state = NodeState.DOWN
                 went_down = True
+                expected = node.expected_reason
+                node.expected_reason = None
         if went_down:
-            self._transition(machine_id, NodeState.DOWN, "connection_lost")
+            if expected is not None:
+                self._departed(machine_id, expected)
+            else:
+                self._transition(machine_id, NodeState.DOWN, "connection_lost")
 
     def note_pong(self, machine_id: str, seq: int, rtt: float) -> None:
         """A heartbeat answer arrived (possibly from a silent node)."""
@@ -223,7 +288,9 @@ class HeartbeatMonitor:
             for machine_id in targets:
                 sent = self._transport.ping(machine_id, self._seq)
                 with self._lock:
-                    node = self._nodes[machine_id]
+                    node = self._nodes.get(machine_id)
+                    if node is None:
+                        continue  # removed mid-round (scale-down)
                     if not node.connected or node.state != NodeState.UP:
                         continue
                     if not sent:
@@ -233,9 +300,16 @@ class HeartbeatMonitor:
                     node.misses += 1
                     if node.misses >= self._miss_threshold:
                         node.state = NodeState.DOWN
-                        newly_down.append(machine_id)
-            for machine_id in newly_down:
-                self._transition(machine_id, NodeState.DOWN, "heartbeat_timeout")
+                        expected = node.expected_reason
+                        node.expected_reason = None
+                        newly_down.append((machine_id, expected))
+            for machine_id, expected in newly_down:
+                if expected is not None:
+                    self._departed(machine_id, expected)
+                else:
+                    self._transition(
+                        machine_id, NodeState.DOWN, "heartbeat_timeout"
+                    )
 
     def _transition(self, machine_id: str, state: str, reason: str) -> None:
         self._nodes_up_gauge.set(self.nodes_up)
@@ -245,3 +319,11 @@ class HeartbeatMonitor:
         callback = self.on_up if state == NodeState.UP else self.on_down
         if callback is not None:
             callback(machine_id)
+
+    def _departed(self, machine_id: str, reason: str) -> None:
+        self._nodes_up_gauge.set(self.nodes_up)
+        self._recorder.audit.record(
+            "cluster_node_departed", machine_id=machine_id, reason=reason
+        )
+        if self.on_departed is not None:
+            self.on_departed(machine_id, reason)

@@ -34,6 +34,15 @@ import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..autoscale import (
+    ON_DEMAND,
+    SPOT,
+    Autoscaler,
+    CostMeter,
+    FleetControl,
+    FleetOptions,
+    machine_classes,
+)
 from ..curves.predictor import CurvePredictor
 from ..framework.experiment import ExperimentResult, ExperimentSpec
 from ..framework.scheduler import FollowUpAction, HyperDriveScheduler
@@ -84,6 +93,8 @@ class _ClusterExperiment:
         setup_hook: Optional[Callable] = None,
         aggregator: Optional[TelemetryAggregator] = None,
         telemetry_interval: float = 0.25,
+        fleet: Optional[FleetOptions] = None,
+        fleet_control: Optional[FleetControl] = None,
     ) -> None:
         self.spec = spec
         self.time_scale = time_scale
@@ -124,6 +135,51 @@ class _ClusterExperiment:
             ),
         )
         self.machine_ids = self.scheduler.resource_manager.machine_ids
+        # ---- elastic fleet / cost metering (repro.autoscale) ----
+        self.fleet = fleet
+        self.fleet_control = fleet_control
+        if fleet is not None and fleet.autoscale is not None:
+            self._fleet_min, self._fleet_max = fleet.autoscale
+        else:
+            self._fleet_min = self._fleet_max = len(self.machine_ids)
+        # Elastic runs boot only the minimum fleet; the rest of the
+        # machine ledger stays drained until a grow spawns processes.
+        self._initial_machines = self.machine_ids[: self._fleet_min]
+        self._desired_capacity = len(self._initial_machines)
+        # Once the broker starts steering capacity, the internal
+        # demand autoscaler stands down.
+        self._external_capacity: Optional[int] = None
+        spot_fraction = fleet.spot_fraction if fleet is not None else 0.0
+        self._classes = machine_classes(self.machine_ids, spot_fraction)
+        self.cost_meter: Optional[CostMeter] = None
+        self._fleet_autoscaler: Optional[Autoscaler] = None
+        if fleet is not None:
+            self.cost_meter = CostMeter(
+                fleet.experiment_id,
+                model=fleet.cost_model,
+                budget_slot_hours=fleet.budget_slot_hours,
+                recorder=self.recorder,
+                cost_path=fleet.cost_path,
+                exporter=fleet.cost_exporter,
+            )
+            if fleet.autoscale is not None:
+                self._fleet_autoscaler = Autoscaler(
+                    self._fleet_min,
+                    self._fleet_max,
+                    # Cooldown in wall seconds, scaled so fast-clock
+                    # test runs still get a few control rounds.
+                    cooldown_seconds=max(0.2, 5.0 * time_scale),
+                )
+                # Daemon hook: the broker's capacity sync discovers
+                # this handle and routes pool grants through
+                # request_capacity before resizing.
+                self.scheduler.fleet_manager = self
+        self._m_workers_up = self.recorder.metrics.gauge(
+            "cost_workers_up", help="Worker processes alive, by machine class"
+        )
+        self._last_cost_clock: Optional[float] = None
+        self._next_cost_record = 0.0
+        self._budget_exhausted_logged = False
         # Head-local driver mailboxes: distinct from the machine topics,
         # which route over sockets once workers register.  Declared
         # before anything can send to them (no startup race).
@@ -144,7 +200,7 @@ class _ClusterExperiment:
             self.aggregator.on_event = self._on_shipped_event
         self.heartbeat = HeartbeatMonitor(
             self.transport,
-            self.machine_ids,
+            self._initial_machines,
             interval=heartbeat_interval,
             miss_threshold=miss_threshold,
             recorder=self.recorder,
@@ -211,35 +267,42 @@ class _ClusterExperiment:
 
     # ------------------------------------------------------------- start-up
 
-    def spawn_workers(self) -> None:
-        """Start the transport and launch one process per machine."""
-        self.transport.start()
+    def _spawn_worker(self, machine_id: str) -> None:
+        """Launch (or relaunch) one worker process for ``machine_id``."""
         host, port = self.transport.address
         context = multiprocessing.get_context("spawn")
-        for index, machine_id in enumerate(self.machine_ids):
-            process = context.Process(
-                target=worker_main,
-                args=(
-                    host,
-                    port,
-                    machine_id,
-                    self._workload,
-                    self._predictor,
-                    self.spec.seed + index,
-                    self.fault_plan.for_machine(machine_id).to_dicts(),
-                    self.time_scale,
-                    self.telemetry_interval,
-                ),
-                name=f"cluster-worker-{machine_id}",
-                daemon=True,
-            )
-            process.start()
-            self._processes[machine_id] = process
+        # Seed by ledger position, not spawn order, so a respawned
+        # machine trains identically to its first incarnation.
+        index = self.machine_ids.index(machine_id)
+        process = context.Process(
+            target=worker_main,
+            args=(
+                host,
+                port,
+                machine_id,
+                self._workload,
+                self._predictor,
+                self.spec.seed + index,
+                self.fault_plan.for_machine(machine_id).to_dicts(),
+                self.time_scale,
+                self.telemetry_interval,
+            ),
+            name=f"cluster-worker-{machine_id}",
+            daemon=True,
+        )
+        process.start()
+        self._processes[machine_id] = process
+
+    def spawn_workers(self) -> None:
+        """Start the transport and launch the initial worker fleet."""
+        self.transport.start()
+        for machine_id in self._initial_machines:
+            self._spawn_worker(machine_id)
         self.heartbeat.start()
         if not self.heartbeat.wait_all_up(self.startup_timeout):
             missing = [
                 machine_id
-                for machine_id in self.machine_ids
+                for machine_id in self._initial_machines
                 if not self.heartbeat.is_up(machine_id)
             ]
             raise ClusterStartupError(
@@ -250,6 +313,7 @@ class _ClusterExperiment:
         # the initial hellos do not masquerade as recoveries.
         self.heartbeat.on_down = self._on_down_signal
         self.heartbeat.on_up = self._on_up_signal
+        self.heartbeat.on_departed = self._on_departed_signal
 
     # ------------------------------------------------------------ membership
 
@@ -271,6 +335,16 @@ class _ClusterExperiment:
     def _on_up_signal(self, machine_id: str) -> None:
         self.transport.send("membership", "up", machine_id, sender="heartbeat")
 
+    def _on_departed_signal(self, machine_id: str, reason: str) -> None:
+        """An *announced* departure (drain, spot revocation) landed."""
+        self.scheduler.agents[machine_id].mark_dead()
+        self.transport.send(
+            "membership",
+            "departed",
+            {"machine_id": machine_id, "reason": reason},
+            sender="heartbeat",
+        )
+
     def _membership_loop(self) -> None:
         """Serialise node up/down handling off the transport threads."""
         while not self.stop_event.is_set():
@@ -279,8 +353,20 @@ class _ClusterExperiment:
                 continue
             if message.kind == "down":
                 self._node_down(message.payload)
-            else:
+            elif message.kind == "up":
                 self._node_up(message.payload)
+            elif message.kind == "revocation":
+                payload = message.payload or {}
+                self._node_revoked(
+                    payload["machine_id"],
+                    float(payload.get("grace", 0.0)),
+                    source="worker",
+                )
+            elif message.kind == "departed":
+                payload = message.payload or {}
+                self._node_departed(
+                    payload["machine_id"], payload.get("reason", "")
+                )
 
     def _node_down(self, machine_id: str) -> None:
         """A worker died or went silent: free its slot, migrate its job."""
@@ -327,12 +413,59 @@ class _ClusterExperiment:
         if self.stop_event.is_set():
             return
         with self._locked():
+            # Always re-arm RPCs: a freshly (re)spawned scale-up worker
+            # says hello while its machine is still parked drained — it
+            # is not "failed", but its agent must accept calls again.
+            agent.mark_alive()
             if not self.scheduler.resource_manager.is_failed(machine_id):
                 return
-            agent.mark_alive()
             self.scheduler.machine_recovered(machine_id)
             started = self._take_started()
         self._notify_started(started)
+
+    def _node_revoked(
+        self, machine_id: str, grace: float, source: str = "worker"
+    ) -> None:
+        """A spot revocation notice arrived: migrate before the kill.
+
+        The machine is marked as an *expected* departure (so its death
+        is not a failure), then gracefully evicted: its job suspends at
+        the next epoch boundary through the normal drain path — losing
+        zero epochs — and resumes from the snapshot on a survivor.
+        Quarantine keeps capacity grows from resurrecting the doomed
+        instance between the notice and the kill.
+        """
+        if self.stop_event.is_set():
+            return
+        self.recorder.audit.record(
+            "cluster_spot_revocation",
+            machine_id=machine_id,
+            grace=grace,
+            source=source,
+        )
+        self.heartbeat.expect_departure(machine_id, "spot_revocation")
+        with self._locked():
+            if self.scheduler.resource_manager.is_failed(machine_id):
+                return
+            self.scheduler.evict_machine(machine_id, quarantine=True)
+
+    def _node_departed(self, machine_id: str, reason: str) -> None:
+        """An announced departure completed (the process is gone)."""
+        agent: RemoteAgent = self.scheduler.agents[machine_id]
+        agent.mark_dead()
+        if self.stop_event.is_set():
+            return
+        if agent.job_id is not None:
+            # The grace window was shorter than the epoch boundary: the
+            # job never migrated off.  That *is* a failure — fall back
+            # to the truncate-to-snapshot migration path.
+            self._node_down(machine_id)
+            return
+        # Clean exit: the job (if any) already moved; just stop
+        # tracking the corpse.  The machine stays drained in the RM —
+        # quarantined (revoked) machines are never resurrected, drained
+        # ones may be respawned by a later grow.
+        self.heartbeat.remove_node(machine_id)
 
     def _take_started(self) -> List[str]:
         """Collect newly started machines; settle displaced-job landings.
@@ -454,6 +587,10 @@ class _ClusterExperiment:
         membership.start()
         self._threads.append(membership)
         with self.lock:
+            if len(self._initial_machines) < len(self.machine_ids):
+                # Elastic start: only the booted minimum is in service;
+                # the rest of the ledger waits drained for a grow.
+                self.scheduler.resize(len(self._initial_machines))
             if self.setup_hook is not None:
                 self.setup_hook(self.scheduler)
             self.scheduler.begin()
@@ -474,6 +611,9 @@ class _ClusterExperiment:
             self._shutdown(strict=False)
             raise
         self._shutdown(strict=True)
+        if self.cost_meter is not None:
+            self._meter_costs(publish=True)
+            self.cost_meter.close()
         with self.lock:
             return self.scheduler.finalize()
 
@@ -492,6 +632,8 @@ class _ClusterExperiment:
             if now >= next_head_ingest:
                 next_head_ingest = now + self.telemetry_interval
                 self._ingest_head()
+            if self.fleet is not None:
+                self._fleet_tick()
             with self.lock:
                 quiescent = (
                     self.scheduler.resource_manager.num_busy == 0
@@ -515,6 +657,201 @@ class _ClusterExperiment:
                 # The whole fleet is gone; nothing can make progress.
                 logger.error("all cluster nodes are down; aborting run")
                 return
+
+    # ---------------------------------------------------------------- fleet
+
+    def request_capacity(self, target: int) -> int:
+        """Steer the fleet toward ``target`` machines (broker sync hook).
+
+        Called under the scheduler lock from the daemon's capacity
+        sync.  Shrinks apply immediately (the caller resizes the
+        scheduler; drained processes are reaped by the monitor);
+        grows are deferred until real worker processes have booted.
+        Returns the capacity the caller may resize to *right now*.
+        """
+        clamped = max(self._fleet_min, min(self._fleet_max, target))
+        self._desired_capacity = clamped
+        self._external_capacity = clamped
+        rm = self.scheduler.resource_manager
+        in_service = rm.num_in_service
+        if clamped <= in_service:
+            return clamped
+        # Grow: only machines that are already up can join immediately
+        # — and only as the resurrection-order prefix, since that is
+        # the order set_target_capacity will un-drain them in.
+        extra = 0
+        for machine_id in rm.drained_machines:
+            if rm.is_quarantined(machine_id):
+                continue
+            if not self.heartbeat.is_up(machine_id):
+                break
+            extra += 1
+            if in_service + extra >= clamped:
+                break
+        return min(clamped, in_service + extra)
+
+    def _fleet_tick(self) -> None:
+        """One monitor-loop round of fleet work: deliver head-initiated
+        revocations, run the demand autoscaler, reconcile processes
+        with the desired capacity, and meter cost."""
+        if self.fleet_control is not None:
+            for request in self.fleet_control.drain_revocations():
+                self._deliver_revocation(request)
+        if self._fleet_autoscaler is not None:
+            if self._external_capacity is None:
+                with self._locked():
+                    rm = self.scheduler.resource_manager
+                    size = rm.num_in_service
+                    busy = rm.num_busy
+                    queue_depth = self.scheduler.job_manager.num_idle
+                decision = self._fleet_autoscaler.evaluate(
+                    size=size, busy=busy, queue_depth=queue_depth
+                )
+                if decision is not None:
+                    self._desired_capacity = decision.target
+                    self.recorder.audit.record(
+                        "autoscale",
+                        scope="fleet",
+                        target=decision.target,
+                        direction=decision.direction,
+                        reason=decision.reason,
+                        pressure=round(decision.pressure, 4),
+                    )
+            self._reconcile_fleet()
+        self._meter_costs()
+
+    def _reconcile_fleet(self) -> None:
+        """Drive processes and the scheduler toward the desired size."""
+        target = self._desired_capacity
+        rm = self.scheduler.resource_manager
+        with self._locked():
+            in_service = rm.num_in_service
+            resurrectable = [
+                machine_id
+                for machine_id in rm.drained_machines
+                if not rm.is_quarantined(machine_id)
+            ]
+        grow_prefix: List[str] = []
+        if in_service < target:
+            grow_prefix = resurrectable[: target - in_service]
+            for machine_id in grow_prefix:
+                process = self._processes.get(machine_id)
+                if process is None or not process.is_alive():
+                    self.heartbeat.add_node(machine_id)
+                    self._spawn_worker(machine_id)
+                    self.recorder.audit.record(
+                        "cluster_node_spawned", machine_id=machine_id
+                    )
+            # Two-phase grow: resize only once every joining machine is
+            # genuinely up, so the scheduler never assigns work to a
+            # still-booting process.
+            if grow_prefix and all(
+                self.heartbeat.is_up(machine_id) for machine_id in grow_prefix
+            ):
+                with self._locked():
+                    self.scheduler.resize(target)
+                    started = self._take_started()
+                self._notify_started(started)
+        elif in_service > target:
+            with self._locked():
+                self.scheduler.resize(target)
+        # Reap worker processes of machines that finished draining —
+        # except those a pending grow is about to resurrect, and except
+        # quarantined (revoked) machines, which die on their own timer.
+        keep = set(grow_prefix)
+        for machine_id in resurrectable:
+            if machine_id in keep:
+                continue
+            process = self._processes.get(machine_id)
+            if process is None or not process.is_alive():
+                continue
+            if not self.heartbeat.is_up(machine_id):
+                continue  # still booting or already on its way out
+            self.heartbeat.expect_departure(machine_id, "drain")
+            agent: RemoteAgent = self.scheduler.agents[machine_id]
+            try:
+                agent.shutdown()
+            except NodeFailure:
+                pass
+            self.recorder.audit.record(
+                "cluster_node_reaped", machine_id=machine_id
+            )
+
+    def _deliver_revocation(self, request) -> None:
+        """Turn one ``FleetControl`` revocation into a doomed worker."""
+        rm = self.scheduler.resource_manager
+        machine_id = request.machine_id
+        if machine_id is None:
+            candidates = [
+                candidate
+                for candidate, cls in sorted(self._classes.items())
+                if cls == SPOT
+                and self.heartbeat.is_up(candidate)
+                and not rm.is_quarantined(candidate)
+            ]
+            machine_id = candidates[0] if candidates else None
+        if machine_id is None or not self.heartbeat.is_up(machine_id):
+            self.recorder.audit.record(
+                "cluster_spot_revocation_skipped",
+                machine_id=machine_id or "",
+                reason="no eligible spot worker",
+            )
+            return
+        grace = request.grace
+        if grace is None:
+            grace = self.fleet.grace_seconds if self.fleet else 30.0
+        self._node_revoked(machine_id, grace, source="head")
+        try:
+            self.scheduler.agents[machine_id].revoke(grace)
+        except (NodeFailure, RuntimeError):
+            pass  # it died early; membership handles the fallout
+
+    def _meter_costs(self, publish: bool = False) -> None:
+        """Charge wall-metered machine-seconds (experiment clock) for
+        every live worker process, and periodically journal a tick."""
+        if self.cost_meter is None:
+            return
+        now = self._clock()
+        last = self._last_cost_clock
+        self._last_cost_clock = now
+        up = {ON_DEMAND: 0, SPOT: 0}
+        delta = now - last if last is not None else 0.0
+        for machine_id, process in self._processes.items():
+            if not process.is_alive():
+                continue
+            cls = self._classes[machine_id]
+            up[cls] += 1
+            if delta > 0:
+                self.cost_meter.charge(cls, delta, machine_id)
+        for cls, count in up.items():
+            self._m_workers_up.set(float(count), **{"class": cls})
+        if self.cost_meter.exhausted and not self._budget_exhausted_logged:
+            self._budget_exhausted_logged = True
+            spent = round(self.cost_meter.spent_dollars, 6)
+            self.recorder.audit.record(
+                "cost_budget_exhausted",
+                experiment=self.cost_meter.exp_id,
+                spent_dollars=spent,
+            )
+            self.cost_meter.record("budget_exhausted", spent_dollars=spent)
+        wall = time.monotonic()
+        if publish or wall >= self._next_cost_record:
+            self._next_cost_record = wall + max(self.telemetry_interval, 0.25)
+            self.cost_meter.record(
+                "cost_tick",
+                clock=round(now, 3),
+                workers_up=dict(up),
+                spent_dollars=round(self.cost_meter.spent_dollars, 6),
+            )
+            if self.fleet_control is not None:
+                self.fleet_control.publish(
+                    {
+                        "workers_up": dict(up),
+                        "desired_capacity": self._desired_capacity,
+                        "classes": dict(self._classes),
+                        "cost": self.cost_meter.summary(),
+                    }
+                )
 
     def _shutdown(self, strict: bool) -> None:
         self.stop_event.set()
@@ -573,6 +910,8 @@ def run_cluster(
     setup_hook: Optional[Callable] = None,
     aggregator: Optional[TelemetryAggregator] = None,
     telemetry_interval: float = 0.25,
+    fleet: Optional[FleetOptions] = None,
+    fleet_control: Optional[FleetControl] = None,
 ) -> ExperimentResult:
     """Run one experiment on the multi-process cluster runtime.
 
@@ -605,6 +944,13 @@ def run_cluster(
             service daemon does).
         telemetry_interval: wall seconds between worker telemetry
             batches (and head self-ingests).
+        fleet: elasticity and economics: ``autoscale=(min, max)``
+            worker-process bounds (``max`` must equal
+            ``spec.num_machines`` — the ledger is the upper bound),
+            spot fraction, revocation grace, cost model and budget.
+            ``None`` keeps the fixed-fleet, unmetered behaviour.
+        fleet_control: live command/status handle (the daemon queues
+            spot revocations and reads fleet status through it).
 
     Returns:
         The finalised :class:`ExperimentResult` on the simulated-seconds
@@ -624,6 +970,12 @@ def run_cluster(
         raise ValueError("retry_budget must be >= 0")
     if progress_every_epochs < 1:
         raise ValueError("progress_every_epochs must be >= 1")
+    if fleet is not None and fleet.autoscale is not None:
+        if fleet.autoscale[1] != spec.num_machines:
+            raise ValueError(
+                "fleet.autoscale max must equal spec.num_machines "
+                f"({fleet.autoscale[1]} != {spec.num_machines})"
+            )
 
     experiment = _ClusterExperiment(
         workload=workload,
@@ -644,6 +996,8 @@ def run_cluster(
         setup_hook=setup_hook,
         aggregator=aggregator,
         telemetry_interval=telemetry_interval,
+        fleet=fleet,
+        fleet_control=fleet_control,
     )
     if configs is not None:
         for index, config in enumerate(configs):

@@ -25,6 +25,10 @@ Fault injection hooks live here and in the endpoint:
   process*, the worker SIGKILLs itself before replying, so the epoch's
   work is genuinely lost (the head must fall back to the last
   snapshot).
+* ``spot_revocation`` — after the agent finishes its N-th epoch the
+  worker sends a ``revocation`` notice to the head's membership topic
+  and arms a SIGKILL ``grace`` experiment-seconds out; the head uses
+  the window to migrate the job off before the kill lands.
 * ``drop_heartbeats`` / ``delay_send`` — enforced inside
   :class:`~repro.cluster.transport.WorkerEndpoint`.
 
@@ -48,7 +52,7 @@ from ..framework.snapshot import Snapshot, cost_model_for_domain
 from ..observability import Recorder
 from ..observability.tracing import TraceContext, trace_context
 from ..workloads.base import Workload
-from .faults import FaultPlan
+from .faults import FaultPlan, SpotRevocation
 from .transport import TELEMETRY, NodeFailure, WorkerEndpoint
 
 __all__ = [
@@ -210,6 +214,8 @@ class _WorkerHost:
         recorder: Optional[Recorder] = None,
         clock: Optional[_WorkerClock] = None,
         shipper: Optional[TelemetryShipper] = None,
+        revocation: Optional[SpotRevocation] = None,
+        time_scale: float = 1e-3,
     ) -> None:
         self.machine_id = machine_id
         self.endpoint = endpoint
@@ -218,6 +224,9 @@ class _WorkerHost:
         self._recorder = recorder if recorder is not None else Recorder()
         self._clock = clock
         self._shipper = shipper
+        self._revocation = revocation
+        self._time_scale = time_scale
+        self._revocation_sent = False
         self._epochs_trained = 0
         self.running = True
 
@@ -281,6 +290,16 @@ class _WorkerHost:
                 # process, losing the epoch exactly as a real mid-epoch
                 # failure would.
                 os.kill(os.getpid(), signal.SIGKILL)
+            if (
+                self._revocation is not None
+                and not self._revocation_sent
+                and self._epochs_trained >= self._revocation.epoch
+            ):
+                # Spot revocation notice: announce to the head *now*,
+                # arm the kill for grace seconds out, and keep serving
+                # RPCs in between — the head uses the window to migrate
+                # the job off this machine before the kill lands.
+                self._announce_revocation(self._revocation.grace)
             run = self.agent.run
             return {
                 "epoch": result.epoch,
@@ -300,6 +319,11 @@ class _WorkerHost:
             return None
         if method == "curve_history":
             return self.agent.curve_history
+        if method == "revoke":
+            # Head-initiated revocation (daemon /fleet/revoke): the
+            # head already knows, so arm the kill without a notice.
+            self._arm_kill(float(args.get("grace", 0.0)))
+            return None
         if method == "shutdown":
             # Final telemetry flush *before* the reply: the head tears
             # the link down right after it hears back, and the last
@@ -309,6 +333,34 @@ class _WorkerHost:
             self.running = False
             return None
         raise ValueError(f"unknown rpc method {method!r}")
+
+    # ----------------------------------------------------------- revocation
+
+    def _announce_revocation(self, grace: float) -> None:
+        self._revocation_sent = True
+        self._recorder.audit.record(
+            "worker_spot_revocation",
+            machine_id=self.machine_id,
+            grace=grace,
+        )
+        try:
+            self.endpoint.send(
+                "membership",
+                "revocation",
+                {"machine_id": self.machine_id, "grace": grace},
+            )
+        except NodeFailure:
+            pass  # link down; the kill still lands, as a plain failure
+        self._arm_kill(grace)
+
+    def _arm_kill(self, grace: float) -> None:
+        # Grace is in *experiment* seconds; the wall timer scales it.
+        delay = max(0.0, grace) * self._time_scale
+        timer = threading.Timer(
+            delay, os.kill, args=(os.getpid(), signal.SIGKILL)
+        )
+        timer.daemon = True
+        timer.start()
 
 
 def worker_main(
@@ -353,6 +405,8 @@ def worker_main(
     host_loop = _WorkerHost(
         machine_id, endpoint, agent, plan.kill_epoch(machine_id),
         recorder=recorder, clock=clock, shipper=shipper,
+        revocation=plan.spot_revocation(machine_id),
+        time_scale=time_scale,
     )
     try:
         while host_loop.running:

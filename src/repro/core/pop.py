@@ -275,6 +275,22 @@ class POPPolicy(SchedulingPolicy):
             self._prediction_counts.get(job.job_id, 0) + 1
         )
 
+    def _allocatable_slots(self) -> int:
+        """Slots the desired/deserved computation divides.  In-service,
+        not nominal: under a broker lease reclaim the drained machines
+        must stop counting.  Subclasses may clamp further (e.g. the
+        budget-aware variant caps at what the budget can afford)."""
+        ctx = self.ctx
+        return (
+            getattr(ctx.resource_manager, "num_in_service", None)
+            or ctx.resource_manager.num_machines
+        )
+
+    def _priority_for(self, job: Job) -> float:
+        """Priority label for a promising job (§5.3 uses ``p``)."""
+        assert job.confidence is not None
+        return job.confidence
+
     def _reclassify_all(self) -> None:
         """Recompute p*, the pool size, and every job's category."""
         ctx = self.ctx
@@ -282,11 +298,7 @@ class POPPolicy(SchedulingPolicy):
         confidences = [
             job.confidence for job in active if job.confidence is not None
         ]
-        # In-service, not nominal: under a broker lease reclaim the
-        # drained machines must stop counting as allocatable slots.
-        total_slots = getattr(
-            ctx.resource_manager, "num_in_service", None
-        ) or ctx.resource_manager.num_machines
+        total_slots = self._allocatable_slots()
         allocation = compute_slot_allocation(
             confidences,
             total_slots=total_slots,
@@ -323,8 +335,9 @@ class POPPolicy(SchedulingPolicy):
             )
             job.promising = promising
             if promising and job.confidence is not None:
-                # Label promising jobs with priority = p (§5.3).
-                ctx.job_manager.label_job(job.job_id, job.confidence)
+                # Label promising jobs with priority = p (§5.3);
+                # subclasses may reweight (e.g. value per dollar).
+                ctx.job_manager.label_job(job.job_id, self._priority_for(job))
             elif job.priority is not None and not promising:
                 job.priority = None
 

@@ -1,0 +1,189 @@
+"""Budget-aware POP: maximise expected best accuracy per dollar.
+
+``POPBudgetPolicy`` is plain POP with three changes, all downstream of
+one number — the machine-hour budget the experiment may spend:
+
+1. **Spend tracking.**  Every ``application_stat`` charges the epoch's
+   wall duration (at the on-demand slot rate) against the budget.  The
+   charge is a pure function of the reported stats, so resumed or
+   migrated experiments reconstruct the identical ledger from the
+   journal replay.
+2. **Affordable-slot clamp.**  The desired/deserved slot computation
+   divides ``min(in_service, affordable)`` slots, where *affordable* is
+   the parallelism the remaining budget can sustain for the remaining
+   experiment time.  As money runs low the promising pool narrows, so
+   the last dollars concentrate on the highest-confidence configs
+   instead of being spread across the opportunistic pool.
+3. **Value-per-dollar priorities.**  Promising jobs are labelled with
+   ``p / expected remaining cost`` instead of raw ``p``: between two
+   similarly confident configs, the one expected to finish cheaper
+   trains first.
+
+When the spend crosses the budget the policy stops the experiment via
+``ctx.stop_experiment`` (one audit record, one stop).  The budget
+arrives either explicitly — ``configure_budget`` is called by the
+service executor with the submission's ``budget_slot_hours`` — or
+defaults to ``budget_fraction`` of the full-cluster-for-Tmax cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..framework.events import AppStat
+from ..framework.job import Job
+from ..framework.policy_api import PolicyContext
+from ..observability import NULL_RECORDER
+from .pop import POPPolicy
+
+__all__ = ["POPBudgetPolicy"]
+
+
+class POPBudgetPolicy(POPPolicy):
+    """POP that maximises expected best accuracy per dollar remaining.
+
+    Args:
+        budget_slot_hours: machine-hours the experiment may spend; None
+            defers to :meth:`configure_budget` or the default fraction.
+        slot_rate: dollars per machine-hour (on-demand rate; 1.0 makes
+            budget_slot_hours and dollars the same unit, matching the
+            cost meter's default).
+        budget_fraction: default budget when none is given, as a
+            fraction of ``num_machines * Tmax`` (running the whole
+            cluster for the whole experiment).
+    """
+
+    name = "pop-budget"
+
+    #: Default budget = this fraction of the full-cluster-for-Tmax cost.
+    budget_fraction: float = 0.5
+
+    def __init__(
+        self,
+        budget_slot_hours: Optional[float] = None,
+        slot_rate: float = 1.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if budget_slot_hours is not None and budget_slot_hours <= 0:
+            raise ValueError("budget_slot_hours must be > 0")
+        if slot_rate <= 0:
+            raise ValueError("slot_rate must be > 0")
+        self.budget_slot_hours = budget_slot_hours
+        self.slot_rate = slot_rate
+        #: Dollars charged so far (epoch durations x slot_rate).
+        self.spent_dollars: float = 0.0
+        self._exhausted = False
+        self._m_spent = NULL_RECORDER.metrics.gauge("pop_budget_spent_dollars")
+        self._m_remaining = NULL_RECORDER.metrics.gauge(
+            "pop_budget_remaining_dollars"
+        )
+        self._m_affordable = NULL_RECORDER.metrics.gauge(
+            "pop_budget_affordable_slots"
+        )
+
+    # ------------------------------------------------------------- budget
+
+    def configure_budget(self, budget_slot_hours: Optional[float]) -> None:
+        """Adopt an externally supplied budget (service submissions
+        carry ``budget_slot_hours``; the executor calls this before the
+        experiment starts).  None keeps the current/default budget."""
+        if budget_slot_hours is None:
+            return
+        if budget_slot_hours <= 0:
+            raise ValueError("budget_slot_hours must be > 0")
+        self.budget_slot_hours = budget_slot_hours
+
+    @property
+    def budget_dollars(self) -> float:
+        assert self.budget_slot_hours is not None
+        return self.budget_slot_hours * self.slot_rate
+
+    @property
+    def remaining_dollars(self) -> float:
+        return max(0.0, self.budget_dollars - self.spent_dollars)
+
+    def bind(self, context: PolicyContext) -> None:
+        super().bind(context)
+        if self.budget_slot_hours is None:
+            # Default: a fraction of what the full cluster would cost
+            # running flat-out until Tmax.
+            full_cost = (
+                context.resource_manager.num_machines * context.tmax / 3600.0
+            )
+            self.budget_slot_hours = self.budget_fraction * full_cost
+        metrics = context.recorder.metrics
+        self._m_spent = metrics.gauge(
+            "pop_budget_spent_dollars",
+            help="Machine-time dollars charged by pop-budget so far",
+        )
+        self._m_remaining = metrics.gauge(
+            "pop_budget_remaining_dollars",
+            help="Budget dollars pop-budget has left to spend",
+        )
+        self._m_affordable = metrics.gauge(
+            "pop_budget_affordable_slots",
+            help="Parallelism the remaining budget can sustain",
+        )
+        self._m_spent.set(0.0)
+        self._m_remaining.set(self.budget_dollars)
+
+    # ------------------------------------------------------------ up-calls
+
+    def application_stat(self, stat: AppStat) -> None:
+        """Charge the epoch's machine time against the budget."""
+        super().application_stat(stat)
+        self.spent_dollars += (stat.duration / 3600.0) * self.slot_rate
+        self._m_spent.set(self.spent_dollars)
+        self._m_remaining.set(self.remaining_dollars)
+        if self._exhausted or self.spent_dollars < self.budget_dollars:
+            return
+        self._exhausted = True
+        ctx = self.ctx
+        ctx.recorder.audit.record(
+            "pop_budget_exhausted",
+            spent_dollars=self.spent_dollars,
+            budget_dollars=self.budget_dollars,
+            epoch=stat.epoch,
+            job_id=stat.job_id,
+        )
+        if ctx.stop_experiment is not None:
+            ctx.stop_experiment("budget_exhausted")
+
+    # ----------------------------------------------------------- POP hooks
+
+    def _affordable_slots(self) -> Optional[int]:
+        """Parallelism the remaining budget sustains until Tmax.
+
+        ``remaining_dollars / (remaining_hours * rate)`` machines can
+        run side by side for the rest of the experiment without going
+        over.  None when the experiment clock has effectively run out
+        (the time limit binds before the money does).
+        """
+        time_remaining = self.ctx.tmax - self.ctx.now()
+        if time_remaining <= 0:
+            return None
+        hours_remaining = time_remaining / 3600.0
+        return int(self.remaining_dollars / (hours_remaining * self.slot_rate))
+
+    def _allocatable_slots(self) -> int:
+        base = super()._allocatable_slots()
+        affordable = self._affordable_slots()
+        if affordable is None:
+            return base
+        # Never clamp below one slot: with any budget left the best
+        # config keeps training (a zero-slot pool would idle the money
+        # away while the clock runs).
+        slots = max(1, min(base, affordable))
+        self._m_affordable.set(slots)
+        return slots
+
+    def _priority_for(self, job: Job) -> float:
+        """Confidence per expected remaining dollar, not raw confidence:
+        of two similar-``p`` configs the cheaper finisher trains first."""
+        assert job.confidence is not None
+        ert = job.expected_remaining_time
+        if not ert or ert <= 0:
+            return job.confidence
+        expected_cost = (ert / 3600.0) * self.slot_rate
+        return job.confidence / (expected_cost + 1e-9)

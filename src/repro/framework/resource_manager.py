@@ -31,6 +31,12 @@ class ResourceManager:
         self._failed: Set[str] = set()
         self._drained: Set[str] = set()
         self._target_capacity: int = num_machines
+        #: Busy machines that must drain (not idle) on release —
+        #: targeted retirements (spot revocations, specific drains).
+        self._retiring: Set[str] = set()
+        #: Drained machines a capacity grow must NOT resurrect (the
+        #: instance is going away for good, e.g. a revoked spot node).
+        self._quarantined: Set[str] = set()
 
     @property
     def machine_ids(self) -> List[str]:
@@ -63,7 +69,11 @@ class ResourceManager:
         if machine_id not in self._busy:
             raise ValueError(f"{machine_id!r} is not reserved")
         self._busy.remove(machine_id)
-        if self.num_in_service > self._target_capacity:
+        if (
+            machine_id in self._retiring
+            or self.num_in_service > self._target_capacity
+        ):
+            self._retiring.discard(machine_id)
             self._drained.add(machine_id)
         else:
             self._idle.append(machine_id)
@@ -85,10 +95,49 @@ class ResourceManager:
     def num_drained(self) -> int:
         return len(self._drained)
 
+    @property
+    def drained_machines(self) -> List[str]:
+        return sorted(self._drained)
+
     def is_drained(self, machine_id: str) -> bool:
         if machine_id not in self._all:
             raise ValueError(f"unknown machine {machine_id!r}")
         return machine_id in self._drained
+
+    def is_retiring(self, machine_id: str) -> bool:
+        if machine_id not in self._all:
+            raise ValueError(f"unknown machine {machine_id!r}")
+        return machine_id in self._retiring
+
+    def is_quarantined(self, machine_id: str) -> bool:
+        if machine_id not in self._all:
+            raise ValueError(f"unknown machine {machine_id!r}")
+        return machine_id in self._quarantined
+
+    def retire_machine(self, machine_id: str, quarantine: bool = False) -> bool:
+        """Take one *specific* machine out of service, gracefully.
+
+        Idle machines drain immediately; busy ones are marked retiring
+        and drain when released (the scheduler migrates their job off
+        first).  With ``quarantine=True`` the drained machine is also
+        barred from resurrection by a later capacity grow — the shape
+        of a spot revocation, where the instance is going away for
+        good.  Returns True when the machine is drained *now*.
+        """
+        if machine_id not in self._all:
+            raise ValueError(f"unknown machine {machine_id!r}")
+        if machine_id in self._failed:
+            raise ValueError(f"{machine_id!r} has failed")
+        if quarantine:
+            self._quarantined.add(machine_id)
+        if machine_id in self._drained:
+            return True
+        if machine_id in self._busy:
+            self._retiring.add(machine_id)
+            return False
+        self._idle.remove(machine_id)
+        self._drained.add(machine_id)
+        return True
 
     def set_target_capacity(self, target: int) -> List[str]:
         """Resize the in-service pool toward ``target`` machines.
@@ -104,9 +153,15 @@ class ResourceManager:
         self._target_capacity = min(target, len(self._all))
         drained_now: List[str] = []
         # Grow: resurrect drained machines, oldest-named first for
-        # deterministic ordering.
-        while self._drained and self.num_in_service < self._target_capacity:
-            machine_id = sorted(self._drained)[0]
+        # deterministic ordering.  Quarantined machines stay parked —
+        # they are revoked instances, not spare capacity.
+        while self.num_in_service < self._target_capacity:
+            candidates = [
+                m for m in sorted(self._drained) if m not in self._quarantined
+            ]
+            if not candidates:
+                break
+            machine_id = candidates[0]
             self._drained.remove(machine_id)
             self._idle.append(machine_id)
         # Shrink: drain idle machines first; busy ones drain on release.
@@ -148,6 +203,7 @@ class ResourceManager:
             self._drained.remove(machine_id)
         else:
             self._idle.remove(machine_id)
+        self._retiring.discard(machine_id)
         self._failed.add(machine_id)
 
     def recover_machine(self, machine_id: str) -> None:
@@ -156,6 +212,7 @@ class ResourceManager:
         if machine_id not in self._failed:
             raise ValueError(f"{machine_id!r} is not failed")
         self._failed.remove(machine_id)
+        self._quarantined.discard(machine_id)
         if self.num_in_service > self._target_capacity:
             self._drained.add(machine_id)
         else:

@@ -485,9 +485,14 @@ class HyperDriveScheduler:
             if machine_id not in self._evict_pending:
                 self._evict_pending.add(machine_id)
                 pending_after -= 1
-        # Over-marked from an earlier, deeper shrink? Unmark survivors.
-        while pending_after < target and self._evict_pending:
-            self._evict_pending.discard(sorted(self._evict_pending)[0])
+        # Over-marked from an earlier, deeper shrink? Unmark survivors
+        # — but never a retiring machine (a targeted eviction, e.g. a
+        # spot revocation, must complete regardless of pool size).
+        unmarkable = sorted(
+            m for m in self._evict_pending if not rm.is_retiring(m)
+        )
+        while pending_after < target and unmarkable:
+            self._evict_pending.discard(unmarkable.pop(0))
             pending_after += 1
         # Pre-begin resize (a broker setup hook trimming the pool to
         # its granted leases) must not allocate: the policy is unbound
@@ -499,6 +504,27 @@ class HyperDriveScheduler:
         ):
             self.policy.allocate_jobs()
         return rm.num_in_service
+
+    def evict_machine(self, machine_id: str, quarantine: bool = False) -> bool:
+        """Gracefully push one *specific* machine out of service.
+
+        The spot-revocation path: an idle machine drains immediately;
+        a busy one is marked for boundary eviction, so its job is
+        snapshotted, suspended, and resumed on a survivor before the
+        doomed instance disappears.  ``quarantine=True`` additionally
+        bars the machine from resurrection by later capacity grows.
+        Returns True when the machine is already drained.
+        """
+        rm = self.resource_manager
+        already_drained = rm.is_drained(machine_id)
+        drained_now = rm.retire_machine(machine_id, quarantine=quarantine)
+        if drained_now:
+            self._evict_pending.discard(machine_id)
+            if not already_drained:
+                self._log(LifecycleKind.MACHINE_DRAINED, "-", machine_id)
+        else:
+            self._evict_pending.add(machine_id)
+        return drained_now
 
     def checkpoint_state(self) -> Dict[str, object]:
         """A JSON-serialisable progress checkpoint of the experiment.

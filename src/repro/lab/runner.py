@@ -81,6 +81,29 @@ class CellError(RuntimeError):
     """A cell failed; carries the cell label for diagnosis."""
 
 
+def _with_budget_stop(policy, budget_slot_hours: float):
+    """Enforce a machine-hour purse on a budget-blind policy.
+
+    Budget-aware policies (``configure_budget``) manage the purse
+    themselves; everyone else gets this shim so a fixed-budget study
+    compares policies at *equal spend* — the experiment hard-stops the
+    moment cumulative machine time crosses the budget.
+    """
+    inner = policy.application_stat
+    state = {"spent": 0.0, "stopped": False}
+
+    def application_stat(stat):
+        inner(stat)
+        state["spent"] += stat.duration / 3600.0
+        if not state["stopped"] and state["spent"] >= budget_slot_hours:
+            state["stopped"] = True
+            if policy.ctx.stop_experiment is not None:
+                policy.ctx.stop_experiment("budget_exhausted")
+
+    policy.application_stat = application_stat
+    return policy
+
+
 @dataclass
 class StudyProgress:
     """Counts reported by one :meth:`StudyRunner.run` invocation."""
@@ -114,6 +137,10 @@ def execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     recorder = Recorder()
     workload = registry.build_workload(cell.workload)
     policy = registry.build_policy(cell.policy)
+    if hasattr(policy, "configure_budget"):
+        policy.configure_budget(cell.budget_slot_hours)
+    elif cell.budget_slot_hours is not None:
+        policy = _with_budget_stop(policy, cell.budget_slot_hours)
     spec = ExperimentSpec(
         num_machines=resolved["machines"],
         num_configs=cell.num_configs,

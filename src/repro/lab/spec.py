@@ -83,6 +83,9 @@ class Cell:
     stop_on_target: bool
     predict_workers: int
     predict_cache_size: int
+    #: Machine-hour budget handed to budget-aware policies (via their
+    #: ``configure_budget`` hook); None leaves the policy's default.
+    budget_slot_hours: Optional[float] = None
 
     def resolved(self) -> Dict[str, Any]:
         """The cell with every default pinned (canonical, hashable)."""
@@ -164,7 +167,9 @@ class StudySpec:
             limits and the tenants panel; docs/service.md).
         priority: admission priority for daemon-hosted studies.
         deadline_hours: soft deadline carried to the broker.
-        budget_slot_hours: slot-hour budget carried to the broker.
+        budget_slot_hours: slot-hour budget carried to the broker and
+            handed to budget-aware policies (``configure_budget``), so
+            a fixed-budget study caps every cell's machine-time spend.
     """
 
     name: str
@@ -345,6 +350,7 @@ class StudySpec:
                     stop_on_target=self.stop_on_target,
                     predict_workers=self.predict_workers,
                     predict_cache_size=self.predict_cache_size,
+                    budget_slot_hours=self.budget_slot_hours,
                 )
             )
         return out

@@ -79,6 +79,27 @@ def _generator_shootout() -> StudySpec:
     )
 
 
+def _budget_tournament() -> StudySpec:
+    # Elastic-cluster economics: equal machine-hour purse per cell,
+    # best model found when the money runs out.  pop-budget narrows
+    # its promising pool as the purse drains and prioritises cheap
+    # finishers; plain POP and HyperBand spend time-aware but
+    # cost-blind.
+    return StudySpec(
+        name="budget-tournament",
+        policies=("pop-budget", "pop", "hyperband"),
+        workloads=("cifar10",),
+        machines=(4,),
+        seeds=(0, 1, 2),
+        num_configs=24,
+        stop_on_target=False,
+        tmax_hours=24.0,
+        budget_slot_hours=48.0,
+        baseline={"policy": "pop"},
+        metric="best_metric",
+    )
+
+
 def _sweep_smoke() -> StudySpec:
     # CI-sized: 2 policies x 2 seeds on a clipped grid.  Small enough
     # for a smoke job, slow enough that a kill-and-resume test can
@@ -101,6 +122,7 @@ BUILTIN_STUDIES: Dict[str, Callable[[], StudySpec]] = {
     "capacity-sensitivity": _capacity_sensitivity,
     "config-order": _config_order,
     "generator-shootout": _generator_shootout,
+    "budget-tournament": _budget_tournament,
     "sweep-smoke": _sweep_smoke,
 }
 

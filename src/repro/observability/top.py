@@ -19,7 +19,10 @@ This module turns that document into a fixed-width text dashboard:
 * **tenants** — the resource broker's per-tenant view from the daemon's
   self-ingested ``service`` node: queued/running experiments, slots
   held, budget spent/remaining, tightest deadline countdown (the
-  ``broker_tenant_*`` gauges), headed by pool occupancy.
+  ``broker_tenant_*`` gauges), headed by pool occupancy;
+* **fleet/cost** — elastic-fleet economics from the ``cost_*`` gauges:
+  workers up by machine class (on-demand vs spot) and per-experiment
+  dollars spent against ``budget_slot_hours``.
 
 Everything here is a pure function of the telemetry dict so tests (and
 ``repro diagnose``-style tooling) can render without a daemon; the CLI
@@ -231,6 +234,59 @@ def _tenant_section(nodes: Mapping[str, Mapping[str, Any]]) -> List[str]:
     return lines
 
 
+def _fleet_section(nodes: Mapping[str, Mapping[str, Any]]) -> List[str]:
+    """Cost/fleet panel: workers up by machine class and per-experiment
+    dollars spent against budget, from the ``cost_*`` gauges the
+    cluster runtime's meter exports."""
+    workers: Dict[str, float] = {}
+    spent: Dict[str, float] = {}
+    budget: Dict[str, float] = {}
+    remaining: Dict[str, float] = {}
+    for record in nodes.values():
+        metrics = record.get("metrics", {})
+        for cls, value in _labelled_values(
+            metrics, "cost_workers_up", "class"
+        ).items():
+            workers[cls] = workers.get(cls, 0.0) + value
+        spent.update(
+            _labelled_values(metrics, "cost_spent_dollars", "experiment")
+        )
+        budget.update(
+            _labelled_values(metrics, "cost_budget_dollars", "experiment")
+        )
+        remaining.update(
+            _labelled_values(
+                metrics, "cost_budget_remaining_dollars", "experiment"
+            )
+        )
+    if not workers and not spent:
+        return []
+    fleet_text = " ".join(
+        f"{cls}={workers[cls]:.0f}" for cls in sorted(workers)
+    )
+    lines = [f"fleet: workers up {fleet_text or '-'}"]
+    experiments = sorted(set(spent) | set(budget))
+    if experiments:
+        lines.append(
+            f"{'EXPERIMENT':<14} {'SPENT':>9} {'BUDGET':>9} {'LEFT':>9}"
+        )
+        for experiment in experiments:
+            budget_text = (
+                "-" if experiment not in budget
+                else f"${budget[experiment]:.2f}"
+            )
+            left_text = (
+                "-" if experiment not in remaining
+                else f"${remaining[experiment]:.2f}"
+            )
+            spent_text = f"${spent.get(experiment, 0.0):.2f}"
+            lines.append(
+                f"{experiment:<14} {spent_text:>9} "
+                f"{budget_text:>9} {left_text:>9}"
+            )
+    return lines
+
+
 def render_top(telemetry: Mapping[str, Any], url: str = "") -> str:
     """The whole dashboard as one text block."""
     nodes = telemetry.get("nodes", {})
@@ -250,6 +306,9 @@ def render_top(telemetry: Mapping[str, Any], url: str = "") -> str:
         tenants = _tenant_section(nodes)
         if tenants:
             sections.append(tenants)
+        fleet = _fleet_section(nodes)
+        if fleet:
+            sections.append(fleet)
     else:
         sections.append(["no telemetry yet"])
     conflicts = telemetry.get("kind_conflicts") or {}

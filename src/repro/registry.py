@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from .core.pop import POPPolicy
+from .core.pop_budget import POPBudgetPolicy
 from .generators.base import HyperparameterGenerator
 from .generators.bayesian import BayesianGenerator
 from .generators.grid import GridGenerator
@@ -47,6 +48,7 @@ WORKLOADS: Dict[str, Callable] = {
 
 POLICIES: Dict[str, Callable] = {
     "pop": POPPolicy,
+    "pop-budget": POPBudgetPolicy,
     "bandit": BanditPolicy,
     "earlyterm": EarlyTermPolicy,
     "default": DefaultPolicy,

@@ -28,6 +28,9 @@ GET       ``/telemetry``                  JSON telemetry aggregate: per-node
 GET       ``/broker``                     resource-broker status: slot pool,
                                           per-experiment leases/targets,
                                           admission config, tenant counts
+GET       ``/fleet``                      live per-experiment fleet/cost status
+POST      ``/fleet/revoke``               queue a spot revocation against a
+                                          live cluster fleet (elastic mode)
 POST      ``/studies``                    submit a sweep-lab study
                                           (``{"study": name}`` or
                                           ``{"spec": {...}}``; docs/lab.md)
@@ -46,12 +49,20 @@ from __future__ import annotations
 import json
 import logging
 import re
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 from urllib.parse import parse_qs, urlparse
 
+from ..autoscale import (
+    Autoscaler,
+    CostModel,
+    FleetControl,
+    FleetOptions,
+    PoolAutoscaler,
+)
 from ..broker import (
     AdmissionController,
     AdmissionError,
@@ -103,6 +114,9 @@ class ExperimentService:
         max_queue_depth: Optional[int] = None,
         rate_limit: Optional[float] = None,
         rate_burst: Optional[int] = None,
+        autoscale: Optional[tuple] = None,
+        spot_fraction: float = 0.0,
+        spot_rate: float = 0.3,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -110,6 +124,24 @@ class ExperimentService:
             raise ValueError("cluster_workers must be >= 1")
         if slots is not None and slots < 1:
             raise ValueError("slots must be >= 1 when given")
+        if autoscale is not None:
+            lo, hi = int(autoscale[0]), int(autoscale[1])
+            if lo < 1 or hi < lo:
+                raise ValueError("autoscale bounds must satisfy 1 <= min <= max")
+            autoscale = (lo, hi)
+            if cluster_workers is None:
+                cluster_workers = hi
+            elif cluster_workers != hi:
+                raise ValueError(
+                    "autoscale max must equal cluster_workers "
+                    f"({hi} != {cluster_workers})"
+                )
+            if slots is None:
+                # An elastic pool starts at the fleet minimum; the pool
+                # autoscaler grows it under pressure.
+                slots = lo
+        if not 0.0 <= spot_fraction <= 1.0:
+            raise ValueError("spot_fraction must be in [0, 1]")
         # When set, *live* submissions execute on the multi-process
         # cluster runtime with this many worker processes per
         # experiment (see docs/cluster.md).  Simulator submissions
@@ -147,6 +179,37 @@ class ExperimentService:
             ),
             recorder=self._broker_recorder,
         )
+        # Elastic, cost-aware fleets (docs/cluster.md "Elasticity and
+        # cost"): one FleetOptions template stamped per cluster run,
+        # one shared cost.jsonl trail, one FleetControl handle per live
+        # run (POST /fleet/revoke), and a PoolAutoscaler steering the
+        # broker's slot pool from admission-queue pressure.
+        self.autoscale = autoscale
+        self.spot_fraction = spot_fraction
+        self._fleet_template: Optional[FleetOptions] = None
+        self._cost_exporter: Optional[JsonlExporter] = None
+        self._pool_autoscaler: Optional[PoolAutoscaler] = None
+        if autoscale is not None or spot_fraction > 0.0:
+            self._cost_exporter = JsonlExporter(
+                self.store.root / "cost.jsonl"
+            )
+            self._fleet_template = FleetOptions(
+                autoscale=autoscale,
+                spot_fraction=spot_fraction,
+                cost_model=CostModel(spot_rate=spot_rate),
+                cost_exporter=self._cost_exporter,
+            )
+        if autoscale is not None:
+            self._pool_autoscaler = PoolAutoscaler(
+                self.broker.pool,
+                Autoscaler(autoscale[0], autoscale[1],
+                           cooldown_seconds=0.5),
+                queue_depth=self._admission_queue_depth,
+                interval=0.25,
+                recorder=self._broker_recorder,
+            )
+        self._fleets: Dict[str, FleetControl] = {}
+        self._fleets_lock = threading.Lock()
         # Experiment ids the broker fully preempted: their rows sit at
         # INTERRUPTED, and only ids in this set are re-claimed by the
         # worker loop (other interrupted rows need `repro resume` or
@@ -233,6 +296,8 @@ class ExperimentService:
         )
         http_thread.start()
         self._threads.append(http_thread)
+        if self._pool_autoscaler is not None:
+            self._pool_autoscaler.start()
         for index in range(self._workers):
             worker = threading.Thread(
                 target=self._worker_loop,
@@ -246,19 +311,40 @@ class ExperimentService:
         """Shut down the listener and wait for workers to finish the
         experiment they are on (idempotent)."""
         self._stop.set()
+        if self._pool_autoscaler is not None:
+            self._pool_autoscaler.stop()
         self._server.shutdown()
         self._server.server_close()
         for thread in self._threads:
             thread.join(timeout=timeout)
         self._threads = []
         self._broker_recorder.close()
+        if self._cost_exporter is not None:
+            self._cost_exporter.close()
         self.store.close()
 
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM into the graceful-stop path.
+
+        SIGTERM matters: shells without job control start ``&``
+        background jobs with SIGINT *ignored*, so ``kill -INT`` from a
+        CI script never reaches us — ``kill -TERM`` is the reliable
+        way to ask a scripted daemon to flush and exit.  Call this as
+        soon as the service is up (the CLI does, before it prints the
+        banner) so there is no window where TERM still hard-kills.
+        """
+        signal.signal(signal.SIGTERM, lambda *_: self._stop.set())
+
     def serve_until_interrupted(self) -> None:
-        """Block until KeyboardInterrupt, then stop gracefully."""
+        """Block until SIGTERM/SIGINT, then stop gracefully."""
+        try:
+            self.install_signal_handlers()
+        except ValueError:
+            pass  # not the main thread (embedded use); rely on stop()
         try:
             while not self._stop.wait(0.5):
                 pass
+            logger.info("termination requested; shutting down")
         except KeyboardInterrupt:
             logger.info("interrupt received; shutting down")
         finally:
@@ -293,6 +379,7 @@ class ExperimentService:
                     priority=int(row["priority"]),
                     created_at=float(row["created_at"]),
                     status=status,
+                    machines=int(row.get("machines", 1)),
                 )
             )
         return entries
@@ -328,11 +415,17 @@ class ExperimentService:
 
     def _execute(self, exp_id: str, resuming: bool) -> None:
         self._m_running.inc()
+        fleet_control: Optional[FleetControl] = None
+        if self._fleet_template is not None and self.cluster_workers:
+            fleet_control = FleetControl()
+            with self._fleets_lock:
+                self._fleets[exp_id] = fleet_control
         try:
             run = executor.resume if resuming else executor.execute
             final = run(
                 self.store, exp_id, cluster_workers=self.cluster_workers,
                 aggregator=self.aggregator, broker=self.broker,
+                fleet=self._fleet_template, fleet_control=fleet_control,
             )
         except Exception:
             logger.exception("experiment %s failed", exp_id)
@@ -348,6 +441,9 @@ class ExperimentService:
                 if final.result is not None:
                     self._m_epochs.inc(final.result.get("epochs_trained", 0))
         finally:
+            if fleet_control is not None:
+                with self._fleets_lock:
+                    self._fleets.pop(exp_id, None)
             self._m_running.dec()
 
     # ------------------------------------------------------------- HTTP API
@@ -372,7 +468,72 @@ class ExperimentService:
         status["tenants"] = self.broker.admission.tenant_counts(
             self.queue_entries()
         )
+        fleets = self.fleet_status()
+        if fleets:
+            status["fleets"] = fleets
         return status
+
+    # --------------------------------------------------------------- fleets
+
+    def _admission_queue_depth(self) -> int:
+        """Unmet slot demand — the signal the pool autoscaler scales
+        on.  Denominated in *slots*, not experiments: a queued run
+        wants its full machine count, a running one wants whatever the
+        pool has not granted it yet.  (An experiment-count signal
+        starves multi-machine runs: the pool never grows past the
+        number of experiments, and two 4-machine runs on a 2-slot pool
+        preempt each other forever.)"""
+        demand = 0
+        for entry in self.queue_entries():
+            if entry.status == QUEUED:
+                demand += entry.machines
+            else:
+                demand += max(
+                    0, entry.machines - self.broker.pool.held(entry.exp_id)
+                )
+        return demand
+
+    def fleet_status(self) -> Dict[str, Dict[str, Any]]:
+        """Per-experiment fleet/cost status published by live runs."""
+        with self._fleets_lock:
+            controls = dict(self._fleets)
+        return {
+            exp_id: control.status() for exp_id, control in controls.items()
+        }
+
+    def revoke_spot(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Queue one spot revocation against a live cluster run
+        (``POST /fleet/revoke``).  The body may name an ``experiment``
+        (required when several fleets are live), a ``machine_id``
+        (otherwise the runtime picks an up spot worker), and a
+        ``grace`` window in experiment seconds."""
+        if not isinstance(payload, dict):
+            raise ValueError("revocation body must be a JSON object")
+        exp_id = payload.get("experiment")
+        with self._fleets_lock:
+            if exp_id is None:
+                if len(self._fleets) != 1:
+                    raise ValueError(
+                        "specify 'experiment': "
+                        f"{len(self._fleets)} fleet(s) live"
+                    )
+                exp_id, control = next(iter(self._fleets.items()))
+            else:
+                control = self._fleets.get(exp_id)
+                if control is None:
+                    raise KeyError(f"no live fleet for experiment {exp_id!r}")
+        grace = payload.get("grace")
+        machine_id = payload.get("machine_id")
+        control.request_revocation(
+            machine_id=machine_id,
+            grace=None if grace is None else float(grace),
+        )
+        return {
+            "experiment": exp_id,
+            "machine_id": machine_id,
+            "grace": grace,
+            "queued": True,
+        }
 
     def refresh_service_telemetry(self) -> None:
         """Refresh per-tenant broker gauges and mirror the service's
@@ -607,6 +768,12 @@ class _Handler(BaseHTTPRequestHandler):
         if method == "GET" and path == "/broker":
             self._send_json(200, self.service.broker_status())
             return
+        if method == "GET" and path == "/fleet":
+            self._send_json(200, {"fleets": self.service.fleet_status()})
+            return
+        if method == "POST" and path == "/fleet/revoke":
+            self._post_fleet_revoke()
+            return
         if path == "/experiments":
             if method == "POST":
                 self._post_experiment()
@@ -695,6 +862,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, str(exc))
             return
         self._send_json(201, record)
+
+    def _post_fleet_revoke(self) -> None:
+        try:
+            payload = self._read_json_body()
+            record = self.service.revoke_spot(payload)
+        except KeyError as exc:
+            self._send_error_json(404, str(exc.args[0]))
+            return
+        except (ValueError, TypeError, json.JSONDecodeError) as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(202, record)
 
     def _get_experiment(self, exp_id: str) -> None:
         record = self.service.store.get(exp_id)

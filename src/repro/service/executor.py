@@ -107,8 +107,15 @@ class _BrokerControl:
     def setup(self, scheduler) -> None:
         """Pre-``begin`` hook: shrink to the granted slot count so the
         run never trains on machines it holds no lease for."""
-        if self.initial < scheduler.resource_manager.num_machines:
-            scheduler.resize(self.initial)
+        target = self.initial
+        fleet = getattr(scheduler, "fleet_manager", None)
+        if fleet is not None:
+            # An elastic cluster may have booted fewer workers than the
+            # broker granted; scale only to what is actually up now and
+            # let the fleet monitor grow into the rest.
+            target = fleet.request_capacity(target)
+        if target < scheduler.resource_manager.num_in_service:
+            scheduler.resize(target)
 
     def sync(self, scheduler) -> None:
         """Checkpoint-time handshake: report POP state, then follow the
@@ -121,9 +128,14 @@ class _BrokerControl:
         if decision.target < 1:
             self.preempted.set()
             return
+        fleet = getattr(scheduler, "fleet_manager", None)
         rm = scheduler.resource_manager
         current = rm.num_in_service
         if decision.target < current:
+            if fleet is not None:
+                # Keep the worker fleet in step: drained processes are
+                # reaped by the runtime's monitor once the leases drain.
+                fleet.request_capacity(decision.target)
             scheduler.resize(decision.target)
             if rm.num_in_service <= decision.target:
                 # Drain completed synchronously (idle machines): the
@@ -133,8 +145,13 @@ class _BrokerControl:
             # their leases are surrendered at a later sync.
         else:
             granted = self.broker.commit(self.exp_id)
-            if granted.held != current:
-                scheduler.resize(granted.held)
+            target = granted.held
+            if fleet is not None:
+                # Grow only as fast as real worker processes boot; the
+                # remainder arrives via the monitor's reconcile loop.
+                target = fleet.request_capacity(granted.held)
+            if target != current:
+                scheduler.resize(target)
 
     def release(self, reason: str) -> None:
         if self.registered:
@@ -150,6 +167,8 @@ def execute(
     cluster_workers: Optional[int] = None,
     aggregator=None,
     broker=None,
+    fleet=None,
+    fleet_control=None,
 ) -> RunRecord:
     """Run one stored experiment to a terminal status.
 
@@ -176,6 +195,13 @@ def execute(
             leases its slots from the shared pool (see
             :class:`_BrokerControl`) and may be shrunk, grown, or
             preempted mid-flight.
+        fleet: optional :class:`~repro.autoscale.FleetOptions`
+            template; cluster runs get a per-experiment copy (id and
+            budget filled from the submission) and become elastic,
+            spot-revocable, and cost-metered.
+        fleet_control: optional
+            :class:`~repro.autoscale.FleetControl` handle for this run
+            (the daemon queues spot revocations through it).
     """
     record = store.get(exp_id)
     if record is None:
@@ -189,7 +215,7 @@ def execute(
         )
     return _run(
         store, exp_id, on_checkpoint, poll_wall_seconds, cluster_workers,
-        aggregator, broker,
+        aggregator, broker, fleet, fleet_control,
     )
 
 
@@ -201,6 +227,8 @@ def resume(
     cluster_workers: Optional[int] = None,
     aggregator=None,
     broker=None,
+    fleet=None,
+    fleet_control=None,
 ) -> RunRecord:
     """Resume an INTERRUPTED experiment from its journal.
 
@@ -233,7 +261,7 @@ def resume(
         store.mark_running(exp_id)
     return _run(
         store, exp_id, on_checkpoint, poll_wall_seconds, cluster_workers,
-        aggregator, broker,
+        aggregator, broker, fleet, fleet_control,
     )
 
 
@@ -245,6 +273,8 @@ def _run(
     cluster_workers: Optional[int] = None,
     aggregator=None,
     broker=None,
+    fleet=None,
+    fleet_control=None,
 ) -> RunRecord:
     record = store.get(exp_id)
     assert record is not None
@@ -252,6 +282,11 @@ def _run(
     workload = submission.build_workload()
     policy = submission.build_policy()
     spec = submission.build_spec()
+    if hasattr(policy, "configure_budget"):
+        # Budget-aware policies (pop-budget) spend against the
+        # submission's slot-hour budget; without one they fall back to
+        # their own default at begin().
+        policy.configure_budget(submission.budget_slot_hours)
 
     # Live submissions may be offloaded to the multi-process cluster
     # runtime; simulator submissions always run in-process, so the
@@ -310,7 +345,7 @@ def _run(
             result = _run_cluster(
                 store, exp_id, submission, workload, policy, spec, configs,
                 recorder, checkpoint_hook, poll_wall_seconds, cluster_workers,
-                aggregator, control, setup_hook,
+                aggregator, control, setup_hook, fleet, fleet_control,
             )
         elif submission.live:
             result = _run_live(
@@ -430,7 +465,8 @@ def _run_live(
 def _run_cluster(
     store, exp_id, submission, workload, policy, spec, configs,
     recorder, checkpoint_hook, poll_wall_seconds, cluster_workers,
-    aggregator=None, control=None, setup_hook=None,
+    aggregator=None, control=None, setup_hook=None, fleet=None,
+    fleet_control=None,
 ):
     """Execute on the multi-process cluster runtime (§4's deployed
     shape): one worker process per machine, heartbeat failure
@@ -444,6 +480,19 @@ def _run_cluster(
     if cluster_workers < 1:
         raise ValueError("cluster_workers must be >= 1")
     spec = replace_spec(spec, num_machines=cluster_workers)
+
+    if fleet is not None:
+        # Personalise the daemon's fleet template for this run: the
+        # meter charges this experiment, against its own budget.
+        fleet = replace_spec(
+            fleet,
+            experiment_id=exp_id,
+            budget_slot_hours=(
+                fleet.budget_slot_hours
+                if fleet.budget_slot_hours is not None
+                else submission.budget_slot_hours
+            ),
+        )
 
     cancel_event = threading.Event()
     done = threading.Event()
@@ -474,6 +523,8 @@ def _run_cluster(
             progress_every_epochs=submission.checkpoint_every,
             aggregator=aggregator,
             setup_hook=setup_hook,
+            fleet=fleet,
+            fleet_control=fleet_control,
         )
     finally:
         done.set()

@@ -338,24 +338,32 @@ class RunStore:
 
     def queue_entries(self) -> List[Dict[str, Any]]:
         """Queued + running rows as lightweight admission entries
-        (id, tenant, priority, created_at, status) in creation order."""
+        (id, tenant, priority, created_at, status, machines) in
+        creation order."""
         with self._connect() as conn:
             rows = conn.execute(
-                "SELECT id, tenant, priority, created_at, status"
+                "SELECT id, submission, tenant, priority, created_at,"
+                " status"
                 " FROM experiments WHERE status IN (?, ?, ?)"
                 " ORDER BY created_at, id",
                 (QUEUED, RUNNING, INTERRUPTED),
             ).fetchall()
-        return [
-            {
-                "exp_id": row["id"],
-                "tenant": row["tenant"],
-                "priority": row["priority"],
-                "created_at": row["created_at"],
-                "status": row["status"],
-            }
-            for row in rows
-        ]
+        entries = []
+        for row in rows:
+            submission = json.loads(row["submission"])
+            entries.append(
+                {
+                    "exp_id": row["id"],
+                    "tenant": row["tenant"],
+                    "priority": row["priority"],
+                    "created_at": row["created_at"],
+                    "status": row["status"],
+                    "machines": Submission.from_dict(
+                        submission
+                    ).resolved_machines,
+                }
+            )
+        return entries
 
     def mark_running(self, exp_id: str) -> None:
         """Move a queued (or resuming interrupted) experiment to RUNNING."""

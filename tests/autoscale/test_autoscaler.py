@@ -1,0 +1,170 @@
+"""Autoscaler control law + the broker-pool actuator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autoscale import Autoscaler, PoolAutoscaler
+from repro.broker import SlotPool
+from repro.observability import Recorder
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_core(min_size=1, max_size=8, **kwargs):
+    clock = FakeClock()
+    kwargs.setdefault("cooldown_seconds", 5.0)
+    core = Autoscaler(min_size, max_size, clock=clock, **kwargs)
+    return clock, core
+
+
+def test_bounds_validation():
+    with pytest.raises(ValueError, match="min_size"):
+        Autoscaler(0, 4)
+    with pytest.raises(ValueError, match="max_size"):
+        Autoscaler(4, 2)
+    with pytest.raises(ValueError, match="down_pressure"):
+        Autoscaler(1, 4, up_pressure=0.5, down_pressure=0.5)
+    with pytest.raises(ValueError, match="cooldown"):
+        Autoscaler(1, 4, cooldown_seconds=-1.0)
+
+
+def test_scales_up_under_pressure_with_queued_work():
+    _, core = make_core()
+    decision = core.evaluate(size=2, busy=2, queue_depth=3)
+    assert decision is not None
+    assert decision.direction == "up"
+    assert decision.target == 5  # demand = busy + queue
+    assert decision.reason == "pressure_high"
+
+
+def test_no_scale_up_without_queue():
+    _, core = make_core()
+    # Fully busy but nothing waiting: a bigger fleet would idle.
+    assert core.evaluate(size=2, busy=2, queue_depth=0) is None
+
+
+def test_scale_up_clamped_to_max():
+    _, core = make_core(max_size=4)
+    decision = core.evaluate(size=2, busy=2, queue_depth=50)
+    assert decision.target == 4
+
+
+def test_scales_down_below_low_water_mark():
+    _, core = make_core()
+    decision = core.evaluate(size=6, busy=2, queue_depth=0)
+    assert decision.direction == "down"
+    assert decision.target == 2
+    assert decision.reason == "pressure_low"
+
+
+def test_scale_down_never_below_min():
+    _, core = make_core(min_size=2)
+    decision = core.evaluate(size=6, busy=0, queue_depth=0)
+    assert decision.target == 2
+
+
+def test_hysteresis_band_holds_steady():
+    _, core = make_core()
+    # Pressure between the marks: neither direction moves.
+    assert core.evaluate(size=4, busy=3, queue_depth=0) is None
+
+
+def test_cooldown_blocks_consecutive_moves():
+    clock, core = make_core(cooldown_seconds=10.0)
+    assert core.evaluate(size=2, busy=2, queue_depth=4) is not None
+    clock.advance(5.0)
+    assert core.evaluate(size=4, busy=4, queue_depth=4) is None
+    clock.advance(6.0)
+    assert core.evaluate(size=4, busy=4, queue_depth=4) is not None
+
+
+def test_bounds_violations_bypass_cooldown():
+    clock, core = make_core(min_size=2, cooldown_seconds=100.0)
+    assert core.evaluate(size=2, busy=2, queue_depth=2) is not None
+    # Immediately after a move, an out-of-bounds size still corrects.
+    decision = core.evaluate(size=1, busy=1, queue_depth=0)
+    assert decision.reason == "below_min"
+    assert decision.target == 2
+    decision = core.evaluate(size=20, busy=0, queue_depth=0)
+    assert decision.reason == "above_max"
+    assert decision.target == 8
+
+
+def test_marginal_value_gates_scale_up():
+    _, core = make_core(min_marginal_value=0.5)
+    # Queued work below the value bar: renting a machine is not worth it.
+    assert core.evaluate(size=2, busy=2, queue_depth=3, marginal_value=0.2) is None
+    decision = core.evaluate(size=2, busy=2, queue_depth=3, marginal_value=0.8)
+    assert decision is not None and decision.direction == "up"
+
+
+# ---------------------------------------------------------- PoolAutoscaler
+
+
+def make_pool_autoscaler(total_slots=2, queue=lambda: 0, **core_kwargs):
+    recorder = Recorder()
+    pool = SlotPool(total_slots=total_slots, recorder=recorder)
+    clock = FakeClock()
+    core = Autoscaler(1, 8, clock=clock, cooldown_seconds=0.0, **core_kwargs)
+    scaler = PoolAutoscaler(
+        pool, core, queue_depth=queue, interval=60.0, recorder=recorder
+    )
+    return recorder, pool, scaler
+
+
+def test_poke_grows_pool_from_queue_depth():
+    recorder, pool, scaler = make_pool_autoscaler(
+        total_slots=2, queue=lambda: 3
+    )
+    pool.acquire("exp-a", "alice", 2)  # saturated
+    decision = scaler.poke()
+    assert decision is not None and decision.direction == "up"
+    assert pool.total_slots == 5
+    assert recorder.metrics.get("autoscale_target_slots").value() == 5.0
+    events = recorder.audit.query("autoscale")
+    assert events[-1].data["direction"] == "up"
+
+
+def test_poke_shrinks_idle_pool_without_stranding_leases():
+    _, pool, scaler = make_pool_autoscaler(total_slots=6, queue=lambda: 0)
+    leases = pool.acquire("exp-a", "alice", 2)
+    decision = scaler.poke()
+    assert decision is not None and decision.direction == "down"
+    # The held leases floor the shrink; target drains as they release.
+    assert pool.total_slots == 2
+    assert pool.held("exp-a") == 2
+    pool.release([lease.lease_id for lease in leases])
+    assert pool.total_slots == 2
+
+
+def test_poke_holds_on_unlimited_pool():
+    recorder = Recorder()
+    pool = SlotPool(recorder=recorder)
+    core = Autoscaler(1, 8, cooldown_seconds=0.0)
+    scaler = PoolAutoscaler(pool, core, queue_depth=lambda: 99, interval=60.0)
+    assert scaler.poke() is None
+    assert pool.total_slots is None
+
+
+def test_on_resize_callback_fires():
+    seen = []
+    recorder = Recorder()
+    pool = SlotPool(total_slots=2, recorder=recorder)
+    core = Autoscaler(1, 8, cooldown_seconds=0.0)
+    scaler = PoolAutoscaler(
+        pool, core, queue_depth=lambda: 4, interval=60.0,
+        on_resize=seen.append,
+    )
+    pool.acquire("exp-a", "alice", 2)
+    scaler.poke()
+    assert len(seen) == 1 and seen[0].direction == "up"

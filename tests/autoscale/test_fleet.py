@@ -1,0 +1,61 @@
+"""FleetOptions validation and the FleetControl command channel."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.autoscale import FleetControl, FleetOptions
+
+
+def test_fleet_options_defaults():
+    fleet = FleetOptions()
+    assert fleet.autoscale is None
+    assert fleet.spot_fraction == 0.0
+    assert fleet.budget_slot_hours is None
+
+
+def test_fleet_options_validation():
+    with pytest.raises(ValueError, match="autoscale bounds"):
+        FleetOptions(autoscale=(0, 4))
+    with pytest.raises(ValueError, match="autoscale bounds"):
+        FleetOptions(autoscale=(4, 2))
+    with pytest.raises(ValueError, match="spot_fraction"):
+        FleetOptions(spot_fraction=1.5)
+    with pytest.raises(ValueError, match="grace_seconds"):
+        FleetOptions(grace_seconds=-1.0)
+
+
+def test_fleet_options_template_personalisation():
+    template = FleetOptions(autoscale=(1, 4), spot_fraction=0.5)
+    run = dataclasses.replace(
+        template, experiment_id="exp-7", budget_slot_hours=12.0
+    )
+    assert run.experiment_id == "exp-7"
+    assert run.budget_slot_hours == 12.0
+    # The template itself is untouched (one template, many runs).
+    assert template.experiment_id == "experiment"
+    assert template.budget_slot_hours is None
+
+
+def test_fleet_control_revocation_queue_drains_once():
+    control = FleetControl()
+    control.request_revocation()
+    control.request_revocation(machine_id="machine-03", grace=5.0)
+    drained = control.drain_revocations()
+    assert len(drained) == 2
+    assert drained[0].machine_id is None
+    assert drained[1].machine_id == "machine-03"
+    assert drained[1].grace == pytest.approx(5.0)
+    assert control.drain_revocations() == []
+
+
+def test_fleet_control_status_snapshot_is_isolated():
+    control = FleetControl()
+    assert control.status() == {}
+    control.publish({"workers_up": {"on_demand": 2}})
+    snapshot = control.status()
+    assert snapshot["workers_up"] == {"on_demand": 2}
+    snapshot["workers_up"] = "mutated"
+    assert control.status()["workers_up"] == {"on_demand": 2}

@@ -108,3 +108,90 @@ def test_to_dict_snapshot():
     assert doc["free"] == 1
     assert doc["leases"][0]["exp_id"] == "exp-a"
     assert doc["leases"][0]["tenant"] == "alice"
+
+
+# --------------------------------------------------------------- resize
+
+
+def test_resize_grow_takes_effect_immediately():
+    pool = SlotPool(total_slots=2)
+    pool.acquire("exp-a", "alice", 2)
+    assert pool.resize(4) == 4
+    assert pool.total_slots == 4
+    assert pool.target_slots == 4
+    assert not pool.shrink_pending
+    assert len(pool.acquire("exp-b", "bob", 2)) == 2
+
+
+def test_resize_shrink_never_strands_outstanding_leases():
+    pool = SlotPool(total_slots=4)
+    leases = pool.acquire("exp-a", "alice", 4)
+    # Shrinking below the live allocation floors at it: the
+    # allocated <= total invariant never breaks.
+    assert pool.resize(2) == 4
+    assert pool.total_slots == 4
+    assert pool.target_slots == 2
+    assert pool.shrink_pending
+    assert pool.held("exp-a") == 4  # nobody's lease vanished
+    # Capacity steps down as holders release...
+    pool.release([leases[0].lease_id])
+    assert pool.total_slots == 3
+    assert pool.shrink_pending
+    pool.release([leases[1].lease_id])
+    # ...and settles at the target once enough leases are back.
+    assert pool.total_slots == 2
+    assert not pool.shrink_pending
+    pool.release([leases[2].lease_id])
+    assert pool.total_slots == 2  # does not undershoot
+    assert pool.allocated == 1
+
+
+def test_resize_shrink_blocks_new_grants_beyond_target():
+    pool = SlotPool(total_slots=3)
+    pool.acquire("exp-a", "alice", 3)
+    pool.resize(1)
+    assert pool.acquire("exp-b", "bob", 1) == []
+
+
+def test_resize_grow_cancels_pending_shrink():
+    pool = SlotPool(total_slots=4)
+    leases = pool.acquire("exp-a", "alice", 4)
+    pool.resize(2)
+    assert pool.shrink_pending
+    assert pool.resize(6) == 6
+    assert not pool.shrink_pending
+    pool.release([lease.lease_id for lease in leases])
+    assert pool.total_slots == 6
+
+
+def test_resize_to_none_lifts_cap_and_clears_pending():
+    pool = SlotPool(total_slots=2)
+    pool.acquire("exp-a", "alice", 2)
+    pool.resize(1)
+    assert pool.resize(None) is None
+    assert pool.total_slots is None
+    assert pool.target_slots is None
+    assert not pool.shrink_pending
+    assert len(pool.acquire("exp-b", "bob", 10)) == 10
+
+
+def test_resize_rejects_nonpositive_totals():
+    pool = SlotPool(total_slots=2)
+    with pytest.raises(ValueError, match=">= 1"):
+        pool.resize(0)
+
+
+def test_resize_updates_total_gauge():
+    recorder = Recorder()
+    pool = SlotPool(total_slots=2, recorder=recorder)
+    pool.resize(5)
+    assert recorder.metrics.get("broker_slots_total").value() == 5.0
+
+
+def test_release_experiment_settles_pending_shrink():
+    pool = SlotPool(total_slots=4)
+    pool.acquire("exp-a", "alice", 4)
+    pool.resize(1)
+    pool.release_experiment("exp-a")
+    assert pool.total_slots == 1
+    assert not pool.shrink_pending

@@ -9,6 +9,7 @@ from repro.cluster.faults import (
     DropHeartbeats,
     FaultPlan,
     KillAtEpoch,
+    SpotRevocation,
 )
 
 
@@ -94,3 +95,47 @@ def test_parse_requires_mandatory_keys():
         FaultPlan.parse(kill=["machine-01@other:3"])
     with pytest.raises(ValueError, match="missing required"):
         FaultPlan.parse(drop_heartbeats=["machine-01@after:3"])
+
+
+# -------------------------------------------------------- spot revocation
+
+
+def test_spot_revocation_validation():
+    with pytest.raises(ValueError, match="epoch"):
+        SpotRevocation("machine-00", epoch=0)
+    with pytest.raises(ValueError, match="grace"):
+        SpotRevocation("machine-00", epoch=2, grace=-1.0)
+
+
+def test_plan_selects_earliest_revocation():
+    plan = FaultPlan(
+        (
+            SpotRevocation("machine-01", epoch=5, grace=10.0),
+            SpotRevocation("machine-01", epoch=2, grace=20.0),
+        )
+    )
+    revocation = plan.spot_revocation("machine-01")
+    assert revocation.epoch == 2
+    assert revocation.grace == pytest.approx(20.0)
+    assert plan.spot_revocation("machine-00") is None
+
+
+def test_spot_revocation_dict_roundtrip():
+    plan = FaultPlan((SpotRevocation("machine-02", epoch=4, grace=15.0),))
+    assert FaultPlan.from_dicts(plan.to_dicts()) == plan
+
+
+def test_parse_revoke_specs():
+    plan = FaultPlan.parse(
+        revoke=["machine-03@epoch:4,grace:12.5", "machine-01@epoch:2"]
+    )
+    revocation = plan.spot_revocation("machine-03")
+    assert revocation.epoch == 4
+    assert revocation.grace == pytest.approx(12.5)
+    # grace defaults when omitted.
+    assert plan.spot_revocation("machine-01").grace == pytest.approx(30.0)
+
+
+def test_parse_revoke_requires_epoch():
+    with pytest.raises(ValueError, match="missing required 'epoch'"):
+        FaultPlan.parse(revoke=["machine-01@grace:5"])

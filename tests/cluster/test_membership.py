@@ -191,3 +191,127 @@ def test_stop_suppresses_shutdown_noise():
     transport.on_pong("machine-01", 5, 0.001)
     assert downs == []
     assert recorder.audit.query("cluster_node_down") == []
+
+
+# ------------------------------------------------- expected departures
+
+
+def test_expected_departure_routes_to_on_departed_not_on_down():
+    transport, recorder, monitor = make_monitor()
+    downs, departed = [], []
+    monitor.on_down = downs.append
+    monitor.on_departed = lambda machine_id, reason: departed.append(
+        (machine_id, reason)
+    )
+    transport.on_node_connected("machine-00")
+    monitor.expect_departure("machine-00", "spot_revocation")
+    transport.on_node_disconnected("machine-00")
+    assert downs == []  # not a failure: no migration retry charge
+    assert departed == [("machine-00", "spot_revocation")]
+    assert recorder.audit.query("cluster_node_down") == []
+    events = recorder.audit.query("cluster_node_departed")
+    assert len(events) == 1
+    assert events[0].machine_id == "machine-00"
+    assert events[0].data["reason"] == "spot_revocation"
+
+
+def test_expected_departure_fires_on_heartbeat_timeout_too():
+    transport, recorder, monitor = make_monitor(
+        machine_ids=("machine-00",), interval=0.01, miss_threshold=2
+    )
+    downs, departed = [], []
+    monitor.on_down = downs.append
+    monitor.on_departed = lambda machine_id, reason: departed.append(reason)
+    transport.on_node_connected("machine-00")
+    monitor.expect_departure("machine-00", "drain")
+    monitor.start()
+    try:
+        assert wait_for(lambda: departed == ["drain"])
+        assert downs == []
+        assert recorder.audit.query("cluster_node_down") == []
+    finally:
+        monitor.stop()
+
+
+def test_reconnect_cancels_expected_departure():
+    transport, recorder, monitor = make_monitor()
+    downs = []
+    monitor.on_down = downs.append
+    transport.on_node_connected("machine-00")
+    monitor.expect_departure("machine-00", "drain")
+    # The node says hello again: the goodbye is off, a later silent
+    # death is a real failure again.
+    transport.on_node_connected("machine-00")
+    transport.on_node_disconnected("machine-00")
+    assert downs == ["machine-00"]
+    assert recorder.audit.query("cluster_node_departed") == []
+    assert len(recorder.audit.query("cluster_node_down")) == 1
+
+
+def test_departure_expectation_is_one_shot():
+    transport, recorder, monitor = make_monitor()
+    downs, departed = [], []
+    monitor.on_down = downs.append
+    monitor.on_departed = lambda machine_id, reason: departed.append(reason)
+    transport.on_node_connected("machine-00")
+    monitor.expect_departure("machine-00", "drain")
+    transport.on_node_disconnected("machine-00")
+    transport.on_node_connected("machine-00")
+    transport.on_node_disconnected("machine-00")
+    assert departed == ["drain"]
+    assert downs == ["machine-00"]  # the second death is real
+
+
+def test_snapshot_carries_expected_departure():
+    transport, _, monitor = make_monitor()
+    transport.on_node_connected("machine-00")
+    monitor.expect_departure("machine-00", "spot_revocation")
+    snapshot = monitor.snapshot()
+    assert snapshot["machine-00"]["expected_departure"] == "spot_revocation"
+    assert snapshot["machine-01"]["expected_departure"] is None
+
+
+# ------------------------------------------------- elastic membership
+
+
+def test_add_node_tracks_late_joiner():
+    transport, _, monitor = make_monitor(machine_ids=("machine-00",))
+    monitor.add_node("machine-05")
+    assert monitor.state("machine-05") == NodeState.DOWN
+    transport.on_node_connected("machine-05")
+    assert monitor.is_up("machine-05")
+    assert monitor.wait_node_up("machine-05", timeout=0.01)
+
+
+def test_add_node_is_idempotent():
+    transport, _, monitor = make_monitor(machine_ids=("machine-00",))
+    transport.on_node_connected("machine-00")
+    monitor.add_node("machine-00")  # must not reset the node's health
+    assert monitor.is_up("machine-00")
+
+
+def test_remove_node_forgets_machine_and_updates_gauge():
+    transport, recorder, monitor = make_monitor()
+    transport.on_node_connected("machine-00")
+    transport.on_node_connected("machine-01")
+    monitor.remove_node("machine-01")
+    assert monitor.nodes_up == 1
+    assert recorder.metrics.get("cluster_nodes_up").value() == 1.0
+    # Late frames from the forgotten node are ignored.
+    transport.on_node_disconnected("machine-01")
+    assert recorder.audit.query("cluster_node_down") == []
+
+
+def test_wait_node_up_times_out_when_silent():
+    _, _, monitor = make_monitor()
+    assert not monitor.wait_node_up("machine-00", timeout=0.02)
+
+
+def test_is_up_false_for_unknown_or_removed_node():
+    # Revocation targeting probes candidates that may already have
+    # been reaped and forgotten — never-seen and removed nodes are
+    # simply not up, not an error.
+    _, _, monitor = make_monitor()
+    assert not monitor.is_up("machine-99")
+    monitor.remove_node("machine-00")
+    assert not monitor.is_up("machine-00")

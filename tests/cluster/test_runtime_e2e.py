@@ -10,7 +10,14 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.experiments import standard_configs
-from repro.cluster import DropHeartbeats, FaultPlan, KillAtEpoch, run_cluster
+from repro.autoscale import ON_DEMAND, SPOT, FleetControl, FleetOptions
+from repro.cluster import (
+    DropHeartbeats,
+    FaultPlan,
+    KillAtEpoch,
+    SpotRevocation,
+    run_cluster,
+)
 from repro.framework.experiment import ExperimentSpec
 from repro.framework.job import JobState
 from repro.observability import Recorder
@@ -235,3 +242,117 @@ def test_silent_node_is_declared_dead_then_recovers(
     assert len(recorder.audit.query("cluster_migration")) == 1
     terminal = {JobState.COMPLETED, JobState.TERMINATED}
     assert all(job.state in terminal for job in result.jobs)
+
+
+def test_spot_revocation_with_grace_matches_clean_run(
+    cifar10_workload, fast_predictor
+):
+    """The elasticity acceptance scenario: a spot revocation notice
+    with a live grace window.  The doomed worker's job suspends at the
+    next epoch boundary, snapshot-migrates to a survivor, and the
+    instance dies as an *expected* departure — zero failures, zero lost
+    epochs, and per-epoch curves identical to a run that was never
+    revoked."""
+    clean = run_small_cluster(cifar10_workload, DefaultPolicy(), fast_predictor)
+
+    recorder = Recorder()
+    # grace is in experiment seconds; at time_scale 2e-5 this is a
+    # ~0.5 s real window — many epoch boundaries, so the drain always
+    # beats the kill.
+    plan = FaultPlan(
+        (SpotRevocation("machine-01", epoch=KILL_EPOCH, grace=25_000.0),)
+    )
+    revoked = run_small_cluster(
+        cifar10_workload, DefaultPolicy(), fast_predictor,
+        fault_plan=plan, recorder=recorder,
+    )
+
+    # The notice was heard and classified as an expected departure:
+    # no silent-death bookkeeping anywhere.
+    notices = recorder.audit.query("cluster_spot_revocation")
+    assert [r.machine_id for r in notices] == ["machine-01"]
+    assert recorder.audit.query("cluster_node_down") == []
+    departed = recorder.audit.query("cluster_node_departed")
+    assert [(r.machine_id, r.data["reason"]) for r in departed] == [
+        ("machine-01", "spot_revocation")
+    ]
+    assert revoked.machine_failures == 0
+    assert revoked.epochs_lost_to_failures == 0
+
+    # The graceful path relands the job through the ordinary
+    # suspend/resume machinery, never the failure-migration path (a
+    # departed-with-job would have fallen back to it and counted a
+    # failure above).
+    assert recorder.audit.query("cluster_migration") == []
+
+    # Migration is transparent: identical to the unrevoked run, down to
+    # every job's per-epoch metric curve.
+    assert revoked.epochs_trained == clean.epochs_trained
+    assert revoked.best_metric == pytest.approx(clean.best_metric, rel=1e-9)
+    states_clean = sorted((j.job_id, j.state.value) for j in clean.jobs)
+    states_revoked = sorted((j.job_id, j.state.value) for j in revoked.jobs)
+    assert states_revoked == states_clean
+    curves_clean = {j.job_id: j.metrics for j in clean.jobs}
+    curves_revoked = {j.job_id: j.metrics for j in revoked.jobs}
+    assert curves_revoked == curves_clean
+
+
+def test_elastic_fleet_meters_cost_and_publishes_status(
+    cifar10_workload, fast_predictor, tmp_path
+):
+    """A metered mixed fleet: the run charges machine-seconds at
+    class-distinct rates, journals a reconciling cost trail, and
+    publishes fleet status through the control handle."""
+    import json
+
+    recorder = Recorder()
+    control = FleetControl()
+    cost_path = tmp_path / "cost.jsonl"
+    fleet = FleetOptions(
+        experiment_id="exp-e2e",
+        spot_fraction=0.34,  # newest 1 of 3 machines is spot
+        cost_path=cost_path,
+    )
+    result = run_small_cluster(
+        cifar10_workload, DefaultPolicy(), fast_predictor,
+        recorder=recorder, fleet=fleet, fleet_control=control,
+    )
+    assert result.machine_failures == 0
+
+    # The control handle saw the final publish.
+    status = control.status()
+    assert status["classes"] == {
+        "machine-00": ON_DEMAND,
+        "machine-01": ON_DEMAND,
+        "machine-02": SPOT,
+    }
+    assert status["cost"]["spent_dollars"] > 0.0
+
+    # The trail reconciles: summed machine-seconds at the model's rates
+    # equal the dollars charged.
+    with open(cost_path) as handle:
+        records = [json.loads(line) for line in handle if line.strip()]
+    summary = records[-1]
+    assert summary["event"] == "cost_summary"
+    assert summary["experiment"] == "exp-e2e"
+    seconds = summary["machine_seconds"]
+    rates = summary["rates"]
+    expected = sum(
+        seconds.get(cls, 0.0) / 3600.0 * rate
+        for cls, rate in (
+            (ON_DEMAND, rates["on_demand_rate"]),
+            (SPOT, rates["spot_rate"]),
+        )
+    )
+    assert summary["spent_dollars"] == pytest.approx(expected, rel=1e-6)
+
+    # Gauges made it into the recorder; the final publish lands after
+    # shutdown, so workers_up has drained back to zero but the
+    # cumulative machine-second meters keep the whole run's usage.
+    workers_up = recorder.metrics.get("cost_workers_up")
+    assert workers_up.value(**{"class": ON_DEMAND}) == 0.0
+    machine_seconds = recorder.metrics.get("cost_machine_seconds")
+    assert machine_seconds.value(**{"class": ON_DEMAND}) > 0.0
+    assert recorder.metrics.get("cost_spent_dollars").value(
+        experiment="exp-e2e"
+    ) == pytest.approx(summary["spent_dollars"], rel=1e-6)

@@ -1,0 +1,137 @@
+"""Unit tests for budget-aware POP (spend ledger, clamps, priorities)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import registry
+from repro.core.pop_budget import POPBudgetPolicy
+from repro.framework.events import AppStat
+
+from tests.core.test_pop import Harness, prediction_with_level
+
+
+def make_stat(duration, epoch=1, job_id="j0"):
+    return AppStat(
+        job_id=job_id,
+        epoch=epoch,
+        metric=0.5,
+        duration=duration,
+        timestamp=epoch * duration,
+        machine_id="machine-00",
+    )
+
+
+@pytest.fixture()
+def harness():
+    return Harness()
+
+
+def bound_policy(harness, budget=None, **kwargs):
+    policy = POPBudgetPolicy(budget_slot_hours=budget, **kwargs)
+    policy.bind(harness.ctx)
+    return policy
+
+
+def test_registered_and_zero_arg_constructible():
+    policy = registry.build_policy("pop-budget")
+    assert isinstance(policy, POPBudgetPolicy)
+    assert policy.name == "pop-budget"
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="budget_slot_hours"):
+        POPBudgetPolicy(budget_slot_hours=0.0)
+    with pytest.raises(ValueError, match="slot_rate"):
+        POPBudgetPolicy(slot_rate=0.0)
+
+
+def test_configure_budget_overrides_and_validates():
+    policy = POPBudgetPolicy()
+    policy.configure_budget(12.0)
+    assert policy.budget_slot_hours == 12.0
+    policy.configure_budget(None)  # None keeps the current budget
+    assert policy.budget_slot_hours == 12.0
+    with pytest.raises(ValueError, match="budget_slot_hours"):
+        policy.configure_budget(-1.0)
+
+
+def test_default_budget_is_fraction_of_full_cluster_cost(harness):
+    policy = bound_policy(harness)
+    # 4 machines x 48 h, halved by the default budget_fraction.
+    assert policy.budget_slot_hours == pytest.approx(0.5 * 4 * 48.0)
+
+
+def test_application_stat_charges_epoch_durations(harness):
+    policy = bound_policy(harness, budget=100.0)
+    policy.application_stat(make_stat(3600.0))
+    policy.application_stat(make_stat(1800.0, epoch=2))
+    assert policy.spent_dollars == pytest.approx(1.5)
+    assert policy.remaining_dollars == pytest.approx(98.5)
+
+
+def test_exhaustion_stops_experiment_once(harness):
+    stops = []
+    harness.ctx.stop_experiment = stops.append
+    policy = bound_policy(harness, budget=1.0)
+    policy.application_stat(make_stat(1800.0))
+    assert stops == []
+    policy.application_stat(make_stat(1800.0, epoch=2))
+    assert stops == ["budget_exhausted"]
+    policy.application_stat(make_stat(3600.0, epoch=3))
+    assert stops == ["budget_exhausted"]  # one-shot
+
+
+def test_allocatable_slots_clamped_to_affordable(harness):
+    policy = bound_policy(harness, budget=10.0)
+    # 48 h left, $10 purse: cannot afford even one slot — but the
+    # clamp floors at 1 so the best config keeps training.
+    assert policy._allocatable_slots() == 1
+    # 2 h left, $10 purse: 5 affordable, capped by the 4 in service.
+    harness.now = 46 * 3600.0
+    assert policy._allocatable_slots() == 4
+    # Past Tmax the time limit binds, not the money.
+    harness.now = 49 * 3600.0
+    assert policy._allocatable_slots() == 4
+
+
+def test_priority_is_confidence_per_expected_dollar(harness):
+    policy = bound_policy(harness, budget=100.0)
+    cheap = harness.add_job("cheap", [0.3], running_on="machine-00")
+    costly = harness.add_job("costly", [0.3], running_on="machine-01")
+    cheap.confidence = 0.8
+    cheap.expected_remaining_time = 3600.0  # $1 to finish
+    costly.confidence = 0.8
+    costly.expected_remaining_time = 7200.0  # $2 to finish
+    assert policy._priority_for(cheap) > policy._priority_for(costly)
+    # Without an estimate the raw confidence stands.
+    costly.expected_remaining_time = None
+    assert policy._priority_for(costly) == pytest.approx(0.8)
+
+
+def test_reclassification_labels_by_value_per_dollar(harness):
+    policy = bound_policy(harness, budget=1000.0)
+    cheap = harness.add_job("cheap", [0.3] * 10, running_on="machine-00")
+    costly = harness.add_job("costly", [0.3] * 10, running_on="machine-01")
+    harness.predictions["cheap"] = prediction_with_level(0.9)
+    harness.predictions["costly"] = prediction_with_level(0.9)
+    policy._update_estimate(cheap)
+    policy._update_estimate(costly)
+    cheap.expected_remaining_time = 3600.0
+    costly.expected_remaining_time = 7200.0
+    policy._reclassify_all()
+    assert cheap.promising and costly.promising
+    assert cheap.priority > costly.priority
+
+
+def test_budget_gauges_track_spend(harness):
+    from repro.observability import Recorder
+
+    harness.ctx.recorder = Recorder()
+    policy = bound_policy(harness, budget=10.0)
+    policy.application_stat(make_stat(3600.0))
+    metrics = harness.ctx.recorder.metrics
+    assert metrics.get("pop_budget_spent_dollars").value() == pytest.approx(1.0)
+    assert metrics.get("pop_budget_remaining_dollars").value() == (
+        pytest.approx(9.0)
+    )

@@ -118,3 +118,129 @@ def test_recover_parks_in_drained_when_at_target():
     assert rm.is_drained("machine-01")
     rm.set_target_capacity(2)
     assert rm.num_in_service == 2
+
+
+# ----------------------------------------------- targeted retirement
+
+
+def test_retire_idle_machine_drains_now():
+    rm = ResourceManager(3)
+    assert rm.retire_machine("machine-01") is True
+    assert rm.is_drained("machine-01")
+    assert rm.num_in_service == 2
+    assert not rm.is_retiring("machine-01")
+
+
+def test_retire_busy_machine_drains_on_release():
+    rm = ResourceManager(2)
+    machine_id = rm.reserve_idle_machine()
+    assert rm.retire_machine(machine_id) is False
+    assert rm.is_retiring(machine_id)
+    assert rm.num_in_service == 2  # still serving until released
+    rm.release_machine(machine_id)
+    # Drains even though the pool is under its target capacity: the
+    # retirement targeted this specific machine.
+    assert rm.is_drained(machine_id)
+    assert not rm.is_retiring(machine_id)
+    assert rm.num_in_service == 1
+
+
+def test_retire_is_idempotent_on_drained_machines():
+    rm = ResourceManager(2)
+    rm.retire_machine("machine-01")
+    assert rm.retire_machine("machine-01") is True
+    assert rm.num_drained == 1
+
+
+def test_retire_failed_machine_rejected():
+    rm = ResourceManager(2)
+    rm.fail_machine("machine-01")
+    with pytest.raises(ValueError, match="has failed"):
+        rm.retire_machine("machine-01")
+    with pytest.raises(ValueError, match="unknown machine"):
+        rm.retire_machine("machine-99")
+
+
+def test_quarantined_machine_survives_capacity_grow():
+    rm = ResourceManager(3)
+    rm.retire_machine("machine-01", quarantine=True)
+    assert rm.is_quarantined("machine-01")
+    rm.set_target_capacity(3)
+    # The grow resurrects nothing it was told is going away for good.
+    assert rm.is_drained("machine-01")
+    assert rm.num_in_service == 2
+
+
+def test_grow_resurrects_plain_drained_but_not_quarantined():
+    rm = ResourceManager(4)
+    rm.retire_machine("machine-00", quarantine=True)
+    rm.set_target_capacity(1)  # drains the rest of the idle pool
+    assert rm.num_in_service == 1
+    rm.set_target_capacity(4)
+    assert rm.num_in_service == 3  # everyone back except the spot node
+    assert rm.is_drained("machine-00")
+
+
+def test_failure_clears_retiring_and_recovery_clears_quarantine():
+    rm = ResourceManager(2)
+    machine_id = rm.reserve_idle_machine()
+    rm.retire_machine(machine_id, quarantine=True)
+    rm.fail_machine(machine_id)
+    assert not rm.is_retiring(machine_id)
+    rm.recover_machine(machine_id)
+    # A recovered machine is a fresh instance: no quarantine carryover.
+    assert not rm.is_quarantined(machine_id)
+
+
+# ------------------------------------------- grow/shrink/grow cycles
+
+
+def test_repeated_grow_shrink_grow_cycles_leak_no_capacity():
+    rm = ResourceManager(6)
+    for _ in range(5):
+        rm.set_target_capacity(2)
+        assert rm.num_in_service == 2
+        rm.set_target_capacity(6)
+        assert rm.num_in_service == 6
+        assert rm.num_idle == 6
+        assert rm.num_drained == 0
+
+
+def test_cycles_with_busy_machines_are_lossless():
+    rm = ResourceManager(4)
+    busy = [rm.reserve_idle_machine() for _ in range(3)]
+    rm.set_target_capacity(1)
+    assert rm.num_in_service == 3  # busy machines drain only on release
+    rm.release_machine(busy[0])
+    assert rm.is_drained(busy[0])
+    assert rm.num_in_service == 2
+    rm.set_target_capacity(4)
+    assert rm.num_in_service == 4
+    assert rm.num_busy == 2
+    rm.release_machine(busy[1])
+    rm.release_machine(busy[2])
+    assert rm.num_idle == 4
+    assert rm.num_drained == 0
+
+
+def test_cycles_preserve_reservation_capacity():
+    rm = ResourceManager(3)
+    for _ in range(3):
+        rm.set_target_capacity(1)
+        rm.set_target_capacity(3)
+        reserved = []
+        while True:
+            machine_id = rm.reserve_idle_machine()
+            if machine_id is None:
+                break
+            reserved.append(machine_id)
+        assert len(reserved) == 3  # every cycle can still fill the pool
+        for machine_id in reserved:
+            rm.release_machine(machine_id)
+
+
+def test_drained_machines_sorted_and_visible():
+    rm = ResourceManager(4)
+    rm.retire_machine("machine-03")
+    rm.retire_machine("machine-01")
+    assert rm.drained_machines == ["machine-01", "machine-03"]

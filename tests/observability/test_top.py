@@ -94,3 +94,40 @@ class TestRenderTop:
         )
         assert "kind conflicts" in frame
         assert "busy" in frame
+
+
+class TestFleetSection:
+    def fleet_doc(self):
+        aggregator = TelemetryAggregator(clock=lambda: 1.0)
+        head = MetricsRegistry()
+        head.gauge("cost_workers_up").set(2, **{"class": "on_demand"})
+        head.gauge("cost_workers_up").set(1, **{"class": "spot"})
+        head.gauge("cost_spent_dollars").set(3.25, experiment="exp-1")
+        head.gauge("cost_budget_dollars").set(10.0, experiment="exp-1")
+        head.gauge("cost_budget_remaining_dollars").set(
+            6.75, experiment="exp-1"
+        )
+        aggregator.ingest_registry("head", head)
+        other = MetricsRegistry()
+        other.gauge("cost_workers_up").set(3, **{"class": "on_demand"})
+        other.gauge("cost_spent_dollars").set(1.5, experiment="exp-2")
+        aggregator.ingest_registry("exp-2", other)
+        return aggregator.to_dict()
+
+    def test_workers_summed_across_nodes(self):
+        frame = render_top(self.fleet_doc())
+        assert "fleet: workers up on_demand=5 spot=1" in frame
+
+    def test_per_experiment_spend_vs_budget(self):
+        frame = render_top(self.fleet_doc())
+        assert "exp-1" in frame
+        assert "$3.25" in frame
+        assert "$10.00" in frame
+        assert "$6.75" in frame
+        # An unbudgeted experiment renders its spend with no budget.
+        assert "exp-2" in frame
+        assert "$1.50" in frame
+
+    def test_absent_without_cost_gauges(self):
+        frame = render_top(telemetry_doc())
+        assert "fleet:" not in frame

@@ -1,0 +1,243 @@
+"""The daemon's elastic-fleet surface: constructor wiring for
+``--autoscale``/``--spot-fraction``, the ``revoke_spot`` command path,
+and the ``GET /fleet`` / ``POST /fleet/revoke`` HTTP routes."""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.autoscale import FleetControl
+from repro.service import ExperimentService, ServiceClient
+from repro.service.client import ServiceError
+
+
+# ----------------------------------------------------------- constructor
+
+
+def test_autoscale_bounds_validated(tmp_path):
+    with pytest.raises(ValueError, match="autoscale bounds"):
+        ExperimentService(tmp_path / "runs", autoscale=(0, 4))
+    with pytest.raises(ValueError, match="autoscale bounds"):
+        ExperimentService(tmp_path / "runs", autoscale=(4, 2))
+
+
+def test_autoscale_max_must_match_cluster_workers(tmp_path):
+    with pytest.raises(ValueError, match="cluster_workers"):
+        ExperimentService(
+            tmp_path / "runs", autoscale=(1, 4), cluster_workers=2
+        )
+
+
+def test_autoscale_defaults_workers_and_pool_floor(tmp_path):
+    service = ExperimentService(tmp_path / "runs", autoscale=(2, 4))
+    # MAX becomes the per-run worker count; the shared pool starts at
+    # MIN and the autoscaler grows it under pressure.
+    assert service.cluster_workers == 4
+    assert service.broker.pool.total_slots == 2
+    assert service._pool_autoscaler is not None
+    assert service._fleet_template is not None
+
+
+def test_explicit_slots_win_over_autoscale_floor(tmp_path):
+    service = ExperimentService(
+        tmp_path / "runs", autoscale=(1, 4), slots=3
+    )
+    assert service.broker.pool.total_slots == 3
+
+
+def test_spot_fraction_validated_and_enables_fleet(tmp_path):
+    with pytest.raises(ValueError, match="spot_fraction"):
+        ExperimentService(tmp_path / "runs", spot_fraction=1.5)
+    service = ExperimentService(
+        tmp_path / "runs", cluster_workers=2, spot_fraction=0.5
+    )
+    # Spot-only mode still builds the fleet template (costing +
+    # revocation), just without a pool autoscaler.
+    assert service._fleet_template is not None
+    assert service._fleet_template.spot_fraction == 0.5
+    assert service._pool_autoscaler is None
+
+
+def test_plain_service_has_no_fleet_machinery(tmp_path):
+    service = ExperimentService(tmp_path / "runs")
+    assert service._fleet_template is None
+    assert service._pool_autoscaler is None
+    assert service.fleet_status() == {}
+
+
+# --------------------------------------------------------- revoke_spot()
+
+
+def test_revoke_with_no_live_fleet_is_an_error(tmp_path):
+    service = ExperimentService(tmp_path / "runs")
+    with pytest.raises(ValueError, match="0 fleet"):
+        service.revoke_spot({})
+
+
+def test_revoke_unknown_experiment_is_key_error(tmp_path):
+    service = ExperimentService(tmp_path / "runs")
+    with pytest.raises(KeyError, match="exp-missing"):
+        service.revoke_spot({"experiment": "exp-missing"})
+
+
+def test_revoke_rejects_non_object_body(tmp_path):
+    service = ExperimentService(tmp_path / "runs")
+    with pytest.raises(ValueError, match="JSON object"):
+        service.revoke_spot(["not", "a", "dict"])
+
+
+def test_revoke_queues_notice_on_named_fleet(tmp_path):
+    service = ExperimentService(tmp_path / "runs")
+    control = FleetControl()
+    service._fleets["exp-1"] = control
+    record = service.revoke_spot(
+        {"experiment": "exp-1", "machine_id": "machine-03", "grace": 5}
+    )
+    assert record == {
+        "experiment": "exp-1",
+        "machine_id": "machine-03",
+        "grace": 5,
+        "queued": True,
+    }
+    notices = control.drain_revocations()
+    assert len(notices) == 1
+    assert notices[0].machine_id == "machine-03"
+    assert notices[0].grace == pytest.approx(5.0)
+
+
+def test_revoke_defaults_to_the_only_live_fleet(tmp_path):
+    service = ExperimentService(tmp_path / "runs")
+    control = FleetControl()
+    service._fleets["exp-solo"] = control
+    record = service.revoke_spot({})
+    assert record["experiment"] == "exp-solo"
+    assert record["queued"] is True
+    # Runtime picks the doomed worker when none is named.
+    assert control.drain_revocations()[0].machine_id is None
+
+
+def test_revoke_requires_experiment_when_ambiguous(tmp_path):
+    service = ExperimentService(tmp_path / "runs")
+    service._fleets["exp-1"] = FleetControl()
+    service._fleets["exp-2"] = FleetControl()
+    with pytest.raises(ValueError, match="2 fleet"):
+        service.revoke_spot({})
+
+
+def test_fleet_status_mirrors_published_snapshots(tmp_path):
+    service = ExperimentService(tmp_path / "runs")
+    control = FleetControl()
+    service._fleets["exp-1"] = control
+    control.publish({"workers_up": {"on_demand": 3, "spot": 1}})
+    status = service.fleet_status()
+    assert status["exp-1"]["workers_up"] == {"on_demand": 3, "spot": 1}
+
+
+# ------------------------------------------------------------ HTTP layer
+
+
+@pytest.fixture()
+def live_service(tmp_path):
+    service = ExperimentService(tmp_path / "runs", port=0, workers=1)
+    service.start()
+    try:
+        yield service
+    finally:
+        service.stop()
+
+
+@pytest.fixture()
+def client(live_service):
+    return ServiceClient(live_service.url)
+
+
+def test_get_fleet_route(live_service, client):
+    assert client._request_json("GET", "/fleet") == {"fleets": {}}
+    control = FleetControl()
+    live_service._fleets["exp-9"] = control
+    control.publish({"spent_dollars": 1.25})
+    body = client._request_json("GET", "/fleet")
+    assert body["fleets"]["exp-9"]["spent_dollars"] == 1.25
+
+
+def test_post_revoke_route_happy_path(live_service, client):
+    control = FleetControl()
+    live_service._fleets["exp-9"] = control
+    record = client._request_json(
+        "POST", "/fleet/revoke",
+        {"experiment": "exp-9", "grace": 2.5},
+    )
+    assert record["queued"] is True
+    assert record["experiment"] == "exp-9"
+    assert control.drain_revocations()[0].grace == pytest.approx(2.5)
+
+
+def test_post_revoke_unknown_experiment_404(live_service, client):
+    with pytest.raises(ServiceError) as excinfo:
+        client._request_json(
+            "POST", "/fleet/revoke", {"experiment": "exp-missing"}
+        )
+    assert excinfo.value.status == 404
+
+
+def test_post_revoke_bad_payload_400(live_service, client):
+    live_service._fleets["exp-9"] = FleetControl()
+    with pytest.raises(ServiceError) as excinfo:
+        client._request_json(
+            "POST", "/fleet/revoke",
+            {"experiment": "exp-9", "grace": "soonish"},
+        )
+    assert excinfo.value.status == 400
+
+
+def test_serve_exits_gracefully_on_sigterm(tmp_path):
+    # CI smoke scripts stop the daemon with `kill -TERM`: background
+    # jobs of non-interactive shells have SIGINT ignored, so SIGTERM
+    # is the only reliable scripted shutdown.  An elastic daemon must
+    # exit promptly too (pool autoscaler + cost exporter running).
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "serve",
+         "--root", str(tmp_path / "runs"), "--port", "0",
+         "--workers", "1", "--cluster-workers", "2",
+         "--autoscale", "1:2", "--spot-fraction", "0.5"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": src},
+    )
+    try:
+        deadline = time.time() + 30
+        for line in proc.stdout:
+            if "listening" in line:
+                break
+            assert time.time() < deadline, "daemon never came up"
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def test_queue_depth_is_slot_denominated(tmp_path):
+    # The autoscaler's demand signal counts unmet *slots*: a queued
+    # 4-machine run wants all 4; a running one wants what the pool has
+    # not granted yet.  (Counting experiments starves wide runs.)
+    service = ExperimentService(tmp_path / "runs", autoscale=(1, 4))
+    assert service._admission_queue_depth() == 0
+    service.store.submit({"workload": "cifar10", "machines": 4})
+    assert service._admission_queue_depth() == 4
+    record = service.store.submit({"workload": "cifar10", "machines": 3})
+    service.store.mark_running(record.id)
+    service.broker.pool.resize(4)
+    service.broker.pool.acquire(record.id, "default", 1)
+    # queued 4 + (3 wanted - 1 held) running = 6 unmet slots.
+    assert service._admission_queue_depth() == 6
