@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Compare a fresh BENCH_sim.json against the committed baseline.
+
+Usage:
+    python benchmarks/check_sim_regression.py \
+        [--bench BENCH_sim.json] \
+        [--baseline benchmarks/baselines/sim.json] \
+        [--tolerance 0.4]
+
+The comparison is on *speedup ratios* (each cell's scalar seconds
+divided by its vectorized seconds from the same run), which cancels
+out absolute machine speed: CI runners of different generations
+produce the same ratios to within noise.  The gate fails when any
+tracked ratio drops more than ``--tolerance`` (default 40% — the
+default cell's closed-form replay runs in milliseconds, so its ratio
+is noisier than a throughput measurement) below its committed
+baseline value.
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = bad inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench", default=str(REPO_ROOT / "BENCH_sim.json"),
+        help="fresh benchmark report (written by test_perf_sim.py)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(REPO_ROOT / "benchmarks" / "baselines" / "sim.json"),
+        help="committed reference ratios",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.4,
+        help="allowed fractional drop in each speedup ratio",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        bench = json.loads(Path(args.bench).read_text())
+        baseline = json.loads(Path(args.baseline).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load inputs: {exc}", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.tolerance < 1.0:
+        print("error: tolerance must be in [0, 1)", file=sys.stderr)
+        return 2
+
+    failures = []
+    measured_ratios = bench.get("speedups_vs_scalar", {})
+    for cell, reference in baseline.get("speedups_vs_scalar", {}).items():
+        measured = measured_ratios.get(cell)
+        floor = reference * (1.0 - args.tolerance)
+        if measured is None:
+            failures.append(f"cell {cell!r} missing from benchmark report")
+            continue
+        status = "ok" if measured >= floor else "REGRESSION"
+        print(
+            f"{cell:<8} speedup {measured:6.2f}x  "
+            f"(baseline {reference:.2f}x, floor {floor:.2f}x)  {status}"
+        )
+        if measured < floor:
+            failures.append(
+                f"{cell} speedup {measured:.2f}x < floor {floor:.2f}x"
+            )
+
+    if failures:
+        print(
+            "\nperf gate FAILED (commit an updated baseline via the "
+            "perf-baseline-update label if this change is intentional):",
+            file=sys.stderr,
+        )
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -343,6 +343,11 @@ def _build_parser() -> argparse.ArgumentParser:
             help="comma-separated experiment-seed override, e.g. 0,1,2,3",
         )
         parser.add_argument(
+            "--policies", default=None,
+            help="comma-separated policy-axis override, e.g. "
+                 "learned,learned-random (baseline must stay in the list)",
+        )
+        parser.add_argument(
             "--max-workers", type=int, default=None,
             help="cell fan-out processes (default: auto; 1 = inline)",
         )
@@ -398,6 +403,50 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep_status.add_argument("id", nargs="?", default=None)
     sweep_status.add_argument("--url", default=DEFAULT_SERVICE_URL)
+
+    train_parser = sub.add_parser(
+        "train-policy",
+        help="train the learned scheduling policy against the simulator "
+             "and freeze it as a deterministic artifact (docs/learned.md)",
+    )
+    train_parser.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="frozen-artifact JSON path (written atomically; "
+             "byte-identical for identical settings)",
+    )
+    train_parser.add_argument(
+        "--episodes", type=int, default=6400,
+        help="training episodes (the default recipe reproduces the "
+             "committed pretrained artifact byte for byte)",
+    )
+    train_parser.add_argument("--seed", type=int, default=0)
+    train_parser.add_argument("--workload", choices=WORKLOADS, default="cifar10")
+    train_parser.add_argument("--generator", choices=GENERATORS, default="random")
+    train_parser.add_argument("--num-configs", type=int, default=12)
+    train_parser.add_argument("--slots", type=int, default=4)
+    train_parser.add_argument("--tmax-hours", type=float, default=6.0)
+    train_parser.add_argument("--hidden", type=int, default=16)
+    train_parser.add_argument("--lr", type=float, default=0.1)
+    train_parser.add_argument("--entropy-coef", type=float, default=0.01)
+    train_parser.add_argument("--group-size", type=int, default=8)
+    train_parser.add_argument("--seed-pool", type=int, default=16)
+    train_parser.add_argument(
+        "--gen-seed-base", type=int, default=10_000,
+        help="first training generator seed (keep disjoint from "
+             "evaluation seeds; learned-vs-pop holds out 200+)",
+    )
+    train_parser.add_argument(
+        "--emit-events", metavar="PATH", default=None,
+        help="stream training checkpoints (audit trail) as JSONL",
+    )
+    train_parser.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write learn_* instruments as Prometheus-style text",
+    )
+    train_parser.add_argument(
+        "--json", action="store_true",
+        help="print the training summary as JSON on stdout",
+    )
 
     submit_parser = sub.add_parser(
         "submit", help="submit an experiment to a running daemon"
@@ -818,6 +867,86 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+# ------------------------------------------------------------ train-policy
+
+
+def _cmd_train_policy(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .learn.trainer import TrainerConfig, train_policy
+
+    info = sys.stderr if args.json else sys.stdout
+    for out_path in (args.out, args.emit_events, args.metrics_out):
+        if out_path and not Path(out_path).parent.is_dir():
+            # The artifact writer creates directories, but exporters
+            # open lazily — fail fast on both for symmetry.
+            Path(out_path).parent.mkdir(parents=True, exist_ok=True)
+    recorder = None
+    if args.emit_events or args.metrics_out:
+        from .observability import JsonlExporter, Recorder
+
+        exporter = JsonlExporter(args.emit_events) if args.emit_events else None
+        recorder = Recorder(exporter=exporter)
+    config = TrainerConfig(
+        episodes=args.episodes,
+        seed=args.seed,
+        hidden=args.hidden,
+        lr=args.lr,
+        entropy_coef=args.entropy_coef,
+        gen_seed_base=args.gen_seed_base,
+        seed_pool=args.seed_pool,
+        group_size=args.group_size,
+        workload=args.workload,
+        generator=args.generator,
+        num_configs=args.num_configs,
+        slots=args.slots,
+        tmax_hours=args.tmax_hours,
+    )
+
+    def _progress(update):
+        if update["episode"] % max(args.group_size * 25, 1) == 0:
+            print(
+                f"episode {update['episode']}/{update['episodes']}  "
+                f"reward {update['reward']:.3f}  "
+                f"best {update['best_reward']:.3f}  "
+                f"entropy {update['entropy']:.3f}",
+                file=info,
+            )
+
+    kwargs = {"recorder": recorder} if recorder is not None else {}
+    summary = train_policy(
+        config, artifact_path=args.out, progress=_progress, **kwargs
+    )
+    if recorder is not None and args.metrics_out:
+        Path(args.metrics_out).write_text(recorder.metrics.render_text())
+    if recorder is not None:
+        recorder.close()
+    rewards = summary["rewards"]
+    tail = rewards[-max(1, len(rewards) // 4):]
+    print(
+        f"trained {len(rewards)} episodes "
+        f"(best reward {summary['best_reward']:.3f}, "
+        f"last-quarter mean {sum(tail) / len(tail):.3f}); "
+        f"artifact frozen at {args.out}",
+        file=info,
+    )
+    print(
+        f"evaluate with: REPRO_LEARNED_ARTIFACT={args.out} "
+        "repro sweep run --study learned-vs-pop --out <dir>",
+        file=info,
+    )
+    if args.json:
+        document = {
+            "artifact_path": args.out,
+            "episodes": len(rewards),
+            "best_reward": summary["best_reward"],
+            "rewards": rewards,
+            "provenance": summary["artifact"]["provenance"],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
 # -------------------------------------------------------------------- sweep
 
 
@@ -839,6 +968,21 @@ def _sweep_spec_from_args(args: argparse.Namespace):
                 f"--seeds must be comma-separated integers, got {args.seeds!r}"
             ) from None
         spec = spec.with_overrides(seeds=seeds)
+    if getattr(args, "policies", None) is not None:
+        policies = tuple(
+            part.strip() for part in args.policies.split(",") if part.strip()
+        )
+        if not policies:
+            raise ValueError("--policies must name at least one policy")
+        overrides = {"policies": policies}
+        if (
+            spec.compare_axis == "policy"
+            and spec.baseline_level not in policies
+        ):
+            # Keep the spec valid: the first listed policy becomes the
+            # baseline when the original one was filtered out.
+            overrides["baseline"] = {"policy": policies[0]}
+        spec = spec.with_overrides(**overrides)
     return spec
 
 
@@ -1256,6 +1400,7 @@ def main(argv=None) -> int:
         "cluster-demo": _cmd_cluster_demo,
         "serve": _cmd_serve,
         "sweep": _cmd_sweep,
+        "train-policy": _cmd_train_policy,
         "submit": _cmd_submit,
         "status": _cmd_status,
         "watch": _cmd_watch,

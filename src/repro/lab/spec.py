@@ -86,6 +86,13 @@ class Cell:
     #: Machine-hour budget handed to budget-aware policies (via their
     #: ``configure_budget`` hook); None leaves the policy's default.
     budget_slot_hours: Optional[float] = None
+    #: How the generator seed relates to the replicate seed: "fixed"
+    #: reuses one configuration set across replicates (the §6.1
+    #: protocol); "per-seed" offsets the generator seed by the
+    #: replicate seed so each replicate is a *held-out* configuration
+    #: set — the evaluation protocol for learned policies, whose
+    #: training must never have seen the evaluation sets.
+    gen_seed_mode: str = "fixed"
 
     def resolved(self) -> Dict[str, Any]:
         """The cell with every default pinned (canonical, hashable)."""
@@ -94,6 +101,8 @@ class Cell:
             out["machines"] = registry.default_machines(self.workload)
         if out["gen_seed"] is None:
             out["gen_seed"] = registry.default_gen_seed(self.workload)
+        if self.gen_seed_mode == "per-seed":
+            out["gen_seed"] = out["gen_seed"] + self.seed
         return out
 
     def key(self) -> str:
@@ -170,6 +179,10 @@ class StudySpec:
         budget_slot_hours: slot-hour budget carried to the broker and
             handed to budget-aware policies (``configure_budget``), so
             a fixed-budget study caps every cell's machine-time spend.
+        gen_seed_mode: ``"fixed"`` reuses one generator seed across
+            replicates; ``"per-seed"`` offsets it by each replicate
+            seed, giving every replicate a held-out configuration set
+            (the learned-policy evaluation protocol).
     """
 
     name: str
@@ -193,6 +206,7 @@ class StudySpec:
     priority: int = 0
     deadline_hours: Optional[float] = None
     budget_slot_hours: Optional[float] = None
+    gen_seed_mode: str = "fixed"
 
     def __post_init__(self) -> None:
         # Coerce JSON-borne lists into tuples so the spec stays
@@ -296,6 +310,11 @@ class StudySpec:
             raise ValueError("deadline_hours must be positive when given")
         if self.budget_slot_hours is not None and self.budget_slot_hours <= 0:
             raise ValueError("budget_slot_hours must be positive when given")
+        if self.gen_seed_mode not in ("fixed", "per-seed"):
+            raise ValueError(
+                "gen_seed_mode must be 'fixed' or 'per-seed', "
+                f"not {self.gen_seed_mode!r}"
+            )
 
     # ------------------------------------------------------------ helpers
 
@@ -351,6 +370,7 @@ class StudySpec:
                     predict_workers=self.predict_workers,
                     predict_cache_size=self.predict_cache_size,
                     budget_slot_hours=self.budget_slot_hours,
+                    gen_seed_mode=self.gen_seed_mode,
                 )
             )
         return out

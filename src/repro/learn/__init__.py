@@ -1,0 +1,28 @@
+"""Learned scheduling: train an RL policy against the simulator.
+
+The Decima/DL2 recipe over HyperDrive's substrate: the deterministic
+simulator wrapped as an episodic environment
+(:mod:`repro.sim.env`), per-configuration feature vectors
+(:mod:`repro.learn.features`), a numpy-only REINFORCE agent
+(:mod:`repro.learn.agent`), a training loop with observability and
+frozen-artifact output (:mod:`repro.learn.trainer`), and a
+registry-registered SAP that drives the unchanged scheduler from a
+frozen artifact (:mod:`repro.policies.learned`).
+
+This package deliberately imports neither the registry nor the lab so
+the SAP module can depend on it without cycles; the trainer pulls the
+environment in lazily.
+"""
+
+from .agent import PolicyNetwork, ReinforceAgent
+from .artifact import load_artifact, write_artifact
+from .features import FEATURE_NAMES, feature_schema
+
+__all__ = [
+    "FEATURE_NAMES",
+    "PolicyNetwork",
+    "ReinforceAgent",
+    "feature_schema",
+    "load_artifact",
+    "write_artifact",
+]

@@ -1,0 +1,385 @@
+"""Numpy-only policy-gradient agent (REINFORCE with baseline).
+
+The network is a per-configuration scorer with shared weights — the
+same Decima-style trick that makes the policy permutation-invariant
+and indifferent to the number of configurations: one hidden layer
+``h = tanh(x W1 + b1)`` feeds two scalar heads, an **allocation
+logit** (how much this configuration deserves a slot right now) and a
+**kill logit** (whether to terminate it).  An action is sampled as
+
+* per-candidate Bernoulli kills from ``sigmoid(kill_logit)`` (the
+  kill bias starts strongly negative so a fresh agent almost never
+  kills), then
+* up to ``slots`` distinct survivors drawn sequentially from the
+  renormalized softmax over allocation logits.
+
+Training is vanilla episodic REINFORCE: accumulate
+``∇ log π(a_t | s_t)`` over the episode by manual backprop, scale by
+the advantage against an exponential-moving-average baseline, ascend.
+Everything is seeded (`numpy.random.default_rng`) and float64, so a
+fixed seed reproduces training bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["PolicyNetwork", "ReinforceAgent", "SampledAction", "StepRecord"]
+
+_PARAM_NAMES = ("W1", "b1", "w_alloc", "b_alloc", "w_kill", "b_kill")
+
+#: Initial kill-head bias: sigmoid(-3) ≈ 0.047, so an untrained agent
+#: rarely kills and the random-init baseline policy is a sane
+#: no-early-termination scheduler rather than a mass murderer.
+KILL_BIAS_INIT = -3.0
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+class PolicyNetwork:
+    """Shared-weight per-configuration scorer with two scalar heads."""
+
+    def __init__(
+        self, n_features: int, hidden: int = 16, seed: int = 0
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.n_features = n_features
+        self.hidden = hidden
+        self.params: Dict[str, np.ndarray] = {
+            "W1": rng.standard_normal((n_features, hidden))
+            / np.sqrt(n_features),
+            "b1": np.zeros(hidden),
+            "w_alloc": rng.standard_normal(hidden) / np.sqrt(hidden),
+            "b_alloc": np.zeros(1),
+            "w_kill": rng.standard_normal(hidden) / (np.sqrt(hidden) * 10.0),
+            "b_kill": np.full(1, KILL_BIAS_INIT),
+        }
+
+    def forward(self, features: np.ndarray):
+        """Returns (alloc_logits (n,), kill_logits (n,), hidden (n, H))."""
+        hidden = np.tanh(features @ self.params["W1"] + self.params["b1"])
+        alloc = hidden @ self.params["w_alloc"] + self.params["b_alloc"][0]
+        kill = hidden @ self.params["w_kill"] + self.params["b_kill"][0]
+        return alloc, kill, hidden
+
+    # ------------------------------------------------------- serialisation
+
+    def weights_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable weights (lists of floats)."""
+        return {name: self.params[name].tolist() for name in _PARAM_NAMES}
+
+    @classmethod
+    def from_weights(cls, weights: Dict[str, Any]) -> "PolicyNetwork":
+        missing = [name for name in _PARAM_NAMES if name not in weights]
+        if missing:
+            raise ValueError(f"artifact weights missing: {missing}")
+        w1 = np.asarray(weights["W1"], dtype=float)
+        if w1.ndim != 2:
+            raise ValueError("W1 must be a 2-d matrix")
+        network = cls.__new__(cls)
+        network.n_features = int(w1.shape[0])
+        network.hidden = int(w1.shape[1])
+        network.params = {
+            name: np.asarray(weights[name], dtype=float).reshape(
+                {
+                    "W1": (network.n_features, network.hidden),
+                    "b1": (network.hidden,),
+                    "w_alloc": (network.hidden,),
+                    "b_alloc": (1,),
+                    "w_kill": (network.hidden,),
+                    "b_kill": (1,),
+                }[name]
+            )
+            for name in _PARAM_NAMES
+        }
+        return network
+
+
+@dataclass
+class SampledAction:
+    """One environment action plus its sampling diagnostics."""
+
+    slots: np.ndarray  # config indices granted a slot this window
+    kills: np.ndarray  # config indices terminated this window
+    entropy: float     # allocation-softmax entropy over survivors (nats)
+
+
+@dataclass
+class StepRecord:
+    """Everything needed to recompute ``∇ log π`` for one step."""
+
+    features: np.ndarray
+    candidates: np.ndarray
+    kill_decisions: np.ndarray  # 0/1 per candidate (aligned)
+    slot_sequence: List[int] = field(default_factory=list)
+
+
+class ReinforceAgent:
+    """Episodic REINFORCE with an EMA baseline over a PolicyNetwork."""
+
+    def __init__(
+        self,
+        n_features: int,
+        hidden: int = 16,
+        seed: int = 0,
+        lr: float = 0.05,
+        baseline_momentum: float = 0.9,
+        entropy_coef: float = 0.0,
+    ) -> None:
+        self.net = PolicyNetwork(n_features, hidden=hidden, seed=seed)
+        self.rng = np.random.default_rng(seed + 1)
+        self.lr = lr
+        self.baseline_momentum = baseline_momentum
+        self.entropy_coef = entropy_coef
+        self.baseline: Optional[float] = None
+        # Episode rewards vary far more across generator seeds (easy vs
+        # hard configuration sets) than across policies; keyed baselines
+        # remove that variance from the advantage when the trainer
+        # cycles a seed pool.
+        self._baselines: Dict[Any, float] = {}
+
+    # ------------------------------------------------------------ acting
+
+    def sample_action(
+        self,
+        features: np.ndarray,
+        candidates: np.ndarray,
+        n_slots: int,
+    ) -> tuple:
+        """Sample (action, record) for one scheduling window."""
+        alloc, kill, _ = self.net.forward(features)
+        candidates = np.asarray(candidates, dtype=int)
+
+        kill_probability = 1.0 / (1.0 + np.exp(-kill[candidates]))
+        kill_decisions = (
+            self.rng.random(candidates.size) < kill_probability
+        ).astype(int)
+        killed = candidates[kill_decisions == 1]
+        survivors = candidates[kill_decisions == 0]
+
+        record = StepRecord(
+            features=np.array(features, copy=True),
+            candidates=candidates,
+            kill_decisions=kill_decisions,
+        )
+
+        entropy = 0.0
+        chosen: List[int] = []
+        available = list(survivors)
+        if available:
+            probabilities = _softmax(alloc[available])
+            entropy = float(
+                -np.sum(probabilities * np.log(probabilities + 1e-12))
+            )
+        for _ in range(min(n_slots, len(available))):
+            probabilities = _softmax(alloc[available])
+            pick = int(self.rng.choice(len(available), p=probabilities))
+            chosen.append(available.pop(pick))
+        record.slot_sequence = list(chosen)
+
+        action = SampledAction(
+            slots=np.asarray(chosen, dtype=int),
+            kills=killed,
+            entropy=entropy,
+        )
+        return action, record
+
+    def greedy_action(
+        self,
+        features: np.ndarray,
+        candidates: np.ndarray,
+        n_slots: int,
+    ) -> SampledAction:
+        """Deterministic argmax action (inference / evaluation)."""
+        alloc, kill, _ = self.net.forward(features)
+        candidates = np.asarray(candidates, dtype=int)
+        killed = candidates[kill[candidates] > 0.0]
+        survivors = candidates[kill[candidates] <= 0.0]
+        order = survivors[np.argsort(-alloc[survivors], kind="stable")]
+        return SampledAction(
+            slots=order[:n_slots], kills=killed, entropy=0.0
+        )
+
+    # ------------------------------------------------------------ learning
+
+    def _zero_grads(self) -> Dict[str, np.ndarray]:
+        return {
+            name: np.zeros_like(value)
+            for name, value in self.net.params.items()
+        }
+
+    def _accumulate(
+        self, grads: Dict[str, np.ndarray], record: StepRecord
+    ) -> None:
+        alloc, kill, hidden = self.net.forward(record.features)
+        n = record.features.shape[0]
+
+        g_alloc = np.zeros(n)
+        available = [
+            int(c)
+            for c, killed in zip(record.candidates, record.kill_decisions)
+            if not killed
+        ]
+        for chosen in record.slot_sequence:
+            probabilities = _softmax(alloc[available])
+            for position, index in enumerate(available):
+                g_alloc[index] -= probabilities[position]
+            g_alloc[chosen] += 1.0
+            available.remove(chosen)
+
+        g_kill = np.zeros(n)
+        kill_probability = 1.0 / (1.0 + np.exp(-kill[record.candidates]))
+        g_kill[record.candidates] = (
+            record.kill_decisions - kill_probability
+        )
+
+        params = self.net.params
+        d_hidden = (
+            np.outer(g_alloc, params["w_alloc"])
+            + np.outer(g_kill, params["w_kill"])
+        )
+        d_pre = d_hidden * (1.0 - hidden * hidden)
+        grads["W1"] += record.features.T @ d_pre
+        grads["b1"] += d_pre.sum(axis=0)
+        grads["w_alloc"] += hidden.T @ g_alloc
+        grads["b_alloc"] += np.array([g_alloc.sum()])
+        grads["w_kill"] += hidden.T @ g_kill
+        grads["b_kill"] += np.array([g_kill.sum()])
+
+    def _accumulate_entropy(
+        self, grads: Dict[str, np.ndarray], record: StepRecord
+    ) -> None:
+        """Gradient of the allocation-softmax entropy (exploration
+        bonus; added unscaled by the advantage)."""
+        alloc, _, hidden = self.net.forward(record.features)
+        n = record.features.shape[0]
+        g_alloc = np.zeros(n)
+        available = [
+            int(c)
+            for c, killed in zip(record.candidates, record.kill_decisions)
+            if not killed
+        ]
+        for chosen in record.slot_sequence:
+            probabilities = _softmax(alloc[available])
+            log_p = np.log(probabilities + 1e-12)
+            entropy = float(-np.sum(probabilities * log_p))
+            # dH/dlogit_j = -p_j (log p_j + H)
+            for position, index in enumerate(available):
+                g_alloc[index] -= probabilities[position] * (
+                    log_p[position] + entropy
+                )
+            available.remove(chosen)
+        params = self.net.params
+        d_hidden = np.outer(g_alloc, params["w_alloc"])
+        d_pre = d_hidden * (1.0 - hidden * hidden)
+        grads["W1"] += record.features.T @ d_pre
+        grads["b1"] += d_pre.sum(axis=0)
+        grads["w_alloc"] += hidden.T @ g_alloc
+        grads["b_alloc"] += np.array([g_alloc.sum()])
+
+    def update(
+        self,
+        records: List[StepRecord],
+        episode_reward: float,
+        key: Any = None,
+    ) -> Dict[str, float]:
+        """One REINFORCE update from a finished episode.
+
+        ``key`` selects the advantage baseline — pass the episode's
+        generator seed when training over a cycling seed pool so each
+        seed's difficulty is subtracted out; None uses one global EMA.
+        """
+        keyed = self._baselines.get(key)
+        if keyed is None:
+            keyed = episode_reward  # first visit: advantage 0
+        advantage = episode_reward - keyed
+        if records and advantage != 0.0:
+            grads = self._zero_grads()
+            for record in records:
+                self._accumulate(grads, record)
+            scale = self.lr * advantage / float(len(records))
+            for name, gradient in grads.items():
+                self.net.params[name] += scale * gradient
+        momentum = self.baseline_momentum
+        self._baselines[key] = momentum * keyed + (1 - momentum) * (
+            episode_reward
+        )
+        if self.baseline is None:
+            self.baseline = episode_reward
+        self.baseline = momentum * self.baseline + (1 - momentum) * (
+            episode_reward
+        )
+        return {
+            "advantage": float(advantage),
+            "baseline": float(self.baseline),
+        }
+
+    def update_group(
+        self, group: List[tuple], key: Any = None
+    ) -> Dict[str, float]:
+        """One update from several rollouts of the *same* episode.
+
+        ``group`` is a list of ``(records, reward)`` rollouts sharing a
+        generator seed.  Each rollout's advantage is its reward minus
+        the leave-one-out mean of the others — an unbiased, much
+        lower-variance baseline than any running average, because the
+        comparison set shares the episode's configuration set exactly.
+        All gradients are computed against the current parameters and
+        applied in one step.
+        """
+        if not group:
+            return {"advantage": 0.0, "baseline": 0.0}
+        rewards = np.array([reward for _, reward in group], dtype=float)
+        n = rewards.size
+        total = float(rewards.sum())
+        grads = self._zero_grads()
+        touched = False
+        for (records, reward), _ in zip(group, range(n)):
+            if n > 1:
+                baseline = (total - reward) / (n - 1)
+            else:
+                baseline = self._baselines.get(key, reward)
+            advantage = reward - baseline
+            if not records:
+                continue
+            if advantage != 0.0:
+                touched = True
+                rollout_grads = self._zero_grads()
+                for record in records:
+                    self._accumulate(rollout_grads, record)
+                scale = advantage / float(len(records))
+                for name, gradient in rollout_grads.items():
+                    grads[name] += scale * gradient
+            if self.entropy_coef > 0.0:
+                touched = True
+                entropy_grads = self._zero_grads()
+                for record in records:
+                    self._accumulate_entropy(entropy_grads, record)
+                scale = self.entropy_coef / float(len(records))
+                for name, gradient in entropy_grads.items():
+                    grads[name] += scale * gradient
+        if touched:
+            for name, gradient in grads.items():
+                self.net.params[name] += self.lr * gradient / float(n)
+        mean_reward = total / n
+        momentum = self.baseline_momentum
+        previous = self._baselines.get(key, mean_reward)
+        self._baselines[key] = momentum * previous + (1 - momentum) * (
+            mean_reward
+        )
+        if self.baseline is None:
+            self.baseline = mean_reward
+        self.baseline = momentum * self.baseline + (1 - momentum) * (
+            mean_reward
+        )
+        return {
+            "advantage": float(rewards.max() - rewards.min()),
+            "baseline": float(self.baseline),
+        }

@@ -22,7 +22,10 @@ This module turns that document into a fixed-width text dashboard:
   ``broker_tenant_*`` gauges), headed by pool occupancy;
 * **fleet/cost** — elastic-fleet economics from the ``cost_*`` gauges:
   workers up by machine class (on-demand vs spot) and per-experiment
-  dollars spent against ``budget_slot_hours``.
+  dollars spent against ``budget_slot_hours``;
+* **training** — one line per node training a learned policy
+  (``repro train-policy``): episodes completed, best and latest
+  episode reward, and policy entropy from the ``learn_*`` gauges.
 
 Everything here is a pure function of the telemetry dict so tests (and
 ``repro diagnose``-style tooling) can render without a daemon; the CLI
@@ -287,6 +290,27 @@ def _fleet_section(nodes: Mapping[str, Mapping[str, Any]]) -> List[str]:
     return lines
 
 
+def _training_section(nodes: Mapping[str, Mapping[str, Any]]) -> List[str]:
+    """One line per node running policy training, from the ``learn_*``
+    instruments ``repro train-policy`` publishes: episodes completed,
+    best episode reward, latest mean reward, allocation entropy."""
+    lines: List[str] = []
+    for node in sorted(nodes):
+        metrics = nodes[node].get("metrics", {})
+        episodes = _metric_total(metrics, "learn_episodes_total")
+        if episodes is None:
+            continue
+        best = _metric_total(metrics, "learn_best_reward")
+        reward = _metric_total(metrics, "learn_episode_reward")
+        entropy = _metric_total(metrics, "learn_policy_entropy")
+        lines.append(
+            f"training[{node}]: episodes={episodes:.0f} "
+            f"best={_fmt(best)} reward={_fmt(reward)} "
+            f"entropy={_fmt(entropy, '.2f')}"
+        )
+    return lines
+
+
 def render_top(telemetry: Mapping[str, Any], url: str = "") -> str:
     """The whole dashboard as one text block."""
     nodes = telemetry.get("nodes", {})
@@ -309,6 +333,9 @@ def render_top(telemetry: Mapping[str, Any], url: str = "") -> str:
         fleet = _fleet_section(nodes)
         if fleet:
             sections.append(fleet)
+        training = _training_section(nodes)
+        if training:
+            sections.append(training)
     else:
         sections.append(["no telemetry yet"])
     conflicts = telemetry.get("kind_conflicts") or {}

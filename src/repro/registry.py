@@ -24,6 +24,7 @@ from .policies.base import SchedulingPolicy
 from .policies.default import DefaultPolicy
 from .policies.earlyterm import EarlyTermPolicy
 from .policies.hyperband import HyperBandPolicy, SuccessiveHalvingPolicy
+from .policies.learned import LearnedPolicy, RandomInitLearnedPolicy
 from .workloads.base import Workload
 from .workloads.cifar10 import Cifar10Workload
 from .workloads.lunarlander import LunarLanderWorkload
@@ -54,6 +55,8 @@ POLICIES: Dict[str, Callable] = {
     "default": DefaultPolicy,
     "successive-halving": SuccessiveHalvingPolicy,
     "hyperband": HyperBandPolicy,
+    "learned": LearnedPolicy,
+    "learned-random": RandomInitLearnedPolicy,
 }
 
 GENERATORS: Dict[str, Callable] = {

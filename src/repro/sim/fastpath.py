@@ -1,0 +1,319 @@
+"""Vectorized simulation fast path: batch stream precompute + replay.
+
+The discrete-event simulator is the inner loop of every lab study and
+the training substrate of the learned scheduler, so its throughput
+bounds everything comparative this repo does.  The scalar path pays
+for two things per epoch: a Python-level ``TrainingRun.step`` (two
+scalar RNG draws, clipping, float boxing) and, on every job
+(re)creation, a calibrator lookup plus curve synthesis.  But for the
+synthetic workloads the *entire observed stream* of a configuration is
+a pure function of ``(configuration content, experiment seed)`` —
+scheduling decides only which prefix of the stream is revealed.  That
+is the fast path's contract:
+
+* :func:`precompute_streams` materialises every configuration's full
+  ``(durations, metrics)`` stream up front — vectorized over epochs via
+  the workloads' ``observed_stream`` hook, byte-identical to stepping
+  the scalar run epoch by epoch (the hook draws the same RNG stream in
+  one batched call).  Each configuration's stream is derived from its
+  own content-keyed seed (:func:`~repro.workloads.calibration.stable_config_seed`),
+  never from a shared draw-order-coupled generator, so reordering or
+  subsetting the configuration list leaves every stream unchanged.
+* :class:`FastBatchWorkload` replays precomputed streams through the
+  **unchanged** scheduler/engine — exact result parity with the scalar
+  workload, minus the per-epoch synthesis cost.  This is the drop-in
+  accelerator for predictor-using policies (POP et al.).
+* :func:`simulate_default_fast` evaluates the Default SAP (FIFO,
+  run-to-completion, no kills — §4.2's baseline) without any event
+  loop at all: per-machine queue simulation over cumulative-duration
+  arrays.  Exactly equivalent to the DES by construction (same start
+  order, same epoch finish times), orders of magnitude faster.
+
+``BENCH_sim.json`` (written by ``benchmarks/test_perf_sim.py``) gates
+the speedups machine-relatively, like the prediction-engine bench.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..metrics.stats import minmax_normalize
+from ..workloads.base import DomainSpec, EpochResult, TrainingRun, Workload
+
+__all__ = [
+    "ConfigStreams",
+    "FastBatchWorkload",
+    "config_key",
+    "precompute_streams",
+    "simulate_default_fast",
+]
+
+
+def config_key(config: Dict[str, Any]) -> str:
+    """Stable content key for a configuration (matches the encoding
+    behind :func:`~repro.workloads.calibration.stable_config_seed`)."""
+    return repr(sorted((k, repr(v)) for k, v in config.items()))
+
+
+def _normalize_array(domain: DomainSpec, values: np.ndarray) -> np.ndarray:
+    if not domain.normalizes:
+        return np.clip(values, 0.0, 1.0)
+    return minmax_normalize(values, domain.r_min, domain.r_max)
+
+
+@dataclass
+class ConfigStreams:
+    """Precomputed observed streams for one configuration set.
+
+    Row ``i`` holds configuration ``i``'s full stream: per-epoch
+    durations (seconds) and raw observed metrics for epochs
+    ``1..max_epochs``, plus the normalized view policies reason in.
+    """
+
+    configs: List[Dict[str, Any]]
+    durations: np.ndarray  # (n, max_epochs) seconds
+    metrics: np.ndarray    # (n, max_epochs) raw metric scale
+    normalized: np.ndarray  # (n, max_epochs) in [0, 1]
+    domain: DomainSpec
+    seed: int
+
+    @property
+    def n_configs(self) -> int:
+        return len(self.configs)
+
+    @property
+    def max_epochs(self) -> int:
+        return int(self.durations.shape[1])
+
+    def reordered(self, order: Sequence[int]) -> "ConfigStreams":
+        """The same streams under a configuration permutation."""
+        index = np.asarray(list(order), dtype=int)
+        if sorted(index.tolist()) != list(range(self.n_configs)):
+            raise ValueError("order must be a permutation of the configs")
+        return ConfigStreams(
+            configs=[self.configs[i] for i in index],
+            durations=self.durations[index],
+            metrics=self.metrics[index],
+            normalized=self.normalized[index],
+            domain=self.domain,
+            seed=self.seed,
+        )
+
+
+def _scalar_stream(run: TrainingRun) -> Tuple[np.ndarray, np.ndarray]:
+    """Fallback: step a run to completion (workloads without the
+    vectorized ``observed_stream`` hook, e.g. real SGD training)."""
+    durations: List[float] = []
+    metrics: List[float] = []
+    while not run.finished:
+        result = run.step()
+        durations.append(result.duration)
+        metrics.append(result.metric)
+    return np.asarray(durations), np.asarray(metrics)
+
+
+def precompute_streams(
+    workload: Workload,
+    configs: Sequence[Dict[str, Any]],
+    seed: int = 0,
+) -> ConfigStreams:
+    """Materialise every configuration's observed stream up front.
+
+    Each stream comes from a fresh run seeded exactly as the scalar
+    path seeds it — per (configuration content, ``seed``), so streams
+    are mutually independent and invariant to list order.
+    """
+    durations: List[np.ndarray] = []
+    metrics: List[np.ndarray] = []
+    for config in configs:
+        run = workload.create_run(config, seed=seed)
+        stream = getattr(run, "observed_stream", None)
+        if stream is not None:
+            epoch_durations, epoch_metrics = stream()
+        else:
+            epoch_durations, epoch_metrics = _scalar_stream(run)
+        durations.append(epoch_durations)
+        metrics.append(epoch_metrics)
+    duration_matrix = np.stack(durations) if durations else np.zeros((0, 0))
+    metric_matrix = np.stack(metrics) if metrics else np.zeros((0, 0))
+    return ConfigStreams(
+        configs=[dict(config) for config in configs],
+        durations=duration_matrix,
+        metrics=metric_matrix,
+        normalized=_normalize_array(workload.domain, metric_matrix),
+        domain=workload.domain,
+        seed=seed,
+    )
+
+
+class _ReplayRun(TrainingRun):
+    """Replays one precomputed stream row epoch by epoch."""
+
+    def __init__(
+        self,
+        config: Dict[str, Any],
+        durations: np.ndarray,
+        metrics: np.ndarray,
+    ) -> None:
+        self._config = dict(config)
+        self._durations = durations
+        self._metrics = metrics
+        self._epoch = 0
+        self._max_epochs = int(durations.shape[0])
+
+    @property
+    def config(self) -> Dict[str, Any]:
+        return dict(self._config)
+
+    @property
+    def epochs_completed(self) -> int:
+        return self._epoch
+
+    @property
+    def finished(self) -> bool:
+        return self._epoch >= self._max_epochs
+
+    def step(self) -> EpochResult:
+        if self.finished:
+            raise RuntimeError("training run already finished")
+        self._epoch += 1
+        index = self._epoch - 1
+        return EpochResult(
+            epoch=self._epoch,
+            duration=float(self._durations[index]),
+            metric=float(self._metrics[index]),
+            done=self.finished,
+        )
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"epoch": self._epoch}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        epoch = int(state["epoch"])
+        if not 0 <= epoch <= self._max_epochs:
+            raise ValueError(f"snapshot epoch {epoch} out of range")
+        self._epoch = epoch
+
+
+class FastBatchWorkload(Workload):
+    """A workload facade replaying precomputed streams.
+
+    Built once per experiment from the real workload and the full
+    configuration list; ``create_run`` then costs a dict lookup instead
+    of calibrator + curve synthesis, and every epoch is an array read.
+    Drives the **unchanged** scheduler with exact result parity.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        configs: Sequence[Dict[str, Any]],
+        seed: int = 0,
+        streams: Optional[ConfigStreams] = None,
+    ) -> None:
+        self._base = workload
+        self._streams = (
+            streams
+            if streams is not None
+            else precompute_streams(workload, configs, seed=seed)
+        )
+        self._seed = self._streams.seed
+        self._rows = {
+            config_key(config): index
+            for index, config in enumerate(self._streams.configs)
+        }
+
+    @property
+    def streams(self) -> ConfigStreams:
+        return self._streams
+
+    @property
+    def space(self):
+        return self._base.space
+
+    @property
+    def domain(self) -> DomainSpec:
+        return self._base.domain
+
+    def create_run(self, config: Dict[str, Any], seed: int = 0) -> _ReplayRun:
+        if seed != self._seed:
+            raise ValueError(
+                f"stream precomputed for seed {self._seed}, "
+                f"run requested seed {seed}"
+            )
+        row = self._rows.get(config_key(config))
+        if row is None:
+            raise KeyError("configuration not in the precomputed set")
+        return _ReplayRun(
+            config,
+            self._streams.durations[row],
+            self._streams.metrics[row],
+        )
+
+
+def simulate_default_fast(
+    streams: ConfigStreams,
+    machines: int,
+    tmax: float,
+    target: Optional[float] = None,
+    stop_on_target: bool = True,
+) -> Dict[str, Any]:
+    """Default-SAP experiment outcome without an event loop.
+
+    The Default policy is FIFO run-to-completion with no kills and no
+    suspends, so each machine just works through the configuration
+    queue; with precomputed streams every epoch finish time is a
+    cumulative sum.  Start order, epoch timestamps, the first
+    target-crossing event, and the epochs-completed count all match the
+    discrete-event simulator exactly (ties between simultaneous
+    machine releases are measure-zero with continuous durations).
+
+    Returns a dict with ``time_to_target``, ``reached_target``,
+    ``best_metric``, ``epochs_trained``, and ``finished_at``.
+    """
+    if machines < 1:
+        raise ValueError("machines must be >= 1")
+    n = streams.n_configs
+    raw_target = streams.domain.target if target is None else target
+    cumulative = np.cumsum(streams.durations, axis=1)
+
+    # FIFO queue over machines: job i starts when the (i mod m)-th
+    # earliest machine release occurs.
+    free: List[float] = [0.0] * machines
+    heapq.heapify(free)
+    start_times = np.empty(n)
+    for index in range(n):
+        released = heapq.heappop(free)
+        start_times[index] = released
+        heapq.heappush(free, released + float(cumulative[index, -1]))
+
+    finish_times = start_times[:, None] + cumulative  # (n, E)
+
+    # First target-crossing event that actually executes (<= tmax).
+    hits = (streams.metrics >= raw_target) & (finish_times <= tmax)
+    reached = bool(np.any(hits))
+    time_to_target = float(finish_times[hits].min()) if reached else None
+
+    horizon = (
+        time_to_target if (reached and stop_on_target) else float(tmax)
+    )
+    completed = finish_times <= horizon
+    epochs_trained = int(np.count_nonzero(completed))
+    best_metric = (
+        float(streams.metrics[completed].max()) if epochs_trained else None
+    )
+    finished_at = (
+        float(finish_times[completed].max()) if epochs_trained else 0.0
+    )
+    return {
+        "policy": "default",
+        "reached_target": reached,
+        "time_to_target": time_to_target if stop_on_target or reached else None,
+        "best_metric": best_metric,
+        "epochs_trained": epochs_trained,
+        "finished_at": finished_at,
+    }

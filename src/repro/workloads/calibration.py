@@ -75,20 +75,42 @@ class QualityCalibrator:
         return float((rank + 0.5) / (n + 1.0))
 
 
+_FNV_OFFSET = 1469598103934665603  # FNV-1a offset basis
+_FNV_PRIME = 1099511628211
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+
+#: Per-process memo of the salt-independent FNV accumulator per encoded
+#: configuration.  The character loop below is the hot spot of workload
+#: construction (the calibrator hashes thousands of reference configs,
+#: and every run creation hashes the config under several salts); the
+#: salt is only mixed in *after* the loop, so one accumulator serves
+#: every salt.  Bounded so pathological callers cannot grow it forever.
+_FNV_CACHE: Dict[str, int] = {}
+_FNV_CACHE_LIMIT = 65536
+
+
+def _fnv_accumulate(encoded: str) -> int:
+    acc = _FNV_OFFSET
+    for ch in encoded:
+        acc = ((acc ^ ord(ch)) * _FNV_PRIME) & _U64_MASK
+    return acc
+
+
 def stable_config_seed(config: Dict[str, Any], salt: int = 0) -> int:
     """A deterministic 63-bit seed derived from a configuration.
 
     Python's ``hash`` is randomised per process for strings, so we
     build the seed from a stable string encoding instead.  Used to give
-    every configuration its own reproducible noise stream.
+    every configuration its own reproducible noise stream: the stream
+    is a pure function of (configuration content, salt), independent of
+    the order configurations are created or scheduled in.
     """
     encoded = repr(sorted((k, repr(v)) for k, v in config.items()))
-    acc = np.uint64(1469598103934665603)  # FNV-1a offset basis
-    prime = np.uint64(1099511628211)
-    with np.errstate(over="ignore"):
-        for ch in encoded:
-            acc = np.uint64(acc ^ np.uint64(ord(ch)))
-            acc = np.uint64(acc * prime)
-        acc = np.uint64(acc ^ np.uint64(salt & 0x7FFFFFFF))
-        acc = np.uint64(acc * prime)
-    return int(acc & np.uint64(0x7FFFFFFFFFFFFFFF))
+    acc = _FNV_CACHE.get(encoded)
+    if acc is None:
+        if len(_FNV_CACHE) >= _FNV_CACHE_LIMIT:
+            _FNV_CACHE.clear()
+        acc = _fnv_accumulate(encoded)
+        _FNV_CACHE[encoded] = acc
+    acc = ((acc ^ (salt & 0x7FFFFFFF)) * _FNV_PRIME) & _U64_MASK
+    return acc & 0x7FFFFFFFFFFFFFFF

@@ -277,6 +277,24 @@ class SyntheticSupervisedRun(TrainingRun):
             done=self.finished,
         )
 
+    def observed_stream(self) -> tuple:
+        """The full observed stream, batched (sim fast-path hook).
+
+        One vectorized draw consuming the same RNG stream ``step``
+        would — ``standard_normal(2E)`` equals ``2E`` sequential scalar
+        draws — so ``(durations, metrics)`` match epoch-by-epoch
+        stepping bit for bit.  Consumes the run: call on a fresh run.
+        """
+        if self._epoch != 0:
+            raise RuntimeError("observed_stream requires a fresh run")
+        noise = self._rng.standard_normal(2 * self._max_epochs)
+        metrics = np.clip(self._true_curve + 0.008 * noise[0::2], 0.0, 1.0)
+        durations = np.maximum(
+            self._epoch_seconds * (1.0 + 0.03 * noise[1::2]), 1.0
+        )
+        self._epoch = self._max_epochs
+        return durations, metrics
+
     def snapshot_state(self) -> Dict[str, Any]:
         return {
             "epoch": self._epoch,

@@ -245,6 +245,25 @@ class SyntheticRLRun(TrainingRun):
             done=self.finished,
         )
 
+    def observed_stream(self) -> tuple:
+        """The full observed stream, batched (sim fast-path hook).
+
+        Consumes the same RNG stream ``step`` would, so the result
+        matches epoch-by-epoch stepping bit for bit.  Consumes the
+        run: call on a fresh run.
+        """
+        if self._epoch != 0:
+            raise RuntimeError("observed_stream requires a fresh run")
+        noise = self._rng.standard_normal(2 * self._max_epochs)
+        metrics = np.clip(
+            self._true_curve + 8.0 * noise[0::2], REWARD_MIN, REWARD_MAX
+        )
+        durations = np.maximum(
+            self._epoch_seconds * (1.0 + 0.05 * noise[1::2]), 1.0
+        )
+        self._epoch = self._max_epochs
+        return durations, metrics
+
     def snapshot_state(self) -> Dict[str, Any]:
         return {
             "epoch": self._epoch,

@@ -1,0 +1,91 @@
+"""learned-vs-pop: the gated learning claim, on real study cells.
+
+The acceptance gate for the learned-scheduling subsystem: on the
+study's held-out evaluation seeds the frozen pretrained policy must
+beat its untrained twin (identical architecture and plumbing, random
+weights) with a paired-bootstrap speedup CI excluding 1.0.  Beating
+the hand-tuned SAPs is reported by the full study but deliberately not
+gated — see docs/learned.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.lab import CellStore, StudyRunner, analyze, render_markdown
+from repro.lab.studies import builtin_study
+from repro.learn.artifact import ARTIFACT_ENV_VAR
+from repro.learn.trainer import TrainerConfig
+
+
+@pytest.fixture(autouse=True)
+def _no_artifact_override(monkeypatch):
+    monkeypatch.delenv(ARTIFACT_ENV_VAR, raising=False)
+
+
+def test_study_seeds_are_held_out():
+    """Evaluation contexts must be disjoint from the training pool."""
+    spec = builtin_study("learned-vs-pop")
+    trainer = TrainerConfig()
+    train_gen_seeds = {
+        trainer.gen_seed_base + i for i in range(trainer.seed_pool)
+    }
+    # per-seed mode: cell generator seed = study gen_seed + replicate.
+    eval_gen_seeds = {spec.gen_seed + seed for seed in spec.seeds}
+    assert len(spec.seeds) >= 3
+    assert eval_gen_seeds.isdisjoint(train_gen_seeds)
+
+
+def test_learned_beats_random_init_with_ci(tmp_path):
+    """The gate: trained weights beat random-init weights, CI > 1."""
+    spec = builtin_study("learned-vs-pop").with_overrides(
+        name="learned-gate",
+        policies=("learned", "learned-random"),
+        baseline={"policy": "learned"},
+    )
+    store = CellStore(tmp_path)
+    store.save_spec(spec)
+    StudyRunner(spec, store, max_workers=1).run()
+    analysis = analyze(spec, store)
+
+    (context,) = analysis.contexts
+    rows = {row.level: row for row in context.levels}
+    assert rows["learned"].is_baseline
+    # Lower-is-better semantics: a row's baseline_speedup point is
+    # row_mean / baseline_mean — how much the baseline (learned)
+    # beats this row (learned-random).
+    point, low, high = rows["learned-random"].baseline_speedup
+    assert low <= point <= high
+    assert low > 1.0, (
+        f"trained policy does not beat random init: "
+        f"{point:.3f} [{low:.3f}, {high:.3f}]"
+    )
+    assert analysis.overall_winner == "learned"
+
+
+def test_report_quotes_learned_vs_pop_ci(tmp_path):
+    """The reported (ungated) comparison: learned vs POP with a paired
+    bootstrap CI, on >= 3 held-out seeds, rendered in the report."""
+    spec = builtin_study("learned-vs-pop").with_overrides(
+        name="learned-vs-pop-smoke",
+        policies=("pop", "learned"),
+        seeds=(1, 2, 4),
+    )
+    store = CellStore(tmp_path)
+    store.save_spec(spec)
+    StudyRunner(spec, store, max_workers=1).run()
+    analysis = analyze(spec, store)
+
+    (context,) = analysis.contexts
+    rows = {row.level: row for row in context.levels}
+    assert rows["pop"].is_baseline
+    point, low, high = rows["learned"].baseline_speedup
+    assert low <= point <= high
+    report = render_markdown(analysis)
+    assert f"{point:.2f}" in report and f"{low:.2f}" in report
+    # The study ran end to end through the ordinary store: the journal
+    # and per-cell records exist for every cell.
+    assert len(store.completed_keys()) == len(spec.cells())
+    assert os.path.exists(store.report_md_path.parent)

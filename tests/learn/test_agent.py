@@ -1,0 +1,167 @@
+"""REINFORCE agent: determinism, serialization, action validity, learning."""
+
+import numpy as np
+
+from repro.learn.agent import KILL_BIAS_INIT, PolicyNetwork, ReinforceAgent
+from repro.learn.features import FEATURE_NAMES
+
+N_FEATURES = len(FEATURE_NAMES)
+
+
+def _features(n, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(-1.0, 1.0, size=(n, N_FEATURES))
+    features[:, -1] = 1.0  # bias column
+    return features
+
+
+class TestPolicyNetwork:
+    def test_seeded_init_is_deterministic(self):
+        a = PolicyNetwork(N_FEATURES, hidden=8, seed=7)
+        b = PolicyNetwork(N_FEATURES, hidden=8, seed=7)
+        for name in a.params:
+            np.testing.assert_array_equal(a.params[name], b.params[name])
+
+    def test_different_seeds_differ(self):
+        a = PolicyNetwork(N_FEATURES, hidden=8, seed=0)
+        b = PolicyNetwork(N_FEATURES, hidden=8, seed=1)
+        assert not np.array_equal(a.params["W1"], b.params["W1"])
+
+    def test_kill_bias_starts_negative(self):
+        net = PolicyNetwork(N_FEATURES)
+        assert net.params["b_kill"][0] == KILL_BIAS_INIT
+
+    def test_weights_roundtrip(self):
+        original = PolicyNetwork(N_FEATURES, hidden=8, seed=3)
+        restored = PolicyNetwork.from_weights(original.weights_dict())
+        assert restored.n_features == N_FEATURES
+        assert restored.hidden == 8
+        features = _features(5)
+        for left, right in zip(
+            original.forward(features), restored.forward(features)
+        ):
+            np.testing.assert_allclose(left, right)
+
+    def test_from_weights_rejects_missing_keys(self):
+        weights = PolicyNetwork(N_FEATURES).weights_dict()
+        del weights["w_alloc"]
+        try:
+            PolicyNetwork.from_weights(weights)
+        except ValueError as error:
+            assert "w_alloc" in str(error)
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_from_weights_rejects_flat_w1(self):
+        weights = PolicyNetwork(N_FEATURES).weights_dict()
+        weights["W1"] = [1.0, 2.0, 3.0]
+        try:
+            PolicyNetwork.from_weights(weights)
+        except ValueError as error:
+            assert "W1" in str(error)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestActions:
+    def test_sampled_action_is_valid(self):
+        agent = ReinforceAgent(N_FEATURES, seed=0)
+        features = _features(6)
+        candidates = np.array([0, 2, 3, 5])
+        action, record = agent.sample_action(features, candidates, n_slots=2)
+        chosen = set(int(i) for i in action.slots)
+        killed = set(int(i) for i in action.kills)
+        assert len(action.slots) == len(chosen)  # distinct
+        assert chosen <= set(candidates.tolist())
+        assert killed <= set(candidates.tolist())
+        assert chosen.isdisjoint(killed)
+        assert len(action.slots) <= 2
+        assert record.slot_sequence == [int(i) for i in action.slots]
+
+    def test_sampling_is_seed_deterministic(self):
+        features = _features(6)
+        candidates = np.arange(6)
+        runs = []
+        for _ in range(2):
+            agent = ReinforceAgent(N_FEATURES, seed=11)
+            actions = [
+                agent.sample_action(features, candidates, 3)[0]
+                for _ in range(5)
+            ]
+            runs.append(
+                [(a.slots.tolist(), a.kills.tolist()) for a in actions]
+            )
+        assert runs[0] == runs[1]
+
+    def test_greedy_action_ranks_by_alloc_logit(self):
+        agent = ReinforceAgent(N_FEATURES, seed=0)
+        features = _features(6)
+        candidates = np.arange(6)
+        action = agent.greedy_action(features, candidates, n_slots=3)
+        alloc, kill, _ = agent.net.forward(features)
+        survivors = candidates[kill[candidates] <= 0.0]
+        expected = survivors[np.argsort(-alloc[survivors], kind="stable")][:3]
+        np.testing.assert_array_equal(action.slots, expected)
+        assert action.entropy == 0.0
+
+
+class TestLearning:
+    def _rollout(self, agent, features, candidates, steps=4):
+        records = []
+        for _ in range(steps):
+            _, record = agent.sample_action(features, candidates, 2)
+            records.append(record)
+        return records
+
+    def test_update_moves_params_when_advantaged(self):
+        agent = ReinforceAgent(N_FEATURES, seed=0, lr=0.1)
+        features = _features(5)
+        candidates = np.arange(5)
+        before = {k: v.copy() for k, v in agent.net.params.items()}
+        records = self._rollout(agent, features, candidates)
+        agent.update(records, episode_reward=1.0)  # seeds the baseline
+        records = self._rollout(agent, features, candidates)
+        agent.update(records, episode_reward=2.0)  # nonzero advantage
+        moved = any(
+            not np.array_equal(before[k], agent.net.params[k])
+            for k in before
+        )
+        assert moved
+
+    def test_update_group_equal_rewards_no_move(self):
+        agent = ReinforceAgent(
+            N_FEATURES, seed=0, lr=0.1, entropy_coef=0.0
+        )
+        features = _features(5)
+        candidates = np.arange(5)
+        group = [
+            (self._rollout(agent, features, candidates), 1.5)
+            for _ in range(4)
+        ]
+        before = {k: v.copy() for k, v in agent.net.params.items()}
+        agent.update_group(group, key=0)
+        for name in before:
+            np.testing.assert_array_equal(
+                before[name], agent.net.params[name]
+            )
+
+    def test_update_group_learns_a_bandit(self):
+        # Degenerate bandit: config 0 always pays, others never.  After
+        # enough grouped updates the greedy top pick must be config 0.
+        agent = ReinforceAgent(N_FEATURES, seed=0, lr=0.2)
+        features = _features(4, seed=5)
+        candidates = np.arange(4)
+        for _ in range(60):
+            group = []
+            for _ in range(6):
+                action, record = agent.sample_action(
+                    features, candidates, 1
+                )
+                reward = (
+                    1.0 if action.slots.size and action.slots[0] == 0
+                    else 0.0
+                )
+                group.append(([record], reward))
+            agent.update_group(group, key=0)
+        greedy = agent.greedy_action(features, candidates, 1)
+        assert greedy.slots.size and int(greedy.slots[0]) == 0

@@ -1,0 +1,121 @@
+"""Trainer: instrumentation, checkpoints, and artifact determinism."""
+
+import filecmp
+
+import pytest
+
+from repro.learn.trainer import (
+    TrainerConfig,
+    evaluate_agent,
+    run_episode,
+    train_policy,
+)
+from repro.observability.recorder import Recorder
+
+TINY = TrainerConfig(
+    episodes=8,
+    group_size=4,
+    seed_pool=2,
+    checkpoint_every=1,
+    num_configs=4,
+    slots=2,
+    tmax_hours=2.0,
+)
+
+
+@pytest.fixture(scope="module")
+def shared_env():
+    from repro.sim.env import EnvConfig, SchedulerEnv
+
+    return SchedulerEnv(
+        EnvConfig(
+            workload=TINY.workload,
+            generator=TINY.generator,
+            num_configs=TINY.num_configs,
+            slots=TINY.slots,
+            tmax_hours=TINY.tmax_hours,
+            stream_seed=TINY.stream_seed,
+        )
+    )
+
+
+class TestTrainPolicy:
+    def test_instruments_and_audit(self, tmp_path, shared_env):
+        recorder = Recorder()
+        path = tmp_path / "artifact.json"
+        result = train_policy(
+            TINY, artifact_path=str(path), recorder=recorder,
+            env=shared_env,
+        )
+        assert len(result["rewards"]) == TINY.episodes
+        assert path.exists()
+
+        snapshot = recorder.metrics.to_dict()
+        for name in (
+            "learn_episode_reward",
+            "learn_policy_entropy",
+            "learn_best_reward",
+            "learn_baseline",
+        ):
+            assert name in snapshot, name
+        episodes_total = snapshot["learn_episodes_total"]["samples"][0]
+        assert episodes_total["value"] == TINY.episodes
+
+        events = [record.kind for record in recorder.audit.records]
+        assert "learn_checkpoint" in events
+        assert events[-1] == "learn_artifact_frozen"
+        frozen = recorder.audit.records[-1]
+        assert frozen.data["path"] == str(path)
+
+    def test_progress_callback(self, shared_env):
+        seen = []
+        train_policy(TINY, env=shared_env, progress=seen.append)
+        assert len(seen) == TINY.episodes // TINY.group_size
+        assert seen[-1]["episode"] == TINY.episodes
+        assert "best_reward" in seen[-1] and "entropy" in seen[-1]
+
+    def test_artifact_provenance(self, shared_env):
+        result = train_policy(TINY, env=shared_env)
+        provenance = result["artifact"]["provenance"]
+        assert provenance["trainer"] == TINY.to_dict()
+        assert provenance["episodes"] == TINY.episodes
+        assert provenance["best_reward"] == result["best_reward"]
+
+    def test_retrain_is_byte_identical(self, tmp_path):
+        # The acceptance determinism test: same config + seed => the
+        # frozen artifacts compare equal byte for byte.  Fresh envs per
+        # run so no episode state can leak between them.
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        train_policy(TINY, artifact_path=str(first))
+        train_policy(TINY, artifact_path=str(second))
+        assert filecmp.cmp(str(first), str(second), shallow=False)
+
+    def test_seed_changes_artifact(self, tmp_path, shared_env):
+        base = train_policy(TINY, env=shared_env)
+        other = train_policy(
+            TrainerConfig(**{**TINY.to_dict(), "seed": 1}), env=shared_env
+        )
+        assert base["artifact"]["weights"] != other["artifact"]["weights"]
+
+
+class TestEpisodeHelpers:
+    def test_run_episode_greedy_has_no_records(self, shared_env):
+        from repro.learn.agent import ReinforceAgent
+        from repro.learn.features import FEATURE_NAMES
+
+        agent = ReinforceAgent(len(FEATURE_NAMES), seed=0)
+        rollout = run_episode(shared_env, agent, gen_seed=10_000, greedy=True)
+        assert rollout["records"] == []
+        assert rollout["info"]["target_reached"] in (True, False)
+
+    def test_evaluate_agent_means(self, shared_env):
+        from repro.learn.agent import ReinforceAgent
+        from repro.learn.features import FEATURE_NAMES
+
+        agent = ReinforceAgent(len(FEATURE_NAMES), seed=0)
+        evaluation = evaluate_agent(shared_env, agent, [10_000, 10_001])
+        assert len(evaluation["rewards"]) == 2
+        assert evaluation["mean_reward"] == pytest.approx(
+            sum(evaluation["rewards"]) / 2
+        )

@@ -131,3 +131,26 @@ class TestFleetSection:
     def test_absent_without_cost_gauges(self):
         frame = render_top(telemetry_doc())
         assert "fleet:" not in frame
+
+
+class TestTrainingSection:
+    def training_doc(self):
+        aggregator = TelemetryAggregator(clock=lambda: 1.0)
+        trainer = MetricsRegistry()
+        trainer.counter("learn_episodes_total").inc(128)
+        trainer.gauge("learn_best_reward").set(1.234)
+        trainer.gauge("learn_episode_reward").set(0.987)
+        trainer.gauge("learn_policy_entropy").set(1.5)
+        aggregator.ingest_registry("trainer", trainer)
+        return aggregator.to_dict()
+
+    def test_one_line_panel(self):
+        frame = render_top(self.training_doc())
+        assert (
+            "training[trainer]: episodes=128 best=1.234 "
+            "reward=0.987 entropy=1.50" in frame
+        )
+
+    def test_absent_without_learn_metrics(self):
+        frame = render_top(telemetry_doc())
+        assert "training[" not in frame

@@ -1,0 +1,200 @@
+"""Fast-path contracts: stream isolation, reorder invariance, parity.
+
+The vectorized fast path (:mod:`repro.sim.fastpath`) and the learned
+scheduler's training environment both rest on one guarantee: a
+configuration's observed stream is a pure function of (configuration
+content, experiment seed) — never of the order configurations were
+minted or scheduled in.  These tests pin that guarantee at every
+layer:
+
+* batched ``observed_stream`` hooks are bit-identical to stepping the
+  scalar run epoch by epoch;
+* ``precompute_streams`` is invariant to configuration order;
+* the scalar DES gives each configuration the identical per-epoch
+  curve when the configuration list is permuted (per-config RNG
+  stream isolation in the real path, not just the replay);
+* ``FastBatchWorkload`` replay and ``simulate_default_fast`` reproduce
+  the scalar DES result exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.framework.experiment import ExperimentSpec
+from repro.generators.random_gen import RandomGenerator
+from repro.policies.default import DefaultPolicy
+from repro.core.pop import POPPolicy
+from repro.sim.fastpath import (
+    FastBatchWorkload,
+    config_key,
+    precompute_streams,
+    simulate_default_fast,
+)
+from repro.sim.runner import run_simulation
+from repro.workloads.cifar10 import Cifar10Workload
+from repro.workloads.lunarlander import LunarLanderWorkload
+
+N_CONFIGS = 8
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Cifar10Workload()
+
+
+@pytest.fixture(scope="module")
+def configs(workload):
+    generator = RandomGenerator(
+        workload.space, seed=11, max_configs=N_CONFIGS
+    )
+    out = []
+    for _ in range(N_CONFIGS):
+        _, config = generator.create_job()
+        out.append(config)
+    return out
+
+
+@pytest.mark.parametrize(
+    "make_workload", [Cifar10Workload, LunarLanderWorkload]
+)
+def test_observed_stream_matches_scalar_stepping(make_workload):
+    """The batched hook draws the same RNG stream as epoch stepping."""
+    workload = make_workload()
+    generator = RandomGenerator(workload.space, seed=2, max_configs=3)
+    for _ in range(3):
+        _, config = generator.create_job()
+        durations, metrics = workload.create_run(
+            config, seed=SEED
+        ).observed_stream()
+        run = workload.create_run(config, seed=SEED)
+        scalar_durations, scalar_metrics = [], []
+        while not run.finished:
+            result = run.step()
+            scalar_durations.append(result.duration)
+            scalar_metrics.append(result.metric)
+        np.testing.assert_array_equal(durations, scalar_durations)
+        np.testing.assert_array_equal(metrics, scalar_metrics)
+
+
+def test_precompute_streams_reorder_invariant(workload, configs):
+    """Each configuration's stream survives any list permutation."""
+    forward = precompute_streams(workload, configs, seed=SEED)
+    order = list(reversed(range(len(configs))))
+    backward = precompute_streams(
+        workload, [configs[i] for i in order], seed=SEED
+    )
+    for new_row, old_row in enumerate(order):
+        np.testing.assert_array_equal(
+            backward.durations[new_row], forward.durations[old_row]
+        )
+        np.testing.assert_array_equal(
+            backward.metrics[new_row], forward.metrics[old_row]
+        )
+
+
+def test_precompute_streams_subset_invariant(workload, configs):
+    """Dropping configurations leaves the survivors' streams alone."""
+    full = precompute_streams(workload, configs, seed=SEED)
+    subset = precompute_streams(workload, configs[::2], seed=SEED)
+    for new_row, old_row in enumerate(range(0, len(configs), 2)):
+        np.testing.assert_array_equal(
+            subset.metrics[new_row], full.metrics[old_row]
+        )
+
+
+def test_scalar_des_per_config_curves_order_independent(workload, configs):
+    """Permuting the configuration list must not change any config's
+    observed curve in the *scalar* DES (per-config RNG isolation)."""
+    spec = ExperimentSpec(
+        num_machines=2,
+        num_configs=len(configs),
+        tmax=48 * 3600.0,
+        seed=SEED,
+        stop_on_target=False,
+    )
+    forward = run_simulation(
+        workload, DefaultPolicy(), configs=configs, spec=spec
+    )
+    permutation = [3, 0, 6, 1, 7, 4, 2, 5]
+    backward = run_simulation(
+        workload,
+        DefaultPolicy(),
+        configs=[configs[i] for i in permutation],
+        spec=spec,
+    )
+    by_key_forward = {
+        config_key(job.config): job.metrics for job in forward.jobs
+    }
+    by_key_backward = {
+        config_key(job.config): job.metrics for job in backward.jobs
+    }
+    assert by_key_forward.keys() == by_key_backward.keys()
+    for key, curve in by_key_forward.items():
+        assert by_key_backward[key] == curve
+
+
+def test_streams_reordered_view(workload, configs):
+    streams = precompute_streams(workload, configs, seed=SEED)
+    order = [1, 0, 3, 2, 5, 4, 7, 6]
+    view = streams.reordered(order)
+    for new_row, old_row in enumerate(order):
+        np.testing.assert_array_equal(
+            view.normalized[new_row], streams.normalized[old_row]
+        )
+    with pytest.raises(ValueError):
+        streams.reordered([0, 0, 1, 2, 3, 4, 5, 6])
+
+
+def test_fast_batch_workload_replays_exactly(workload, configs):
+    """POP on the replay facade reproduces the scalar result."""
+    spec = ExperimentSpec(
+        num_machines=2, num_configs=len(configs), tmax=24 * 3600.0, seed=SEED
+    )
+    scalar = run_simulation(
+        workload, POPPolicy(), configs=configs, spec=spec
+    )
+    replay = run_simulation(
+        FastBatchWorkload(workload, configs, seed=SEED),
+        POPPolicy(),
+        configs=configs,
+        spec=spec,
+    )
+    assert replay.reached_target == scalar.reached_target
+    assert replay.time_to_target == scalar.time_to_target
+    assert replay.epochs_trained == scalar.epochs_trained
+    assert replay.best_metric == scalar.best_metric
+
+
+def test_fast_batch_workload_rejects_foreign_inputs(workload, configs):
+    fast = FastBatchWorkload(workload, configs, seed=SEED)
+    with pytest.raises(ValueError):
+        fast.create_run(configs[0], seed=SEED + 1)
+    with pytest.raises(KeyError):
+        fast.create_run({"unseen": 1}, seed=SEED)
+
+
+def test_simulate_default_fast_matches_des(workload, configs):
+    """The closed-form Default replay equals the event-loop result."""
+    spec = ExperimentSpec(
+        num_machines=3, num_configs=len(configs), tmax=24 * 3600.0, seed=SEED
+    )
+    scalar = run_simulation(
+        workload, DefaultPolicy(), configs=configs, spec=spec
+    )
+    fast = simulate_default_fast(
+        precompute_streams(workload, configs, seed=SEED),
+        machines=3,
+        tmax=24 * 3600.0,
+    )
+    assert fast["reached_target"] == scalar.reached_target
+    if scalar.time_to_target is None:
+        assert fast["time_to_target"] is None
+    else:
+        assert fast["time_to_target"] == pytest.approx(
+            scalar.time_to_target, abs=1e-6
+        )
+    assert fast["epochs_trained"] == scalar.epochs_trained
+    assert fast["best_metric"] == pytest.approx(scalar.best_metric)
